@@ -1,0 +1,557 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Section 4) and runs Bechamel micro-benchmarks over the substrate's
+   execution tiers.
+
+   For each figure the harness prints:
+   - MEASURED rows: real executions of this repository's pipelines
+     (interpreter / compiled stencil kernels / vendor kernels, simulated
+     GPU clock, simulated MPI) at container-friendly problem sizes;
+   - MODEL rows: the calibrated ARCHER2/V100/Slingshot machine models at
+     the paper's problem sizes, which is where the figure *shapes* (who
+     wins, crossovers) are reproduced. EXPERIMENTS.md records the
+     paper-vs-ours comparison.
+
+   Usage:  main.exe [--figure N] [--quick] [--no-bechamel]          *)
+
+module P = Fsc_driver.Pipeline
+module B = Fsc_driver.Benchmarks
+module Rt = Fsc_rt.Memref_rt
+module V = Fsc_rt.Vendor_kernels
+module C = Fsc_perf.Cpu_model
+module G = Fsc_perf.Gpu_model
+module N = Fsc_perf.Net_model
+module Cal = Fsc_perf.Calibrate
+
+let quick = ref false
+let figures = ref []
+let run_bechamel = ref true
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      match arg with
+      | "--quick" -> quick := true
+      | "--no-bechamel" -> run_bechamel := false
+      | "--figure" ->
+        if i + 1 < Array.length Sys.argv then
+          figures := int_of_string Sys.argv.(i + 1) :: !figures
+      | _ -> ())
+    Sys.argv
+
+let want fig = !figures = [] || List.mem fig !figures
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Measured substrate numbers                                          *)
+(* ------------------------------------------------------------------ *)
+
+let measure_pipeline ~src ~cells_per_run ~label target =
+  Cal.measure ~label ~cells_per_iter:cells_per_run
+    ~min_seconds:(if !quick then 0.1 else 0.4)
+    (fun () ->
+      let a, _ = P.stencil ~target src in
+      P.run a;
+      P.shutdown a)
+
+let measure_flang ~src ~cells_per_run ~label =
+  Cal.measure ~label ~cells_per_iter:cells_per_run
+    ~min_seconds:(if !quick then 0.1 else 0.4)
+    (fun () ->
+      let a = P.flang_only src in
+      P.run a)
+
+(* measured single-core GS + PW at substrate scale *)
+let figure2_measured () =
+  let n_jit = if !quick then 32 else 48 in
+  let n_interp = if !quick then 12 else 16 in
+  let iters = 2 in
+  let cells n = float_of_int (n * n * n * iters) in
+  Printf.printf
+    "\nMEASURED on this machine (substrate tiers; grids %d^3 / %d^3):\n"
+    n_jit n_interp;
+  (* Gauss-Seidel *)
+  let gs_flang =
+    measure_flang
+      ~src:(B.gauss_seidel ~nx:n_interp ~ny:n_interp ~nz:n_interp
+              ~niter:iters ())
+      ~cells_per_run:(cells n_interp)
+      ~label:"GS  Flang only (FIR interpreter)"
+  in
+  let gs_st =
+    measure_pipeline
+      ~src:(B.gauss_seidel ~nx:n_jit ~ny:n_jit ~nz:n_jit ~niter:iters ())
+      ~cells_per_run:(cells n_jit)
+      ~label:"GS  Stencil (compiled kernels)" P.Serial
+  in
+  let gs_vendor =
+    let u = V.grid3 ~nx:n_jit ~ny:n_jit ~nz:n_jit in
+    let unew = V.grid3 ~nx:n_jit ~ny:n_jit ~nz:n_jit in
+    V.init_linear u;
+    Cal.measure ~label:"GS  Cray-class (vendor kernels)"
+      ~cells_per_iter:(cells n_jit)
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () -> V.gs3d_run ~u ~unew ~iters ())
+  in
+  (* PW advection *)
+  let pw_flang =
+    measure_flang
+      ~src:(B.pw_advection ~nx:n_interp ~ny:n_interp ~nz:n_interp
+              ~niter:iters ())
+      ~cells_per_run:(cells n_interp)
+      ~label:"PW  Flang only (FIR interpreter)"
+  in
+  let pw_st =
+    measure_pipeline
+      ~src:(B.pw_advection ~nx:n_jit ~ny:n_jit ~nz:n_jit ~niter:iters ())
+      ~cells_per_run:(cells n_jit)
+      ~label:"PW  Stencil (compiled kernels)" P.Serial
+  in
+  let pw_vendor =
+    let g () = V.grid3 ~nx:n_jit ~ny:n_jit ~nz:n_jit in
+    let u = g () and v = g () and w = g () in
+    let su = g () and sv = g () and sw = g () in
+    V.init_linear u;
+    Cal.measure ~label:"PW  Cray-class (vendor kernels)"
+      ~cells_per_iter:(cells n_jit)
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () ->
+        for _ = 1 to iters do
+          V.pw_advect ~u ~v ~w ~su ~sv ~sw ~rdx:0.1 ~rdy:0.2 ~rdz:0.3 ()
+        done)
+  in
+  print_endline
+    (Cal.report [ gs_flang; gs_st; gs_vendor; pw_flang; pw_st; pw_vendor ]);
+  Printf.printf
+    "  measured substrate tier gap Stencil/Flang: GS %.0fx, PW %.0fx\n\
+    \  (the substrate's interpreter-vs-JIT gap exceeds the paper's \
+     compiler gap;\n\
+    \   the calibrated model above carries the paper-shape factors of \
+     ~2x and ~10x)\n"
+    (Cal.mcells gs_st /. Cal.mcells gs_flang)
+    (Cal.mcells pw_st /. Cal.mcells pw_flang)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: single-core CPU, three problem sizes                      *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  header "Figure 2: single-core CPU performance (MCells/s)";
+  Printf.printf
+    "MODEL (ARCHER2 AMD Rome core; paper sizes; shape target: Cray > \
+     Stencil > Flang,\n  Stencil ~2x Flang on GS, ~10x on PW):\n\n";
+  row "  %-14s %-12s %10s %10s %10s\n" "benchmark" "size" "Cray"
+    "Flang only" "Stencil";
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun size ->
+          let v pipe = C.mcells ~bench ~pipe ~threads:1 () in
+          row "  %-14s %-12s %10.1f %10.1f %10.1f\n"
+            (C.benchmark_name bench) size (v C.Cray) (v C.Flang_only)
+            (v C.Stencil_opt))
+        [ "256^3"; "512^3"; "1024^3" ])
+    [ C.Gauss_seidel; C.Pw_advection ];
+  Printf.printf
+    "  (single-core model throughput is size-independent: all three sizes \
+     stream from DRAM)\n";
+  figure2_measured ()
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 & 4: OpenMP thread scaling                                *)
+(* ------------------------------------------------------------------ *)
+
+let figure34 bench fig =
+  header
+    (Printf.sprintf "Figure %d: multithreaded %s, 2.1e9 cells (MCells/s)"
+       fig (C.benchmark_name bench));
+  row "  %-8s %12s %12s %12s\n" "threads" "Cray" "Flang only" "Stencil";
+  List.iter
+    (fun t ->
+      let v pipe = C.mcells ~bench ~pipe ~threads:t () in
+      let cray = v C.Cray and flang = v C.Flang_only in
+      let st = v C.Stencil_opt in
+      row "  %-8d %12.0f %12.0f %12.0f%s\n" t cray flang st
+        (if st > cray then "   <- stencil wins" else ""))
+    [ 1; 2; 4; 8; 16; 32; 64; 128 ];
+  if bench = C.Pw_advection then
+    Printf.printf
+      "  (paper: the auto-parallelised stencil overtakes hand-written \
+       OpenMP at 64 and 128 threads — fusion wins once bandwidth \
+       saturates)\n"
+
+(* measured OpenMP differential (correctness + relative cost on this
+   container; true scaling needs >1 core) *)
+let figure34_measured () =
+  let n = if !quick then 24 else 32 in
+  let iters = 2 in
+  let src = B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let cells = float_of_int (n * n * n * iters) in
+  Printf.printf
+    "\nMEASURED auto-parallelised OpenMP path (%d core(s) visible to this \
+     container):\n"
+    (Fsc_rt.Domain_pool.recommended_size ());
+  List.iter
+    (fun threads ->
+      let m =
+        measure_pipeline ~src ~cells_per_run:cells
+          ~label:(Printf.sprintf "GS Stencil omp.wsloop, %d threads" threads)
+          (P.Openmp threads)
+      in
+      print_endline (Cal.report [ m ]))
+    [ 1; 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: GPU                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let figure5 () =
+  header "Figure 5: Nvidia V100 GPU performance (MCells/s, log-scale data)";
+  Printf.printf "MODEL (V100 SXM2-16GB; 500 timesteps):\n\n";
+  row "  %-14s %-8s %14s %16s %18s\n" "benchmark" "size" "OpenACC"
+    "Stencil(initial)" "Stencil(optimised)";
+  let run ~arrays ~bytes ~flops name sizes =
+    List.iter
+      (fun n ->
+        let cells = float_of_int (n * n * n) in
+        let v strategy =
+          G.mcells ~strategy ~cells ~flops_per_cell:flops
+            ~bytes_per_cell:bytes ~arrays
+            ~array_bytes:(cells *. 8.0 *. float_of_int arrays)
+            ~iters:500 ()
+        in
+        row "  %-14s %-8s %14.0f %16.1f %18.0f\n" name
+          (Printf.sprintf "%d^3" n)
+          (v G.Openacc_nvidia) (v G.Stencil_initial)
+          (v G.Stencil_optimised))
+      sizes
+  in
+  run ~arrays:2 ~bytes:32.0 ~flops:6.0 "Gauss-Seidel" [ 128; 256; 512 ];
+  run ~arrays:6 ~bytes:64.0 ~flops:63.0 "PW advection" [ 128; 256; 512 ];
+  (* measured: execute the real GPU pipelines against the simulator and
+     report its clock *)
+  let n = if !quick then 8 else 12 in
+  let iters = 10 in
+  Printf.printf
+    "\nMEASURED on the simulated device (real extracted kernels, %d^3, %d \
+     timesteps):\n"
+    n iters;
+  let sim_time target =
+    let src = B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters () in
+    let a, _ = P.stencil ~target src in
+    P.run a;
+    let s =
+      match a.P.a_ctx.Fsc_rt.Interp.gpu with
+      | Some g -> Fsc_rt.Gpu_sim.stats g
+      | None -> assert false
+    in
+    P.shutdown a;
+    s
+  in
+  let si = sim_time (P.Gpu P.Gpu_initial) in
+  let so = sim_time (P.Gpu P.Gpu_optimised) in
+  let cells = float_of_int (n * n * n * iters) in
+  row "  %-38s %10.1f MCells/s  (%d kB paged)\n"
+    "GS Stencil (initial data approach)"
+    (cells /. si.Fsc_rt.Gpu_sim.s_clock /. 1e6)
+    (si.Fsc_rt.Gpu_sim.s_bytes_paged / 1024);
+  row "  %-38s %10.1f MCells/s  (%d kB copied once)\n"
+    "GS Stencil (optimised data approach)"
+    (cells /. so.Fsc_rt.Gpu_sim.s_clock /. 1e6)
+    (so.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: distributed memory                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure6 () =
+  header
+    "Figure 6: distributed Gauss-Seidel on ARCHER2, 1.7e10 cells (MCells/s)";
+  Printf.printf "MODEL (Slingshot, 128 ranks/node, 2-D decomposition):\n\n";
+  let global = (2580, 2580, 2580) in
+  row "  %-8s %-8s %16s %22s\n" "nodes" "cores" "Hand parallelised"
+    "Stencil auto (DMP/MPI)";
+  List.iter
+    (fun nodes ->
+      let ranks = nodes * 128 in
+      let hand = N.mcells ~variant:N.Hand_cray ~global ~ranks () in
+      let auto = N.mcells ~variant:N.Auto_dmp ~global ~ranks () in
+      row "  %-8d %-8d %16.0f %22.0f\n" nodes ranks hand auto)
+    [ 2; 4; 8; 16; 32; 64 ];
+  Printf.printf
+    "  (paper: hand version wins and scales better; auto reaches ~70,000 \
+     MCells/s at 8192 cores)\n";
+  (* measured: functional SPMD execution over simulated MPI *)
+  let n = if !quick then 12 else 16 in
+  let iters = 3 in
+  let d = Fsc_dmp.Decomp.create ~global:(n, n, n) ~ranks:4 in
+  let init name (i, j, k) =
+    match name with
+    | "u" ->
+      V.gs_init i j k
+    | _ -> 0.0
+  in
+  let t = Fsc_dmp.Dist_exec.create d ~fields:[ "u"; "unew" ] ~init in
+  let t0 = Unix.gettimeofday () in
+  Fsc_dmp.Dist_exec.iterate t ~iters ~swap_fields:[ "u" ]
+    ~compute:(fun t rank ->
+      let st = t.Fsc_dmp.Dist_exec.ranks.(rank) in
+      let lu = Fsc_dmp.Dist_exec.field st "u" in
+      let ln = Fsc_dmp.Dist_exec.field st "unew" in
+      let lx, ly, lz = Fsc_dmp.Decomp.local_extents d rank in
+      let gu = { V.g_buf = lu; V.g_nx = lx; V.g_ny = ly; V.g_nz = lz } in
+      let gn = { V.g_buf = ln; V.g_nx = lx; V.g_ny = ly; V.g_nz = lz } in
+      V.gs3d_sweep ~u:gu ~unew:gn ();
+      V.gs3d_copyback ~u:gu ~unew:gn ());
+  let dt = Unix.gettimeofday () -. t0 in
+  let msgs, bytes = Fsc_dmp.Dist_exec.stats t in
+  Printf.printf
+    "\nMEASURED functional SPMD run: 4 simulated ranks, %d^3 global, %d \
+     iters:\n  %.2f MCells/s host-side, %d halo messages, %d kB exchanged\n"
+    n iters
+    (float_of_int (n * n * n * iters) /. dt /. 1e6)
+    msgs (bytes / 1024)
+
+(* ------------------------------------------------------------------ *)
+(* Headline summary (Section 4.2 / conclusions)                        *)
+(* ------------------------------------------------------------------ *)
+
+let headline () =
+  header "Headline claims (paper Section 6)";
+  let gs =
+    C.mcells ~bench:C.Gauss_seidel ~pipe:C.Stencil_opt ~threads:1 ()
+    /. C.mcells ~bench:C.Gauss_seidel ~pipe:C.Flang_only ~threads:1 ()
+  in
+  let pw =
+    C.mcells ~bench:C.Pw_advection ~pipe:C.Stencil_opt ~threads:1 ()
+    /. C.mcells ~bench:C.Pw_advection ~pipe:C.Flang_only ~threads:1 ()
+  in
+  Printf.printf
+    "  stencil vs Flang-only single core: GS %.1fx, PW %.1fx (paper: ~2x \
+     and ~10x)\n"
+    gs pw;
+  let pw_gpu strategy =
+    G.mcells ~strategy ~cells:(256. ** 3.) ~flops_per_cell:63.
+      ~bytes_per_cell:64. ~arrays:6
+      ~array_bytes:((256. ** 3.) *. 48.)
+      ~iters:500 ()
+  in
+  Printf.printf
+    "  PW on V100, stencil-optimised vs hand OpenACC: %.1fx (paper: ~15x)\n"
+    (pw_gpu G.Stencil_optimised /. pw_gpu G.Openacc_nvidia)
+
+(* ------------------------------------------------------------------ *)
+(* Future work (paper Section 6): multinode GPU projection             *)
+(* ------------------------------------------------------------------ *)
+
+let future_work () =
+  header "Future work: multinode GPU (paper Section 6, fifth item)";
+  Printf.printf
+    "Gauss-Seidel, 2048^3 cells, one V100 per node (model, MCells/s):\n\n";
+  row "  %-6s %18s %18s\n" "GPUs" "PCIe-staged halos" "GPUDirect/NVLink";
+  let global = (2048, 2048, 2048) in
+  List.iter
+    (fun gpus ->
+      let v gpudirect =
+        N.multinode_gpu_mcells
+          ~cluster:{ N.default_gpu_cluster with N.gc_gpudirect = gpudirect }
+          ~global ~gpus ~bytes_per_cell:32.0 ~flops_per_cell:6.0 ()
+      in
+      row "  %-6d %18.0f %18.0f\n" gpus (v false) (v true))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: the design choices DESIGN.md calls out                   *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  header "Ablations (design-choice studies)";
+  let n = if !quick then 24 else 40 in
+  let iters = 2 in
+  let cells = float_of_int (n * n * n * iters) in
+
+  (* 1. stencil merging (the PW fusion): measured on this substrate *)
+  Printf.printf "\n[A] stencil merging on PW advection (%d^3, measured):\n" n;
+  let pw = B.pw_advection ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let fused =
+    Cal.measure ~label:"merge enabled (one fused sweep)"
+      ~cells_per_iter:cells
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () ->
+        let a, _ = P.stencil ~target:P.Serial ~merge:true pw in
+        P.run a)
+  in
+  let unfused =
+    Cal.measure ~label:"merge disabled (three sweeps)"
+      ~cells_per_iter:cells
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () ->
+        let a, _ = P.stencil ~target:P.Serial ~merge:false pw in
+        P.run a)
+  in
+  print_endline (Cal.report [ fused; unfused ]);
+  Printf.printf "  substrate fusion ratio: %.2fx\n"
+    (Cal.mcells fused /. Cal.mcells unfused);
+  (* fusion is a *bandwidth* optimisation; the closure JIT is
+     compute-bound, so its measured effect here is ~1x — the effect that
+     decides the paper's Figure 4 lives in the memory-traffic model: *)
+  let model threads fused_flag =
+    let bytes = if fused_flag then 48.0 else 96.0 in
+    let bw = Fsc_perf.Cpu_model.bandwidth Fsc_perf.Machine.archer2_node
+               threads in
+    bw /. bytes /. 1e6
+  in
+  Printf.printf
+    "  model @128 threads (bandwidth-bound): fused %.0f vs unfused %.0f \
+     MCells/s -> %.2fx\n"
+    (model 128 true) (model 128 false)
+    (model 128 true /. model 128 false);
+
+  (* 2. loop specialisation (the scf-parallel-loop-specialization pass) *)
+  Printf.printf
+    "\n[B] loop specialisation on Gauss-Seidel (%d^3, measured):\n" n;
+  let gs = B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let spec =
+    Cal.measure ~label:"specialised (unrolled inner loop)"
+      ~cells_per_iter:cells
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () ->
+        let a, _ = P.stencil ~target:P.Serial ~specialize:true gs in
+        P.run a)
+  in
+  let nospec =
+    Cal.measure ~label:"unspecialised"
+      ~cells_per_iter:cells
+      ~min_seconds:(if !quick then 0.1 else 0.4)
+      (fun () ->
+        let a, _ = P.stencil ~target:P.Serial ~specialize:false gs in
+        P.run a)
+  in
+  print_endline (Cal.report [ spec; nospec ]);
+  Printf.printf "  specialisation speedup: %.2fx\n"
+    (Cal.mcells spec /. Cal.mcells nospec);
+
+  (* 3. GPU tile sizes (paper: sensitive, some values fail at runtime) *)
+  Printf.printf
+    "\n[C] GPU tile-size sensitivity (paper Listing 4 uses 32,32,1):\n";
+  List.iter
+    (fun (tx, ty) ->
+      let threads = tx * ty in
+      let g = Fsc_rt.Gpu_sim.create () in
+      let host = Rt.create [ 64; 64; 64 ] in
+      Fsc_rt.Gpu_sim.alloc g host;
+      Fsc_rt.Gpu_sim.memcpy_h2d g host;
+      match
+        Fsc_rt.Gpu_sim.launch g
+          ~strategy:Fsc_rt.Gpu_sim.Strategy_device_resident
+          ~block_threads:threads ~flops:1e6 ~bytes_accessed:2e6
+          ~body:(fun () -> ())
+          [ host ]
+      with
+      | () ->
+        Printf.printf
+          "  tile %2d,%2d,1  -> %4d threads/block: ok (%.1f us simulated)\n"
+          tx ty threads
+          (1e6 *. (Fsc_rt.Gpu_sim.stats g).Fsc_rt.Gpu_sim.s_clock)
+      | exception Fsc_rt.Gpu_sim.Launch_failure msg ->
+        Printf.printf "  tile %2d,%2d,1  -> %4d threads/block: RUNTIME \
+                       FAILURE (%s)\n"
+          tx ty threads msg)
+    [ (8, 8); (16, 16); (32, 32); (64, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one grouped test per figure              *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_suite () =
+  header "Bechamel micro-benchmarks (ns/run, OLS estimate)";
+  let open Bechamel in
+  let n = 16 in
+  let iters = 1 in
+  (* pre-built artifacts so the timed closures do pure execution *)
+  let gs_src = B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let pw_src = B.pw_advection ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let st_gs, _ = P.stencil ~target:P.Serial gs_src in
+  let st_pw, _ = P.stencil ~target:P.Serial pw_src in
+  let gpu_gs, _ = P.stencil ~target:(P.Gpu P.Gpu_optimised) gs_src in
+  let flang_gs = P.flang_only gs_src in
+  let vu = V.grid3 ~nx:n ~ny:n ~nz:n and vn = V.grid3 ~nx:n ~ny:n ~nz:n in
+  V.init_linear vu;
+  let pool = Fsc_rt.Domain_pool.create 2 in
+  let d = Fsc_dmp.Decomp.create ~global:(n, n, n) ~ranks:4 in
+  let dist =
+    Fsc_dmp.Dist_exec.create d ~fields:[ "u" ] ~init:(fun _ _ -> 1.0)
+  in
+  let tests =
+    Test.make_grouped ~name:"figures"
+      [ (* Figure 2 trio *)
+        Test.make ~name:"fig2/gs-flang-only"
+          (Staged.stage (fun () -> P.run flang_gs));
+        Test.make ~name:"fig2/gs-stencil"
+          (Staged.stage (fun () -> P.run st_gs));
+        Test.make ~name:"fig2/gs-cray-class"
+          (Staged.stage (fun () -> V.gs3d_run ~u:vu ~unew:vn ~iters ()));
+        Test.make ~name:"fig2/pw-stencil"
+          (Staged.stage (fun () -> P.run st_pw));
+        (* Figure 3/4: one work-shared sweep through the pool *)
+        Test.make ~name:"fig34/gs-openmp-sweep"
+          (Staged.stage (fun () -> V.gs3d_sweep ~pool ~u:vu ~unew:vn ()));
+        (* Figure 5: a full GPU timestep against the simulator *)
+        Test.make ~name:"fig5/gs-gpu-optimised"
+          (Staged.stage (fun () -> P.run gpu_gs));
+        (* Figure 6: one halo superstep over simulated MPI *)
+        Test.make ~name:"fig6/halo-superstep"
+          (Staged.stage (fun () ->
+               Fsc_dmp.Dist_exec.iterate dist ~iters:1 ~swap_fields:[ "u" ]
+                 ~compute:(fun _ _ -> ())));
+        (* compilation pipeline itself *)
+        Test.make ~name:"pipeline/compile-gs"
+          (Staged.stage (fun () ->
+               let a, _ = P.stencil ~target:P.Serial gs_src in
+               P.shutdown a)) ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200
+      ~quota:(Time.second (if !quick then 0.25 else 0.6))
+      ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> rows := (name, Float.nan) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-36s %14.0f ns/run\n" name est)
+    (List.sort compare !rows);
+  Fsc_rt.Domain_pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "fsc benchmark harness — reproducing Brown et al., \"Fortran \
+     performance optimisation and auto-parallelisation by leveraging \
+     MLIR-based domain specific abstractions in Flang\" (SC-W 2023)\n";
+  if want 2 then figure2 ();
+  if want 3 then figure34 C.Gauss_seidel 3;
+  if want 4 then figure34 C.Pw_advection 4;
+  if want 3 || want 4 then figure34_measured ();
+  if want 5 then figure5 ();
+  if want 6 then figure6 ();
+  headline ();
+  if !figures = [] then begin
+    future_work ();
+    ablations ()
+  end;
+  if !run_bechamel then bechamel_suite ();
+  print_newline ()

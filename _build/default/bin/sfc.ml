@@ -1,0 +1,206 @@
+(* sfc — the stencil Fortran compiler driver.
+
+   Subcommands:
+     sfc compile FILE   dump IR at a chosen stage of the Figure-1 pipeline
+     sfc run FILE       compile and execute a Fortran program
+     sfc passes         list the GPU pass pipeline (Listing 4)
+
+   Examples:
+     sfc compile prog.f90 --emit fir
+     sfc compile prog.f90 --emit stencil
+     sfc compile prog.f90 --emit host --target gpu-optimised
+     sfc run prog.f90 --target openmp --threads 4 --stats                *)
+
+open Cmdliner
+module P = Fsc_driver.Pipeline
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let target_conv =
+  let parse = function
+    | "serial" -> Ok P.Serial
+    | "openmp" -> Ok (P.Openmp (Fsc_rt.Domain_pool.recommended_size ()))
+    | "gpu-initial" -> Ok (P.Gpu P.Gpu_initial)
+    | "gpu" | "gpu-optimised" | "gpu-optimized" -> Ok (P.Gpu P.Gpu_optimised)
+    | s -> Error (`Msg ("unknown target " ^ s))
+  in
+  let print ppf t =
+    Format.pp_print_string ppf
+      (match t with
+      | P.Serial -> "serial"
+      | P.Openmp n -> Printf.sprintf "openmp(%d)" n
+      | P.Gpu P.Gpu_initial -> "gpu-initial"
+      | P.Gpu P.Gpu_optimised -> "gpu-optimised")
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Fortran source file")
+
+let target_arg =
+  Arg.(
+    value
+    & opt target_conv P.Serial
+    & info [ "target"; "t" ] ~docv:"TARGET"
+        ~doc:
+          "Execution target: serial, openmp, gpu-initial or gpu-optimised.")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threads" ] ~docv:"N" ~doc:"OpenMP thread count.")
+
+let resolve_target target threads =
+  match (target, threads) with
+  | P.Openmp _, Some n | P.Serial, Some n -> P.Openmp n
+  | t, _ -> t
+
+(* ---- compile ---- *)
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fir", `Fir); ("stencil-mixed", `Mixed);
+                  ("host", `Host); ("stencil", `Stencil); ("gpu", `Gpu);
+                  ("std", `Std) ])
+        `Stencil
+    & info [ "emit" ] ~docv:"STAGE"
+        ~doc:
+          "Which IR to print: fir (frontend output), stencil-mixed (after \
+           discovery+merge), host (the FIR module after extraction), \
+           stencil (the extracted module after lowering), gpu (after the \
+           Listing-4 pipeline; GPU targets only), std (FIR lowered to the \
+           standard scf/memref dialects — the paper's further-work \
+           item).")
+
+let compile_cmd =
+  let run file emit target threads =
+    let src = read_file file in
+    let target = resolve_target target threads in
+    Fsc_dialects.Registry.init ();
+    match emit with
+    | `Fir ->
+      let m = Fsc_fortran.Flower.compile_source src in
+      print_string (Fsc_ir.Printer.module_to_string m)
+    | `Mixed ->
+      let m = Fsc_fortran.Flower.compile_source src in
+      let stats = Fsc_core.Discovery.run m in
+      ignore (Fsc_core.Merge.run m);
+      Printf.eprintf "; %d stencils discovered, %d rejects\n"
+        stats.Fsc_core.Discovery.found
+        (List.length stats.Fsc_core.Discovery.rejected);
+      print_string (Fsc_ir.Printer.module_to_string m)
+    | `Host ->
+      let a, _ = P.stencil ~target src in
+      print_string (Fsc_ir.Printer.module_to_string a.P.a_host)
+    | `Stencil ->
+      let a, _ = P.stencil ~target src in
+      (match a.P.a_stencil with
+      | Some sm -> print_string (Fsc_ir.Printer.module_to_string sm)
+      | None -> prerr_endline "no stencil module")
+    | `Std ->
+      let m = Fsc_fortran.Flower.compile_source src in
+      let { Fsc_lowering.Fir_to_std_dialects.lowered; skipped } =
+        Fsc_lowering.Fir_to_std_dialects.run m
+      in
+      List.iter
+        (fun (f, reason) ->
+          Printf.eprintf "; %s kept as FIR: %s\n" f reason)
+        skipped;
+      print_string (Fsc_ir.Printer.module_to_string lowered)
+    | `Gpu -> (
+      let a, _ = P.stencil ~target src in
+      match a.P.a_gpu_ir with
+      | Some gm ->
+        print_string (Fsc_ir.Printer.module_to_string gm);
+        (match Fsc_lowering.Gpu_pipeline.verify_gpu_artifact gm with
+        | Ok () -> prerr_endline "; GPU artifact check: OK"
+        | Error e -> prerr_endline ("; GPU artifact check FAILED: " ^ e))
+      | None ->
+        prerr_endline
+          "no GPU IR (use --target gpu-optimised or gpu-initial)")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a Fortran file and dump IR")
+    Term.(const run $ file_arg $ emit_arg $ target_arg $ threads_arg)
+
+(* ---- run ---- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print pipeline and device statistics.")
+
+let run_cmd =
+  let run file target threads stats =
+    let src = read_file file in
+    let target = resolve_target target threads in
+    let a, st = P.stencil ~target src in
+    if stats then begin
+      Printf.eprintf
+        "pipeline: %d stencils discovered, %d merges, %d kernels\n"
+        st.P.st_discovered st.P.st_merged st.P.st_kernels;
+      List.iter
+        (fun (name, impl) ->
+          Printf.eprintf "  %s: %s\n" name
+            (match impl with
+            | P.Compiled _ -> "compiled"
+            | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
+        a.P.a_kernels
+    end;
+    P.run a;
+    if stats then begin
+      (match a.P.a_ctx.Fsc_rt.Interp.gpu with
+      | Some g ->
+        let s = Fsc_rt.Gpu_sim.stats g in
+        Printf.eprintf
+          "device: %d launches, %.3f ms simulated, %d kB paged, %d kB \
+           h2d, %d kB d2h\n"
+          s.Fsc_rt.Gpu_sim.s_kernels
+          (1000. *. s.Fsc_rt.Gpu_sim.s_clock)
+          (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
+          (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
+          (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
+      | None -> ());
+      List.iter
+        (fun (name, buf) ->
+          Printf.eprintf "grid %-12s checksum %.6f\n" name
+            (Fsc_rt.Memref_rt.checksum buf))
+        a.P.a_ctx.Fsc_rt.Interp.named_buffers
+    end;
+    P.shutdown a
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and execute a Fortran program")
+    Term.(const run $ file_arg $ target_arg $ threads_arg $ stats_arg)
+
+(* ---- passes ---- *)
+
+let passes_cmd =
+  let run () =
+    print_endline "GPU pass pipeline (paper Listing 4):";
+    List.iter
+      (fun (p : Fsc_ir.Pass.t) -> Printf.printf "  %s\n" p.Fsc_ir.Pass.name)
+      (Fsc_lowering.Gpu_pipeline.passes ())
+  in
+  Cmd.v
+    (Cmd.info "passes" ~doc:"List the mlir-opt GPU pass pipeline")
+    Term.(const run $ const ())
+
+let () =
+  let doc =
+    "stencil Fortran compiler: Flang + Open Earth stencil dialect \
+     (reproduction of Brown et al., SC-W 2023)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "sfc" ~version:"1.0.0" ~doc)
+          [ compile_cmd; run_cmd; passes_cmd ]))

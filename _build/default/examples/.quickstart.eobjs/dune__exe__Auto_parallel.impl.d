@@ -1,0 +1,1 @@
+examples/auto_parallel.ml: Array Attr Float Fsc_core Fsc_dialects Fsc_dmp Fsc_driver Fsc_fortran Fsc_ir Fsc_perf Fsc_rt List Op Printf String

@@ -1,0 +1,1 @@
+examples/gauss_seidel.ml: Fsc_driver Fsc_rt List Printf

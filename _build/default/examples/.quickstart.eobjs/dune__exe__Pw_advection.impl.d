@@ -1,0 +1,1 @@
+examples/pw_advection.ml: Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_perf Fsc_rt Fsc_stencil List Op Printf String

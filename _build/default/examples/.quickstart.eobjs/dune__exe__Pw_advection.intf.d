@@ -1,0 +1,1 @@
+examples/pw_advection.mli:

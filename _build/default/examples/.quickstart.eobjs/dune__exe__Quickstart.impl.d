@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dialect Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt Fsc_transforms List Printer Printf String Verifier

@@ -1,0 +1,77 @@
+(* Gauss-Seidel diffusion solver: one serial Fortran source, every target
+   of the paper — serial CPU, auto-parallelised OpenMP, GPU with both
+   data strategies — all producing the identical grid, with the GPU data
+   traffic printed to show what the bespoke placement pass buys.
+
+   Run with:  dune exec examples/gauss_seidel.exe                     *)
+
+module P = Fsc_driver.Pipeline
+module B = Fsc_driver.Benchmarks
+module Rt = Fsc_rt.Memref_rt
+
+let nx = 16
+let niter = 8
+
+let () =
+  let src = B.gauss_seidel ~nx ~ny:nx ~nz:nx ~niter () in
+  Printf.printf
+    "Gauss-Seidel: %d^3 grid, %d iterations (7-point stencil, 6 \
+     flops/cell)\nThe Fortran source is serial; every parallel target \
+     below is compiler-generated.\n\n"
+    nx niter;
+  (* reference: naive FIR execution *)
+  let reference = P.flang_only src in
+  P.run reference;
+  let u_ref = P.buffer_exn reference "u" in
+  Printf.printf "%-42s checksum %.6f\n" "Flang only (reference)"
+    (Rt.checksum u_ref);
+  let targets =
+    [ ("Stencil, serial CPU", P.Serial);
+      ("Stencil, auto-OpenMP (2 threads)", P.Openmp 2);
+      ("Stencil, GPU (initial data approach)", P.Gpu P.Gpu_initial);
+      ("Stencil, GPU (optimised data approach)", P.Gpu P.Gpu_optimised) ]
+  in
+  List.iter
+    (fun (label, target) ->
+      let a, _ = P.stencil ~target src in
+      P.run a;
+      let u = P.buffer_exn a "u" in
+      let diff = Rt.max_abs_diff u_ref u in
+      Printf.printf "%-42s checksum %.6f  max-diff %g%s\n" label
+        (Rt.checksum u) diff
+        (match a.P.a_ctx.Fsc_rt.Interp.gpu with
+        | Some g ->
+          let s = Fsc_rt.Gpu_sim.stats g in
+          Printf.sprintf
+            "  [device: %d launches, %d kB paged, %d kB copied]"
+            s.Fsc_rt.Gpu_sim.s_kernels
+            (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
+            ((s.Fsc_rt.Gpu_sim.s_bytes_h2d + s.Fsc_rt.Gpu_sim.s_bytes_d2h)
+            / 1024)
+        | None -> "");
+      assert (diff = 0.0);
+      P.shutdown a)
+    targets;
+  print_endline
+    "\nAll targets produced bit-identical grids from the unchanged serial \
+     source.";
+  (* show the convergence behaviour, because this is a real solver: the
+     change per doubling of iterations shrinks as u approaches the
+     harmonic steady state *)
+  Printf.printf "\nconvergence (max change of u between iteration counts):\n";
+  let grid_at iters =
+    let a, _ =
+      P.stencil ~target:P.Serial
+        (B.gauss_seidel ~nx ~ny:nx ~nz:nx ~niter:iters ())
+    in
+    P.run a;
+    Rt.clone (P.buffer_exn a "u")
+  in
+  let prev = ref (grid_at 1) in
+  List.iter
+    (fun iters ->
+      let u = grid_at iters in
+      Printf.printf "  u(%3d) vs u(previous): max change %.3e\n" iters
+        (Rt.max_abs_diff !prev u);
+      prev := u)
+    [ 2; 4; 8; 16; 32 ]

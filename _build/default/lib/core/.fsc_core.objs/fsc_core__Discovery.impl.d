@@ -1,0 +1,1 @@
+lib/core/discovery.ml: Array Attr Builder Dialect Fir_to_std Fsc_fir Fsc_ir Fsc_stencil Hashtbl Index_expr List Logs Op Pass Printf Types

@@ -1,0 +1,1 @@
+lib/core/discovery.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/core/extraction.ml: Array Attr Builder Dialect Fsc_dialects Fsc_fir Fsc_ir Fsc_stencil Hashtbl List Op Printf Types

@@ -1,0 +1,1 @@
+lib/core/extraction.mli: Fsc_ir Op Types

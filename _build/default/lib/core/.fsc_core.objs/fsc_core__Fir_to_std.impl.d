@@ -1,0 +1,1 @@
+lib/core/fir_to_std.ml: Builder Dialect Fsc_ir List Op Printf Types

@@ -1,0 +1,1 @@
+lib/core/fir_to_std.mli: Builder Fsc_ir Op Types

@@ -1,0 +1,1 @@
+lib/core/gpu_data.ml: Attr Builder Fsc_dialects Fsc_ir List Op Option String Types

@@ -1,0 +1,1 @@
+lib/core/gpu_data.mli: Fsc_ir Op

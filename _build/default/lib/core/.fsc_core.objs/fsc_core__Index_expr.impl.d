@@ -1,0 +1,1 @@
+lib/core/index_expr.ml: Attr Fsc_ir List Op Printf Types

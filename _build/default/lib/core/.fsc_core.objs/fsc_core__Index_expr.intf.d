@@ -1,0 +1,1 @@
+lib/core/index_expr.mli: Fsc_ir Op Types

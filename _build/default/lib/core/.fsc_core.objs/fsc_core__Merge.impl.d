@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Builder Dialect Fsc_ir Fsc_stencil Hashtbl List Op Pass

@@ -1,0 +1,1 @@
+lib/core/merge.mli: Fsc_ir Op Pass

@@ -1,0 +1,39 @@
+(** Stencil discovery — the paper's central transformation (Listing 3).
+
+    Operating on the FIR produced by the frontend, the pass finds
+    [fir.store] operations whose address is indexed by enclosing DO
+    loops, analyses the right-hand side to find the neighbouring-cell
+    reads, and replaces the loop nest with stencil dialect operations
+    ([stencil.external_load] / [load] / [apply] / [store]) inserted
+    directly before the outermost applicable loop. Loops whose bodies
+    become empty are removed; stencil shape inference then assigns
+    bounds.
+
+    A store candidate is rejected — left completely untouched — when:
+    - its address is not a [fir.coordinate_of] with per-dimension indices
+      of the form induction-variable + constant (all variables distinct);
+    - the loop nest bounds/step are not compile-time constants (step 1);
+    - a right-hand-side array read uses a different induction variable
+      for some dimension (e.g. a transposed access);
+    - the expression tree contains an operation with no standard-dialect
+      equivalent, or reads a scalar that is written inside the nest. *)
+
+open Fsc_ir
+
+(** Raised internally when a candidate store is rejected; the message is
+    recorded in {!stats}. *)
+exception Reject of string
+
+type stats = {
+  mutable found : int;  (** stencils generated *)
+  mutable rejected : (string * string) list;
+      (** (store description, rejection reason) for every candidate the
+          pass declined — useful for compiler diagnostics and tests *)
+}
+
+(** Run discovery over every [func.func] in the module. Returns the
+    statistics; the module is rewritten in place. *)
+val run : ?log_rejects:bool -> Op.op -> stats
+
+(** The same as a named pass for {!Fsc_ir.Pass.run_pipeline}. *)
+val pass : Pass.t

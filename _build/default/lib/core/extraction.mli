@@ -1,0 +1,44 @@
+(** Stencil extraction (Section 3 of the paper).
+
+    After discovery the IR mixes FIR with the stencil dialect — but Flang
+    does not register the stencil/memref/builtin dialects and mlir-opt
+    does not register FIR, so the module must be split: every stencil
+    section is lifted into a function in a separate module and invoked
+    from FIR through a plain call.
+
+    Data crosses the boundary as pointers: the host converts each array
+    reference to [!fir.llvm_ptr<i8>] (the only pointer type FIR can
+    reach) while the kernel receives [!llvm.ptr] and rebuilds a memref
+    via [builtin.unrealized_conversion_cast]. The two pointer types are
+    nominally different but semantically identical; as in the paper, the
+    mismatch is only reconciled at link time. *)
+
+open Fsc_ir
+
+(** How one kernel parameter crosses the module boundary. *)
+type kernel_arg =
+  | K_array of { extents : int list; elem : Types.t }
+      (** an array, passed as an opaque pointer *)
+  | K_scalar of Types.t  (** a loop-invariant scalar, passed by value *)
+
+type kernel_info = {
+  k_name : string;  (** the generated symbol, [_stencil_kernel_N] *)
+  k_args : kernel_arg list;
+}
+
+type extracted = {
+  host_module : Op.op;
+      (** the original module, now pure Flang-registered dialects *)
+  stencil_module : Op.op;
+      (** fresh module holding one [func.func] per extracted section *)
+  kernels : kernel_info list;
+}
+
+(** Split the module in place; returns the host/stencil pair plus kernel
+    metadata. *)
+val run : Op.op -> extracted
+
+(** Reset the [_stencil_kernel_N] counter (kernel names are process-wide
+    so that independently compiled programs stay unambiguous; tests and
+    drivers reset between programs). *)
+val reset_name_counter : unit -> unit

@@ -1,0 +1,155 @@
+(* The bespoke GPU data-placement pass of Section 4.3.
+
+   The naive flow leaves data movement to gpu.host_register, which pages
+   everything across PCIe on every kernel launch. This pass walks the
+   host module just after extraction, finds the stencil kernel calls that
+   sit inside (time-)loops, and hoists data placement out:
+
+   - a @<kernel>_gpu_init trampoline call (device allocation + H2D copy)
+     is inserted before the outermost loop enclosing the kernel call;
+   - a @<kernel>_gpu_sync call (D2H copy-back) plus @<kernel>_gpu_free
+     follows after the loop;
+   - matching functions carrying the actual gpu.alloc / gpu.memcpy /
+     gpu.dealloc operations are appended to the extracted stencil module,
+     where the gpu dialect is registered (it is not in Flang).
+
+   The FIR side keeps holding the data as !fir.llvm_ptr values, exactly
+   as the paper describes. *)
+
+open Fsc_ir
+
+let is_kernel_call op =
+  op.Op.o_name = "fir.call"
+  &&
+  match Op.attr op "callee" with
+  | Some (Attr.Sym_a s) ->
+    String.length s >= 15 && String.sub s 0 15 = "_stencil_kernel"
+  | _ -> false
+
+let outermost_loop op =
+  let rec go best o =
+    match Op.parent_op o with
+    | Some p ->
+      if p.Op.o_name = "fir.do_loop" then go (Some p) p else go best p
+    | None -> best
+  in
+  go None op
+
+(* Clone the producer chain of [v] (converts/loads over loop-invariant
+   roots) at builder [b]; returns the cloned value. *)
+let rec clone_producer b (v : Op.value) =
+  match Op.defining_op v with
+  | Some op
+    when List.mem op.Op.o_name [ "fir.convert"; "fir.load"; "fir.declare" ]
+    ->
+    let operand = clone_producer b (Op.operand op) in
+    Builder.op1 b op.Op.o_name ~operands:[ operand ]
+      ~results:[ Op.value_type (Op.result op) ]
+      ~attrs:op.Op.o_attrs
+  | _ -> v
+
+type managed = {
+  mg_kernel : string;
+  mg_buffer_args : int list; (* positions of pointer args in the call *)
+}
+
+let ptr_arg_positions call =
+  List.concat
+    (List.mapi
+       (fun i (v : Op.value) ->
+         match Op.value_type v with
+         | Types.Fir_llvm_ptr _ | Types.Llvm_ptr | Types.Llvm_typed_ptr _ ->
+           [ i ]
+         | _ -> [])
+       (Op.operands call))
+
+(* Append the device-management functions to the stencil module. *)
+let emit_device_functions stencil_module ~kernel ~num_ptrs =
+  let blk = Op.module_block stencil_module in
+  let ptr_args = List.init num_ptrs (fun _ -> Types.Llvm_ptr) in
+  let init_fn =
+    Fsc_dialects.Func.func ~name:(kernel ^ "_gpu_init") ~args:ptr_args
+      ~results:[] (fun b args ->
+        List.iter
+          (fun host ->
+            let dev =
+              Builder.op1 b "gpu.alloc" ~results:[ Types.Llvm_ptr ]
+                ~operands:[]
+            in
+            ignore dev;
+            (* conceptual dst: the device twin of this host pointer *)
+            ignore
+              (Builder.op b "gpu.memcpy" ~operands:[ host; host ]
+                 ~attrs:[ ("direction", Attr.Str_a "h2d") ]))
+          args;
+        Fsc_dialects.Func.return_ b [])
+  in
+  let sync_fn =
+    Fsc_dialects.Func.func ~name:(kernel ^ "_gpu_sync") ~args:ptr_args
+      ~results:[] (fun b args ->
+        List.iter
+          (fun host ->
+            ignore
+              (Builder.op b "gpu.memcpy" ~operands:[ host; host ]
+                 ~attrs:[ ("direction", Attr.Str_a "d2h") ]))
+          args;
+        Fsc_dialects.Func.return_ b [])
+  in
+  let free_fn =
+    Fsc_dialects.Func.func ~name:(kernel ^ "_gpu_free") ~args:ptr_args
+      ~results:[] (fun b args ->
+        List.iter
+          (fun host -> ignore (Builder.op b "gpu.dealloc" ~operands:[ host ]))
+          args;
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to blk init_fn;
+  Op.append_to blk sync_fn;
+  Op.append_to blk free_fn
+
+(* Run over the extracted pair of modules. Returns the kernels managed. *)
+let run ~host_module ~stencil_module =
+  let managed = ref [] in
+  let calls = Op.collect_ops is_kernel_call host_module in
+  List.iter
+    (fun call ->
+      let kernel = Op.string_attr call "callee" in
+      if not (List.exists (fun m -> m.mg_kernel = kernel) !managed) then begin
+        (* hoist around the outermost enclosing loop when there is one
+           (the interesting case: data stays resident across the whole
+           time loop); otherwise manage the single call directly *)
+        match Some (Option.value (outermost_loop call) ~default:call) with
+        | None -> ()
+        | Some top ->
+          let positions = ptr_arg_positions call in
+          (* init before the loop *)
+          let b_before = Builder.before top in
+          let init_args =
+            List.map
+              (fun i ->
+                clone_producer b_before (Op.operand ~index:i call))
+              positions
+          in
+          ignore
+            (Builder.op b_before "fir.call" ~operands:init_args
+               ~attrs:[ ("callee", Attr.Sym_a (kernel ^ "_gpu_init")) ]);
+          (* sync + free after the loop *)
+          let b_after = Builder.after top in
+          let sync_args =
+            List.map
+              (fun i -> clone_producer b_after (Op.operand ~index:i call))
+              positions
+          in
+          ignore
+            (Builder.op b_after "fir.call" ~operands:sync_args
+               ~attrs:[ ("callee", Attr.Sym_a (kernel ^ "_gpu_sync")) ]);
+          ignore
+            (Builder.op b_after "fir.call" ~operands:sync_args
+               ~attrs:[ ("callee", Attr.Sym_a (kernel ^ "_gpu_free")) ]);
+          emit_device_functions stencil_module ~kernel
+            ~num_ptrs:(List.length positions);
+          managed :=
+            { mg_kernel = kernel; mg_buffer_args = positions } :: !managed
+      end)
+    calls;
+  List.rev !managed

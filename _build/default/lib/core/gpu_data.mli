@@ -1,0 +1,23 @@
+(** The bespoke GPU data-placement pass of the paper's Section 4.3.
+
+    The naive flow leaves data movement to [gpu.host_register], which
+    pages everything across PCIe on every kernel launch. This pass walks
+    the host module just after extraction, finds the stencil kernel
+    calls, and hoists data placement out of the enclosing (time-)loop:
+    [@kernel_gpu_init] (device allocation + H2D) before the loop,
+    [@kernel_gpu_sync] / [@kernel_gpu_free] after it, with the matching
+    gpu-dialect functions appended to the extracted stencil module
+    (the gpu dialect is not registered with Flang, so they cannot live
+    in the host module). *)
+
+open Fsc_ir
+
+type managed = {
+  mg_kernel : string;  (** kernel symbol whose data is now managed *)
+  mg_buffer_args : int list;
+      (** positions of the pointer arguments in the kernel call *)
+}
+
+(** Rewrite the host module and extend the stencil module; returns one
+    {!managed} record per kernel. *)
+val run : host_module:Op.op -> stencil_module:Op.op -> managed list

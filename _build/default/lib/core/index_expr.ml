@@ -1,0 +1,149 @@
+(* Affine analysis of FIR index expressions.
+
+   The discovery pass (Listing 3 of the paper) must understand the
+   expressions feeding each dimension of a fir.coordinate_of: walking
+   backwards through fir.convert and i32 arithmetic to decide whether an
+   index is "loop variable plus constant offset" (data(j, i-1) style),
+   a constant, or something non-affine that disqualifies the store. *)
+
+open Fsc_ir
+
+type form =
+  (* base SSA value (a fir.do_loop induction block-arg) + constant offset *)
+  | Affine of Op.value * int
+  | Const of int
+  | Unknown
+
+let is_do_loop_arg (v : Op.value) =
+  match v.Op.v_def with
+  | Op.Block_arg (b, 0) -> (
+    match b.Op.b_parent with
+    | Some r -> (
+      match r.Op.g_parent with
+      | Some op -> op.Op.o_name = "fir.do_loop"
+      | None -> false)
+    | None -> false)
+  | _ -> false
+
+let rec analyze (v : Op.value) : form =
+  if is_do_loop_arg v then Affine (v, 0)
+  else
+    match Op.defining_op v with
+    | None -> Unknown
+    | Some op -> (
+      match op.Op.o_name with
+      | "fir.convert" | "arith.index_cast" | "fir.no_reassoc" ->
+        (* integer<->index conversions are offset-transparent *)
+        let from = Op.value_type (Op.operand op) in
+        if Types.is_integer from then analyze (Op.operand op) else Unknown
+      | "arith.constant" -> (
+        match Op.attr op "value" with
+        | Some (Attr.Int_a n) -> Const n
+        | _ -> Unknown)
+      | "arith.addi" -> (
+        match (analyze (Op.operand ~index:0 op),
+               analyze (Op.operand ~index:1 op))
+        with
+        | Affine (b, c), Const k | Const k, Affine (b, c) ->
+          Affine (b, c + k)
+        | Const a, Const b -> Const (a + b)
+        | _ -> Unknown)
+      | "arith.subi" -> (
+        match (analyze (Op.operand ~index:0 op),
+               analyze (Op.operand ~index:1 op))
+        with
+        | Affine (b, c), Const k -> Affine (b, c - k)
+        | Const a, Const b -> Const (a - b)
+        | _ -> Unknown)
+      | "arith.muli" -> (
+        match (analyze (Op.operand ~index:0 op),
+               analyze (Op.operand ~index:1 op))
+        with
+        | Const a, Const b -> Const (a * b)
+        | _ -> Unknown)
+      | _ -> Unknown)
+
+(* Constant evaluation of integer/index expressions (loop bounds are
+   fir.convert chains over arith on parameters). *)
+let rec eval_const (v : Op.value) : int option =
+  match Op.defining_op v with
+  | None -> None
+  | Some op -> (
+    match op.Op.o_name with
+    | "arith.constant" -> (
+      match Op.attr op "value" with
+      | Some (Attr.Int_a n) -> Some n
+      | _ -> None)
+    | "fir.convert" | "arith.index_cast" ->
+      eval_const (Op.operand op)
+    | "arith.addi" -> lift2 ( + ) op
+    | "arith.subi" -> lift2 ( - ) op
+    | "arith.muli" -> lift2 ( * ) op
+    | "arith.divsi" ->
+      lift2_checked (fun a b -> if b = 0 then None else Some (a / b)) op
+    | _ -> None)
+
+and lift2 f op =
+  match
+    (eval_const (Op.operand ~index:0 op), eval_const (Op.operand ~index:1 op))
+  with
+  | Some a, Some b -> Some (f a b)
+  | _ -> None
+
+and lift2_checked f op =
+  match
+    (eval_const (Op.operand ~index:0 op), eval_const (Op.operand ~index:1 op))
+  with
+  | Some a, Some b -> f a b
+  | _ -> None
+
+(* Resolve the "root" of an array reference used by fir.coordinate_of:
+   either the fir.alloca itself (stack array / heap pointer cell), or a
+   function entry-block argument (dummy array). For the heap route the
+   coordinate base is fir.load of the cell — we return the *cell*, so that
+   stack and heap accesses to the same array share one root. *)
+type array_root = {
+  root_value : Op.value; (* alloca result or block argument *)
+  root_name : string;
+  root_elem : Types.t;
+  root_extents : int list;
+}
+
+let rec resolve_root (base : Op.value) : array_root option =
+  let of_type name v t =
+    match t with
+    | Types.Fir_ref (Types.Fir_array (dims, elem))
+    | Types.Fir_heap (Types.Fir_array (dims, elem))
+    | Types.Fir_ref (Types.Fir_heap (Types.Fir_array (dims, elem))) ->
+      let extents =
+        List.map
+          (function Types.Static n -> n | Types.Dynamic -> -1)
+          dims
+      in
+      Some { root_value = v; root_name = name; root_elem = elem;
+             root_extents = extents }
+    | _ -> None
+  in
+  match Op.defining_op base with
+  | Some op when op.Op.o_name = "fir.alloca" ->
+    let name =
+      match Op.attr op "bindc_name" with
+      | Some (Attr.Str_a s) -> s
+      | _ -> Printf.sprintf "anon%d" op.Op.o_id
+    in
+    of_type name (Op.result op) (Op.value_type (Op.result op))
+  | Some op when op.Op.o_name = "fir.load" ->
+    (* heap route: base = fir.load of the heap pointer cell *)
+    resolve_root (Op.operand op)
+  | Some op when op.Op.o_name = "fir.declare" ->
+    resolve_root (Op.operand op)
+  | Some _ -> None
+  | None -> (
+    (* dummy argument *)
+    match base.Op.v_def with
+    | Op.Block_arg (_, i) ->
+      of_type (Printf.sprintf "arg%d" i) base (Op.value_type base)
+    | Op.Op_result _ -> None)
+
+(* Do the extents of this root include dynamic dimensions? *)
+let root_is_static r = List.for_all (fun e -> e >= 0) r.root_extents

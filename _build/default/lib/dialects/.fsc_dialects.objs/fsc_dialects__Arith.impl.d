@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attr Builder Dialect Fsc_ir List Op Printf Types

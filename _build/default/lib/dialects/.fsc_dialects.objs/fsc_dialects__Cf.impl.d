@@ -1,0 +1,1 @@
+lib/dialects/cf.ml: Attr Builder Dialect Fsc_ir Op

@@ -1,0 +1,1 @@
+lib/dialects/func.ml: Attr Builder Dialect Fsc_ir List Op Types

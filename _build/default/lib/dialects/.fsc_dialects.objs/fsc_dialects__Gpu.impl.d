@@ -1,0 +1,1 @@
+lib/dialects/gpu.ml: Attr Builder Dialect Fsc_ir Op Types

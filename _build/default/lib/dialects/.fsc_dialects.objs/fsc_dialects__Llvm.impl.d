@@ -1,0 +1,1 @@
+lib/dialects/llvm.ml: Attr Builder Dialect Fsc_ir Op

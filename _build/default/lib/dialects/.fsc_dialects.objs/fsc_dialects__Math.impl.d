@@ -1,0 +1,1 @@
+lib/dialects/math.ml: Builder Dialect Float Fsc_ir List Op

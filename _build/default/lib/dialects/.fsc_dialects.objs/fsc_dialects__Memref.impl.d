@@ -1,0 +1,1 @@
+lib/dialects/memref.ml: Builder Dialect Fsc_ir List Op Types

@@ -1,0 +1,1 @@
+lib/dialects/openmp.ml: Array Attr Builder Dialect Fsc_ir List Op Types

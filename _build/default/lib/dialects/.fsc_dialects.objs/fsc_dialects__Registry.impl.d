@@ -1,0 +1,1 @@
+lib/dialects/registry.ml: Arith Builtin Cf Func Gpu Llvm Math Memref Openmp Scf

@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Array Builder Dialect Fsc_ir List Op Types

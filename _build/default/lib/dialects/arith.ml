@@ -1,0 +1,136 @@
+(* arith dialect: integer/float arithmetic, comparisons and casts. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "arith"
+
+let same_type_binop op =
+  let a = Op.operand ~index:0 op and b = Op.operand ~index:1 op in
+  if Types.equal (Op.value_type a) (Op.value_type b) then Ok ()
+  else Error "binary op operands must have the same type"
+
+let float_binop op =
+  match same_type_binop op with
+  | Error _ as e -> e
+  | Ok () ->
+    if Types.is_float (Op.value_type (Op.operand op)) then Ok ()
+    else Error "expected float operands"
+
+let int_binop op =
+  match same_type_binop op with
+  | Error _ as e -> e
+  | Ok () ->
+    if Types.is_integer (Op.value_type (Op.operand op)) then Ok ()
+    else Error "expected integer operands"
+
+let () =
+  Dialect.define_op d "constant" ~num_operands:0 ~num_results:1 ~pure:true
+    ~verify:(fun op ->
+      if Op.has_attr op "value" then Ok ()
+      else Error "arith.constant requires a \"value\" attribute");
+  List.iter
+    (fun n ->
+      Dialect.define_op d n ~num_operands:2 ~num_results:1 ~pure:true
+        ~verify:float_binop)
+    [ "addf"; "subf"; "mulf"; "divf"; "maximumf"; "minimumf" ];
+  List.iter
+    (fun n ->
+      Dialect.define_op d n ~num_operands:2 ~num_results:1 ~pure:true
+        ~verify:int_binop)
+    [ "addi"; "subi"; "muli"; "divsi"; "remsi"; "andi"; "ori"; "xori";
+      "shli"; "shrsi"; "maxsi"; "minsi" ];
+  Dialect.define_op d "negf" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "cmpi" ~num_operands:2 ~num_results:1 ~pure:true;
+  Dialect.define_op d "cmpf" ~num_operands:2 ~num_results:1 ~pure:true;
+  Dialect.define_op d "select" ~num_operands:3 ~num_results:1 ~pure:true;
+  Dialect.define_op d "index_cast" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "sitofp" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "fptosi" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "extf" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "truncf" ~num_operands:1 ~num_results:1 ~pure:true
+
+(* Comparison predicates, encoded as an integer attribute like MLIR. *)
+type cmp_predicate =
+  | Eq
+  | Ne
+  | Slt
+  | Sle
+  | Sgt
+  | Sge
+
+let cmp_predicate_to_int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Slt -> 2
+  | Sle -> 3
+  | Sgt -> 4
+  | Sge -> 5
+
+let cmp_predicate_of_int = function
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Slt
+  | 3 -> Sle
+  | 4 -> Sgt
+  | 5 -> Sge
+  | n -> invalid_arg (Printf.sprintf "Arith.cmp_predicate_of_int %d" n)
+
+(* ---- builders ---- *)
+
+let constant_int b ?(ty = Types.I64) v =
+  Builder.op1 b "arith.constant" ~results:[ ty ]
+    ~attrs:[ ("value", Attr.Int_a v) ]
+
+let constant_index b v = constant_int b ~ty:Types.Index v
+
+let constant_float b ?(ty = Types.F64) v =
+  Builder.op1 b "arith.constant" ~results:[ ty ]
+    ~attrs:[ ("value", Attr.Float_a v) ]
+
+let binop b name x y =
+  Builder.op1 b name ~operands:[ x; y ] ~results:[ Op.value_type x ]
+
+let addf b x y = binop b "arith.addf" x y
+let subf b x y = binop b "arith.subf" x y
+let mulf b x y = binop b "arith.mulf" x y
+let divf b x y = binop b "arith.divf" x y
+let addi b x y = binop b "arith.addi" x y
+let subi b x y = binop b "arith.subi" x y
+let muli b x y = binop b "arith.muli" x y
+let divsi b x y = binop b "arith.divsi" x y
+let remsi b x y = binop b "arith.remsi" x y
+
+let negf b x =
+  Builder.op1 b "arith.negf" ~operands:[ x ] ~results:[ Op.value_type x ]
+
+let cmpi b pred x y =
+  Builder.op1 b "arith.cmpi" ~operands:[ x; y ] ~results:[ Types.I1 ]
+    ~attrs:[ ("predicate", Attr.Int_a (cmp_predicate_to_int pred)) ]
+
+let cmpf b pred x y =
+  Builder.op1 b "arith.cmpf" ~operands:[ x; y ] ~results:[ Types.I1 ]
+    ~attrs:[ ("predicate", Attr.Int_a (cmp_predicate_to_int pred)) ]
+
+let select b c x y =
+  Builder.op1 b "arith.select" ~operands:[ c; x; y ]
+    ~results:[ Op.value_type x ]
+
+let index_cast b ~to_ x =
+  Builder.op1 b "arith.index_cast" ~operands:[ x ] ~results:[ to_ ]
+
+let sitofp b ~to_ x =
+  Builder.op1 b "arith.sitofp" ~operands:[ x ] ~results:[ to_ ]
+
+let fptosi b ~to_ x =
+  Builder.op1 b "arith.fptosi" ~operands:[ x ] ~results:[ to_ ]
+
+(* Constant folding helpers used by canonicalisation. *)
+let is_constant op = op.Op.o_name = "arith.constant"
+
+let constant_value op =
+  if is_constant op then Op.attr op "value" else None
+
+let as_constant (v : Op.value) =
+  match Op.defining_op v with
+  | Some op -> constant_value op
+  | None -> None

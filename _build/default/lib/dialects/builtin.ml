@@ -1,0 +1,19 @@
+(* builtin dialect: unrealized_conversion_cast is the glue MLIR uses to
+   mix dialects with different type systems mid-lowering. The paper notes
+   Flang does NOT register builtin, which is why the extraction pass cannot
+   simply cast !fir.llvm_ptr to !llvm.ptr inside the FIR module — we model
+   that by putting unrealized_conversion_cast in its own "builtin" dialect,
+   registered with mlir-opt/xDSL contexts but not the Flang context (which
+   only accepts builtin.module itself). *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "builtin"
+
+let () =
+  Dialect.define_op d "unrealized_conversion_cast" ~num_operands:1
+    ~num_results:1 ~pure:true
+
+let unrealized_cast b ~to_ v =
+  Builder.op1 b "builtin.unrealized_conversion_cast" ~operands:[ v ]
+    ~results:[ to_ ]

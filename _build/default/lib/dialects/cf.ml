@@ -1,0 +1,29 @@
+(* cf dialect: minimal unstructured control flow. Successor blocks are
+   identified by position within the enclosing region ("succ"/"true_succ"/
+   "false_succ" integer attributes) — enough for the lowered forms this
+   pipeline produces without block operands. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "cf"
+
+let () =
+  Dialect.define_op d "br" ~num_results:0 ~terminator:true ~verify:(fun op ->
+      if Op.has_attr op "succ" then Ok ()
+      else Error "cf.br requires a succ attribute");
+  Dialect.define_op d "cond_br" ~num_results:0 ~terminator:true
+    ~verify:(fun op ->
+      if Op.has_attr op "true_succ" && Op.has_attr op "false_succ" then Ok ()
+      else Error "cf.cond_br requires true_succ and false_succ attributes");
+  Dialect.define_op d "assert" ~num_operands:1 ~num_results:0
+
+let br b ~succ ?(args = []) () =
+  ignore
+    (Builder.op b "cf.br" ~operands:args ~attrs:[ ("succ", Attr.Int_a succ) ])
+
+let cond_br b cond ~true_succ ~false_succ =
+  ignore
+    (Builder.op b "cf.cond_br" ~operands:[ cond ]
+       ~attrs:
+         [ ("true_succ", Attr.Int_a true_succ);
+           ("false_succ", Attr.Int_a false_succ) ])

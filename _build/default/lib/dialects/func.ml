@@ -1,0 +1,82 @@
+(* func dialect: functions, calls and returns. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "func"
+
+let () =
+  Dialect.define_op d "func" ~num_operands:0 ~num_results:0 ~num_regions:1
+    ~verify:(fun op ->
+      match (Op.attr op "sym_name", Op.attr op "function_type") with
+      | Some (Attr.Str_a _), Some (Attr.Type_a (Types.Func_t _)) -> Ok ()
+      | _ -> Error "func.func requires sym_name and function_type attributes");
+  Dialect.define_op d "return" ~num_results:0 ~terminator:true;
+  Dialect.define_op d "call" ~verify:(fun op ->
+      match Op.attr op "callee" with
+      | Some (Attr.Sym_a _) -> Ok ()
+      | _ -> Error "func.call requires a callee symbol attribute")
+
+(* Create a func.func with entry block arguments for [args]; [body] is
+   invoked with a builder positioned in the entry block and the argument
+   values. The body must end with func.return (use [return_] below). *)
+let func ?(attrs = []) ~name ~args ~results body =
+  let region, entry = Op.region_with_block ~args () in
+  let op =
+    Op.create "func.func" ~regions:[ region ]
+      ~attrs:
+        ([ ("sym_name", Attr.Str_a name);
+           ("function_type", Attr.Type_a (Types.Func_t (args, results))) ]
+        @ attrs)
+  in
+  let b = Builder.at_end entry in
+  body b (Op.block_args entry);
+  op
+
+(* Declaration-only function (no body ops): used for the extraction
+   trampolines where the stencil module provides the implementation. *)
+let declare ~name ~args ~results =
+  let region, _ = Op.region_with_block ~args () in
+  Op.create "func.func" ~regions:[ region ]
+    ~attrs:
+      [ ("sym_name", Attr.Str_a name);
+        ("function_type", Attr.Type_a (Types.Func_t (args, results)));
+        ("sym_visibility", Attr.Str_a "private") ]
+
+let return_ b values = ignore (Builder.op b "func.return" ~operands:values)
+
+let call b ~callee ~results args =
+  Builder.op b "func.call" ~operands:args ~results
+    ~attrs:[ ("callee", Attr.Sym_a callee) ]
+
+let name op = Op.string_attr op "sym_name"
+
+let signature op =
+  match Op.attr_exn op "function_type" with
+  | Attr.Type_a (Types.Func_t (args, rets)) -> (args, rets)
+  | _ -> invalid_arg "Func.signature"
+
+let entry_block op =
+  match (Op.region op).Op.g_blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Func.entry_block: no blocks"
+
+let is_declaration op =
+  Op.first_op (entry_block op) = None
+
+(* Find a function by name inside a module op. *)
+let lookup m fname =
+  let found = ref None in
+  Op.walk_inner
+    (fun op ->
+      if op.Op.o_name = "func.func" && name op = fname then found := Some op)
+    m;
+  !found
+
+let lookup_exn m fname =
+  match lookup m fname with
+  | Some f -> f
+  | None -> invalid_arg ("Func.lookup_exn: no function " ^ fname)
+
+let all_functions m =
+  Op.collect_ops (fun op -> op.Op.o_name = "func.func") m
+  |> List.filter (fun f -> not (Op.is_module f))

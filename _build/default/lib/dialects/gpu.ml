@@ -1,0 +1,98 @@
+(* gpu dialect: kernels, launches and explicit device memory management.
+   The paper's §4.3 contrasts gpu.host_register (page-on-demand, slow) with
+   a bespoke pass issuing gpu.alloc/gpu.memcpy (device-resident, fast). *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "gpu"
+
+let () =
+  Dialect.define_op d "module" ~num_operands:0 ~num_results:0 ~num_regions:1
+    ~verify:(fun op ->
+      if Op.has_attr op "sym_name" then Ok ()
+      else Error "gpu.module requires sym_name");
+  Dialect.define_op d "func" ~num_operands:0 ~num_results:0 ~num_regions:1
+    ~verify:(fun op ->
+      if Op.has_attr op "sym_name" && Op.has_attr op "function_type" then
+        Ok ()
+      else Error "gpu.func requires sym_name and function_type");
+  Dialect.define_op d "return" ~num_results:0 ~terminator:true;
+  Dialect.define_op d "launch_func" ~num_results:0 ~verify:(fun op ->
+      if Op.has_attr op "kernel" then Ok ()
+      else Error "gpu.launch_func requires a kernel symbol");
+  Dialect.define_op d "alloc" ~num_results:1;
+  Dialect.define_op d "dealloc" ~num_operands:1 ~num_results:0;
+  Dialect.define_op d "memcpy" ~num_operands:2 ~num_results:0;
+  Dialect.define_op d "host_register" ~num_operands:1 ~num_results:0;
+  Dialect.define_op d "host_unregister" ~num_operands:1 ~num_results:0;
+  Dialect.define_op d "thread_id" ~num_operands:0 ~num_results:1 ~pure:true;
+  Dialect.define_op d "block_id" ~num_operands:0 ~num_results:1 ~pure:true;
+  Dialect.define_op d "block_dim" ~num_operands:0 ~num_results:1 ~pure:true;
+  Dialect.define_op d "grid_dim" ~num_operands:0 ~num_results:1 ~pure:true;
+  Dialect.define_op d "wait" ~num_results:0;
+  Dialect.define_op d "barrier" ~num_operands:0 ~num_results:0;
+  Dialect.define_op d "launch" ~num_operands:6 ~num_results:0 ~num_regions:1;
+  Dialect.define_op d "terminator" ~num_operands:0 ~num_results:0
+    ~terminator:true
+
+type dim = X | Y | Z
+
+let dim_to_string = function X -> "x" | Y -> "y" | Z -> "z"
+
+let dim_of_string = function
+  | "x" -> X
+  | "y" -> Y
+  | "z" -> Z
+  | s -> invalid_arg ("Gpu.dim_of_string: " ^ s)
+
+let index_op b name dim =
+  Builder.op1 b name ~results:[ Types.Index ]
+    ~attrs:[ ("dimension", Attr.Str_a (dim_to_string dim)) ]
+
+let thread_id b dim = index_op b "gpu.thread_id" dim
+let block_id b dim = index_op b "gpu.block_id" dim
+let block_dim b dim = index_op b "gpu.block_dim" dim
+let grid_dim b dim = index_op b "gpu.grid_dim" dim
+
+let gpu_module ~name =
+  let region, _ = Op.region_with_block () in
+  Op.create "gpu.module" ~regions:[ region ]
+    ~attrs:[ ("sym_name", Attr.Str_a name) ]
+
+let gpu_module_block op = Op.module_block op
+
+let gpu_func ~name ~args body =
+  let region, entry = Op.region_with_block ~args () in
+  let op =
+    Op.create "gpu.func" ~regions:[ region ]
+      ~attrs:
+        [ ("sym_name", Attr.Str_a name);
+          ("function_type", Attr.Type_a (Types.Func_t (args, [])));
+          ("gpu.kernel", Attr.Unit_a) ]
+  in
+  let b = Builder.at_end entry in
+  body b (Op.block_args entry);
+  ignore (Builder.op b "gpu.return");
+  op
+
+(* Launch [kernel] (a "module::func" symbol) with explicit grid and block
+   dimensions followed by the kernel arguments. The six leading operands
+   are gridX,gridY,gridZ,blockX,blockY,blockZ. *)
+let launch_func b ~kernel ~grid ~block args =
+  let gx, gy, gz = grid and bx, by, bz = block in
+  ignore
+    (Builder.op b "gpu.launch_func"
+       ~operands:([ gx; gy; gz; bx; by; bz ] @ args)
+       ~attrs:[ ("kernel", Attr.Sym_a kernel) ])
+
+let alloc b ?(dynamic_sizes = []) ty =
+  Builder.op1 b "gpu.alloc" ~operands:dynamic_sizes ~results:[ ty ]
+
+let dealloc b m = ignore (Builder.op b "gpu.dealloc" ~operands:[ m ])
+
+(* memcpy dst, src (MLIR operand order). *)
+let memcpy b ~dst ~src =
+  ignore (Builder.op b "gpu.memcpy" ~operands:[ dst; src ])
+
+let host_register b m =
+  ignore (Builder.op b "gpu.host_register" ~operands:[ m ])

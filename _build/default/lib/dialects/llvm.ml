@@ -1,0 +1,24 @@
+(* llvm dialect: the thin slice needed at module boundaries. The paper's
+   extraction pass passes FIR data as !fir.llvm_ptr across the boundary to
+   functions taking !llvm.ptr — nominally different, semantically identical
+   types that only meet at link time. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "llvm"
+
+let () =
+  Dialect.define_op d "mlir.constant" ~num_operands:0 ~num_results:1
+    ~pure:true;
+  Dialect.define_op d "bitcast" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "getelementptr" ~num_results:1 ~pure:true;
+  Dialect.define_op d "load" ~num_operands:1 ~num_results:1;
+  Dialect.define_op d "store" ~num_operands:2 ~num_results:0;
+  Dialect.define_op d "call" ~verify:(fun op ->
+      match Op.attr op "callee" with
+      | Some (Attr.Sym_a _) -> Ok ()
+      | _ -> Error "llvm.call requires a callee symbol");
+  Dialect.define_op d "return" ~num_results:0 ~terminator:true
+
+let bitcast b ~to_ v =
+  Builder.op1 b "llvm.bitcast" ~operands:[ v ] ~results:[ to_ ]

@@ -1,0 +1,64 @@
+(* math dialect: transcendental / special functions (Flang lowers Fortran
+   intrinsics to these, which the paper relies on being standard). *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "math"
+
+let unary_ops =
+  [ "sqrt"; "sin"; "cos"; "tan"; "exp"; "log"; "log2"; "absf"; "tanh";
+    "atan"; "ceil"; "floor"; "erf" ]
+
+let binary_ops = [ "powf"; "atan2"; "copysign" ]
+
+let () =
+  List.iter
+    (fun n -> Dialect.define_op d n ~num_operands:1 ~num_results:1 ~pure:true)
+    unary_ops;
+  List.iter
+    (fun n -> Dialect.define_op d n ~num_operands:2 ~num_results:1 ~pure:true)
+    binary_ops;
+  Dialect.define_op d "fma" ~num_operands:3 ~num_results:1 ~pure:true;
+  (* fpowi: float base, integer exponent — expanded by test-expand-math. *)
+  Dialect.define_op d "fpowi" ~num_operands:2 ~num_results:1 ~pure:true
+
+let unary b name x =
+  Builder.op1 b ("math." ^ name) ~operands:[ x ]
+    ~results:[ Op.value_type x ]
+
+let binary b name x y =
+  Builder.op1 b ("math." ^ name) ~operands:[ x; y ]
+    ~results:[ Op.value_type x ]
+
+let sqrt b x = unary b "sqrt" x
+let absf b x = unary b "absf" x
+let powf b x y = binary b "powf" x y
+
+let fpowi b x n =
+  Builder.op1 b "math.fpowi" ~operands:[ x; n ]
+    ~results:[ Op.value_type x ]
+
+(* Interpretation table shared by the interpreter and the kernel JIT. *)
+let eval_unary name (x : float) =
+  match name with
+  | "math.sqrt" -> Float.sqrt x
+  | "math.sin" -> Float.sin x
+  | "math.cos" -> Float.cos x
+  | "math.tan" -> Float.tan x
+  | "math.exp" -> Float.exp x
+  | "math.log" -> Float.log x
+  | "math.log2" -> Float.log x /. Float.log 2.
+  | "math.absf" -> Float.abs x
+  | "math.tanh" -> Float.tanh x
+  | "math.atan" -> Float.atan x
+  | "math.ceil" -> Float.ceil x
+  | "math.floor" -> Float.floor x
+  | "math.erf" -> Float.erf x
+  | _ -> invalid_arg ("Math.eval_unary: " ^ name)
+
+let eval_binary name (x : float) (y : float) =
+  match name with
+  | "math.powf" -> Float.pow x y
+  | "math.atan2" -> Float.atan2 x y
+  | "math.copysign" -> Float.copy_sign x y
+  | _ -> invalid_arg ("Math.eval_binary: " ^ name)

@@ -1,0 +1,54 @@
+(* memref dialect: memory allocation and indexed access — the data
+   representation used by the stencil dialect side of the pipeline. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "memref"
+
+let memref_verify_access op =
+  match Op.value_type (Op.operand op) with
+  | Types.Memref (dims, _) ->
+    let rank = List.length dims in
+    (* load: memref + rank indices; store: value + memref + rank indices *)
+    let expected =
+      if op.Op.o_name = "memref.store" then rank + 2 else rank + 1
+    in
+    if Op.num_operands op = expected then Ok ()
+    else Error "index count does not match memref rank"
+  | _ -> Error "expected a memref operand"
+
+let () =
+  Dialect.define_op d "alloc" ~num_results:1;
+  Dialect.define_op d "alloca" ~num_results:1;
+  Dialect.define_op d "dealloc" ~num_operands:1 ~num_results:0;
+  Dialect.define_op d "load" ~num_results:1 ~verify:memref_verify_access;
+  Dialect.define_op d "store" ~num_results:0 ~verify:(fun op ->
+      match Op.value_type (Op.operand ~index:1 op) with
+      | Types.Memref (dims, _) ->
+        if Op.num_operands op = List.length dims + 2 then Ok ()
+        else Error "index count does not match memref rank"
+      | _ -> Error "memref.store operand 1 must be a memref");
+  Dialect.define_op d "dim" ~num_operands:2 ~num_results:1 ~pure:true;
+  Dialect.define_op d "cast" ~num_operands:1 ~num_results:1 ~pure:true;
+  Dialect.define_op d "copy" ~num_operands:2 ~num_results:0;
+  Dialect.define_op d "subview" ~num_results:1 ~pure:true
+
+let alloc b ?(dynamic_sizes = []) ty =
+  Builder.op1 b "memref.alloc" ~operands:dynamic_sizes ~results:[ ty ]
+
+let dealloc b m = ignore (Builder.op b "memref.dealloc" ~operands:[ m ])
+
+let load b m indices =
+  let elem = Types.element_type (Op.value_type m) in
+  Builder.op1 b "memref.load" ~operands:(m :: indices) ~results:[ elem ]
+
+let store b value m indices =
+  ignore (Builder.op b "memref.store" ~operands:(value :: m :: indices))
+
+let dim b m i =
+  Builder.op1 b "memref.dim" ~operands:[ m; i ] ~results:[ Types.Index ]
+
+let cast b ~to_ m =
+  Builder.op1 b "memref.cast" ~operands:[ m ] ~results:[ to_ ]
+
+let copy b src dst = ignore (Builder.op b "memref.copy" ~operands:[ src; dst ])

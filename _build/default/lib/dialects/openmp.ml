@@ -1,0 +1,51 @@
+(* openmp dialect: target of convert-scf-to-openmp. omp.parallel forks a
+   team; omp.wsloop work-shares a loop nest across the team. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "openmp"
+
+(* MLIR spells these omp.*; we follow that op prefix but keep the dialect
+   key "openmp" to match the paper's prose. *)
+let () =
+  ignore d;
+  let omp = Dialect.define_dialect "omp" in
+  Dialect.define_op omp "parallel" ~num_operands:0 ~num_results:0
+    ~num_regions:1;
+  Dialect.define_op omp "wsloop" ~num_regions:1 ~verify:(fun op ->
+      if Op.num_operands op mod 3 = 0 && Op.num_operands op > 0 then Ok ()
+      else Error "omp.wsloop operands must be (lb*, ub*, step*)");
+  Dialect.define_op omp "terminator" ~num_operands:0 ~num_results:0
+    ~terminator:true;
+  Dialect.define_op omp "yield" ~num_results:0 ~terminator:true;
+  Dialect.define_op omp "barrier" ~num_operands:0 ~num_results:0
+
+let terminator b = ignore (Builder.op b "omp.terminator")
+
+let parallel b ?num_threads body =
+  let region, blk = Op.region_with_block () in
+  body (Builder.at_end blk);
+  terminator (Builder.at_end blk);
+  let attrs =
+    match num_threads with
+    | None -> []
+    | Some n -> [ ("num_threads", Attr.Int_a n) ]
+  in
+  Builder.op b "omp.parallel" ~regions:[ region ] ~attrs
+
+(* Work-shared loop nest over [lbs;ubs;steps], body gets induction vars. *)
+let wsloop b ~lbs ~ubs ~steps body =
+  let n = List.length lbs in
+  let region, blk =
+    Op.region_with_block ~args:(List.init n (fun _ -> Types.Index)) ()
+  in
+  let inner = Builder.at_end blk in
+  body inner (Op.block_args blk);
+  ignore (Builder.op inner "omp.yield");
+  Builder.op b "omp.wsloop" ~operands:(lbs @ ubs @ steps) ~regions:[ region ]
+
+let wsloop_bounds op =
+  let n = Op.num_operands op / 3 in
+  let ops = Array.of_list (Op.operands op) in
+  let slice i = Array.to_list (Array.sub ops (i * n) n) in
+  (slice 0, slice 1, slice 2)

@@ -1,0 +1,14 @@
+(* Forcing module initialisation registers every dialect's ops with the
+   global dialect table; call [init] once at program start. *)
+
+let init () =
+  ignore Arith.d;
+  ignore Math.d;
+  ignore Func.d;
+  ignore Scf.d;
+  ignore Memref.d;
+  ignore Cf.d;
+  ignore Llvm.d;
+  ignore Builtin.d;
+  ignore Openmp.d;
+  ignore Gpu.d

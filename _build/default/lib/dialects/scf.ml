@@ -1,0 +1,104 @@
+(* scf dialect: structured control flow — serial loops, parallel loops and
+   conditionals. The paper's CPU lowering turns the outermost stencil loop
+   into scf.parallel and inner loops into scf.for. *)
+
+open Fsc_ir
+
+let d = Dialect.define_dialect "scf"
+
+let () =
+  (* scf.for %iv = %lb to %ub step %step iter_args(...) — operands are
+     lb, ub, step, then the initial values of iter_args. *)
+  Dialect.define_op d "for" ~num_regions:1 ~verify:(fun op ->
+      if Op.num_operands op < 3 then Error "scf.for needs lb, ub, step"
+      else
+        let region = Op.region op in
+        match region.Op.g_blocks with
+        | [ body ] ->
+          let nargs = Array.length body.Op.b_args in
+          if nargs <> Op.num_operands op - 3 + 1 then
+            Error "scf.for body must take induction var + iter_args"
+          else Ok ()
+        | _ -> Error "scf.for requires exactly one block");
+  Dialect.define_op d "parallel" ~num_regions:1 ~verify:(fun op ->
+      if Op.num_operands op mod 3 <> 0 || Op.num_operands op = 0 then
+        Error "scf.parallel operands must be (lb*, ub*, step*)"
+      else Ok ());
+  Dialect.define_op d "if" ~num_operands:1 ~verify:(fun op ->
+      if Array.length op.Op.o_regions < 1 || Array.length op.Op.o_regions > 2
+      then Error "scf.if takes one or two regions"
+      else Ok ());
+  Dialect.define_op d "yield" ~num_results:0 ~terminator:true;
+  Dialect.define_op d "reduce" ~num_operands:1 ~num_results:0 ~num_regions:1
+
+let yield b values = ignore (Builder.op b "scf.yield" ~operands:values)
+
+(* Serial counted loop. [body] receives a builder in the loop body, the
+   induction variable and the iteration arguments; it returns the values to
+   yield (same arity as [iter_args]). Returns loop results. *)
+let for_ b ~lb ~ub ~step ?(iter_args = []) body =
+  let arg_types =
+    Types.Index :: List.map Op.value_type iter_args
+  in
+  let region, blk = Op.region_with_block ~args:arg_types () in
+  let inner = Builder.at_end blk in
+  let args = Op.block_args blk in
+  let iv, iters =
+    match args with
+    | iv :: rest -> (iv, rest)
+    | [] -> assert false
+  in
+  let yielded = body inner iv iters in
+  yield inner yielded;
+  let op =
+    Builder.op b "scf.for"
+      ~operands:(lb :: ub :: step :: iter_args)
+      ~results:(List.map Op.value_type iter_args)
+      ~regions:[ region ]
+  in
+  Op.results op
+
+(* Multi-dimensional parallel loop; [body] gets the induction variables.
+   The number of dims is the length of [lbs]. *)
+let parallel b ~lbs ~ubs ~steps body =
+  let n = List.length lbs in
+  if List.length ubs <> n || List.length steps <> n then
+    invalid_arg "Scf.parallel: dimension mismatch";
+  let region, blk =
+    Op.region_with_block ~args:(List.init n (fun _ -> Types.Index)) ()
+  in
+  let inner = Builder.at_end blk in
+  body inner (Op.block_args blk);
+  yield inner [];
+  Builder.op b "scf.parallel"
+    ~operands:(lbs @ ubs @ steps)
+    ~regions:[ region ]
+
+let if_ b cond ?else_ then_ =
+  let then_region, then_blk = Op.region_with_block () in
+  then_ (Builder.at_end then_blk);
+  let regions =
+    match else_ with
+    | None ->
+      yield (Builder.at_end then_blk) [];
+      [ then_region ]
+    | Some e ->
+      yield (Builder.at_end then_blk) [];
+      let else_region, else_blk = Op.region_with_block () in
+      e (Builder.at_end else_blk);
+      yield (Builder.at_end else_blk) [];
+      [ then_region; else_region ]
+  in
+  Builder.op b "scf.if" ~operands:[ cond ] ~regions
+
+(* Accessors for scf.parallel: (lbs, ubs, steps). *)
+let parallel_bounds op =
+  let n = Op.num_operands op / 3 in
+  let ops = Array.of_list (Op.operands op) in
+  let slice i = Array.to_list (Array.sub ops (i * n) n) in
+  (slice 0, slice 1, slice 2)
+
+let body_block op =
+  match (Op.region op).Op.g_blocks with
+  | [ b ] -> b
+  | _ -> invalid_arg "Scf.body_block"

@@ -1,0 +1,1 @@
+lib/dmp/decomp.mli:

@@ -1,0 +1,1 @@
+lib/dmp/dist_exec.ml: Array Bigarray Decomp Fsc_rt List

@@ -1,0 +1,1 @@
+lib/dmp/dist_exec.mli: Decomp Fsc_rt

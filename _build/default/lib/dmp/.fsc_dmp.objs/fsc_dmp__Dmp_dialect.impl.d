@@ -1,0 +1,1 @@
+lib/dmp/dmp_dialect.ml: Attr Builder Dialect Fsc_ir List Op

@@ -1,0 +1,1 @@
+lib/dmp/dmp_to_mpi.ml: Attr Builder Dmp_dialect Fsc_ir List Op Pass Printf

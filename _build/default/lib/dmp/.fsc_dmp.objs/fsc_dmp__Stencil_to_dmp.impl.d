@@ -1,0 +1,1 @@
+lib/dmp/stencil_to_dmp.ml: Array Attr Builder Dmp_dialect Fsc_ir Fsc_stencil List Op Pass Types

@@ -1,0 +1,118 @@
+(* Domain decomposition for distributed-memory execution: following the
+   paper's Figure 6 setup, the 3-D grid is decomposed over its two
+   outermost (non-contiguous) dimensions into a 2-D process grid, one MPI
+   rank per core, with single-cell halos swapped every iteration. *)
+
+type t = {
+  global : int * int * int; (* interior extents nx, ny, nz *)
+  py : int;                 (* ranks along y *)
+  pz : int;                 (* ranks along z *)
+}
+
+(* Near-square factorisation p = py * pz with py <= pz. *)
+let factorize p =
+  let best = ref (1, p) in
+  let i = ref 1 in
+  while !i * !i <= p do
+    if p mod !i = 0 then best := (!i, p / !i);
+    incr i
+  done;
+  !best
+
+let create ~global ~ranks =
+  let py, pz = factorize ranks in
+  { global; py; pz }
+
+let nranks d = d.py * d.pz
+
+(* rank <-> (cy, cz) coordinates *)
+let coords d rank = (rank mod d.py, rank / d.py)
+let rank_of d (cy, cz) = (cz * d.py) + cy
+
+(* Split extent [n] into [p] near-equal contiguous pieces; piece [i] gets
+   the 1-based inclusive range returned. *)
+let split n p i =
+  let base = n / p and rem = n mod p in
+  let lo = (i * base) + min i rem + 1 in
+  let sz = base + if i < rem then 1 else 0 in
+  (lo, lo + sz - 1)
+
+(* The 1-based global interior range owned by [rank], per dimension.
+   Dimension x is never decomposed. *)
+let local_range d rank =
+  let _, ny, nz = d.global in
+  let cy, cz = coords d rank in
+  let nx, _, _ = d.global in
+  ((1, nx), split ny d.py cy, split nz d.pz cz)
+
+let local_extents d rank =
+  let (xl, xh), (yl, yh), (zl, zh) = local_range d rank in
+  (xh - xl + 1, yh - yl + 1, zh - zl + 1)
+
+type direction =
+  | Y_low
+  | Y_high
+  | Z_low
+  | Z_high
+
+let neighbor d rank dir =
+  let cy, cz = coords d rank in
+  let c =
+    match dir with
+    | Y_low -> (cy - 1, cz)
+    | Y_high -> (cy + 1, cz)
+    | Z_low -> (cy, cz - 1)
+    | Z_high -> (cy, cz + 1)
+  in
+  let cy', cz' = c in
+  if cy' < 0 || cy' >= d.py || cz' < 0 || cz' >= d.pz then None
+  else Some (rank_of d (cy', cz'))
+
+let directions = [ Y_low; Y_high; Z_low; Z_high ]
+
+let opposite = function
+  | Y_low -> Y_high
+  | Y_high -> Y_low
+  | Z_low -> Z_high
+  | Z_high -> Z_low
+
+let tag_of_direction = function
+  | Y_low -> 0
+  | Y_high -> 1
+  | Z_low -> 2
+  | Z_high -> 3
+
+(* Bytes exchanged per rank per halo swap (both directions, both dims),
+   for the network model. *)
+let halo_bytes d rank =
+  let lx, ly, lz = local_extents d rank in
+  let count dir =
+    match neighbor d rank dir with
+    | None -> 0
+    | Some _ -> (
+      match dir with
+      | Y_low | Y_high -> (lx + 2) * (lz + 2)
+      | Z_low | Z_high -> (lx + 2) * (ly + 2))
+  in
+  8 * List.fold_left (fun acc dir -> acc + count dir) 0 directions
+
+(* Every interior cell is owned by exactly one rank. *)
+let check_partition d =
+  let nx, ny, nz = d.global in
+  let owned = Array.make ((ny + 1) * (nz + 1)) 0 in
+  for r = 0 to nranks d - 1 do
+    let (xl, xh), (yl, yh), (zl, zh) = local_range d r in
+    if xl <> 1 || xh <> nx then failwith "x dimension must not be decomposed";
+    for z = zl to zh do
+      for y = yl to yh do
+        owned.(((z - 1) * ny) + (y - 1)) <-
+          owned.(((z - 1) * ny) + (y - 1)) + 1
+      done
+    done
+  done;
+  Array.for_all (fun c -> c <= 1) owned
+  && Array.exists (fun c -> c = 1) owned
+  &&
+  let total = ref 0 in
+  Array.iter (fun c -> total := !total + c) owned;
+  !total = ny * nz

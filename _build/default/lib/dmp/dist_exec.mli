@@ -1,0 +1,49 @@
+(** Functional SPMD executor: runs a 3-D halo-exchange computation over a
+    {!Decomp.t} with simulated MPI, validating that the auto-parallelised
+    pipeline computes the same grid as serial execution. Local grids
+    carry one-cell halos; the x (contiguous) dimension is never
+    decomposed. *)
+
+module Mpi = Fsc_rt.Mpi_sim
+module Rt = Fsc_rt.Memref_rt
+
+type rank_state = {
+  rs_rank : int;
+  rs_fields : (string * Rt.t) list;  (** (lx+2)(ly+2)(lz+2) local grids *)
+  rs_range : (int * int) * (int * int) * (int * int);
+      (** global 1-based interior ranges owned by the rank *)
+}
+
+type t = {
+  decomp : Decomp.t;
+  mpi : Mpi.t;
+  ranks : rank_state array;
+}
+
+(** Create the distributed state. [init name (i,j,k)] gives the global
+    value of field [name] at 0-based array coordinates (halos
+    included). *)
+val create :
+  Decomp.t ->
+  fields:string list ->
+  init:(string -> int * int * int -> float) ->
+  t
+
+val field : rank_state -> string -> Rt.t
+
+(** Run [iters] supersteps: swap the halos of [swap_fields], then run
+    [compute t rank] on every rank. *)
+val iterate :
+  t ->
+  iters:int ->
+  swap_fields:string list ->
+  compute:(t -> int -> unit) ->
+  unit
+
+(** Gather a field into a global grid. Each rank contributes its interior
+    plus only global-boundary halo planes (interior halos may be one
+    exchange stale). *)
+val gather : t -> string -> Rt.t
+
+(** (messages, bytes) moved so far. *)
+val stats : t -> int * int

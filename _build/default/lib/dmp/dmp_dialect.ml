@@ -1,0 +1,44 @@
+(* The DMP (Distributed Memory Parallelism) and MPI dialects, after
+   xDSL's: DMP expresses technology-agnostic halo exchanges over
+   decomposed grids; it lowers to the MPI dialect, which lowers to
+   library calls. *)
+
+open Fsc_ir
+
+let dmp = Dialect.define_dialect "dmp"
+let mpi = Dialect.define_dialect "mpi"
+
+let () =
+  (* dmp.swap: exchange the halo region of a grid with neighbours.
+     Attributes: "halo" (per-dimension width), "decomposed_dims". *)
+  Dialect.define_op dmp "swap" ~num_operands:1 ~num_results:0
+    ~verify:(fun op ->
+      if Op.has_attr op "halo" then Ok ()
+      else Error "dmp.swap requires a halo attribute");
+  Dialect.define_op dmp "grid" ~num_operands:0 ~num_results:0;
+  (* mpi dialect *)
+  Dialect.define_op mpi "comm_rank" ~num_operands:0 ~num_results:1;
+  Dialect.define_op mpi "comm_size" ~num_operands:0 ~num_results:1;
+  Dialect.define_op mpi "isend" ~num_operands:1 ~num_results:0
+    ~verify:(fun op ->
+      if Op.has_attr op "dest" && Op.has_attr op "tag" then Ok ()
+      else Error "mpi.isend requires dest and tag");
+  Dialect.define_op mpi "irecv" ~num_operands:1 ~num_results:0
+    ~verify:(fun op ->
+      if Op.has_attr op "source" && Op.has_attr op "tag" then Ok ()
+      else Error "mpi.irecv requires source and tag");
+  Dialect.define_op mpi "waitall" ~num_operands:0 ~num_results:0;
+  Dialect.define_op mpi "barrier" ~num_operands:0 ~num_results:0
+
+let swap b grid ~halo ~decomposed_dims =
+  ignore
+    (Builder.op b "dmp.swap" ~operands:[ grid ]
+       ~attrs:
+         [ ("halo", Attr.Arr_a (List.map (fun h -> Attr.Int_a h) halo));
+           ("decomposed_dims",
+            Attr.Arr_a (List.map (fun d -> Attr.Int_a d) decomposed_dims)) ])
+
+let swap_halo op =
+  match Op.attr_exn op "halo" with
+  | Attr.Arr_a xs -> List.map Attr.as_int xs
+  | _ -> invalid_arg "swap_halo"

@@ -1,0 +1,51 @@
+(* DMP -> MPI lowering: each dmp.swap becomes, per decomposed dimension,
+   a pair of mpi.isend/mpi.irecv to the low and high neighbours followed
+   by one mpi.waitall — the two-pass lowering described in Section 2.1 of
+   the paper (DMP -> MPI dialect -> library calls). Neighbour ranks are
+   symbolic ("y_low", ...) and resolved by the SPMD runtime. *)
+
+open Fsc_ir
+
+let neighbors_for_dim dim =
+  match dim with
+  | 1 -> [ ("y_low", 0); ("y_high", 1) ]
+  | 2 -> [ ("z_low", 2); ("z_high", 3) ]
+  | d -> [ (Printf.sprintf "dim%d_low" d, 2 * d);
+           (Printf.sprintf "dim%d_high" d, (2 * d) + 1) ]
+
+let lower_swap swap =
+  let grid = Op.operand swap in
+  let halo = Dmp_dialect.swap_halo swap in
+  let dims =
+    match Op.attr_exn swap "decomposed_dims" with
+    | Attr.Arr_a xs -> List.map Attr.as_int xs
+    | _ -> []
+  in
+  let b = Builder.before swap in
+  List.iter
+    (fun d ->
+      let width = if d < List.length halo then List.nth halo d else 0 in
+      if width > 0 then
+        List.iter
+          (fun (nbr, tag) ->
+            ignore
+              (Builder.op b "mpi.isend" ~operands:[ grid ]
+                 ~attrs:
+                   [ ("dest", Attr.Str_a nbr); ("tag", Attr.Int_a tag);
+                     ("width", Attr.Int_a width) ]);
+            ignore
+              (Builder.op b "mpi.irecv" ~operands:[ grid ]
+                 ~attrs:
+                   [ ("source", Attr.Str_a nbr); ("tag", Attr.Int_a tag);
+                     ("width", Attr.Int_a width) ]))
+          (neighbors_for_dim d))
+    dims;
+  ignore (Builder.op b "mpi.waitall");
+  Op.erase swap
+
+let run m =
+  let swaps = Op.collect_ops (fun o -> o.Op.o_name = "dmp.swap") m in
+  List.iter lower_swap swaps;
+  List.length swaps
+
+let pass = Pass.create "dmp-to-mpi" (fun m -> ignore (run m))

@@ -1,0 +1,61 @@
+(* Lower-to-DMP (the "lower to DMP" box in the paper's Figure 1): for
+   every stencil.apply, compute the halo each input needs — the maximum
+   access offset magnitude per decomposed dimension — and insert a
+   dmp.swap on the backing grid before the apply. Bounds stay expressed
+   against the global index space; the per-rank specialisation happens in
+   the runtime (Dist_exec), parameterised by mpi.comm_rank. *)
+
+open Fsc_ir
+module Stencil = Fsc_stencil.Stencil
+
+(* halo width per dimension required by the accesses on input [i] *)
+let halo_of_accesses accesses rank_dims i =
+  let rank = rank_dims in
+  let widths = Array.make rank 0 in
+  List.iter
+    (fun (j, offsets) ->
+      if j = i then
+        List.iteri
+          (fun d o -> widths.(d) <- max widths.(d) (abs o))
+          offsets)
+    accesses;
+  Array.to_list widths
+
+let run ?(decomposed_dims = [ 1; 2 ]) m =
+  let swaps = ref 0 in
+  Op.walk
+    (fun func ->
+      if func.Op.o_name = "func.func" then begin
+        let applies = Op.collect_ops Stencil.is_apply func in
+        List.iter
+          (fun apply ->
+            let accesses = Stencil.apply_accesses apply in
+            let b = Builder.before apply in
+            List.iteri
+              (fun i (input : Op.value) ->
+                match Op.value_type input with
+                | Types.Stencil_temp (bounds, _) ->
+                  let halo =
+                    halo_of_accesses accesses (List.length bounds) i
+                  in
+                  (* only swap when a decomposed dim actually needs halo *)
+                  if
+                    List.exists
+                      (fun d ->
+                        d < List.length halo && List.nth halo d > 0)
+                      decomposed_dims
+                  then begin
+                    Dmp_dialect.swap b input ~halo ~decomposed_dims;
+                    incr swaps
+                  end
+                | _ -> ())
+              (Op.operands apply))
+          applies;
+        if applies <> [] then
+          Op.set_attr func "dmp.decomposed_dims"
+            (Attr.Arr_a (List.map (fun d -> Attr.Int_a d) decomposed_dims))
+      end)
+    m;
+  !swaps
+
+let pass = Pass.create "lower-to-dmp" (fun m -> ignore (run m))

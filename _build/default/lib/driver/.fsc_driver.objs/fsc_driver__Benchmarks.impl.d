@@ -1,0 +1,1 @@
+lib/driver/benchmarks.ml: Printf

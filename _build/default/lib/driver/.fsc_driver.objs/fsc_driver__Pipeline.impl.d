@@ -1,0 +1,1 @@
+lib/driver/pipeline.ml: Array Dialect Filename Fsc_core Fsc_dialects Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt Fsc_transforms Lazy List Logs Op String Verifier

@@ -1,0 +1,1 @@
+lib/driver/pipeline.mli: Fsc_ir Fsc_rt Op

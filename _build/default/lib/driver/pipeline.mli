@@ -1,0 +1,66 @@
+(** End-to-end compilation and execution pipelines — the paper's Figure 1
+    as code. Each flow takes Fortran source text and produces a runnable
+    {!artifact}. *)
+
+open Fsc_ir
+
+(** GPU data-management strategy (Section 4.3 / Figure 5). *)
+type gpu_strategy =
+  | Gpu_initial  (** [gpu.host_register]: page everything, every launch *)
+  | Gpu_optimised  (** the bespoke data-placement pass: device-resident *)
+
+type target =
+  | Serial
+  | Openmp of int  (** auto-parallelised, thread count *)
+  | Gpu of gpu_strategy
+
+(** How a kernel is executed at runtime. *)
+type kernel_impl =
+  | Compiled of Fsc_rt.Kernel_compile.spec
+      (** closure-compiled fast path *)
+  | Interpreted of string  (** fallback, with the analyser's reason *)
+
+type artifact = {
+  a_host : Op.op;  (** the FIR host module *)
+  a_stencil : Op.op option;  (** extracted module after lowering *)
+  a_gpu_ir : Op.op option;
+      (** the Listing-4 pipeline output (GPU targets only) *)
+  a_ctx : Fsc_rt.Interp.context;  (** linked execution context *)
+  a_kernels : (string * kernel_impl) list;
+  a_target : target;
+}
+
+type stencil_stats = {
+  st_discovered : int;
+  st_merged : int;
+  st_kernels : int;
+}
+
+(** The baseline: frontend to FIR, no stencil optimisation, naive
+    execution (the paper's "Flang only" series). *)
+val flang_only : string -> artifact
+
+(** The full stencil pipeline: discover, merge, extract, lower for the
+    target, link compiled kernels back against the interpreted host.
+    [merge] and [specialize] default to [true] and exist for ablation
+    studies; [tile_sizes] parameterises the GPU pipeline (paper default
+    32,32,1). *)
+val stencil :
+  ?target:target ->
+  ?tile_sizes:int list ->
+  ?merge:bool ->
+  ?specialize:bool ->
+  string ->
+  artifact * stencil_stats
+
+(** Execute the program's [_QQmain]; for GPU targets, synchronise device
+    mirrors back to the host afterwards. *)
+val run : artifact -> unit
+
+(** Release the artifact's worker pool (OpenMP targets). *)
+val shutdown : artifact -> unit
+
+(** Look up a named Fortran array allocated during execution. *)
+val buffer : artifact -> string -> Fsc_rt.Memref_rt.t option
+
+val buffer_exn : artifact -> string -> Fsc_rt.Memref_rt.t

@@ -1,0 +1,1 @@
+lib/fir/fir.ml: Attr Builder Dialect Fsc_ir List Op Types

@@ -1,0 +1,1 @@
+lib/fir/fir.mli: Builder Dialect Fsc_ir Op Types

@@ -1,0 +1,1 @@
+lib/fortran/fast.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/fortran/flexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/fortran/flower.ml: Attr Builder Fast Float Fparser Fsc_dialects Fsc_fir Fsc_ir Fsema Hashtbl List Op Option Printf String Types

@@ -1,0 +1,1 @@
+lib/fortran/flower.mli: Fast Fsc_ir Fsema

@@ -1,0 +1,1 @@
+lib/fortran/fparser.ml: Fast Flexer List Printf

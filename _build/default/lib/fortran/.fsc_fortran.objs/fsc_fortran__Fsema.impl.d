@@ -1,0 +1,1 @@
+lib/fortran/fsema.ml: Fast Float Hashtbl List Option Printf String

@@ -1,0 +1,147 @@
+(* Abstract syntax tree of the supported Fortran subset.
+
+   The subset is what the paper's benchmarks need: program/subroutine/
+   function units, implicit none, integer/real/double precision/logical
+   declarations with dimension (arbitrary per-dimension lower bounds),
+   parameter constants, allocatable arrays with allocate/deallocate,
+   nested DO loops, IF/ELSE IF/ELSE, assignments, full arithmetic and
+   logical expressions, and a handful of numeric intrinsics. *)
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+type ftype =
+  | T_integer
+  | T_real of int (* kind: 4 or 8 *)
+  | T_logical
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  (* Explicit parentheses. Fortran forbids reassociation across them;
+     Flang materialises this as fir.no_reassoc, which the paper's
+     extraction pass must convert away — so we keep them in the AST. *)
+  | Paren
+
+type expr = {
+  e_loc : loc;
+  e_kind : expr_kind;
+}
+
+and expr_kind =
+  | Int_lit of int
+  | Real_lit of float * int (* value, kind *)
+  | Logical_lit of bool
+  | Var of string
+  (* name(args): array reference or function/intrinsic call, disambiguated
+     during semantic analysis. *)
+  | Ref_or_call of string * expr list
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type dim_spec = {
+  (* Lower bound; None means the Fortran default of 1. *)
+  ds_lower : expr option;
+  (* Upper bound; None only for deferred shape (allocatable ":"). *)
+  ds_upper : expr option;
+}
+
+type decl = {
+  d_loc : loc;
+  d_name : string;
+  d_type : ftype;
+  d_dims : dim_spec list; (* [] for scalars *)
+  d_allocatable : bool;
+  d_parameter : expr option;
+  d_intent : string option; (* "in" | "out" | "inout" *)
+}
+
+type stmt = {
+  s_loc : loc;
+  s_kind : stmt_kind;
+}
+
+and stmt_kind =
+  | Assign of expr * expr (* lhs (Var or Ref_or_call), rhs *)
+  | Do of string * expr * expr * expr option * stmt list
+  | Do_while of expr * stmt list
+  | If of (expr * stmt list) list * stmt list option
+  | Call_stmt of string * expr list
+  | Allocate of (string * dim_spec list) list
+  | Deallocate of string list
+  | Print of expr list
+  | Return
+  | Exit_stmt
+  | Cycle_stmt
+
+type unit_kind =
+  | Program
+  | Subroutine of string list (* dummy argument names *)
+  | Function of string list * string (* args, result variable *)
+
+type program_unit = {
+  u_loc : loc;
+  u_name : string;
+  u_kind : unit_kind;
+  u_decls : decl list;
+  u_body : stmt list;
+}
+
+type compilation_unit = program_unit list
+
+(* ---- convenience constructors (used heavily by tests) ---- *)
+
+let expr ?(loc = no_loc) kind = { e_loc = loc; e_kind = kind }
+let int_lit n = expr (Int_lit n)
+let real_lit ?(kind = 8) f = expr (Real_lit (f, kind))
+let var n = expr (Var n)
+let ref_ n args = expr (Ref_or_call (n, args))
+let binop op a b = expr (Binop (op, a, b))
+let stmt ?(loc = no_loc) kind = { s_loc = loc; s_kind = kind }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Pow -> "**"
+  | Eq -> "=="
+  | Ne -> "/="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> ".and."
+  | Or -> ".or."
+
+let rec expr_to_string e =
+  match e.e_kind with
+  | Int_lit n -> string_of_int n
+  | Real_lit (f, k) -> Printf.sprintf "%g_%d" f k
+  | Logical_lit b -> if b then ".true." else ".false."
+  | Var n -> n
+  | Ref_or_call (n, args) ->
+    Printf.sprintf "%s(%s)" n
+      (String.concat ", " (List.map expr_to_string args))
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_to_string op)
+      (expr_to_string b)
+  | Unop (Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | Unop (Not, a) -> Printf.sprintf "(.not. %s)" (expr_to_string a)
+  | Unop (Paren, a) -> Printf.sprintf "(%s)" (expr_to_string a)

@@ -1,0 +1,652 @@
+(* Recursive-descent parser for the Fortran subset. Statement-oriented:
+   each statement occupies one logical line (the lexer already folded
+   continuations). *)
+
+open Fast
+
+exception Parse_error of string * int (* message, line *)
+
+type state = {
+  mutable toks : Flexer.located list;
+}
+
+let error st msg =
+  let line =
+    match st.toks with { Flexer.tline; _ } :: _ -> tline | [] -> 0
+  in
+  raise (Parse_error (msg, line))
+
+let peek st =
+  match st.toks with { Flexer.tok; _ } :: _ -> tok | [] -> Flexer.EOF
+
+let peek_loc st =
+  match st.toks with
+  | { Flexer.tline; tcol; _ } :: _ -> { line = tline; col = tcol }
+  | [] -> no_loc
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s"
+         (Flexer.token_to_string tok)
+         (Flexer.token_to_string (peek st)))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | Flexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st ("expected identifier, found " ^ Flexer.token_to_string t)
+
+let accept_keyword st kw =
+  match peek st with
+  | Flexer.IDENT s when s = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_keyword st kw =
+  if not (accept_keyword st kw) then
+    error st
+      (Printf.sprintf "expected keyword %S, found %s" kw
+         (Flexer.token_to_string (peek st)))
+
+let skip_newlines st =
+  while peek st = Flexer.NEWLINE do
+    advance st
+  done
+
+let expect_eos st =
+  (* end of statement *)
+  match peek st with
+  | Flexer.NEWLINE ->
+    advance st
+  | Flexer.EOF -> ()
+  | t -> error st ("expected end of statement, found "
+                   ^ Flexer.token_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Precedence (low to high): .or. < .and. < .not. < comparison <
+   addition < multiplication < unary minus < ** < primary *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept st Flexer.OR do
+    !lhs |> fun l -> lhs := binop Or l (parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while accept st Flexer.AND do
+    !lhs |> fun l -> lhs := binop And l (parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept st Flexer.NOT then expr (Unop (Not, parse_not st))
+  else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_additive st in
+  let mk op =
+    advance st;
+    binop op lhs (parse_additive st)
+  in
+  match peek st with
+  | Flexer.EQ -> mk Eq
+  | Flexer.NE -> mk Ne
+  | Flexer.LT_ -> mk Lt
+  | Flexer.LE_ -> mk Le
+  | Flexer.GT_ -> mk Gt
+  | Flexer.GE_ -> mk Ge
+  | _ -> lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Flexer.PLUS ->
+      advance st;
+      lhs := binop Add !lhs (parse_multiplicative st)
+    | Flexer.MINUS ->
+      advance st;
+      lhs := binop Sub !lhs (parse_multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Flexer.STAR ->
+      advance st;
+      lhs := binop Mul !lhs (parse_unary st)
+    | Flexer.SLASH ->
+      advance st;
+      lhs := binop Div !lhs (parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Flexer.MINUS ->
+    advance st;
+    expr (Unop (Neg, parse_unary st))
+  | Flexer.PLUS ->
+    advance st;
+    parse_unary st
+  | _ -> parse_power st
+
+and parse_power st =
+  let base = parse_primary st in
+  (* ** is right-associative *)
+  if accept st Flexer.POW then binop Pow base (parse_unary st) else base
+
+and parse_primary st =
+  let loc = peek_loc st in
+  match peek st with
+  | Flexer.INT n ->
+    advance st;
+    expr ~loc (Int_lit n)
+  | Flexer.REAL (f, k) ->
+    advance st;
+    expr ~loc (Real_lit (f, k))
+  | Flexer.TRUE ->
+    advance st;
+    expr ~loc (Logical_lit true)
+  | Flexer.FALSE ->
+    advance st;
+    expr ~loc (Logical_lit false)
+  | Flexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Flexer.RPAREN;
+    expr ~loc (Unop (Paren, e))
+  | Flexer.IDENT name ->
+    advance st;
+    if peek st = Flexer.LPAREN then begin
+      advance st;
+      let args = parse_expr_list st in
+      expect st Flexer.RPAREN;
+      expr ~loc (Ref_or_call (name, args))
+    end
+    else expr ~loc (Var name)
+  | t -> error st ("expected expression, found " ^ Flexer.token_to_string t)
+
+and parse_expr_list st =
+  if peek st = Flexer.RPAREN then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st Flexer.COMMA then go (e :: acc) else List.rev (e :: acc)
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_dim_spec st =
+  (* one of: expr | expr:expr | : *)
+  if peek st = Flexer.COLON then begin
+    advance st;
+    { ds_lower = None; ds_upper = None }
+  end
+  else begin
+    let first = parse_expr st in
+    if accept st Flexer.COLON then
+      if peek st = Flexer.COMMA || peek st = Flexer.RPAREN then
+        { ds_lower = Some first; ds_upper = None }
+      else
+        let upper = parse_expr st in
+        { ds_lower = Some first; ds_upper = Some upper }
+    else { ds_lower = None; ds_upper = Some first }
+  end
+
+let parse_dim_list st =
+  expect st Flexer.LPAREN;
+  let rec go acc =
+    let d = parse_dim_spec st in
+    if accept st Flexer.COMMA then go (d :: acc) else List.rev (d :: acc)
+  in
+  let dims = go [] in
+  expect st Flexer.RPAREN;
+  dims
+
+(* Type spec at the start of a declaration: integer, real, real(8),
+   real(kind=8), double precision, logical. Returns None if the current
+   tokens do not start a type. *)
+let try_parse_type_spec st =
+  match peek st with
+  | Flexer.IDENT "integer" ->
+    advance st;
+    (* optional kind, ignored for integers *)
+    if peek st = Flexer.LPAREN then begin
+      advance st;
+      ignore (accept_keyword st "kind");
+      ignore (accept st Flexer.ASSIGN);
+      (match peek st with Flexer.INT _ -> advance st | _ -> ());
+      expect st Flexer.RPAREN
+    end;
+    Some T_integer
+  | Flexer.IDENT "real" ->
+    advance st;
+    let kind = ref 4 in
+    if peek st = Flexer.LPAREN then begin
+      advance st;
+      ignore (accept_keyword st "kind");
+      ignore (accept st Flexer.ASSIGN);
+      (match peek st with
+      | Flexer.INT k ->
+        advance st;
+        kind := k
+      | _ -> ());
+      expect st Flexer.RPAREN
+    end;
+    Some (T_real !kind)
+  | Flexer.IDENT "double" ->
+    advance st;
+    expect_keyword st "precision";
+    Some (T_real 8)
+  | Flexer.IDENT "logical" ->
+    advance st;
+    Some T_logical
+  | _ -> None
+
+(* After the type spec: attribute list then :: then entity list.
+     real(kind=8), dimension(0:n+1, 0:n+1), allocatable :: u, unew
+     integer, parameter :: n = 256
+     integer :: i, j
+     real(kind=8) :: data(n, m)   ! dims on the entity *)
+let parse_decl_rest st loc ftype =
+  let dims = ref [] in
+  let allocatable = ref false in
+  let parameter = ref false in
+  let intent = ref None in
+  while accept st Flexer.COMMA do
+    if accept_keyword st "dimension" then dims := parse_dim_list st
+    else if accept_keyword st "allocatable" then allocatable := true
+    else if accept_keyword st "parameter" then parameter := true
+    else if accept_keyword st "intent" then begin
+      expect st Flexer.LPAREN;
+      let which =
+        if accept_keyword st "in" then
+          if accept_keyword st "out" then "inout" else "in"
+        else if accept_keyword st "out" then "out"
+        else if accept_keyword st "inout" then "inout"
+        else error st "expected in/out/inout"
+      in
+      expect st Flexer.RPAREN;
+      intent := Some which
+    end
+    else error st "unknown declaration attribute"
+  done;
+  expect st Flexer.DCOLON;
+  let decls = ref [] in
+  let rec entities () =
+    let name = expect_ident st in
+    let entity_dims =
+      if peek st = Flexer.LPAREN then parse_dim_list st else !dims
+    in
+    let init =
+      if accept st Flexer.ASSIGN then Some (parse_expr st) else None
+    in
+    (if !parameter && init = None then
+       error st ("parameter " ^ name ^ " requires an initialiser"));
+    decls :=
+      { d_loc = loc; d_name = name; d_type = ftype; d_dims = entity_dims;
+        d_allocatable = !allocatable;
+        d_parameter = (if !parameter then init else None);
+        d_intent = !intent }
+      :: !decls;
+    if accept st Flexer.COMMA then entities ()
+  in
+  entities ();
+  expect_eos st;
+  List.rev !decls
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st : stmt option =
+  skip_newlines st;
+  let loc = peek_loc st in
+  match peek st with
+  | Flexer.IDENT "do" -> Some (parse_do st loc)
+  | Flexer.IDENT "if" -> Some (parse_if st loc)
+  | Flexer.IDENT "call" ->
+    advance st;
+    let name = expect_ident st in
+    let args =
+      if accept st Flexer.LPAREN then begin
+        let a = parse_expr_list st in
+        expect st Flexer.RPAREN;
+        a
+      end
+      else []
+    in
+    expect_eos st;
+    Some (stmt ~loc (Call_stmt (name, args)))
+  | Flexer.IDENT "allocate" ->
+    advance st;
+    expect st Flexer.LPAREN;
+    let rec go acc =
+      let name = expect_ident st in
+      let dims = parse_dim_list st in
+      if accept st Flexer.COMMA then go ((name, dims) :: acc)
+      else List.rev ((name, dims) :: acc)
+    in
+    let allocs = go [] in
+    expect st Flexer.RPAREN;
+    expect_eos st;
+    Some (stmt ~loc (Allocate allocs))
+  | Flexer.IDENT "deallocate" ->
+    advance st;
+    expect st Flexer.LPAREN;
+    let rec go acc =
+      let name = expect_ident st in
+      if accept st Flexer.COMMA then go (name :: acc)
+      else List.rev (name :: acc)
+    in
+    let names = go [] in
+    expect st Flexer.RPAREN;
+    expect_eos st;
+    Some (stmt ~loc (Deallocate names))
+  | Flexer.IDENT "print" ->
+    advance st;
+    expect st Flexer.STAR;
+    let args =
+      if accept st Flexer.COMMA then begin
+        let rec go acc =
+          let e =
+            match peek st with
+            | Flexer.STRING s ->
+              advance st;
+              (* strings in print: keep as a Var-like marker *)
+              expr (Var ("\"" ^ s ^ "\""))
+            | _ -> parse_expr st
+          in
+          if accept st Flexer.COMMA then go (e :: acc)
+          else List.rev (e :: acc)
+        in
+        go []
+      end
+      else []
+    in
+    expect_eos st;
+    Some (stmt ~loc (Print args))
+  | Flexer.IDENT "return" ->
+    advance st;
+    expect_eos st;
+    Some (stmt ~loc Return)
+  | Flexer.IDENT "exit" ->
+    advance st;
+    expect_eos st;
+    Some (stmt ~loc Exit_stmt)
+  | Flexer.IDENT "cycle" ->
+    advance st;
+    expect_eos st;
+    Some (stmt ~loc Cycle_stmt)
+  | Flexer.IDENT ("end" | "else" | "elseif" | "contains") -> None
+  | Flexer.IDENT _ ->
+    (* assignment: lhs = rhs, lhs is var or array element *)
+    let lhs = parse_primary st in
+    (match lhs.e_kind with
+    | Var _ | Ref_or_call _ -> ()
+    | _ -> error st "invalid assignment target");
+    expect st Flexer.ASSIGN;
+    let rhs = parse_expr st in
+    expect_eos st;
+    Some (stmt ~loc (Assign (lhs, rhs)))
+  | Flexer.EOF -> None
+  | t -> error st ("unexpected token " ^ Flexer.token_to_string t)
+
+and parse_stmt_list st =
+  let rec go acc =
+    skip_newlines st;
+    match parse_stmt st with
+    | Some s -> go (s :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+and parse_do st loc =
+  expect_keyword st "do";
+  if accept_keyword st "while" then begin
+    expect st Flexer.LPAREN;
+    let cond = parse_expr st in
+    expect st Flexer.RPAREN;
+    expect_eos st;
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    expect_keyword st "do";
+    expect_eos st;
+    stmt ~loc (Do_while (cond, body))
+  end
+  else begin
+    let v = expect_ident st in
+    expect st Flexer.ASSIGN;
+    let lb = parse_expr st in
+    expect st Flexer.COMMA;
+    let ub = parse_expr st in
+    let step = if accept st Flexer.COMMA then Some (parse_expr st) else None in
+    expect_eos st;
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    expect_keyword st "do";
+    expect_eos st;
+    stmt ~loc (Do (v, lb, ub, step, body))
+  end
+
+and parse_if st loc =
+  expect_keyword st "if";
+  expect st Flexer.LPAREN;
+  let cond = parse_expr st in
+  expect st Flexer.RPAREN;
+  if accept_keyword st "then" then begin
+    expect_eos st;
+    let body = parse_stmt_list st in
+    let branches = ref [ (cond, body) ] in
+    let else_body = ref None in
+    let rec elses () =
+      if accept_keyword st "else" then
+        if accept_keyword st "if" then begin
+          expect st Flexer.LPAREN;
+          let c = parse_expr st in
+          expect st Flexer.RPAREN;
+          expect_keyword st "then";
+          expect_eos st;
+          let b = parse_stmt_list st in
+          branches := (c, b) :: !branches;
+          elses ()
+        end
+        else begin
+          expect_eos st;
+          else_body := Some (parse_stmt_list st)
+        end
+      else if accept_keyword st "elseif" then begin
+        expect st Flexer.LPAREN;
+        let c = parse_expr st in
+        expect st Flexer.RPAREN;
+        expect_keyword st "then";
+        expect_eos st;
+        let b = parse_stmt_list st in
+        branches := (c, b) :: !branches;
+        elses ()
+      end
+    in
+    elses ();
+    expect_keyword st "end";
+    expect_keyword st "if";
+    expect_eos st;
+    stmt ~loc (If (List.rev !branches, !else_body))
+  end
+  else begin
+    (* one-line if *)
+    match parse_stmt st with
+    | Some s -> stmt ~loc (If ([ (cond, [ s ]) ], None))
+    | None -> error st "expected statement after one-line if"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_specification st =
+  (* implicit none + declarations *)
+  let decls = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    skip_newlines st;
+    if accept_keyword st "implicit" then begin
+      expect_keyword st "none";
+      expect_eos st
+    end
+    else begin
+      let save = st.toks in
+      let loc = peek_loc st in
+      match try_parse_type_spec st with
+      | Some ftype ->
+        (* A type keyword can also start a statement like
+           real(...)=... only in weird code; our subset treats a type
+           token at spec position as a declaration. But a function call
+           assignment like "integer = 5" is invalid anyway. However we
+           must not swallow executable statements: if the next tokens do
+           not look like a declaration, rewind. *)
+        (match peek st with
+        | Flexer.COMMA | Flexer.DCOLON ->
+          decls := !decls @ parse_decl_rest st loc ftype
+        | _ ->
+          st.toks <- save;
+          continue_ := false)
+      | None -> continue_ := false
+    end
+  done;
+  !decls
+
+let parse_unit st =
+  skip_newlines st;
+  let loc = peek_loc st in
+  if accept_keyword st "program" then begin
+    let name = expect_ident st in
+    expect_eos st;
+    let decls = parse_specification st in
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    ignore (accept_keyword st "program");
+    (match peek st with Flexer.IDENT _ -> advance st | _ -> ());
+    expect_eos st;
+    Some
+      { u_loc = loc; u_name = name; u_kind = Program; u_decls = decls;
+        u_body = body }
+  end
+  else if accept_keyword st "subroutine" then begin
+    let name = expect_ident st in
+    let args =
+      if accept st Flexer.LPAREN then begin
+        if accept st Flexer.RPAREN then []
+        else begin
+          let rec go acc =
+            let a = expect_ident st in
+            if accept st Flexer.COMMA then go (a :: acc)
+            else List.rev (a :: acc)
+          in
+          let args = go [] in
+          expect st Flexer.RPAREN;
+          args
+        end
+      end
+      else []
+    in
+    expect_eos st;
+    let decls = parse_specification st in
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    ignore (accept_keyword st "subroutine");
+    (match peek st with Flexer.IDENT _ -> advance st | _ -> ());
+    expect_eos st;
+    Some
+      { u_loc = loc; u_name = name; u_kind = Subroutine args;
+        u_decls = decls; u_body = body }
+  end
+  else if
+    (match peek st with
+    | Flexer.IDENT ("integer" | "real" | "double" | "logical" | "function")
+      -> true
+    | _ -> false)
+  then begin
+    (* [type] function name(args) [result(r)] *)
+    let _ret_type = try_parse_type_spec st in
+    expect_keyword st "function";
+    let name = expect_ident st in
+    expect st Flexer.LPAREN;
+    let args =
+      if accept st Flexer.RPAREN then []
+      else begin
+        let rec go acc =
+          let a = expect_ident st in
+          if accept st Flexer.COMMA then go (a :: acc)
+          else List.rev (a :: acc)
+        in
+        let args = go [] in
+        expect st Flexer.RPAREN;
+        args
+      end
+    in
+    let result_var =
+      if accept_keyword st "result" then begin
+        expect st Flexer.LPAREN;
+        let r = expect_ident st in
+        expect st Flexer.RPAREN;
+        r
+      end
+      else name
+    in
+    expect_eos st;
+    let decls = parse_specification st in
+    let body = parse_stmt_list st in
+    expect_keyword st "end";
+    ignore (accept_keyword st "function");
+    (match peek st with Flexer.IDENT _ -> advance st | _ -> ());
+    expect_eos st;
+    Some
+      { u_loc = loc; u_name = name; u_kind = Function (args, result_var);
+        u_decls = decls; u_body = body }
+  end
+  else None
+
+let parse_source src =
+  let toks = Flexer.tokenize src in
+  let st = { toks } in
+  let rec go acc =
+    skip_newlines st;
+    if peek st = Flexer.EOF then List.rev acc
+    else
+      match parse_unit st with
+      | Some u -> go (u :: acc)
+      | None -> error st "expected program, subroutine or function"
+  in
+  go []

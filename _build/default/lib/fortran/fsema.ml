@@ -1,0 +1,362 @@
+(* Semantic analysis: symbol tables, constant evaluation of parameters and
+   dimension bounds, expression typing, and disambiguation of
+   name(args) into array references vs intrinsic vs user-function calls. *)
+
+open Fast
+
+exception Sema_error of string * loc
+
+let error loc fmt =
+  Printf.ksprintf (fun msg -> raise (Sema_error (msg, loc))) fmt
+
+type const_value =
+  | C_int of int
+  | C_real of float
+  | C_bool of bool
+
+(* Static per-dimension bounds (inclusive), when compile-time known. *)
+type static_bounds = (int * int) list
+
+type symbol =
+  | S_scalar of ftype
+  | S_param of ftype * const_value
+  | S_array of array_info
+  | S_dummy_scalar of ftype * string option (* intent *)
+  | S_dummy_array of array_info * string option
+
+and array_info = {
+  a_type : ftype;
+  a_rank : int;
+  a_bounds : static_bounds option; (* None for deferred/dynamic shape *)
+  a_allocatable : bool;
+}
+
+type unit_env = {
+  env_unit : program_unit;
+  env_symbols : (string, symbol) Hashtbl.t;
+  env_functions : (string, program_unit) Hashtbl.t; (* whole-file units *)
+}
+
+let intrinsics =
+  [ "abs"; "sqrt"; "max"; "min"; "mod"; "dble"; "real"; "int"; "exp";
+    "sin"; "cos"; "tan"; "log"; "atan"; "atan2"; "floor"; "nint";
+    (* whole-array reductions *)
+    "sum"; "maxval"; "minval" ]
+
+let is_intrinsic n = List.mem n intrinsics
+
+(* ---- constant expression evaluation ---- *)
+
+let rec eval_const env (e : expr) : const_value =
+  match e.e_kind with
+  | Int_lit n -> C_int n
+  | Real_lit (f, _) -> C_real f
+  | Logical_lit b -> C_bool b
+  | Var n -> (
+    match Hashtbl.find_opt env n with
+    | Some (S_param (_, v)) -> v
+    | Some _ -> error e.e_loc "%s is not a constant" n
+    | None -> error e.e_loc "undeclared name %s in constant expression" n)
+  | Unop (Neg, a) -> (
+    match eval_const env a with
+    | C_int n -> C_int (-n)
+    | C_real f -> C_real (-.f)
+    | C_bool _ -> error e.e_loc "cannot negate a logical")
+  | Unop (Not, a) -> (
+    match eval_const env a with
+    | C_bool b -> C_bool (not b)
+    | _ -> error e.e_loc ".not. requires a logical")
+  | Unop (Paren, a) -> eval_const env a
+  | Binop (op, a, b) -> eval_const_binop env e.e_loc op a b
+  | Ref_or_call ("max", [ a; b ]) -> (
+    match (eval_const env a, eval_const env b) with
+    | C_int x, C_int y -> C_int (max x y)
+    | x, y -> C_real (max (to_real x) (to_real y)))
+  | Ref_or_call ("min", [ a; b ]) -> (
+    match (eval_const env a, eval_const env b) with
+    | C_int x, C_int y -> C_int (min x y)
+    | x, y -> C_real (min (to_real x) (to_real y)))
+  | Ref_or_call _ -> error e.e_loc "call is not a constant expression"
+
+and to_real = function
+  | C_int n -> float_of_int n
+  | C_real f -> f
+  | C_bool _ -> invalid_arg "to_real"
+
+and eval_const_binop env loc op a b =
+  let va = eval_const env a and vb = eval_const env b in
+  let arith fi ff =
+    match (va, vb) with
+    | C_int x, C_int y -> C_int (fi x y)
+    | (C_int _ | C_real _), (C_int _ | C_real _) ->
+      C_real (ff (to_real va) (to_real vb))
+    | _ -> error loc "arithmetic on logicals"
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> (
+    match (va, vb) with
+    | C_int x, C_int y ->
+      if y = 0 then error loc "division by zero in constant"
+      else C_int (x / y)
+    | _ -> C_real (to_real va /. to_real vb))
+  | Pow -> (
+    match (va, vb) with
+    | C_int x, C_int y when y >= 0 ->
+      let rec p acc n = if n = 0 then acc else p (acc * x) (n - 1) in
+      C_int (p 1 y)
+    | _ -> C_real (Float.pow (to_real va) (to_real vb)))
+  | Eq -> C_bool (to_real va = to_real vb)
+  | Ne -> C_bool (to_real va <> to_real vb)
+  | Lt -> C_bool (to_real va < to_real vb)
+  | Le -> C_bool (to_real va <= to_real vb)
+  | Gt -> C_bool (to_real va > to_real vb)
+  | Ge -> C_bool (to_real va >= to_real vb)
+  | And | Or -> (
+    match (va, vb) with
+    | C_bool x, C_bool y -> C_bool (if op = And then x && y else x || y)
+    | _ -> error loc "logical op on non-logicals")
+
+let eval_const_int env e =
+  match eval_const env e with
+  | C_int n -> n
+  | _ -> error e.e_loc "expected integer constant"
+
+(* ---- building the symbol table ---- *)
+
+let resolve_bounds env loc (dims : dim_spec list) : static_bounds option =
+  let resolve_dim d =
+    match (d.ds_lower, d.ds_upper) with
+    | None, None -> None (* deferred shape *)
+    | lower, Some upper -> (
+      try
+        let lo =
+          match lower with None -> 1 | Some e -> eval_const_int env e
+        in
+        let hi = eval_const_int env upper in
+        if hi < lo then error loc "array upper bound below lower bound";
+        Some (lo, hi)
+      with Sema_error _ -> None)
+    | Some _, None -> None
+  in
+  let bs = List.map resolve_dim dims in
+  if List.for_all Option.is_some bs then Some (List.map Option.get bs)
+  else None
+
+let analyze_unit (all_units : compilation_unit) (u : program_unit) : unit_env
+    =
+  let symbols = Hashtbl.create 32 in
+  let functions = Hashtbl.create 8 in
+  List.iter
+    (fun u' ->
+      match u'.u_kind with
+      | Subroutine _ | Function _ -> Hashtbl.replace functions u'.u_name u'
+      | Program -> ())
+    all_units;
+  let dummy_args =
+    match u.u_kind with
+    | Program -> []
+    | Subroutine args -> args
+    | Function (args, _) -> args
+  in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem symbols d.d_name then
+        error d.d_loc "duplicate declaration of %s" d.d_name;
+      let is_dummy = List.mem d.d_name dummy_args in
+      let sym =
+        match (d.d_parameter, d.d_dims) with
+        | Some init, [] ->
+          S_param (d.d_type, eval_const symbols init)
+        | Some _, _ -> error d.d_loc "array parameters are not supported"
+        | None, [] ->
+          if is_dummy then S_dummy_scalar (d.d_type, d.d_intent)
+          else S_scalar d.d_type
+        | None, dims ->
+          let info =
+            { a_type = d.d_type; a_rank = List.length dims;
+              a_bounds = resolve_bounds symbols d.d_loc dims;
+              a_allocatable = d.d_allocatable }
+          in
+          if is_dummy then S_dummy_array (info, d.d_intent)
+          else S_array info
+      in
+      Hashtbl.replace symbols d.d_name sym)
+    u.u_decls;
+  (* every dummy argument must be declared *)
+  List.iter
+    (fun a ->
+      if not (Hashtbl.mem symbols a) then
+        error u.u_loc "dummy argument %s is not declared" a)
+    dummy_args;
+  { env_unit = u; env_symbols = symbols; env_functions = functions }
+
+(* ---- expression typing ---- *)
+
+let lookup env loc name =
+  match Hashtbl.find_opt env.env_symbols name with
+  | Some s -> s
+  | None -> error loc "undeclared name %s (implicit none)" name
+
+let symbol_type = function
+  | S_scalar t | S_param (t, _) | S_dummy_scalar (t, _) -> t
+  | S_array i | S_dummy_array (i, _) -> i.a_type
+
+let array_info env loc name =
+  match lookup env loc name with
+  | S_array i | S_dummy_array (i, _) -> i
+  | _ -> error loc "%s is not an array" name
+
+let is_array env name =
+  match Hashtbl.find_opt env.env_symbols name with
+  | Some (S_array _ | S_dummy_array _) -> true
+  | _ -> false
+
+let type_join a b =
+  match (a, b) with
+  | T_real 8, _ | _, T_real 8 -> T_real 8
+  | T_real 4, _ | _, T_real 4 -> T_real 4
+  | T_integer, T_integer -> T_integer
+  | T_logical, T_logical -> T_logical
+  | _ -> T_real 8
+
+let rec type_of_expr env (e : expr) : ftype =
+  match e.e_kind with
+  | Int_lit _ -> T_integer
+  | Real_lit (_, k) -> T_real k
+  | Logical_lit _ -> T_logical
+  | Var n -> symbol_type (lookup env e.e_loc n)
+  | Unop (Neg, a) | Unop (Paren, a) -> type_of_expr env a
+  | Unop (Not, _) -> T_logical
+  | Binop ((Add | Sub | Mul | Div | Pow), a, b) ->
+    type_join (type_of_expr env a) (type_of_expr env b)
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> T_logical
+  | Ref_or_call (n, args) -> (
+    if is_array env n then begin
+      let info = array_info env e.e_loc n in
+      if List.length args <> info.a_rank then
+        error e.e_loc "%s has rank %d but %d subscripts given" n info.a_rank
+          (List.length args);
+      info.a_type
+    end
+    else if is_intrinsic n then intrinsic_type env e.e_loc n args
+    else
+      match Hashtbl.find_opt env.env_functions n with
+      | Some f -> (
+        match f.u_kind with
+        | Function (_, result) -> (
+          match
+            List.find_opt (fun d -> d.d_name = result) f.u_decls
+          with
+          | Some d -> d.d_type
+          | None -> T_real 8)
+        | _ -> error e.e_loc "%s is a subroutine, not a function" n)
+      | None -> error e.e_loc "unknown function or array %s" n)
+
+and intrinsic_type env loc n args =
+  let arg_t i = type_of_expr env (List.nth args i) in
+  match n with
+  | "abs" | "sqrt" | "exp" | "sin" | "cos" | "tan" | "log" | "atan" ->
+    arg_t 0
+  | "atan2" -> arg_t 0
+  | "max" | "min" | "mod" ->
+    if List.length args < 2 then error loc "%s needs two arguments" n
+    else type_join (arg_t 0) (arg_t 1)
+  | "dble" -> T_real 8
+  | "real" -> T_real 4
+  | "int" | "floor" | "nint" -> T_integer
+  | "sum" | "maxval" | "minval" -> (
+    (* whole-array reduction: the single argument must be an array name *)
+    match args with
+    | [ { e_kind = Var name; e_loc; _ } ] -> (
+      match Hashtbl.find_opt env.env_symbols name with
+      | Some (S_array i) | Some (S_dummy_array (i, _)) -> i.a_type
+      | _ -> error e_loc "%s expects an array argument" n)
+    | _ -> error loc "%s expects a single whole-array argument" n)
+  | _ -> error loc "unknown intrinsic %s" n
+
+(* ---- statement checking ---- *)
+
+let rec check_stmt env (s : stmt) =
+  match s.s_kind with
+  | Assign (lhs, rhs) -> (
+    ignore (type_of_expr env rhs);
+    match lhs.e_kind with
+    | Var n -> (
+      match lookup env s.s_loc n with
+      | S_scalar _ | S_dummy_scalar _ -> ()
+      | S_param _ -> error s.s_loc "cannot assign to parameter %s" n
+      | S_array _ | S_dummy_array _ ->
+        error s.s_loc "whole-array assignment to %s is not supported" n)
+    | Ref_or_call (n, args) ->
+      let info = array_info env s.s_loc n in
+      if List.length args <> info.a_rank then
+        error s.s_loc "%s has rank %d but %d subscripts given" n info.a_rank
+          (List.length args);
+      List.iter (fun a -> ignore (type_of_expr env a)) args
+    | _ -> error s.s_loc "invalid assignment target")
+  | Do (v, lb, ub, step, body) ->
+    (match lookup env s.s_loc v with
+    | S_scalar T_integer | S_dummy_scalar (T_integer, _) -> ()
+    | _ -> error s.s_loc "loop variable %s must be a declared integer" v);
+    ignore (type_of_expr env lb);
+    ignore (type_of_expr env ub);
+    Option.iter (fun e -> ignore (type_of_expr env e)) step;
+    List.iter (check_stmt env) body
+  | Do_while (cond, body) ->
+    (match type_of_expr env cond with
+    | T_logical -> ()
+    | _ -> error s.s_loc "do while condition must be logical");
+    List.iter (check_stmt env) body
+  | If (branches, else_body) ->
+    List.iter
+      (fun (c, body) ->
+        (match type_of_expr env c with
+        | T_logical -> ()
+        | _ -> error s.s_loc "if condition must be logical");
+        List.iter (check_stmt env) body)
+      branches;
+    Option.iter (List.iter (check_stmt env)) else_body
+  | Call_stmt (n, args) ->
+    (match Hashtbl.find_opt env.env_functions n with
+    | Some { u_kind = Subroutine params; _ } ->
+      if List.length params <> List.length args then
+        error s.s_loc "subroutine %s expects %d arguments, got %d" n
+          (List.length params) (List.length args)
+    | Some _ -> error s.s_loc "%s is not a subroutine" n
+    | None -> error s.s_loc "unknown subroutine %s" n);
+    List.iter (fun a -> ignore (type_of_expr env a)) args
+  | Allocate allocs ->
+    List.iter
+      (fun (n, dims) ->
+        let info = array_info env s.s_loc n in
+        if not info.a_allocatable then
+          error s.s_loc "%s is not allocatable" n;
+        if List.length dims <> info.a_rank then
+          error s.s_loc "allocate rank mismatch for %s" n)
+      allocs
+  | Deallocate names ->
+    List.iter
+      (fun n ->
+        let info = array_info env s.s_loc n in
+        if not info.a_allocatable then
+          error s.s_loc "%s is not allocatable" n)
+      names
+  | Print args ->
+    List.iter
+      (fun a ->
+        match a.e_kind with
+        | Var n when String.length n > 0 && n.[0] = '"' -> ()
+        | _ -> ignore (type_of_expr env a))
+      args
+  | Return | Exit_stmt | Cycle_stmt -> ()
+
+let check_unit env = List.iter (check_stmt env) env.env_unit.u_body
+
+(* Analyze and check a whole compilation unit. *)
+let analyze (units : compilation_unit) : unit_env list =
+  let envs = List.map (analyze_unit units) units in
+  List.iter check_unit envs;
+  envs

@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Format List Printf String Types

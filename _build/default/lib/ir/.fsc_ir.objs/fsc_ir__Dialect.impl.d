@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Hashtbl List Op String

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Attr Buffer Hashtbl List Op Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/pass.ml: List Logs Op Printf String Unix Verifier

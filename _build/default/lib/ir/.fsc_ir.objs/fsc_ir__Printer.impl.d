@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Buffer Hashtbl List Op Printf String Types

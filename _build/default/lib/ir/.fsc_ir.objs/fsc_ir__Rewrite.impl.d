@@ -1,0 +1,1 @@
+lib/ir/rewrite.ml: Hashtbl List Op Option

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Dialect Hashtbl List Op Printf String

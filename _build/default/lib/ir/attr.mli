@@ -1,0 +1,33 @@
+(** Operation attributes: compile-time constant metadata attached to
+    operations, mirroring MLIR's attribute dictionary. The textual form
+    ({!to_string}) round-trips through {!Parser.parse_attr}. *)
+
+type t =
+  | Unit_a
+  | Bool_a of bool
+  | Int_a of int
+  | Float_a of float
+  | Str_a of string
+  | Type_a of Types.t
+  | Arr_a of t list
+  | Index_a of int list  (** [#stencil.index<0, -1>] and friends *)
+  | Sym_a of string  (** [@symbol] reference *)
+  | Dict_a of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** {2 Accessors}
+
+    All raise [Invalid_argument] on a shape mismatch — verifier bugs
+    should be loud. [as_float] accepts ints; [as_index] accepts arrays of
+    ints; [as_string] accepts symbols. *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_string : t -> string
+val as_bool : t -> bool
+val as_type : t -> Types.t
+val as_index : t -> int list
+val as_array : t -> t list

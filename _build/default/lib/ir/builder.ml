@@ -1,0 +1,47 @@
+(* Insertion-point based IR builder, the work-horse of every lowering. *)
+
+type insertion =
+  | At_end of Op.block
+  | At_start of Op.block
+  | Before of Op.op
+  | After of Op.op
+
+type t = { mutable point : insertion }
+
+let create point = { point }
+
+let at_end block = create (At_end block)
+let at_start block = create (At_start block)
+let before op = create (Before op)
+let after op = create (After op)
+
+let set_point b point = b.point <- point
+
+let insert b op =
+  (match b.point with
+  | At_end block -> Op.append_to block op
+  | At_start block -> Op.prepend_to block op
+  | Before anchor -> Op.insert_before ~anchor op
+  | After anchor ->
+    Op.insert_after ~anchor op;
+    (* Keep appending after the op we just inserted so a sequence of
+       [insert] calls stays in source order. *)
+    b.point <- After op);
+  op
+
+(* Build an op and insert it at the current point. *)
+let op b ?operands ?results ?attrs ?regions name =
+  insert b (Op.create ?operands ?results ?attrs ?regions name)
+
+(* Convenience for single-result ops: returns the result value. *)
+let op1 b ?operands ?(results = []) ?attrs ?regions name =
+  let o = op b ?operands ~results ?attrs ?regions name in
+  Op.result o
+
+let block b =
+  match b.point with
+  | At_end blk | At_start blk -> blk
+  | Before anchor | After anchor -> (
+    match Op.parent_block anchor with
+    | Some blk -> blk
+    | None -> invalid_arg "Builder.block: anchor not in a block")

@@ -1,0 +1,44 @@
+(** Insertion-point based IR builder, the work-horse of every lowering. *)
+
+type insertion =
+  | At_end of Op.block
+  | At_start of Op.block
+  | Before of Op.op
+  | After of Op.op
+      (** after inserting, the point advances so consecutive inserts stay
+          in source order *)
+
+type t = { mutable point : insertion }
+
+val create : insertion -> t
+val at_end : Op.block -> t
+val at_start : Op.block -> t
+val before : Op.op -> t
+val after : Op.op -> t
+val set_point : t -> insertion -> unit
+
+(** Insert an already-created op at the current point. *)
+val insert : t -> Op.op -> Op.op
+
+(** Create an op and insert it. *)
+val op :
+  t ->
+  ?operands:Op.value list ->
+  ?results:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Op.region list ->
+  string ->
+  Op.op
+
+(** Like {!op} for single-result operations; returns the result value. *)
+val op1 :
+  t ->
+  ?operands:Op.value list ->
+  ?results:Types.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Op.region list ->
+  string ->
+  Op.value
+
+(** The block the insertion point lives in. *)
+val block : t -> Op.block

@@ -1,0 +1,575 @@
+(* Parser for the generic operation syntax emitted by [Printer].
+
+   Scannerless recursive descent over the raw string: MLIR's shaped-type
+   syntax (e.g. memref<10x20xf64>) does not tokenise cleanly, so types are
+   parsed character-wise, which in turn makes a separate lexer more trouble
+   than it is worth at this scale. *)
+
+exception Parse_error of string * int (* message, position *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  (* value name -> value, block label -> block *)
+  values : (string, Op.value) Hashtbl.t;
+  blocks : (string, Op.block) Hashtbl.t;
+}
+
+let error st msg = raise (Parse_error (msg, st.pos))
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  if not (eof st) then
+    match peek st with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance st;
+      skip_ws st
+    | '/' when peek2 st = '/' ->
+      while (not (eof st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_ws st
+    | _ -> ()
+
+let expect_char st c =
+  skip_ws st;
+  if peek st = c then advance st
+  else error st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let try_char st c =
+  skip_ws st;
+  if peek st = c then begin
+    advance st;
+    true
+  end
+  else false
+
+let looking_at st s =
+  skip_ws st;
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect_string st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else error st (Printf.sprintf "expected %S" s)
+
+let try_string st s =
+  if looking_at st s then begin
+    st.pos <- st.pos + String.length s;
+    true
+  end
+  else false
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$' || c = '-'
+
+let parse_ident st =
+  skip_ws st;
+  let start = st.pos in
+  while (not (eof st)) && is_ident_char (peek st) do
+    advance st
+  done;
+  if st.pos = start then error st "expected identifier";
+  String.sub st.src start (st.pos - start)
+
+(* A quoted string with OCaml-compatible escapes (we print with %S). *)
+let parse_quoted st =
+  skip_ws st;
+  expect_char st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated string"
+    else
+      match peek st with
+      | '"' -> advance st
+      | '\\' ->
+        advance st;
+        (match peek st with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | '\\' -> Buffer.add_char b '\\'
+        | '"' -> Buffer.add_char b '"'
+        | c -> Buffer.add_char b c);
+        advance st;
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Integer or float literal; returns the raw lexeme. *)
+let parse_number_lexeme st =
+  skip_ws st;
+  let start = st.pos in
+  if peek st = '-' then advance st;
+  while
+    (not (eof st))
+    && (is_digit (peek st) || peek st = '.' || peek st = 'e'
+        || (peek st = '+' && st.pos > start && st.src.[st.pos - 1] = 'e')
+        || (peek st = '-' && st.pos > start && st.src.[st.pos - 1] = 'e'))
+  do
+    advance st
+  done;
+  if st.pos = start then error st "expected number";
+  String.sub st.src start (st.pos - start)
+
+let parse_int st =
+  let lx = parse_number_lexeme st in
+  match int_of_string_opt lx with
+  | Some i -> i
+  | None -> error st ("expected integer, found " ^ lx)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st : Types.t =
+  skip_ws st;
+  if try_string st "memref<" then parse_shaped st ~close:'>' memref_make
+  else if try_string st "vector<" then
+    parse_shaped st ~close:'>' (fun dims t ->
+        Types.Vector
+          ( List.map
+              (function
+                | Types.Static n -> n
+                | Types.Dynamic -> error st "vector dims must be static")
+              dims,
+            t ))
+  else if try_string st "index" then Types.Index
+  else if try_string st "none" then Types.None_t
+  else if try_string st "i1" && not (is_digit (peek st)) then Types.I1
+  else if try_string st "i8" then Types.I8
+  else if try_string st "i16" then Types.I16
+  else if try_string st "i32" then Types.I32
+  else if try_string st "i64" then Types.I64
+  else if try_string st "f32" then Types.F32
+  else if try_string st "f64" then Types.F64
+  else if try_string st "!llvm.ptr" then
+    if try_char st '<' then begin
+      let t = parse_type st in
+      expect_char st '>';
+      Types.Llvm_typed_ptr t
+    end
+    else Types.Llvm_ptr
+  else if try_string st "!llvm.struct<(" then begin
+    let ts = parse_type_list st ~close:')' in
+    expect_string st ">";
+    Types.Llvm_struct ts
+  end
+  else if try_string st "!llvm.array<" then begin
+    let n = parse_int st in
+    skip_ws st;
+    expect_char st 'x';
+    let t = parse_type st in
+    expect_char st '>';
+    Types.Llvm_array (n, t)
+  end
+  else if try_string st "!fir.ref<" then wrap st (fun t -> Types.Fir_ref t)
+  else if try_string st "!fir.heap<" then wrap st (fun t -> Types.Fir_heap t)
+  else if try_string st "!fir.box<" then wrap st (fun t -> Types.Fir_box t)
+  else if try_string st "!fir.llvm_ptr<" then
+    wrap st (fun t -> Types.Fir_llvm_ptr t)
+  else if try_string st "!fir.char<" then begin
+    let n = parse_int st in
+    expect_char st '>';
+    Types.Fir_char n
+  end
+  else if try_string st "!fir.array<" then
+    parse_shaped st ~close:'>' (fun dims t -> Types.Fir_array (dims, t))
+  else if try_string st "!stencil.field<" then
+    parse_bounded st (fun b t -> Types.Stencil_field (b, t))
+  else if try_string st "!stencil.temp<" then
+    parse_bounded st (fun b t -> Types.Stencil_temp (b, t))
+  else if try_string st "!stencil.result<" then
+    wrap st (fun t -> Types.Stencil_result t)
+  else if looking_at st "(" then begin
+    expect_char st '(';
+    let args = parse_type_list st ~close:')' in
+    skip_ws st;
+    expect_string st "->";
+    expect_char st '(';
+    let rets = parse_type_list st ~close:')' in
+    Types.Func_t (args, rets)
+  end
+  else error st "expected type"
+
+and wrap st mk =
+  let t = parse_type st in
+  expect_char st '>';
+  mk t
+
+and memref_make dims t = Types.Memref (dims, t)
+
+and parse_type_list st ~close =
+  skip_ws st;
+  if peek st = close then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let t = parse_type st in
+      if try_char st ',' then go (t :: acc)
+      else begin
+        expect_char st close;
+        List.rev (t :: acc)
+      end
+    in
+    go []
+  end
+
+(* Body of memref< ... > and !fir.array< ... >: dims separated by 'x'
+   followed by an element type. *)
+and parse_shaped st ~close mk =
+  let rec go dims =
+    skip_ws st;
+    if peek st = '?' then begin
+      advance st;
+      expect_char st 'x';
+      go (Types.Dynamic :: dims)
+    end
+    else if is_digit (peek st) || (peek st = '-' && is_digit (peek2 st)) then begin
+      (* Could be a dim (followed by 'x') — dims are always ints here. *)
+      let n = parse_int st in
+      expect_char st 'x';
+      go (Types.Static n :: dims)
+    end
+    else begin
+      let t = parse_type st in
+      expect_char st close;
+      mk (List.rev dims) t
+    end
+  in
+  go []
+
+(* Body of !stencil.field< [l,h]x[l,h]x elem > *)
+and parse_bounded st mk =
+  let rec go bounds =
+    skip_ws st;
+    if peek st = '[' then begin
+      advance st;
+      let lo = parse_int st in
+      expect_char st ',';
+      let hi = parse_int st in
+      expect_char st ']';
+      expect_char st 'x';
+      go ((lo, hi) :: bounds)
+    end
+    else begin
+      let t = parse_type st in
+      expect_char st '>';
+      mk (List.rev bounds) t
+    end
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_attr st : Attr.t =
+  skip_ws st;
+  match peek st with
+  | '"' -> Attr.Str_a (parse_quoted st)
+  | '@' ->
+    advance st;
+    Attr.Sym_a (parse_ident st)
+  | '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = ']' then begin
+      advance st;
+      Attr.Arr_a []
+    end
+    else begin
+      let rec go acc =
+        let a = parse_attr st in
+        if try_char st ',' then go (a :: acc)
+        else begin
+          expect_char st ']';
+          Attr.Arr_a (List.rev (a :: acc))
+        end
+      in
+      go []
+    end
+  | '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = '}' then begin
+      advance st;
+      Attr.Dict_a []
+    end
+    else begin
+      let rec go acc =
+        let k = parse_quoted st in
+        skip_ws st;
+        expect_char st '=';
+        let v = parse_attr st in
+        if try_char st ',' then go ((k, v) :: acc)
+        else begin
+          expect_char st '}';
+          Attr.Dict_a (List.rev ((k, v) :: acc))
+        end
+      in
+      go []
+    end
+  | '#' ->
+    expect_string st "#stencil.index<";
+    let rec go acc =
+      let i = parse_int st in
+      if try_char st ',' then go (i :: acc)
+      else begin
+        expect_char st '>';
+        Attr.Index_a (List.rev (i :: acc))
+      end
+    in
+    go []
+  | c when is_digit c || c = '-' ->
+    let lx = parse_number_lexeme st in
+    (match int_of_string_opt lx with
+    | Some i -> Attr.Int_a i
+    | None -> (
+      match float_of_string_opt lx with
+      | Some f -> Attr.Float_a f
+      | None -> error st ("bad numeric attribute " ^ lx)))
+  | _ ->
+    if try_string st "true" then Attr.Bool_a true
+    else if try_string st "false" then Attr.Bool_a false
+    else if looking_at st "unit" then begin
+      expect_string st "unit";
+      Attr.Unit_a
+    end
+    else if
+      looking_at st "nan" || looking_at st "inf"
+    then begin
+      let lx = parse_ident st in
+      Attr.Float_a (float_of_string lx)
+    end
+    else Attr.Type_a (parse_type st)
+
+(* ------------------------------------------------------------------ *)
+(* Values / operations / regions / blocks                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_value_name st =
+  skip_ws st;
+  expect_char st '%';
+  let start = st.pos in
+  while (not (eof st)) && is_ident_char (peek st) do
+    advance st
+  done;
+  "%" ^ String.sub st.src start (st.pos - start)
+
+let lookup_value st name =
+  match Hashtbl.find_opt st.values name with
+  | Some v -> v
+  | None -> error st ("use of undefined value " ^ name)
+
+let rec parse_op st : Op.op =
+  skip_ws st;
+  (* Optional result list *)
+  let result_names =
+    if peek st = '%' then begin
+      let rec go acc =
+        let n = parse_value_name st in
+        if try_char st ',' then go (n :: acc)
+        else begin
+          skip_ws st;
+          expect_char st '=';
+          List.rev (n :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  let name = parse_quoted st in
+  expect_char st '(';
+  let operand_names =
+    skip_ws st;
+    if peek st = ')' then begin
+      advance st;
+      []
+    end
+    else begin
+      let rec go acc =
+        let n = parse_value_name st in
+        if try_char st ',' then go (n :: acc)
+        else begin
+          expect_char st ')';
+          List.rev (n :: acc)
+        end
+      in
+      go []
+    end
+  in
+  let operands = List.map (lookup_value st) operand_names in
+  (* Optional regions: " ({...}, {...})" *)
+  let regions =
+    skip_ws st;
+    if peek st = '(' && (peek2 st = '{' ||
+                         (* allow whitespace between ( and { *)
+                         (let save = st.pos in
+                          advance st;
+                          skip_ws st;
+                          let r = peek st = '{' in
+                          st.pos <- save;
+                          r))
+    then begin
+      expect_char st '(';
+      let rec go acc =
+        let r = parse_region st in
+        if try_char st ',' then go (r :: acc)
+        else begin
+          expect_char st ')';
+          List.rev (r :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  (* Optional attribute dict *)
+  let attrs =
+    skip_ws st;
+    if peek st = '{' then begin
+      match parse_attr st with
+      | Attr.Dict_a kvs -> kvs
+      | _ -> error st "expected attribute dictionary"
+    end
+    else []
+  in
+  skip_ws st;
+  expect_char st ':';
+  expect_char st '(';
+  let _operand_types = parse_type_list st ~close:')' in
+  skip_ws st;
+  expect_string st "->";
+  skip_ws st;
+  let result_types =
+    if peek st = '(' then begin
+      advance st;
+      parse_type_list st ~close:')'
+    end
+    else [ parse_type st ]
+  in
+  if List.length result_types <> List.length result_names then
+    error st
+      (Printf.sprintf "op %s: %d result names but %d result types" name
+         (List.length result_names)
+         (List.length result_types));
+  let op = Op.create name ~operands ~results:result_types ~attrs ~regions in
+  List.iteri
+    (fun i n -> Hashtbl.replace st.values n (Op.result ~index:i op))
+    result_names;
+  op
+
+and parse_region st : Op.region =
+  expect_char st '{';
+  let region = Op.create_region () in
+  skip_ws st;
+  (* Entry block may omit its label. *)
+  if peek st = '}' then begin
+    advance st;
+    (* Completely empty region: give it an empty entry block. *)
+    Op.add_block region (Op.create_block ());
+    region
+  end
+  else begin
+    let rec blocks () =
+      skip_ws st;
+      if peek st = '}' then advance st
+      else begin
+        parse_block st region;
+        blocks ()
+      end
+    in
+    if peek st <> '^' then begin
+      (* implicit entry block *)
+      let b = Op.create_block () in
+      Op.add_block region b;
+      parse_block_body st b
+    end;
+    blocks ();
+    region
+  end
+
+and parse_block st region =
+  skip_ws st;
+  expect_char st '^';
+  let label = "^" ^ parse_ident st in
+  skip_ws st;
+  let args =
+    if peek st = '(' then begin
+      advance st;
+      let rec go acc =
+        let n = parse_value_name st in
+        expect_char st ':';
+        let t = parse_type st in
+        if try_char st ',' then go ((n, t) :: acc)
+        else begin
+          expect_char st ')';
+          List.rev ((n, t) :: acc)
+        end
+      in
+      go []
+    end
+    else []
+  in
+  expect_char st ':';
+  let b = Op.create_block ~args:(List.map snd args) () in
+  List.iteri
+    (fun i (n, _) -> Hashtbl.replace st.values n (Op.block_arg ~index:i b))
+    args;
+  Hashtbl.replace st.blocks label b;
+  Op.add_block region b;
+  parse_block_body st b
+
+and parse_block_body st b =
+  let rec go () =
+    skip_ws st;
+    if eof st || peek st = '}' || peek st = '^' then ()
+    else begin
+      let op = parse_op st in
+      Op.append_to b op;
+      go ()
+    end
+  in
+  go ()
+
+let parse_module src =
+  let st =
+    { src; pos = 0; values = Hashtbl.create 64; blocks = Hashtbl.create 8 }
+  in
+  let op = parse_op st in
+  skip_ws st;
+  if not (eof st) then error st "trailing input after module";
+  op
+
+let parse_module_exn = parse_module
+
+let parse_module_result src =
+  try Ok (parse_module src) with
+  | Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | Failure msg | Invalid_argument msg ->
+    (* malformed numerics and similar lexical junk surface as library
+       exceptions; callers get a uniform Error either way *)
+    Error (Printf.sprintf "parse error: %s" msg)

@@ -1,0 +1,52 @@
+(* Pass manager: named module passes, optional verification between
+   passes, and per-pass timing/statistics — the mini equivalent of
+   mlir-opt's --pass-pipeline driver from Listing 4 of the paper. *)
+
+let log_src = Logs.Src.create "fsc.pass" ~doc:"pass manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  name : string;
+  run : Op.op -> unit;
+}
+
+let create name run = { name; run }
+
+type stats = {
+  s_pass : string;
+  s_seconds : float;
+}
+
+exception Pipeline_error of string * exn
+
+(* Run [passes] over module [m]. When [verify_each] is set, the IR is
+   verified after every pass (against [ctx] when provided, otherwise only
+   structurally), mirroring mlir-opt's -verify-each. *)
+let run_pipeline ?(verify_each = true) ?ctx passes m =
+  let stats = ref [] in
+  List.iter
+    (fun p ->
+      let t0 = Unix.gettimeofday () in
+      (try p.run m with
+      | e -> raise (Pipeline_error (p.name, e)));
+      let dt = Unix.gettimeofday () -. t0 in
+      stats := { s_pass = p.name; s_seconds = dt } :: !stats;
+      Log.debug (fun f -> f "pass %s: %.3f ms" p.name (1000. *. dt));
+      if verify_each then begin
+        match ctx with
+        | Some c -> Verifier.verify_in_context_exn c m
+        | None -> Verifier.verify_exn m
+      end)
+    passes;
+  List.rev !stats
+
+let total_seconds stats =
+  List.fold_left (fun acc s -> acc +. s.s_seconds) 0. stats
+
+let report_stats stats =
+  String.concat "\n"
+    (List.map
+       (fun s -> Printf.sprintf "  %-45s %8.3f ms" s.s_pass
+                   (1000. *. s.s_seconds))
+       stats)

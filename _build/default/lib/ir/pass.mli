@@ -1,0 +1,33 @@
+(** Pass manager: named module passes with optional verification between
+    passes and per-pass timing — the mini equivalent of mlir-opt's
+    [--pass-pipeline] driver from the paper's Listing 4. *)
+
+val log_src : Logs.src
+
+type t = {
+  name : string;  (** printed in pipelines, timings and errors *)
+  run : Op.op -> unit;  (** transforms the module in place *)
+}
+
+val create : string -> (Op.op -> unit) -> t
+
+type stats = {
+  s_pass : string;
+  s_seconds : float;
+}
+
+(** Raised when a pass throws; carries the pass name and the original
+    exception. *)
+exception Pipeline_error of string * exn
+
+(** Run the passes in order over module [m]. With [verify_each] (default
+    true) the IR is verified after every pass — against [ctx]'s dialect
+    registry when given, otherwise structurally only. Returns per-pass
+    timings. *)
+val run_pipeline :
+  ?verify_each:bool -> ?ctx:Dialect.context -> t list -> Op.op -> stats list
+
+val total_seconds : stats list -> float
+
+(** Human-readable timing table. *)
+val report_stats : stats list -> string

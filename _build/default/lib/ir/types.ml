@@ -1,0 +1,160 @@
+(* MLIR-style type system for the mini compiler infrastructure.
+
+   Unlike real MLIR, types are a closed sum: this substrate only needs the
+   builtin types plus the FIR, LLVM and stencil type families that the
+   paper's pipeline manipulates. Bounds on stencil types are inclusive on
+   the lower end and exclusive on the upper end is NOT the convention used
+   here: we follow the Open Earth printing convention [lb,ub] where both
+   ends denote the first and last accessible index (see Listing 2 of the
+   paper, e.g. !stencil.temp<[-1,255]x[-1,255]xf64>). *)
+
+type dim =
+  | Static of int
+  | Dynamic
+
+(* Per-dimension inclusive index bounds of a stencil field or temp. *)
+type bounds = (int * int) list
+
+type t =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | F32
+  | F64
+  | Index
+  | None_t
+  | Memref of dim list * t
+  | Vector of int list * t
+  | Func_t of t list * t list
+  (* llvm dialect types *)
+  | Llvm_ptr                 (* opaque pointer *)
+  | Llvm_typed_ptr of t      (* "transparent" pointer, carries pointee *)
+  | Llvm_struct of t list
+  | Llvm_array of int * t
+  (* FIR dialect types; note Fir_llvm_ptr is deliberately distinct from
+     Llvm_ptr — the paper exploits that they are semantically identical but
+     nominally different (Section 3). *)
+  | Fir_ref of t
+  | Fir_heap of t
+  | Fir_box of t
+  | Fir_array of dim list * t
+  | Fir_char of int
+  | Fir_llvm_ptr of t
+  (* stencil dialect types *)
+  | Stencil_field of bounds * t
+  | Stencil_temp of bounds * t
+  | Stencil_result of t
+
+let is_integer = function
+  | I1 | I8 | I16 | I32 | I64 | Index -> true
+  | _ -> false
+
+let is_float = function F32 | F64 -> true | _ -> false
+
+let is_scalar t = is_integer t || is_float t
+
+let bitwidth = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 | Index -> 64
+  | F32 -> 32
+  | F64 -> 64
+  | _ -> invalid_arg "Types.bitwidth: not a scalar type"
+
+let rec element_type = function
+  | Memref (_, t) | Vector (_, t) -> t
+  | Fir_array (_, t) -> element_type t
+  | Stencil_field (_, t) | Stencil_temp (_, t) -> t
+  | t -> t
+
+(* Rank of a shaped type; scalars have rank 0. *)
+let rank = function
+  | Memref (dims, _) | Fir_array (dims, _) -> List.length dims
+  | Vector (dims, _) -> List.length dims
+  | Stencil_field (b, _) | Stencil_temp (b, _) -> List.length b
+  | _ -> 0
+
+let dim_to_string = function
+  | Static n -> string_of_int n
+  | Dynamic -> "?"
+
+let rec to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | F32 -> "f32"
+  | F64 -> "f64"
+  | Index -> "index"
+  | None_t -> "none"
+  | Memref (dims, t) ->
+    let ds = List.map dim_to_string dims in
+    Printf.sprintf "memref<%s>" (String.concat "x" (ds @ [ to_string t ]))
+  | Vector (dims, t) ->
+    let ds = List.map string_of_int dims in
+    Printf.sprintf "vector<%s>" (String.concat "x" (ds @ [ to_string t ]))
+  | Func_t (args, rets) ->
+    Printf.sprintf "(%s) -> (%s)"
+      (String.concat ", " (List.map to_string args))
+      (String.concat ", " (List.map to_string rets))
+  | Llvm_ptr -> "!llvm.ptr"
+  | Llvm_typed_ptr t -> Printf.sprintf "!llvm.ptr<%s>" (to_string t)
+  | Llvm_struct ts ->
+    Printf.sprintf "!llvm.struct<(%s)>"
+      (String.concat ", " (List.map to_string ts))
+  | Llvm_array (n, t) -> Printf.sprintf "!llvm.array<%d x %s>" n (to_string t)
+  | Fir_ref t -> Printf.sprintf "!fir.ref<%s>" (to_string t)
+  | Fir_heap t -> Printf.sprintf "!fir.heap<%s>" (to_string t)
+  | Fir_box t -> Printf.sprintf "!fir.box<%s>" (to_string t)
+  | Fir_array (dims, t) ->
+    let ds = List.map dim_to_string dims in
+    Printf.sprintf "!fir.array<%s>" (String.concat "x" (ds @ [ to_string t ]))
+  | Fir_char n -> Printf.sprintf "!fir.char<%d>" n
+  | Fir_llvm_ptr t -> Printf.sprintf "!fir.llvm_ptr<%s>" (to_string t)
+  | Stencil_field (b, t) ->
+    Printf.sprintf "!stencil.field<%s>" (bounds_elem_string b t)
+  | Stencil_temp (b, t) ->
+    Printf.sprintf "!stencil.temp<%s>" (bounds_elem_string b t)
+  | Stencil_result t -> Printf.sprintf "!stencil.result<%s>" (to_string t)
+
+and bounds_elem_string b t =
+  let bs = List.map (fun (lo, hi) -> Printf.sprintf "[%d,%d]" lo hi) b in
+  String.concat "x" (bs @ [ to_string t ])
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Number of accessible cells per dimension of an inclusive bounds list. *)
+let bounds_extents (b : bounds) = List.map (fun (lo, hi) -> hi - lo + 1) b
+
+let bounds_volume b =
+  List.fold_left (fun acc e -> acc * e) 1 (bounds_extents b)
+
+(* Grow [b] so it covers [b'] as well. *)
+let bounds_union (b : bounds) (b' : bounds) : bounds =
+  if List.length b <> List.length b' then
+    invalid_arg "Types.bounds_union: rank mismatch";
+  List.map2 (fun (l1, h1) (l2, h2) -> (min l1 l2, max h1 h2)) b b'
+
+(* Shrink the accessible region: intersection of two bounds. *)
+let bounds_intersect (b : bounds) (b' : bounds) : bounds =
+  if List.length b <> List.length b' then
+    invalid_arg "Types.bounds_intersect: rank mismatch";
+  List.map2 (fun (l1, h1) (l2, h2) -> (max l1 l2, min h1 h2)) b b'
+
+(* Bounds needed on an input accessed with [offsets] when computing an
+   output over [b]: shift b by each offset and union. *)
+let bounds_expand_by_offsets (b : bounds) (offsets : int list list) : bounds =
+  let shift ofs =
+    List.map2 (fun (lo, hi) o -> (lo + o, hi + o)) b ofs
+  in
+  match offsets with
+  | [] -> b
+  | first :: rest ->
+    List.fold_left (fun acc o -> bounds_union acc (shift o)) (shift first) rest

@@ -1,0 +1,161 @@
+(* Structural and dialect verification.
+
+   [verify] checks IR well-formedness; [verify_in_context] additionally
+   enforces the dialect-registration constraint that drives the paper's
+   module-splitting design: a tool rejects ops from dialects it has not
+   registered. *)
+
+type diagnostic = { d_op : string; d_message : string }
+
+let diag op msg = { d_op = op.Op.o_name; d_message = msg }
+
+let to_string d = Printf.sprintf "[%s] %s" d.d_op d.d_message
+
+(* Collect the set of values visible at [op]: block arguments of enclosing
+   blocks plus results of ops preceding it (we check SSA-dominance in the
+   single-block structured-control-flow discipline this codebase uses). *)
+let check_dominance errors top =
+  let visible : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let rec go_block block =
+    Array.iter
+      (fun (a : Op.value) -> Hashtbl.replace visible a.Op.v_id ())
+      block.Op.b_args;
+    List.iter go_op (Op.block_ops block)
+  and go_op op =
+    Array.iter
+      (fun (v : Op.value) ->
+        if not (Hashtbl.mem visible v.Op.v_id) then
+          errors :=
+            diag op
+              (Printf.sprintf "operand %%#%d does not dominate its use"
+                 v.Op.v_id)
+            :: !errors)
+      op.Op.o_operands;
+    Array.iter
+      (fun r -> List.iter go_block r.Op.g_blocks)
+      op.Op.o_regions;
+    Array.iter
+      (fun (v : Op.value) -> Hashtbl.replace visible v.Op.v_id ())
+      op.Op.o_results
+  in
+  go_op top
+
+let check_structure errors top =
+  Op.walk
+    (fun op ->
+      (* Parent links of regions *)
+      Array.iter
+        (fun (r : Op.region) ->
+          (match r.Op.g_parent with
+          | Some p when p == op -> ()
+          | _ -> errors := diag op "region parent link broken" :: !errors);
+          List.iter
+            (fun (b : Op.block) ->
+              match b.Op.b_parent with
+              | Some p when p == r -> ()
+              | _ -> errors := diag op "block parent link broken" :: !errors)
+            r.Op.g_blocks)
+        op.Op.o_regions;
+      (* Use lists: every operand records this op as a user. *)
+      Array.iteri
+        (fun i (v : Op.value) ->
+          let ok =
+            List.exists
+              (fun (u : Op.use) -> u.Op.u_op == op && u.Op.u_index = i)
+              v.Op.v_uses
+          in
+          if not ok then
+            errors := diag op "operand use-list entry missing" :: !errors)
+        op.Op.o_operands;
+      (* Dialect-declared structural expectations *)
+      match Dialect.lookup_op op.Op.o_name with
+      | None -> ()
+      | Some info ->
+        let structural_ok = ref true in
+        let complain msg =
+          structural_ok := false;
+          errors := diag op msg :: !errors
+        in
+        if
+          info.Dialect.oi_num_operands >= 0
+          && Array.length op.Op.o_operands <> info.Dialect.oi_num_operands
+        then
+          complain
+            (Printf.sprintf "expected %d operands, got %d"
+               info.Dialect.oi_num_operands
+               (Array.length op.Op.o_operands));
+        if
+          info.Dialect.oi_num_results >= 0
+          && Array.length op.Op.o_results <> info.Dialect.oi_num_results
+        then
+          complain
+            (Printf.sprintf "expected %d results, got %d"
+               info.Dialect.oi_num_results
+               (Array.length op.Op.o_results));
+        if
+          info.Dialect.oi_num_regions >= 0
+          && Array.length op.Op.o_regions <> info.Dialect.oi_num_regions
+        then
+          complain
+            (Printf.sprintf "expected %d regions, got %d"
+               info.Dialect.oi_num_regions
+               (Array.length op.Op.o_regions));
+        (* per-op verifiers may index operands: only run them on
+           structurally sound ops *)
+        (match info.Dialect.oi_verify with
+        | Some f when !structural_ok -> (
+          match f op with
+          | Ok () -> ()
+          | Error msg -> errors := diag op msg :: !errors)
+        | _ -> ());
+        if info.Dialect.oi_terminator then begin
+          match op.Op.o_parent with
+          | Some b -> (
+            match Op.last_op b with
+            | Some last when last == op -> ()
+            | _ ->
+              errors :=
+                diag op "terminator is not the last operation of its block"
+                :: !errors)
+          | None -> ()
+        end)
+    top
+
+let verify top =
+  let errors = ref [] in
+  check_structure errors top;
+  check_dominance errors top;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let verify_in_context ctx top =
+  let errors = ref [] in
+  check_structure errors top;
+  check_dominance errors top;
+  Op.walk
+    (fun op ->
+      if not (Dialect.op_accepted ctx op) then
+        errors :=
+          diag op
+            (Printf.sprintf "dialect %S is not registered with %s"
+               (Dialect.dialect_of_op_name op.Op.o_name)
+               ctx.Dialect.ctx_name)
+          :: !errors)
+    top;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let verify_exn top =
+  match verify top with
+  | Ok () -> ()
+  | Error es ->
+    failwith
+      ("IR verification failed:\n"
+      ^ String.concat "\n" (List.map to_string es))
+
+let verify_in_context_exn ctx top =
+  match verify_in_context ctx top with
+  | Ok () -> ()
+  | Error es ->
+    failwith
+      (Printf.sprintf "IR verification failed in context %s:\n%s"
+         ctx.Dialect.ctx_name
+         (String.concat "\n" (List.map to_string es)))

@@ -1,0 +1,22 @@
+(** Structural and dialect verification.
+
+    {!verify} checks IR well-formedness (parent links, use lists,
+    per-dialect operand/result/region counts and custom verifiers,
+    terminator placement, SSA dominance in the structured-control-flow
+    discipline this codebase uses). {!verify_in_context} additionally
+    enforces the dialect-registration constraint that drives the paper's
+    module-splitting design. *)
+
+type diagnostic = { d_op : string; d_message : string }
+
+val to_string : diagnostic -> string
+
+val verify : Op.op -> (unit, diagnostic list) result
+
+val verify_in_context :
+  Dialect.context -> Op.op -> (unit, diagnostic list) result
+
+(** @raise Failure with all diagnostics when verification fails. *)
+val verify_exn : Op.op -> unit
+
+val verify_in_context_exn : Dialect.context -> Op.op -> unit

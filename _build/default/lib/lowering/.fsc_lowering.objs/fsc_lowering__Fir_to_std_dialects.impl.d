@@ -1,0 +1,1 @@
+lib/lowering/fir_to_std_dialects.ml: Array Attr Builder Dialect Fsc_core Fsc_dialects Fsc_fir Fsc_ir Hashtbl List Op Pass Printf Types

@@ -1,0 +1,1 @@
+lib/lowering/fir_to_std_dialects.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/lowering/gpu_pipeline.ml: Fsc_ir Fsc_transforms List Loop_tiling Op Parallel_to_gpu Pass

@@ -1,0 +1,1 @@
+lib/lowering/gpu_pipeline.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/lowering/loop_specialize.ml: Attr Fsc_ir Op Pass

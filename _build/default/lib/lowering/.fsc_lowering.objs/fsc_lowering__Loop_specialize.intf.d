@@ -1,0 +1,1 @@
+lib/lowering/loop_specialize.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/lowering/loop_tiling.ml: Attr Builder Fsc_dialects Fsc_ir Hashtbl List Op Pass Printf String Types

@@ -1,0 +1,1 @@
+lib/lowering/loop_tiling.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/lowering/parallel_to_gpu.ml: Array Attr Builder Fsc_dialects Fsc_ir Hashtbl List Op Pass Printf Types

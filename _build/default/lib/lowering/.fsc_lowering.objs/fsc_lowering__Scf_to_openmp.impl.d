@@ -1,0 +1,1 @@
+lib/lowering/scf_to_openmp.ml: Builder Fsc_dialects Fsc_ir Hashtbl List Op Pass

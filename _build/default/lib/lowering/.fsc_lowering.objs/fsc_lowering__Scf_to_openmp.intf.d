@@ -1,0 +1,1 @@
+lib/lowering/scf_to_openmp.mli: Fsc_ir Op Pass

@@ -1,0 +1,1 @@
+lib/lowering/stencil_to_scf.ml: Array Attr Builder Fsc_dialects Fsc_ir Fsc_stencil Hashtbl List Op Pass Types

@@ -1,0 +1,1 @@
+lib/lowering/stencil_to_scf.mli: Fsc_ir Op Pass

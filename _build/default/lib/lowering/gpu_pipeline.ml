@@ -1,0 +1,70 @@
+(* The full mlir-opt pipeline of Listing 4 in the paper, reconstructed
+   pass for pass. Conversion passes whose only effect in this substrate
+   would be a representation change the interpreter does not need
+   (finalize-memref-to-llvm, convert-arith-to-llvm, ...) are kept as named
+   marker passes so the pipeline reads — and can be misconfigured — like
+   the real one: dropping gpu-map-parallel-loops or gpu-to-cubin produces
+   the paper's "silently runs on the CPU" failure, which
+   [verify_gpu_artifact] detects. *)
+
+open Fsc_ir
+
+let marker name = Pass.create name (fun _ -> ())
+
+(* Listing 4, in order. [tile_sizes] defaults to the paper's 32,32,1. *)
+let passes ?(tile_sizes = [ 32; 32; 1 ]) () =
+  [ Fsc_transforms.Math_simplify.simplify_pass;
+    Loop_tiling.pass ~tile_sizes;
+    Fsc_transforms.Canonicalize.pass;
+    Fsc_transforms.Math_simplify.expand_pass;
+    Parallel_to_gpu.map_pass;
+    Parallel_to_gpu.convert_pass;
+    Fsc_transforms.Fold_memref_aliases.pass;
+    marker "finalize-memref-to-llvm{index-bitwidth=64 use-opaque-pointers=false}";
+    marker "lower-affine";
+    Parallel_to_gpu.outline_pass;
+    Parallel_to_gpu.async_region_pass;
+    Fsc_transforms.Canonicalize.pass;
+    marker "convert-arith-to-llvm{index-bitwidth=64}";
+    marker "convert-scf-to-cf";
+    marker "convert-cf-to-llvm{index-bitwidth=64}";
+    marker "convert-gpu-to-nvvm";
+    Fsc_transforms.Reconcile_casts.pass;
+    Fsc_transforms.Canonicalize.pass;
+    Parallel_to_gpu.cubin_pass;
+    Fsc_transforms.Fold_memref_aliases.pass;
+    marker "gpu-to-llvm{use-opaque-pointers=false}";
+    Fsc_transforms.Reconcile_casts.pass ]
+
+(* Run the pipeline over a stencil module already lowered to scf (GPU
+   mode). [drop] removes passes by name — used by the failure-injection
+   tests to reproduce the silent CPU fallback. *)
+let run ?(tile_sizes = [ 32; 32; 1 ]) ?(drop = []) m =
+  let ps =
+    List.filter
+      (fun (p : Pass.t) -> not (List.mem p.Pass.name drop))
+      (passes ~tile_sizes ())
+  in
+  Pass.run_pipeline ~verify_each:false ps m
+
+(* The check the paper wishes it had: is GPU target binary actually
+   embedded, and is there at least one kernel launch? Returns Error with
+   a reason when execution would silently stay on the host. *)
+let verify_gpu_artifact m =
+  let has_cubin = ref false in
+  let has_launch = ref false in
+  let leftover_parallel = ref false in
+  Op.walk
+    (fun op ->
+      if op.Op.o_name = "gpu.module" && Op.has_attr op "cubin" then
+        has_cubin := true;
+      if op.Op.o_name = "gpu.launch_func" then has_launch := true;
+      if op.Op.o_name = "scf.parallel" then leftover_parallel := true)
+    m;
+  if not !has_launch then
+    Error "no gpu.launch_func generated: kernels will run on the CPU"
+  else if not !has_cubin then
+    Error "gpu.module has no embedded target binary (gpu-to-cubin missing)"
+  else if !leftover_parallel then
+    Error "scf.parallel left unconverted: part of the work stays on the CPU"
+  else Ok ()

@@ -1,0 +1,21 @@
+(** The full mlir-opt pipeline of the paper's Listing 4, reconstructed
+    pass for pass (conversion passes whose representation change the
+    interpreter does not need are kept as named marker passes so the
+    pipeline reads — and can be misconfigured — like the real one). *)
+
+open Fsc_ir
+
+(** The passes in Listing-4 order. [tile_sizes] defaults to the paper's
+    32,32,1. *)
+val passes : ?tile_sizes:int list -> unit -> Pass.t list
+
+(** Run the pipeline over a stencil module already lowered to scf (GPU
+    mode). [drop] removes passes by name — the failure-injection tests
+    use it to reproduce the silent CPU fallback. *)
+val run :
+  ?tile_sizes:int list -> ?drop:string list -> Op.op -> Pass.stats list
+
+(** The check the paper wishes it had: is GPU target binary actually
+    embedded and is there at least one kernel launch? [Error reason] when
+    execution would silently stay on the host. *)
+val verify_gpu_artifact : Op.op -> (unit, string) result

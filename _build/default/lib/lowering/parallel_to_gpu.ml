@@ -1,0 +1,335 @@
+(* The GPU leg of the paper's pipeline (Listing 4):
+
+   - gpu-map-parallel-loops annotates the tiled scf.parallel nest with a
+     processor mapping (outer -> blocks, inner -> threads);
+   - convert-parallel-loops-to-gpu converts *only mapped* loops into a
+     gpu.launch region — unmapped loops are silently left on the CPU,
+     which is exactly the failure mode the paper warns about;
+   - gpu-kernel-outlining lifts the launch region into a gpu.func inside
+     a gpu.module and replaces it with gpu.launch_func;
+   - gpu-to-cubin marks the module as containing target binary. A
+     missing/misordered pass leaves no "cubin" and execution falls back
+     to the host without an error. *)
+
+open Fsc_ir
+module Scf = Fsc_dialects.Scf
+module Arith = Fsc_dialects.Arith
+module Gpu = Fsc_dialects.Gpu
+
+(* ---------------- gpu-map-parallel-loops ---------------- *)
+
+let map_parallel_loops m =
+  let mapped = ref 0 in
+  Op.walk
+    (fun op ->
+      if op.Op.o_name = "scf.parallel" && Op.has_attr op "tiled" then begin
+        Op.set_attr op "mapping" (Attr.Str_a "blocks");
+        (* the inner parallel produced by tiling *)
+        Op.walk_inner
+          (fun inner ->
+            if
+              inner.Op.o_name = "scf.parallel"
+              && not (Op.has_attr inner "mapping")
+            then Op.set_attr inner "mapping" (Attr.Str_a "threads"))
+          op;
+        incr mapped
+      end)
+    m;
+  !mapped
+
+let map_pass =
+  Pass.create "gpu-map-parallel-loops" (fun m -> ignore (map_parallel_loops m))
+
+(* ---------------- convert-parallel-loops-to-gpu ---------------- *)
+
+(* trip count = ceil((ub - lb) / step) as an index SSA value *)
+let trip_count b lb ub step =
+  let diff =
+    Builder.op1 b "arith.subi" ~operands:[ ub; lb ] ~results:[ Types.Index ]
+  in
+  let one = Arith.constant_index b 1 in
+  let sm1 =
+    Builder.op1 b "arith.subi" ~operands:[ step; one ]
+      ~results:[ Types.Index ]
+  in
+  let num =
+    Builder.op1 b "arith.addi" ~operands:[ diff; sm1 ]
+      ~results:[ Types.Index ]
+  in
+  Builder.op1 b "arith.divsi" ~operands:[ num; step ]
+    ~results:[ Types.Index ]
+
+let convert_one outer =
+  let lbs, ubs, steps = Scf.parallel_bounds outer in
+  let k = List.length lbs in
+  if k > 3 then invalid_arg "convert-parallel-loops-to-gpu: rank > 3";
+  let b = Builder.before outer in
+  let one = Arith.constant_index b 1 in
+  (* hardware dim for loop dim i (0 = outermost): innermost loop -> x *)
+  let hw i = k - 1 - i in
+  let grids = Array.make 3 one in
+  List.iteri
+    (fun i lb ->
+      grids.(hw i) <- trip_count b lb (List.nth ubs i) (List.nth steps i))
+    lbs;
+  let blocks = Array.make 3 one in
+  (match Op.attr outer "tile_sizes" with
+  | Some (Attr.Arr_a sizes) ->
+    List.iteri
+      (fun i s ->
+        if i < k then blocks.(hw i) <- Arith.constant_index b (Attr.as_int s))
+      sizes
+  | _ -> ());
+  (* launch region: 6 index args (bid x,y,z then tid x,y,z) *)
+  let region, blk =
+    Op.region_with_block ~args:(List.init 6 (fun _ -> Types.Index)) ()
+  in
+  let ib = Builder.at_end blk in
+  let bid i = Op.block_arg ~index:i blk in
+  let tid i = Op.block_arg ~index:(3 + i) blk in
+  (* outer indices: lb + bid*step *)
+  let outer_idxs =
+    List.mapi
+      (fun i lb ->
+        let scaled =
+          Builder.op1 ib "arith.muli"
+            ~operands:[ bid (hw i); List.nth steps i ]
+            ~results:[ Types.Index ]
+        in
+        Builder.op1 ib "arith.addi" ~operands:[ lb; scaled ]
+          ~results:[ Types.Index ])
+      lbs
+  in
+  (* splice the outer body, substituting ivs; the inner mapped parallel
+     becomes thread indices + bounds guard *)
+  let body = Scf.body_block outer in
+  let mapping = Hashtbl.create 16 in
+  List.iteri
+    (fun i (arg : Op.value) ->
+      Hashtbl.replace mapping arg.Op.v_id (List.nth outer_idxs i))
+    (Op.block_args body);
+  let map_v (v : Op.value) =
+    match Hashtbl.find_opt mapping v.Op.v_id with Some v' -> v' | None -> v
+  in
+  List.iter
+    (fun op ->
+      match op.Op.o_name with
+      | "scf.yield" -> ()
+      | "scf.parallel"
+        when Op.attr op "mapping" = Some (Attr.Str_a "threads") ->
+        (* thread indices with guard tid < trip *)
+        let ilbs, iubs, isteps = Scf.parallel_bounds op in
+        let inner_body = Scf.body_block op in
+        let guards = ref [] in
+        let inner_idxs =
+          List.mapi
+            (fun i ilb ->
+              let ilb = map_v ilb and iub = map_v (List.nth iubs i) in
+              let istep = map_v (List.nth isteps i) in
+              let scaled =
+                Builder.op1 ib "arith.muli"
+                  ~operands:[ tid (hw i); istep ]
+                  ~results:[ Types.Index ]
+              in
+              let idx =
+                Builder.op1 ib "arith.addi" ~operands:[ ilb; scaled ]
+                  ~results:[ Types.Index ]
+              in
+              let in_range =
+                Builder.op1 ib "arith.cmpi" ~operands:[ idx; iub ]
+                  ~results:[ Types.I1 ]
+                  ~attrs:
+                    [ ("predicate",
+                       Attr.Int_a (Arith.cmp_predicate_to_int Arith.Slt)) ]
+              in
+              guards := in_range :: !guards;
+              idx)
+            ilbs
+        in
+        let cond =
+          match !guards with
+          | [] -> Arith.constant_int ib ~ty:Types.I1 1
+          | g :: gs ->
+            List.fold_left
+              (fun acc g' ->
+                Builder.op1 ib "arith.andi" ~operands:[ acc; g' ]
+                  ~results:[ Types.I1 ])
+              g gs
+        in
+        ignore
+          (Scf.if_ ib cond (fun tb ->
+               let inner_map = Hashtbl.copy mapping in
+               List.iteri
+                 (fun i (arg : Op.value) ->
+                   Hashtbl.replace inner_map arg.Op.v_id
+                     (List.nth inner_idxs i))
+                 (Op.block_args inner_body);
+               List.iter
+                 (fun iop ->
+                   if iop.Op.o_name <> "scf.yield" then
+                     ignore
+                       (Builder.insert tb (Op.clone ~mapping:inner_map iop)))
+                 (Op.block_ops inner_body)))
+      | _ ->
+        let c = Op.clone ~mapping op in
+        ignore (Builder.insert ib c);
+        Array.iteri
+          (fun i (r : Op.value) ->
+            Hashtbl.replace mapping r.Op.v_id c.Op.o_results.(i))
+          op.Op.o_results)
+    (Op.block_ops body);
+  ignore (Builder.op (Builder.at_end blk) "gpu.terminator");
+  ignore
+    (Builder.op b "gpu.launch"
+       ~operands:(Array.to_list grids @ Array.to_list blocks)
+       ~regions:[ region ]);
+  Op.erase outer
+
+let convert_parallel_loops_to_gpu m =
+  let candidates =
+    Op.collect_ops
+      (fun o ->
+        o.Op.o_name = "scf.parallel"
+        && Op.attr o "mapping" = Some (Attr.Str_a "blocks"))
+      m
+  in
+  List.iter convert_one candidates;
+  List.length candidates
+
+let convert_pass =
+  Pass.create "convert-parallel-loops-to-gpu" (fun m ->
+      ignore (convert_parallel_loops_to_gpu m))
+
+(* ---------------- gpu-kernel-outlining ---------------- *)
+
+let outline_counter = ref 0
+
+let outline_one ~gpu_mod launch =
+  let n = !outline_counter in
+  incr outline_counter;
+  let kname = Printf.sprintf "stencil_gpu_kernel_%d" n in
+  let region = Op.region ~index:0 launch in
+  let blk =
+    match region.Op.g_blocks with [ b ] -> b | _ -> assert false
+  in
+  (* free values of the region = kernel arguments *)
+  let free = ref [] in
+  let in_region op =
+    let rec up o =
+      match Op.parent_block o with
+      | Some pb ->
+        if pb == blk then true
+        else (
+          match pb.Op.b_parent with
+          | Some r -> (
+            match r.Op.g_parent with Some p -> up p | None -> false)
+          | None -> false)
+      | None -> false
+    in
+    up op
+  in
+  List.iter
+    (fun op ->
+      Op.walk
+        (fun o ->
+          Array.iter
+            (fun (v : Op.value) ->
+              let inside =
+                match Op.defining_op v with
+                | Some d -> in_region d
+                | None -> (
+                  (* block arg: inside iff its block is within region *)
+                  match v.Op.v_def with
+                  | Op.Block_arg (b', _) ->
+                    b' == blk
+                    ||
+                    (match b'.Op.b_parent with
+                    | Some r -> (
+                      match r.Op.g_parent with
+                      | Some p -> in_region p
+                      | None -> false)
+                    | None -> false)
+                  | _ -> false)
+              in
+              if
+                (not inside)
+                && not (List.exists (fun w -> w == v) !free)
+              then free := v :: !free)
+            o.Op.o_operands)
+        op)
+    (Op.block_ops blk);
+  let free = List.rev !free in
+  let arg_types = List.map Op.value_type free in
+  (* build the kernel function *)
+  let kernel =
+    Gpu.gpu_func ~name:kname ~args:arg_types (fun kb kargs ->
+        let mapping = Hashtbl.create 16 in
+        List.iteri
+          (fun i (v : Op.value) ->
+            Hashtbl.replace mapping v.Op.v_id (List.nth kargs i))
+          free;
+        (* block/thread ids replace the launch region block args *)
+        let dims = [ Gpu.X; Gpu.Y; Gpu.Z ] in
+        List.iteri
+          (fun i d ->
+            Hashtbl.replace mapping
+              (Op.block_arg ~index:i blk).Op.v_id
+              (Gpu.block_id kb d))
+          dims;
+        List.iteri
+          (fun i d ->
+            Hashtbl.replace mapping
+              (Op.block_arg ~index:(3 + i) blk).Op.v_id
+              (Gpu.thread_id kb d))
+          dims;
+        List.iter
+          (fun op ->
+            if op.Op.o_name <> "gpu.terminator" then
+              ignore (Builder.insert kb (Op.clone ~mapping op)))
+          (Op.block_ops blk))
+  in
+  Op.append_to (Op.module_block gpu_mod) kernel;
+  (* replace launch with launch_func *)
+  let b = Builder.before launch in
+  let ops = Op.operands launch in
+  let grid = (List.nth ops 0, List.nth ops 1, List.nth ops 2) in
+  let block = (List.nth ops 3, List.nth ops 4, List.nth ops 5) in
+  Gpu.launch_func b
+    ~kernel:(Printf.sprintf "kernels::%s" kname)
+    ~grid ~block free;
+  Op.erase launch
+
+let kernel_outlining m =
+  let launches = Op.collect_ops (fun o -> o.Op.o_name = "gpu.launch") m in
+  if launches = [] then 0
+  else begin
+    let gpu_mod = Gpu.gpu_module ~name:"kernels" in
+    Op.prepend_to (Op.module_block m) gpu_mod;
+    List.iter (outline_one ~gpu_mod) launches;
+    List.length launches
+  end
+
+let outline_pass =
+  Pass.create "gpu-kernel-outlining" (fun m -> ignore (kernel_outlining m))
+
+(* ---------------- gpu-to-cubin ---------------- *)
+
+(* Marks gpu.modules as carrying target binary; without this attribute the
+   runtime has nothing to put on the device and execution silently stays
+   on the host — the sharp edge the paper reports. *)
+let to_cubin m =
+  let count = ref 0 in
+  Op.walk
+    (fun op ->
+      if op.Op.o_name = "gpu.module" then begin
+        Op.set_attr op "cubin" (Attr.Str_a "sm_70");
+        incr count
+      end)
+    m;
+  !count
+
+let cubin_pass = Pass.create "gpu-to-cubin" (fun m -> ignore (to_cubin m))
+
+(* gpu-async-region: marker pass (execution in this substrate is
+   synchronous; kept for pipeline fidelity with Listing 4). *)
+let async_region_pass = Pass.create "gpu-async-region" (fun _ -> ())

@@ -1,0 +1,1 @@
+lib/perf/calibrate.ml: Float List Printf String Unix

@@ -1,0 +1,1 @@
+lib/perf/cpu_model.mli: Machine

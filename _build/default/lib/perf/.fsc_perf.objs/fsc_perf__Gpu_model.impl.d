@@ -1,0 +1,1 @@
+lib/perf/gpu_model.ml: Float Fsc_rt

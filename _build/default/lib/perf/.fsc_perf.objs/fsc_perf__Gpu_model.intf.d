@@ -1,0 +1,1 @@
+lib/perf/gpu_model.mli: Fsc_rt

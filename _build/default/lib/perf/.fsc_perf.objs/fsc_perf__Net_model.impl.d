@@ -1,0 +1,1 @@
+lib/perf/net_model.ml: Cpu_model Float Fsc_dmp Fsc_rt Machine

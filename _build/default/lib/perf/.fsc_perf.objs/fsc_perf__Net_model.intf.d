@@ -1,0 +1,1 @@
+lib/perf/net_model.mli: Fsc_rt Machine

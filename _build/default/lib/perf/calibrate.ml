@@ -1,0 +1,45 @@
+(* Calibration: measure the *real* throughput of this substrate's three
+   execution tiers on a small grid, so benchmark reports can print the
+   measured numbers alongside the machine-model extrapolations and the
+   ratio between them. The measured ordering (vendor > compiled stencil >
+   interpreter) is the substrate's ground truth for the paper's
+   qualitative claim; the model supplies paper-scale magnitudes. *)
+
+type measurement = {
+  m_label : string;
+  m_cells : float;
+  m_seconds : float;
+}
+
+let mcells m = m.m_cells /. m.m_seconds /. 1.0e6
+
+let time ~label ~cells f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  { m_label = label; m_cells = cells; m_seconds = Float.max dt 1e-9 }
+
+(* Measure with enough repetitions to pass [min_seconds]. [f] runs one
+   iteration over [cells_per_iter] cells. *)
+let measure ~label ~cells_per_iter ?(min_seconds = 0.2) f =
+  (* warm-up *)
+  f ();
+  let reps = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    f ();
+    incr reps;
+    if Unix.gettimeofday () -. t0 < min_seconds then go ()
+  in
+  go ();
+  let dt = Unix.gettimeofday () -. t0 in
+  { m_label = label;
+    m_cells = cells_per_iter *. float_of_int !reps;
+    m_seconds = dt }
+
+let report ms =
+  String.concat "\n"
+    (List.map
+       (fun m ->
+         Printf.sprintf "  %-40s %10.2f MCells/s" m.m_label (mcells m))
+       ms)

@@ -1,0 +1,56 @@
+(** V100 timing model for the paper's Figure 5: one iteration = kernel
+    roofline plus the cost of the data-management strategy. All three
+    series run the same computation; the entire story is data movement. *)
+
+type strategy =
+  | Openacc_nvidia  (** unified memory: resident after first touch, but
+                        managed-memory stalls throttle effective
+                        bandwidth — badly for many-array kernels *)
+  | Stencil_initial  (** [gpu.host_register]: pages every byte over PCIe
+                         on every launch, no inter-launch caching *)
+  | Stencil_optimised  (** the bespoke data-placement pass: one transfer
+                           each way, device-resident in between *)
+
+val strategy_name : strategy -> string
+
+(** Effective bandwidth under managed-memory stalls, as a function of how
+    many distinct managed arrays the kernel streams. *)
+val unified_effective_bw : Fsc_rt.Gpu_sim.spec -> arrays:int -> float
+
+(** Seconds for one kernel launch. *)
+val iteration_time :
+  ?spec:Fsc_rt.Gpu_sim.spec ->
+  strategy:strategy ->
+  cells:float ->
+  flops_per_cell:float ->
+  bytes_per_cell:float ->
+  arrays:int ->
+  array_bytes:float ->
+  unit ->
+  float
+
+(** Total run time over [iters] timesteps, including the one-time edge
+    transfers of the resident strategies. *)
+val total_time :
+  ?spec:Fsc_rt.Gpu_sim.spec ->
+  strategy:strategy ->
+  cells:float ->
+  flops_per_cell:float ->
+  bytes_per_cell:float ->
+  arrays:int ->
+  array_bytes:float ->
+  iters:int ->
+  unit ->
+  float
+
+val mcells :
+  ?spec:Fsc_rt.Gpu_sim.spec ->
+  strategy:strategy ->
+  cells:float ->
+  flops_per_cell:float ->
+  bytes_per_cell:float ->
+  arrays:int ->
+  array_bytes:float ->
+  iters:int ->
+  unit ->
+  float

@@ -1,0 +1,1 @@
+lib/runtime/gpu_sim.ml: Float Hashtbl List Memref_rt Printf

@@ -1,0 +1,1 @@
+lib/runtime/gpu_sim.mli: Hashtbl Memref_rt

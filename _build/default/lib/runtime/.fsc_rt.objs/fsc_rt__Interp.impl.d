@@ -1,0 +1,1 @@
+lib/runtime/interp.ml: Array Attr Buffer Dialect Domain_pool Float Fsc_dialects Fsc_ir Gpu_sim Hashtbl List Memref_rt Op Printf String Types

@@ -1,0 +1,1 @@
+lib/runtime/interp.mli: Buffer Domain_pool Fsc_ir Gpu_sim Hashtbl Memref_rt Op

@@ -1,0 +1,1 @@
+lib/runtime/kernel_compile.ml: Array Attr Bigarray Dialect Domain_pool Float Fsc_dialects Fsc_ir Hashtbl List Memref_rt Op Printf Types

@@ -1,0 +1,1 @@
+lib/runtime/kernel_compile.mli: Domain_pool Fsc_ir Memref_rt Op

@@ -1,0 +1,1 @@
+lib/runtime/memref_rt.mli: Bigarray

@@ -1,0 +1,1 @@
+lib/runtime/mpi_sim.mli:

@@ -1,0 +1,1 @@
+lib/runtime/vendor_kernels.ml: Bigarray Domain_pool Memref_rt

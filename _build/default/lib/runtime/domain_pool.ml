@@ -1,0 +1,132 @@
+(* Work-sharing pool over OCaml domains: the OpenMP runtime of this
+   substrate. A pool of [size] worker domains executes chunked
+   parallel-for loops; the calling domain acts as worker 0. *)
+
+type task = {
+  t_body : int -> int -> unit; (* lo, hi (exclusive) *)
+  t_lo : int;
+  t_hi : int;
+  t_chunk : int;
+  t_next : int Atomic.t;
+  t_remaining : int Atomic.t;
+  t_done : Mutex.t * Condition.t;
+}
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  work : task option ref;
+  work_mutex : Mutex.t;
+  work_cond : Condition.t;
+  mutable generation : int;
+  mutable shutdown : bool;
+}
+
+let run_chunks task =
+  let rec go () =
+    let i = Atomic.fetch_and_add task.t_next task.t_chunk in
+    if i < task.t_hi then begin
+      let hi = min (i + task.t_chunk) task.t_hi in
+      task.t_body i hi;
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop pool () =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool.work_mutex;
+    while (not pool.shutdown) && pool.generation = !seen do
+      Condition.wait pool.work_cond pool.work_mutex
+    done;
+    if pool.shutdown then Mutex.unlock pool.work_mutex
+    else begin
+      seen := pool.generation;
+      let task = !(pool.work) in
+      Mutex.unlock pool.work_mutex;
+      (match task with
+      | Some task ->
+        run_chunks task;
+        let m, c = task.t_done in
+        Mutex.lock m;
+        if Atomic.fetch_and_add task.t_remaining (-1) = 1 then
+          Condition.broadcast c;
+        Mutex.unlock m
+      | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create size =
+  let size = max 1 size in
+  let pool =
+    { size; workers = [||]; work = ref None; work_mutex = Mutex.create ();
+      work_cond = Condition.create (); generation = 0; shutdown = false }
+  in
+  pool.workers <-
+    Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.work_mutex;
+  pool.shutdown <- true;
+  Condition.broadcast pool.work_cond;
+  Mutex.unlock pool.work_mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+(* Parallel for over [lo, hi): [body lo' hi'] must handle any subrange.
+   Chunk size defaults to a fraction of the range per worker. *)
+let parallel_for ?chunk pool ~lo ~hi body =
+  if hi <= lo then ()
+  else if pool.size = 1 || hi - lo = 1 then body lo hi
+  else begin
+    let range = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (range / (pool.size * 4))
+    in
+    let task =
+      { t_body = body; t_lo = lo; t_hi = hi; t_chunk = chunk;
+        t_next = Atomic.make lo;
+        t_remaining = Atomic.make pool.size;
+        t_done = (Mutex.create (), Condition.create ()) }
+    in
+    Mutex.lock pool.work_mutex;
+    pool.work := Some task;
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_cond;
+    Mutex.unlock pool.work_mutex;
+    (* the caller participates as a worker *)
+    run_chunks task;
+    let m, c = task.t_done in
+    Mutex.lock m;
+    if Atomic.fetch_and_add task.t_remaining (-1) > 1 then
+      while Atomic.get task.t_remaining > 0 do
+        Condition.wait c m
+      done;
+    Mutex.unlock m
+  end
+
+(* A lazily created default pool sized to the machine. *)
+let default_pool : t option ref = ref None
+
+let recommended_size () =
+  match Domain.recommended_domain_count () with
+  | n when n >= 1 -> n
+  | _ -> 1
+
+let get_default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+    let p = create (recommended_size ()) in
+    default_pool := Some p;
+    p
+
+let with_pool size f =
+  let pool = create size in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

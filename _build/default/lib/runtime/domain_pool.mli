@@ -1,0 +1,28 @@
+(** Work-sharing pool over OCaml domains: the OpenMP runtime of this
+    substrate. A pool of [size] workers executes chunked parallel-for
+    loops; the calling domain participates as a worker. *)
+
+type t
+
+(** Spawn a pool with [size] participants ([size - 1] worker domains
+    plus the caller). *)
+val create : int -> t
+
+(** Join all worker domains. The pool must be idle. *)
+val shutdown : t -> unit
+
+(** [parallel_for pool ~lo ~hi body] work-shares [lo, hi): [body lo' hi']
+    is invoked on disjoint chunks covering the range, concurrently across
+    the pool. Blocks until every chunk completed. [chunk] overrides the
+    default chunk size of [range / (size * 4)]. *)
+val parallel_for :
+  ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** The machine's recommended worker count. *)
+val recommended_size : unit -> int
+
+(** A lazily created process-wide pool of {!recommended_size}. *)
+val get_default : unit -> t
+
+(** Run [f] with a fresh pool, shutting it down afterwards. *)
+val with_pool : int -> (t -> 'a) -> 'a

@@ -1,0 +1,93 @@
+(* Runtime buffers backing FIR arrays and memrefs.
+
+   All array data lives in float64 Bigarrays with explicit strides; FIR
+   arrays and the memrefs derived from them are column-major (dimension 0
+   contiguous), matching Fortran. Integer and logical array elements are
+   stored as floats (exact for |n| < 2^53) — a simulator simplification
+   recorded in DESIGN.md. *)
+
+type t = {
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  dims : int array;
+  strides : int array;
+  (* unique id used by the GPU/MPI simulators to track residency *)
+  buf_id : int;
+}
+
+let next_id =
+  let c = ref 0 in
+  fun () ->
+    incr c;
+    !c
+
+let column_major_strides dims =
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = 1 to n - 1 do
+    strides.(i) <- strides.(i - 1) * dims.(i - 1)
+  done;
+  strides
+
+let size t = Array.fold_left ( * ) 1 t.dims
+
+let bytes t = 8 * size t
+
+let create dims =
+  let dims = Array.of_list dims in
+  let total = Array.fold_left ( * ) 1 dims in
+  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+               (max total 1) in
+  Bigarray.Array1.fill data 0.0;
+  { data; dims; strides = column_major_strides dims; buf_id = next_id () }
+
+let scalar () = create [ 1 ]
+
+let rank t = Array.length t.dims
+
+let offset t (indices : int array) =
+  let off = ref 0 in
+  for i = 0 to Array.length indices - 1 do
+    off := !off + (indices.(i) * t.strides.(i))
+  done;
+  !off
+
+let get t indices = Bigarray.Array1.get t.data (offset t indices)
+
+let set t indices v = Bigarray.Array1.set t.data (offset t indices) v
+
+let get_flat t i = Bigarray.Array1.get t.data i
+let set_flat t i v = Bigarray.Array1.set t.data i v
+
+let fill t v = Bigarray.Array1.fill t.data v
+
+let copy_into ~src ~dst =
+  if size src <> size dst then invalid_arg "Memref_rt.copy_into: size";
+  Bigarray.Array1.blit src.data dst.data
+
+let clone t =
+  let t' = create (Array.to_list t.dims) in
+  Bigarray.Array1.blit t.data t'.data;
+  t'
+
+(* Initialise with a function of the flat index (deterministic test data). *)
+let init t f =
+  for i = 0 to size t - 1 do
+    set_flat t i (f i)
+  done
+
+(* max |a - b| over all elements *)
+let max_abs_diff a b =
+  if size a <> size b then invalid_arg "Memref_rt.max_abs_diff: size";
+  let m = ref 0.0 in
+  for i = 0 to size a - 1 do
+    let d = Float.abs (get_flat a i -. get_flat b i) in
+    if d > !m then m := d
+  done;
+  !m
+
+let checksum t =
+  let acc = ref 0.0 in
+  for i = 0 to size t - 1 do
+    acc := !acc +. (get_flat t i *. float_of_int ((i mod 97) + 1))
+  done;
+  !acc

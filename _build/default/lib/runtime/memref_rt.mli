@@ -1,0 +1,52 @@
+(** Runtime buffers backing FIR arrays and memrefs.
+
+    All array data lives in float64 Bigarrays with explicit strides; FIR
+    arrays (and the memrefs derived from them) are column-major
+    (dimension 0 contiguous), matching Fortran. Integer and logical
+    array elements are stored as floats (exact for |n| < 2^53) — a
+    simulator simplification recorded in DESIGN.md. *)
+
+type t = {
+  data : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  dims : int array;
+  strides : int array;  (** column-major: [strides.(0) = 1] *)
+  buf_id : int;  (** unique id; the GPU/MPI simulators key residency on it *)
+}
+
+val column_major_strides : int array -> int array
+
+(** Total element count / byte size. *)
+val size : t -> int
+
+val bytes : t -> int
+
+(** Zero-filled buffer with the given extents. *)
+val create : int list -> t
+
+(** A 1-element buffer. *)
+val scalar : unit -> t
+
+val rank : t -> int
+
+(** Flat offset of a multi-dimensional index. *)
+val offset : t -> int array -> int
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val get_flat : t -> int -> float
+val set_flat : t -> int -> float -> unit
+val fill : t -> float -> unit
+
+(** @raise Invalid_argument on size mismatch. *)
+val copy_into : src:t -> dst:t -> unit
+
+val clone : t -> t
+
+(** Initialise from a function of the flat index (deterministic data). *)
+val init : t -> (int -> float) -> unit
+
+(** max |a - b| over all elements; the differential tests' metric. *)
+val max_abs_diff : t -> t -> float
+
+(** Position-weighted checksum (orders of elements matter). *)
+val checksum : t -> float

@@ -1,0 +1,73 @@
+(* Simulated MPI: SPMD execution of R ranks inside one process, with real
+   halo buffers and a message queue — the functional layer backing the
+   distributed-memory experiments (Figure 6). Ranks execute supersteps
+   sequentially; messages posted during a superstep are delivered before
+   the next one, which is exactly the halo-swap pattern the DMP lowering
+   emits. Timing at scale comes from [Fsc_perf.Net_model]; this module is
+   about correctness of decomposition + exchange. *)
+
+type message = {
+  m_src : int;
+  m_dst : int;
+  m_tag : int;
+  m_payload : float array;
+}
+
+type t = {
+  nranks : int;
+  mutable in_flight : message list;
+  mutable delivered : message list; (* current superstep's inbox *)
+  mutable total_messages : int;
+  mutable total_bytes : int;
+}
+
+let create nranks =
+  { nranks; in_flight = []; delivered = []; total_messages = 0;
+    total_bytes = 0 }
+
+let send t ~src ~dst ~tag payload =
+  if dst < 0 || dst >= t.nranks then invalid_arg "Mpi_sim.send: bad rank";
+  t.in_flight <-
+    { m_src = src; m_dst = dst; m_tag = tag; m_payload = payload }
+    :: t.in_flight;
+  t.total_messages <- t.total_messages + 1;
+  t.total_bytes <- t.total_bytes + (8 * Array.length payload)
+
+(* Finish the communication phase: everything posted becomes receivable. *)
+let exchange t =
+  t.delivered <- List.rev t.in_flight;
+  t.in_flight <- []
+
+let recv t ~src ~dst ~tag =
+  let rec pick acc = function
+    | [] -> invalid_arg
+              (Printf.sprintf "Mpi_sim.recv: no message %d->%d tag %d" src
+                 dst tag)
+    | m :: rest ->
+      if m.m_src = src && m.m_dst = dst && m.m_tag = tag then begin
+        t.delivered <- List.rev_append acc rest;
+        m.m_payload
+      end
+      else pick (m :: acc) rest
+  in
+  pick [] t.delivered
+
+(* ------------------------------------------------------------------ *)
+(* SPMD driver                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Run [superstep world rank step_index] for every rank, [steps] times,
+   with message exchange between supersteps. The superstep function does
+   compute + posts sends; receives happen at the start of the *next*
+   superstep via [recv]. For halo swaps we split each step into a post
+   phase and a consume phase. *)
+let run_supersteps t ~steps ~post ~consume =
+  for step = 0 to steps - 1 do
+    for rank = 0 to t.nranks - 1 do
+      post t ~rank ~step
+    done;
+    exchange t;
+    for rank = 0 to t.nranks - 1 do
+      consume t ~rank ~step
+    done
+  done

@@ -1,0 +1,41 @@
+(** Simulated MPI: SPMD execution of ranks inside one process with real
+    message buffers — the functional layer backing the distributed-memory
+    experiments (Figure 6). Ranks execute supersteps sequentially;
+    messages posted during a superstep are delivered before the next,
+    which is exactly the halo-swap pattern the DMP lowering emits. *)
+
+type message = {
+  m_src : int;
+  m_dst : int;
+  m_tag : int;
+  m_payload : float array;
+}
+
+type t = {
+  nranks : int;
+  mutable in_flight : message list;
+  mutable delivered : message list;
+  mutable total_messages : int;
+  mutable total_bytes : int;
+}
+
+val create : int -> t
+
+(** Post a message (delivered at the next {!exchange}). *)
+val send : t -> src:int -> dst:int -> tag:int -> float array -> unit
+
+(** Make everything posted receivable. *)
+val exchange : t -> unit
+
+(** Take the matching message out of the inbox.
+    @raise Invalid_argument when absent. *)
+val recv : t -> src:int -> dst:int -> tag:int -> float array
+
+(** Run [steps] supersteps: all ranks [post], one {!exchange}, all ranks
+    [consume]. *)
+val run_supersteps :
+  t ->
+  steps:int ->
+  post:(t -> rank:int -> step:int -> unit) ->
+  consume:(t -> rank:int -> step:int -> unit) ->
+  unit

@@ -1,0 +1,1 @@
+lib/stencil/stencil.ml: Array Attr Builder Dialect Fsc_ir List Op Types

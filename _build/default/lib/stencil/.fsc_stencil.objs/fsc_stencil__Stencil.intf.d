@@ -1,0 +1,1 @@
+lib/stencil/stencil.mli: Builder Dialect Fsc_ir Op Types

@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Attr Dce Fsc_dialects Fsc_ir Op Pass Rewrite Types

@@ -1,0 +1,1 @@
+lib/transforms/cse.ml: Array Attr Dialect Fsc_ir Hashtbl List Op Pass Types

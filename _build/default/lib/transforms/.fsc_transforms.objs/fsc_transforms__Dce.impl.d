@@ -1,0 +1,1 @@
+lib/transforms/dce.ml: Array Dialect Fsc_ir List Op Pass

@@ -1,0 +1,1 @@
+lib/transforms/fold_memref_aliases.ml: Fsc_ir Op Pass Rewrite

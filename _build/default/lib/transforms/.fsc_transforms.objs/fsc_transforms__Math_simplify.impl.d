@@ -1,0 +1,1 @@
+lib/transforms/math_simplify.ml: Attr Float Fsc_dialects Fsc_ir Op Pass Rewrite

@@ -1,0 +1,1 @@
+lib/transforms/reconcile_casts.ml: Dce Fsc_ir Op Pass Rewrite Types

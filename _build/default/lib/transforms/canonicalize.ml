@@ -1,0 +1,173 @@
+(* Canonicalisation: greedy application of folding patterns, followed by
+   DCE — the workhorse "canonicalize" pass that appears four times in the
+   paper's Listing 4 pipeline. *)
+
+open Fsc_ir
+module Arith = Fsc_dialects.Arith
+
+let const_int_of (v : Op.value) =
+  match Arith.as_constant v with Some (Attr.Int_a n) -> Some n | _ -> None
+
+let const_float_of (v : Op.value) =
+  match Arith.as_constant v with
+  | Some (Attr.Float_a f) -> Some f
+  | Some (Attr.Int_a n) -> Some (float_of_int n)
+  | _ -> None
+
+let replace_with_const rw op attr =
+  let c =
+    Rewrite.create_before rw ~anchor:op "arith.constant"
+      ~results:[ Op.value_type (Op.result op) ]
+      ~attrs:[ ("value", attr) ]
+  in
+  Rewrite.replace_op rw op [ Op.result c ];
+  true
+
+(* integer binary folding *)
+let fold_int_binop name f =
+  Rewrite.pattern ~match_name:name ("fold-" ^ name) (fun rw op ->
+      match
+        (const_int_of (Op.operand ~index:0 op),
+         const_int_of (Op.operand ~index:1 op))
+      with
+      | Some a, Some b -> replace_with_const rw op (Attr.Int_a (f a b))
+      | _ -> false)
+
+let fold_float_binop name f =
+  Rewrite.pattern ~match_name:name ("fold-" ^ name) (fun rw op ->
+      match
+        (const_float_of (Op.operand ~index:0 op),
+         const_float_of (Op.operand ~index:1 op))
+      with
+      | Some a, Some b -> replace_with_const rw op (Attr.Float_a (f a b))
+      | _ -> false)
+
+(* x + 0 = x ; x - 0 = x ; x * 1 = x ; x * 0 = 0 *)
+let identity_patterns =
+  [ Rewrite.pattern ~match_name:"arith.addi" "addi-zero" (fun rw op ->
+        match
+          (const_int_of (Op.operand ~index:0 op),
+           const_int_of (Op.operand ~index:1 op))
+        with
+        | Some 0, _ ->
+          Rewrite.replace_op rw op [ Op.operand ~index:1 op ];
+          true
+        | _, Some 0 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:0 op ];
+          true
+        | _ -> false);
+    Rewrite.pattern ~match_name:"arith.subi" "subi-zero" (fun rw op ->
+        match const_int_of (Op.operand ~index:1 op) with
+        | Some 0 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:0 op ];
+          true
+        | _ -> false);
+    Rewrite.pattern ~match_name:"arith.muli" "muli-identity" (fun rw op ->
+        match
+          (const_int_of (Op.operand ~index:0 op),
+           const_int_of (Op.operand ~index:1 op))
+        with
+        | Some 1, _ ->
+          Rewrite.replace_op rw op [ Op.operand ~index:1 op ];
+          true
+        | _, Some 1 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:0 op ];
+          true
+        | _ -> false);
+    Rewrite.pattern ~match_name:"arith.mulf" "mulf-identity" (fun rw op ->
+        match const_float_of (Op.operand ~index:1 op) with
+        | Some 1.0 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:0 op ];
+          true
+        | _ -> (
+          match const_float_of (Op.operand ~index:0 op) with
+          | Some 1.0 ->
+            Rewrite.replace_op rw op [ Op.operand ~index:1 op ];
+            true
+          | _ -> false));
+    Rewrite.pattern ~match_name:"arith.addf" "addf-zero" (fun rw op ->
+        match const_float_of (Op.operand ~index:1 op) with
+        | Some 0.0 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:0 op ];
+          true
+        | _ -> false) ]
+
+let fold_patterns =
+  [ fold_int_binop "arith.addi" ( + );
+    fold_int_binop "arith.subi" ( - );
+    fold_int_binop "arith.muli" ( * );
+    fold_float_binop "arith.addf" ( +. );
+    fold_float_binop "arith.subf" ( -. );
+    fold_float_binop "arith.mulf" ( *. );
+    fold_float_binop "arith.divf" ( /. );
+    (* cmpi folding *)
+    Rewrite.pattern ~match_name:"arith.cmpi" "fold-cmpi" (fun rw op ->
+        match
+          (const_int_of (Op.operand ~index:0 op),
+           const_int_of (Op.operand ~index:1 op))
+        with
+        | Some a, Some b ->
+          let pred =
+            Arith.cmp_predicate_of_int (Op.int_attr op "predicate")
+          in
+          let result =
+            match pred with
+            | Arith.Eq -> a = b
+            | Arith.Ne -> a <> b
+            | Arith.Slt -> a < b
+            | Arith.Sle -> a <= b
+            | Arith.Sgt -> a > b
+            | Arith.Sge -> a >= b
+          in
+          replace_with_const rw op (Attr.Int_a (if result then 1 else 0))
+        | _ -> false);
+    (* select with constant condition *)
+    Rewrite.pattern ~match_name:"arith.select" "fold-select" (fun rw op ->
+        match const_int_of (Op.operand ~index:0 op) with
+        | Some 1 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:1 op ];
+          true
+        | Some 0 ->
+          Rewrite.replace_op rw op [ Op.operand ~index:2 op ];
+          true
+        | _ -> false);
+    (* cast of cast with same endpoints collapses *)
+    Rewrite.pattern ~match_name:"arith.index_cast" "index-cast-chain"
+      (fun rw op ->
+        match Op.defining_op (Op.operand op) with
+        | Some inner
+          when inner.Op.o_name = "arith.index_cast"
+               && Types.equal
+                    (Op.value_type (Op.operand inner))
+                    (Op.value_type (Op.result op)) ->
+          Rewrite.replace_op rw op [ Op.operand inner ];
+          true
+        | _ -> false);
+    (* fir.convert identity / of constant *)
+    Rewrite.pattern ~match_name:"fir.convert" "fold-fir-convert"
+      (fun rw op ->
+        let from = Op.value_type (Op.operand op)
+        and to_ = Op.value_type (Op.result op) in
+        if Types.equal from to_ then begin
+          Rewrite.replace_op rw op [ Op.operand op ];
+          true
+        end
+        else
+          match (Arith.as_constant (Op.operand op), to_) with
+          | Some (Attr.Int_a n), t when Types.is_integer t ->
+            replace_with_const rw op (Attr.Int_a n)
+          | Some (Attr.Int_a n), (Types.F32 | Types.F64) ->
+            replace_with_const rw op (Attr.Float_a (float_of_int n))
+          | Some (Attr.Float_a f), Types.F32 | Some (Attr.Float_a f), Types.F64
+            ->
+            replace_with_const rw op (Attr.Float_a f)
+          | _ -> false) ]
+
+let patterns = fold_patterns @ identity_patterns
+
+let run ?(extra_patterns = []) m =
+  let changed = Rewrite.apply_greedily (patterns @ extra_patterns) m in
+  let removed = Dce.run m in
+  changed || removed > 0
+
+let pass = Pass.create "canonicalize" (fun m -> ignore (run m))

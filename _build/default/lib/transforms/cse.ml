@@ -1,0 +1,51 @@
+(* Common subexpression elimination over pure operations, scoped per
+   block (a value computed in a parent block is reused in nested regions
+   only when the nested op's operands match — we keep the simple per-block
+   scope, which is what the loop-invariant FIR produced by the frontend
+   needs). *)
+
+open Fsc_ir
+
+let op_key op =
+  let operand_ids =
+    Array.to_list (Array.map (fun (v : Op.value) -> v.Op.v_id) op.Op.o_operands)
+  in
+  let attrs =
+    List.sort compare
+      (List.map (fun (k, a) -> (k, Attr.to_string a)) op.Op.o_attrs)
+  in
+  let result_types =
+    List.map (fun (r : Op.value) -> Types.to_string (Op.value_type r))
+      (Op.results op)
+  in
+  (op.Op.o_name, operand_ids, attrs, result_types)
+
+let run m =
+  let eliminated = ref 0 in
+  let rec block_sweep block =
+    let seen = Hashtbl.create 64 in
+    Op.iter_block_ops
+      (fun op ->
+        Array.iter
+          (fun r -> List.iter block_sweep r.Op.g_blocks)
+          op.Op.o_regions;
+        if Dialect.op_is_pure op && Array.length op.Op.o_regions = 0 then begin
+          let key = op_key op in
+          match Hashtbl.find_opt seen key with
+          | Some prior ->
+            List.iter2
+              (fun (r : Op.value) (p : Op.value) ->
+                Op.replace_all_uses_with r p)
+              (Op.results op) (Op.results prior);
+            Op.erase op;
+            incr eliminated
+          | None -> Hashtbl.replace seen key op
+        end)
+      block
+  in
+  Array.iter
+    (fun r -> List.iter block_sweep r.Op.g_blocks)
+    m.Op.o_regions;
+  !eliminated
+
+let pass = Pass.create "cse" (fun m -> ignore (run m))

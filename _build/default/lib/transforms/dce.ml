@@ -1,0 +1,44 @@
+(* Dead code elimination: removes pure operations whose results are all
+   unused, iterating to a fixpoint (bottom-up within each block). *)
+
+open Fsc_ir
+
+let removable op =
+  Op.num_results op > 0
+  && (not (List.exists Op.has_uses (Op.results op)))
+  && (Dialect.op_is_pure op
+     || List.mem op.Op.o_name [ "fir.load"; "memref.load" ])
+
+(* [aggressive] also drops side-effect-free loads (safe when the pass
+   runs before anything can observe the removed read). *)
+let run ?(aggressive = false) m =
+  let removed = ref 0 in
+  let rec block_sweep block =
+    let changed = ref false in
+    (* reverse order: users die before producers *)
+    List.iter
+      (fun op ->
+        Array.iter
+          (fun r -> List.iter block_sweep r.Op.g_blocks)
+          op.Op.o_regions;
+        let dead =
+          Op.num_results op > 0
+          && (not (List.exists Op.has_uses (Op.results op)))
+          && (Dialect.op_is_pure op
+             || (aggressive
+                && List.mem op.Op.o_name [ "fir.load"; "memref.load" ]))
+        in
+        if dead then begin
+          Op.erase op;
+          incr removed;
+          changed := true
+        end)
+      (List.rev (Op.block_ops block));
+    if !changed then block_sweep block
+  in
+  Array.iter
+    (fun r -> List.iter block_sweep r.Op.g_blocks)
+    m.Op.o_regions;
+  !removed
+
+let pass = Pass.create "dce" (fun m -> ignore (run m))

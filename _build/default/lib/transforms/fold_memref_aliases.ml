@@ -1,0 +1,34 @@
+(* fold-memref-alias-ops: folds memref.cast chains feeding loads/stores so
+   accesses go straight to the allocation. *)
+
+open Fsc_ir
+
+let rec root_memref (v : Op.value) =
+  match Op.defining_op v with
+  | Some op when op.Op.o_name = "memref.cast" -> root_memref (Op.operand op)
+  | _ -> v
+
+let patterns =
+  [ Rewrite.pattern ~match_name:"memref.load" "fold-load-alias" (fun rw op ->
+        let m = Op.operand ~index:0 op in
+        let r = root_memref m in
+        if r == m then false
+        else begin
+          Op.set_operand op 0 r;
+          Rewrite.notify_changed rw op;
+          true
+        end);
+    Rewrite.pattern ~match_name:"memref.store" "fold-store-alias"
+      (fun rw op ->
+        let m = Op.operand ~index:1 op in
+        let r = root_memref m in
+        if r == m then false
+        else begin
+          Op.set_operand op 1 r;
+          Rewrite.notify_changed rw op;
+          true
+        end) ]
+
+let pass =
+  Pass.create "fold-memref-alias-ops" (fun m ->
+      ignore (Rewrite.apply_greedily patterns m))

@@ -1,0 +1,78 @@
+(* The two math passes of the paper's GPU pipeline (Listing 4):
+   test-math-algebraic-simplification (powf with small constant exponents
+   becomes multiplication) and test-expand-math (math.fpowi expands to a
+   multiplication chain). *)
+
+open Fsc_ir
+module Arith = Fsc_dialects.Arith
+
+let const_float_of (v : Op.value) =
+  match Arith.as_constant v with
+  | Some (Attr.Float_a f) -> Some f
+  | Some (Attr.Int_a n) -> Some (float_of_int n)
+  | _ -> None
+
+let const_int_of (v : Op.value) =
+  match Arith.as_constant v with Some (Attr.Int_a n) -> Some n | _ -> None
+
+let expand_power rw op base n =
+  (* n >= 0 small constant: replace with multiplication chain *)
+  if n = 0 then begin
+    let c =
+      Rewrite.create_before rw ~anchor:op "arith.constant"
+        ~results:[ Op.value_type base ]
+        ~attrs:[ ("value", Attr.Float_a 1.0) ]
+    in
+    Rewrite.replace_op rw op [ Op.result c ];
+    true
+  end
+  else begin
+    let rec chain acc k =
+      if k = 1 then acc
+      else
+        let m =
+          Rewrite.create_before rw ~anchor:op "arith.mulf"
+            ~operands:[ acc; base ]
+            ~results:[ Op.value_type base ]
+        in
+        chain (Op.result m) (k - 1)
+    in
+    let v = chain base n in
+    Rewrite.replace_op rw op [ v ];
+    true
+  end
+
+let algebraic_patterns =
+  [ Rewrite.pattern ~match_name:"math.powf" "powf-to-mul" (fun rw op ->
+        match const_float_of (Op.operand ~index:1 op) with
+        | Some f when Float.is_integer f && f >= 0. && f <= 4. ->
+          expand_power rw op (Op.operand ~index:0 op) (int_of_float f)
+        | _ -> false);
+    Rewrite.pattern ~match_name:"math.sqrt" "sqrt-of-square" (fun rw op ->
+        match Op.defining_op (Op.operand op) with
+        | Some m
+          when m.Op.o_name = "arith.mulf"
+               && Op.operand ~index:0 m == Op.operand ~index:1 m ->
+          let abs =
+            Rewrite.create_before rw ~anchor:op "math.absf"
+              ~operands:[ Op.operand ~index:0 m ]
+              ~results:[ Op.value_type (Op.result op) ]
+          in
+          Rewrite.replace_op rw op [ Op.result abs ];
+          true
+        | _ -> false) ]
+
+let expand_patterns =
+  [ Rewrite.pattern ~match_name:"math.fpowi" "expand-fpowi" (fun rw op ->
+        match const_int_of (Op.operand ~index:1 op) with
+        | Some n when n >= 0 && n <= 8 ->
+          expand_power rw op (Op.operand ~index:0 op) n
+        | _ -> false) ]
+
+let simplify_pass =
+  Pass.create "test-math-algebraic-simplification" (fun m ->
+      ignore (Rewrite.apply_greedily algebraic_patterns m))
+
+let expand_pass =
+  Pass.create "test-expand-math" (fun m ->
+      ignore (Rewrite.apply_greedily expand_patterns m))

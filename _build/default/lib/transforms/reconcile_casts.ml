@@ -1,0 +1,34 @@
+(* reconcile-unrealized-casts: cancels chains of
+   builtin.unrealized_conversion_cast whose endpoints agree, as in MLIR.
+   A cast that survives because its types genuinely differ is left for the
+   runtime boundary (memref materialisation from !llvm.ptr). *)
+
+open Fsc_ir
+
+let patterns =
+  [ Rewrite.pattern ~match_name:"builtin.unrealized_conversion_cast"
+      "reconcile-cast-pair" (fun rw op ->
+        match Op.defining_op (Op.operand op) with
+        | Some inner
+          when inner.Op.o_name = "builtin.unrealized_conversion_cast"
+               && Types.equal
+                    (Op.value_type (Op.operand inner))
+                    (Op.value_type (Op.result op)) ->
+          Rewrite.replace_op rw op [ Op.operand inner ];
+          true
+        | _ ->
+          if
+            Types.equal
+              (Op.value_type (Op.operand op))
+              (Op.value_type (Op.result op))
+          then begin
+            Rewrite.replace_op rw op [ Op.operand op ];
+            true
+          end
+          else false) ]
+
+let pass =
+  Pass.create "reconcile-unrealized-casts" (fun m ->
+      ignore (Rewrite.apply_greedily patterns m);
+      (* cancelled pairs leave a dead inner cast behind *)
+      ignore (Dce.run m))

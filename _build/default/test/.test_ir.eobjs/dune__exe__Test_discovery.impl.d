@@ -1,0 +1,1 @@
+test/test_discovery.ml: Alcotest Dialect Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_stencil List Op Printer Printf QCheck QCheck_alcotest Str String Types Verifier

@@ -1,0 +1,1 @@
+test/test_dmp.ml: Alcotest Array Float Fsc_core Fsc_dialects Fsc_dmp Fsc_driver Fsc_fortran Fsc_ir Fsc_rt List Op QCheck QCheck_alcotest

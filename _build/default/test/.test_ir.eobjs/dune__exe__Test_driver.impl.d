@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Fsc_driver Fsc_lowering Fsc_rt Lazy List

@@ -1,0 +1,1 @@
+test/test_e2e_random.ml: Alcotest Buffer Fsc_core Fsc_driver Fsc_fortran Fsc_rt List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_extraction.ml: Alcotest Attr Dialect Filename Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering List Op String Types Verifier

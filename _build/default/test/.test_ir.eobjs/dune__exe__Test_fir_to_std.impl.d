@@ -1,0 +1,1 @@
+test/test_fir_to_std.ml: Alcotest Buffer Dialect Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt Hashtbl List Op Option Verifier

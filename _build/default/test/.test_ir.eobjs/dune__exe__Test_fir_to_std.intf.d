@@ -1,0 +1,1 @@
+test/test_fir_to_std.mli:

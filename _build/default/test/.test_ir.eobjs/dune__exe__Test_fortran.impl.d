@@ -1,0 +1,1 @@
+test/test_fortran.ml: Alcotest Buffer Dialect Fast Flexer Flower Fparser Fsc_core Fsc_dialects Fsc_fortran Fsc_ir Fsc_rt Fsema Hashtbl List Op QCheck QCheck_alcotest String Verifier

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fun

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Buffer Builder Fsc_dialects Fsc_fir Fsc_fortran Fsc_ir Fsc_rt List Op Types

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Attr Builder Dialect Fsc_dialects Fsc_fir Fsc_ir Fsc_transforms List Op Pass Result Rewrite Types Verifier

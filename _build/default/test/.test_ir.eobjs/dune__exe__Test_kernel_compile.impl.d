@@ -1,0 +1,1 @@
+test/test_kernel_compile.ml: Alcotest Float Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt List Op Types

@@ -1,0 +1,1 @@
+test/test_lowering.ml: Alcotest Dialect Float Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt List Op Result Str Verifier

@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Fsc_lowering Fsc_rt Fsc_stencil List Op Verifier

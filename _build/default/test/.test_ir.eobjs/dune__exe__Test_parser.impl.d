@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attr Builder Fsc_core Fsc_dialects Fsc_driver Fsc_fortran Fsc_ir Gen Hashtbl List Op Parser Printer QCheck QCheck_alcotest Result String Types

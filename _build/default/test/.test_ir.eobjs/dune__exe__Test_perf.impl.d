@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Fsc_perf List Printf

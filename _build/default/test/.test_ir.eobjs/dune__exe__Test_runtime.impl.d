@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Fsc_rt QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Attr Builder Fsc_dialects Fsc_ir Fsc_stencil List Op Result Types Verifier

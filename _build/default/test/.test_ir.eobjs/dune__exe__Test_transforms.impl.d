@@ -1,0 +1,1 @@
+test/test_transforms.ml: Alcotest Float Fsc_dialects Fsc_ir Fsc_rt Fsc_transforms List Op Pass QCheck QCheck_alcotest Rewrite Types

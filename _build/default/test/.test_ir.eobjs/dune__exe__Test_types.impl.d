@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Fsc_ir List QCheck QCheck_alcotest Types

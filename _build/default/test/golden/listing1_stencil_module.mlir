@@ -1,0 +1,27 @@
+"builtin.module"() ({
+^bb0:
+  "func.func"() ({
+  ^bb1(%0: !llvm.ptr, %1: !llvm.ptr):
+    %2 = "builtin.unrealized_conversion_cast"(%0) : (!llvm.ptr) -> (memref<9x9xf64>)
+    %3 = "builtin.unrealized_conversion_cast"(%1) : (!llvm.ptr) -> (memref<9x9xf64>)
+    %4 = "stencil.external_load"(%2) : (memref<9x9xf64>) -> (!stencil.field<[0,8]x[0,8]xf64>)
+    %5 = "stencil.load"(%4) : (!stencil.field<[0,8]x[0,8]xf64>) -> (!stencil.temp<[0,8]x[0,8]xf64>)
+    %6 = "stencil.external_load"(%3) : (memref<9x9xf64>) -> (!stencil.field<[0,8]x[0,8]xf64>)
+    %7 = "stencil.apply"(%5) ({
+    ^bb2(%8: !stencil.temp<[0,8]x[0,8]xf64>):
+      %9 = "arith.constant"() {"value" = 0.25} : () -> (f32)
+      %10 = "arith.extf"(%9) : (f32) -> (f64)
+      %11 = "stencil.access"(%8) {"offset" = #stencil.index<0, -1>} : (!stencil.temp<[0,8]x[0,8]xf64>) -> (f64)
+      %12 = "stencil.access"(%8) {"offset" = #stencil.index<0, 1>} : (!stencil.temp<[0,8]x[0,8]xf64>) -> (f64)
+      %13 = "arith.addf"(%11, %12) : (f64, f64) -> (f64)
+      %14 = "stencil.access"(%8) {"offset" = #stencil.index<-1, 0>} : (!stencil.temp<[0,8]x[0,8]xf64>) -> (f64)
+      %15 = "arith.addf"(%13, %14) : (f64, f64) -> (f64)
+      %16 = "stencil.access"(%8) {"offset" = #stencil.index<1, 0>} : (!stencil.temp<[0,8]x[0,8]xf64>) -> (f64)
+      %17 = "arith.addf"(%15, %16) : (f64, f64) -> (f64)
+      %18 = "arith.mulf"(%10, %17) : (f64, f64) -> (f64)
+      "stencil.return"(%18) : (f64) -> ()
+    }) : (!stencil.temp<[0,8]x[0,8]xf64>) -> (!stencil.temp<[1,7]x[1,7]xf64>)
+    "stencil.store"(%7, %6) {"lb" = #stencil.index<1, 1>, "ub" = #stencil.index<7, 7>} : (!stencil.temp<[1,7]x[1,7]xf64>, !stencil.field<[0,8]x[0,8]xf64>) -> ()
+    "func.return"() : () -> ()
+  }) {"function_type" = (!llvm.ptr, !llvm.ptr) -> (), "sym_name" = "_stencil_kernel_0"} : () -> ()
+}) : () -> ()

@@ -1,0 +1,336 @@
+(* Tests for the paper's central contribution: stencil discovery
+   (Listing 3), including the Listing 1 -> Listing 2 golden case and the
+   negative cases that must be left untouched. *)
+
+open Fsc_ir
+module Stencil = Fsc_stencil.Stencil
+
+let () = Fsc_dialects.Registry.init ()
+
+let discover src =
+  let m = Fsc_fortran.Flower.compile_source src in
+  let stats = Fsc_core.Discovery.run m in
+  Verifier.verify_exn m;
+  (m, stats)
+
+let applies m = Op.collect_ops Stencil.is_apply m
+let count name m =
+  List.length (Op.collect_ops (fun o -> o.Op.o_name = name) m)
+
+(* ---- the Listing 1 golden case ---- *)
+
+let test_listing1 () =
+  let m, stats = discover (Fsc_driver.Benchmarks.listing1 ~n:256 ()) in
+  Alcotest.(check int) "one stencil" 1 stats.Fsc_core.Discovery.found;
+  Alcotest.(check int) "no rejects" 0
+    (List.length stats.Fsc_core.Discovery.rejected);
+  match applies m with
+  | [ apply ] ->
+    (* 4 accesses with the offsets of Listing 2 *)
+    let accesses = Stencil.apply_accesses apply in
+    let offsets = List.map snd accesses in
+    List.iter
+      (fun o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "offset %s expected"
+             (String.concat "," (List.map string_of_int o)))
+          true
+          (List.mem o [ [ 0; -1 ]; [ 0; 1 ]; [ -1; 0 ]; [ 1; 0 ] ]))
+      offsets;
+    Alcotest.(check int) "4 accesses" 4 (List.length offsets);
+    (* output bounds 1..255 per dim (zero-based interior) *)
+    (match Op.results apply with
+    | [ r ] ->
+      Alcotest.(check bool) "output bounds" true
+        (Stencil.type_bounds (Op.value_type r) = [ (1, 255); (1, 255) ])
+    | _ -> Alcotest.fail "one result");
+    (* loops were consumed *)
+    Alcotest.(check int) "loops removed" 0 (count "fir.do_loop" m);
+    Alcotest.(check int) "store replaced" 0 (count "fir.store" m);
+    (* the apply body is pure standard dialect *)
+    Op.walk_inner
+      (fun o ->
+        let d = Dialect.dialect_of_op_name o.Op.o_name in
+        Alcotest.(check bool)
+          ("std dialect in body: " ^ o.Op.o_name)
+          true
+          (List.mem d [ "arith"; "math"; "stencil" ]))
+      apply
+  | l -> Alcotest.failf "expected 1 apply, got %d" (List.length l)
+
+let test_golden_ir_shape () =
+  (* the printed module must contain the Listing-2 signature pieces *)
+  let m, _ = discover (Fsc_driver.Benchmarks.listing1 ~n:256 ()) in
+  let text = Printer.module_to_string m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (let re = Str.regexp_string needle in
+         try
+           ignore (Str.search_forward re text 0);
+           true
+         with Not_found -> false))
+    [ "stencil.apply"; "stencil.access"; "stencil.return";
+      "#stencil.index<0, -1>"; "#stencil.index<1, 0>";
+      "!stencil.temp<[0,256]x[0,256]xf64>" ]
+
+(* ---- 3-D, heap arrays, scalar inputs ---- *)
+
+let test_gauss_seidel_3d () =
+  let m, stats =
+    discover (Fsc_driver.Benchmarks.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:2 ())
+  in
+  (* init u, init unew, sweep, copy-back *)
+  Alcotest.(check int) "four stencils" 4 stats.Fsc_core.Discovery.found;
+  (* the sweep apply has the six 3-D orthogonal offsets *)
+  let sweep =
+    List.find
+      (fun a -> List.length (Stencil.apply_accesses a) = 6)
+      (applies m)
+  in
+  let offsets = List.map snd (Stencil.apply_accesses sweep) in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "orthogonal offset" true
+        (List.mem o
+           [ [ -1; 0; 0 ]; [ 1; 0; 0 ]; [ 0; -1; 0 ]; [ 0; 1; 0 ];
+             [ 0; 0; -1 ]; [ 0; 0; 1 ] ]))
+    offsets
+
+let test_heap_arrays_discovered () =
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8), allocatable :: a(:, :), b(:, :)
+  allocate(a(0:n+1, 0:n+1), b(0:n+1, 0:n+1))
+  do j = 1, n
+    do i = 1, n
+      b(i, j) = 0.5d0 * (a(i-1, j) + a(i+1, j))
+    end do
+  end do
+end program p
+|}
+  in
+  let _, stats = discover src in
+  Alcotest.(check int) "heap stencil found" 1 stats.Fsc_core.Discovery.found
+
+let test_scalar_input_hoisted () =
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8) :: c
+  real(kind=8), dimension(0:n+1, 0:n+1) :: a, b
+  c = 0.25d0
+  do j = 1, n
+    do i = 1, n
+      b(i, j) = c * a(i, j)
+    end do
+  end do
+end program p
+|}
+  in
+  let m, stats = discover src in
+  Alcotest.(check int) "found" 1 stats.Fsc_core.Discovery.found;
+  (* the apply takes two inputs: the temp and the hoisted scalar *)
+  match applies m with
+  | [ apply ] -> Alcotest.(check int) "temp + scalar" 2 (Op.num_operands apply)
+  | _ -> Alcotest.fail "one apply"
+
+let test_loop_index_in_body () =
+  (* initialisation loops using loop variables become stencil.index *)
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8), dimension(0:n+1, 0:n+1) :: a
+  do j = 0, n + 1
+    do i = 0, n + 1
+      a(i, j) = 0.5d0 * dble(i) + dble(j)
+    end do
+  end do
+end program p
+|}
+  in
+  let m, stats = discover src in
+  Alcotest.(check int) "found" 1 stats.Fsc_core.Discovery.found;
+  Alcotest.(check bool) "uses stencil.index" true
+    (count "stencil.index" m >= 2)
+
+(* ---- negative cases: must stay untouched ---- *)
+
+let rejects src expected_substring =
+  let m = Fsc_fortran.Flower.compile_source src in
+  let before_loops = count "fir.do_loop" m in
+  let stats = Fsc_core.Discovery.run m in
+  Alcotest.(check int) "nothing found" 0 stats.Fsc_core.Discovery.found;
+  Alcotest.(check int) "loops untouched" before_loops (count "fir.do_loop" m);
+  Alcotest.(check bool)
+    ("reject reason mentions " ^ expected_substring)
+    true
+    (List.exists
+       (fun (_, r) ->
+         let re = Str.regexp_string expected_substring in
+         try
+           ignore (Str.search_forward re r 0);
+           true
+         with Not_found -> false)
+       stats.Fsc_core.Discovery.rejected)
+
+let test_reject_indirect_index () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i
+  integer, dimension(n) :: idx
+  real(kind=8), dimension(n) :: a, b
+  do i = 1, n
+    b(idx(i)) = a(i)
+  end do
+end program p
+|}
+    "non-affine"
+
+let test_reject_constant_subscript_read () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8), dimension(n) :: a, b
+  do i = 1, n
+    b(i) = a(1)
+  end do
+end program p
+|}
+    "constant subscript"
+
+let test_reject_transposed_access () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i, j
+  real(kind=8), dimension(n, n) :: a, b
+  do j = 1, n
+    do i = 1, n
+      b(i, j) = a(j, i)
+    end do
+  end do
+end program p
+|}
+    "different loop variable"
+
+let test_reject_non_unit_step () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8), dimension(n) :: a, b
+  do i = 1, n, 2
+    b(i) = a(i)
+  end do
+end program p
+|}
+    "step"
+
+let test_reject_scalar_written_in_nest () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  integer :: i
+  real(kind=8) :: acc
+  real(kind=8), dimension(n) :: a, b
+  acc = 0.0d0
+  do i = 1, n
+    acc = acc + 1.0d0
+    b(i) = acc * a(i)
+  end do
+end program p
+|}
+    "written inside nest"
+
+let test_reject_store_not_in_loop () =
+  rejects
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 8
+  real(kind=8), dimension(n) :: a
+  a(3) = 1.0d0
+end program p
+|}
+    "not inside a loop"
+
+(* shape inference invariants on a discovered module *)
+let prop_input_bounds_cover_accesses =
+  QCheck.Test.make ~name:"input bounds cover output + offsets" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (nx, niter) -> (4 + nx, 1 + niter))
+           (pair (int_range 0 8) (int_range 0 2))))
+    (fun (n, niter) ->
+      let m, _ =
+        discover
+          (Fsc_driver.Benchmarks.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter ())
+      in
+      List.for_all
+        (fun apply ->
+          let out_bounds =
+            match Op.results apply with
+            | r :: _ -> Stencil.type_bounds (Op.value_type r)
+            | [] -> []
+          in
+          List.for_all
+            (fun (i, offsets) ->
+              match Op.value_type (Op.operand ~index:i apply) with
+              | Types.Stencil_temp (b, _) ->
+                List.for_all2
+                  (fun (lo, hi) ((olo, ohi), off) ->
+                    lo <= olo + off && hi >= ohi + off)
+                  b
+                  (List.combine out_bounds offsets)
+              | _ -> true)
+            (Stencil.apply_accesses apply))
+        (applies m))
+
+let () =
+  Alcotest.run "discovery"
+    [ ("positive",
+       [ Alcotest.test_case "listing 1 -> stencil" `Quick test_listing1;
+         Alcotest.test_case "golden IR shape" `Quick test_golden_ir_shape;
+         Alcotest.test_case "gauss-seidel 3d" `Quick test_gauss_seidel_3d;
+         Alcotest.test_case "heap arrays" `Quick test_heap_arrays_discovered;
+         Alcotest.test_case "scalar inputs hoisted" `Quick
+           test_scalar_input_hoisted;
+         Alcotest.test_case "loop index in body" `Quick
+           test_loop_index_in_body ]);
+      ("negative",
+       [ Alcotest.test_case "indirect index" `Quick test_reject_indirect_index;
+         Alcotest.test_case "constant subscript read" `Quick
+           test_reject_constant_subscript_read;
+         Alcotest.test_case "transposed access" `Quick
+           test_reject_transposed_access;
+         Alcotest.test_case "non-unit step" `Quick test_reject_non_unit_step;
+         Alcotest.test_case "scalar written in nest" `Quick
+           test_reject_scalar_written_in_nest;
+         Alcotest.test_case "store outside loops" `Quick
+           test_reject_store_not_in_loop ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_input_bounds_cover_accesses ]) ]

@@ -1,0 +1,204 @@
+(* Distributed-memory tests: decomposition properties, the DMP/MPI
+   dialect lowerings, halo exchange correctness, and distributed
+   Gauss-Seidel equivalence with serial execution. *)
+
+open Fsc_ir
+module D = Fsc_dmp.Decomp
+module DX = Fsc_dmp.Dist_exec
+module Rt = Fsc_rt.Memref_rt
+module V = Fsc_rt.Vendor_kernels
+
+let () = Fsc_dialects.Registry.init ()
+
+(* ---- decomposition ---- *)
+
+let test_factorize () =
+  Alcotest.(check (pair int int)) "8192" (64, 128) (D.factorize 8192);
+  Alcotest.(check (pair int int)) "128" (8, 16) (D.factorize 128);
+  Alcotest.(check (pair int int)) "7 (prime)" (1, 7) (D.factorize 7);
+  Alcotest.(check (pair int int)) "1" (1, 1) (D.factorize 1)
+
+let test_local_ranges () =
+  let d = D.create ~global:(16, 10, 9) ~ranks:6 in
+  (* 6 = 2 x 3 *)
+  Alcotest.(check int) "ranks" 6 (D.nranks d);
+  (* ranges tile the domain *)
+  Alcotest.(check bool) "partition" true (D.check_partition d);
+  (* x never decomposed *)
+  for r = 0 to 5 do
+    let (xl, xh), _, _ = D.local_range d r in
+    Alcotest.(check (pair int int)) "x full" (1, 16) (xl, xh)
+  done
+
+let test_neighbors () =
+  let d = D.create ~global:(8, 8, 8) ~ranks:4 in
+  (* 2 x 2 grid: rank 0 = (0,0) *)
+  Alcotest.(check bool) "no low neighbour at edge" true
+    (D.neighbor d 0 D.Y_low = None && D.neighbor d 0 D.Z_low = None);
+  (match D.neighbor d 0 D.Y_high with
+  | Some n ->
+    Alcotest.(check bool) "reciprocal" true
+      (D.neighbor d n D.Y_low = Some 0)
+  | None -> Alcotest.fail "expected neighbour");
+  Alcotest.(check bool) "halo bytes positive" true (D.halo_bytes d 0 > 0)
+
+let prop_partition =
+  QCheck.Test.make ~name:"decomposition partitions the grid" ~count:100
+    QCheck.(pair (int_range 1 64) (triple (int_range 2 20) (int_range 2 20)
+                                     (int_range 2 20)))
+    (fun (ranks, (nx, ny, nz)) ->
+      let d = D.create ~global:(nx, ny, nz) ~ranks in
+      (* degenerate decompositions (more ranks than cells along a dim)
+         are allowed to produce empty local ranges; partition still must
+         hold *)
+      D.check_partition d)
+
+let prop_split_covers =
+  QCheck.Test.make ~name:"split covers 1..n contiguously" ~count:200
+    QCheck.(pair (int_range 1 50) (int_range 1 12))
+    (fun (n, p) ->
+      let pieces = List.init p (fun i -> D.split n p i) in
+      let covered =
+        List.concat_map
+          (fun (lo, hi) -> if hi >= lo then List.init (hi - lo + 1)
+                               (fun i -> lo + i) else [])
+          pieces
+      in
+      List.sort_uniq compare covered = List.init n (fun i -> i + 1))
+
+(* ---- halo exchange correctness ---- *)
+
+let test_halo_exchange () =
+  let global = (6, 8, 10) in
+  let d = D.create ~global ~ranks:4 in
+  let init _name (i, j, k) =
+    float_of_int ((100 * i) + (10 * j) + k)
+  in
+  let t = DX.create d ~fields:[ "u" ] ~init in
+  (* scribble over every halo, then swap: halos must be restored to the
+     neighbour's true values (global boundaries keep their init value) *)
+  Array.iter
+    (fun st ->
+      let buf = DX.field st "u" in
+      let dims = buf.Rt.dims in
+      for k = 0 to dims.(2) - 1 do
+        for i = 0 to dims.(0) - 1 do
+          Rt.set buf [| i; 0; k |] (-1.0);
+          Rt.set buf [| i; dims.(1) - 1; k |] (-1.0)
+        done
+      done)
+    t.DX.ranks;
+  DX.iterate t ~iters:1 ~swap_fields:[ "u" ] ~compute:(fun _ _ -> ());
+  (* interior halos restored *)
+  Array.iter
+    (fun st ->
+      let (_, _), (yl, yh), (zl, _) = st.DX.rs_range in
+      let buf = DX.field st "u" in
+      (match D.neighbor d st.DX.rs_rank D.Y_low with
+      | Some _ ->
+        (* halo row j=0 corresponds to global j = yl - 1 *)
+        Alcotest.(check (float 0.)) "y-low halo restored"
+          (init "u" (2, yl - 1, zl))
+          (Rt.get buf [| 2; 0; 1 |])
+      | None -> ());
+      match D.neighbor d st.DX.rs_rank D.Y_high with
+      | Some _ ->
+        Alcotest.(check (float 0.)) "y-high halo restored"
+          (init "u" (2, yh + 1, zl))
+          (Rt.get buf [| 2; buf.Rt.dims.(1) - 1; 1 |])
+      | None -> ())
+    t.DX.ranks
+
+let test_distributed_gs_equals_serial () =
+  let nx, ny, nz = (6, 8, 10) in
+  let iters = 3 in
+  (* serial reference with the vendor kernel *)
+  let u = V.grid3 ~nx ~ny ~nz and unew = V.grid3 ~nx ~ny ~nz in
+  V.init_linear u;
+  V.gs3d_run ~u ~unew ~iters ();
+  (* distributed over 4 ranks *)
+  let d = D.create ~global:(nx, ny, nz) ~ranks:4 in
+  let init name (i, j, k) =
+    match name with
+    | "u" ->
+      V.gs_init i j k
+    | _ -> 0.0
+  in
+  let t = DX.create d ~fields:[ "u"; "unew" ] ~init in
+  DX.iterate t ~iters ~swap_fields:[ "u" ] ~compute:(fun t rank ->
+      let st = t.DX.ranks.(rank) in
+      let lu = DX.field st "u" and lnew = DX.field st "unew" in
+      let lx, ly, lz = D.local_extents d rank in
+      let gu = { V.g_buf = lu; g_nx = lx; g_ny = ly; g_nz = lz } in
+      let gn = { V.g_buf = lnew; g_nx = lx; g_ny = ly; g_nz = lz } in
+      V.gs3d_sweep ~u:gu ~unew:gn ();
+      V.gs3d_copyback ~u:gu ~unew:gn ());
+  let gathered = DX.gather t "u" in
+  (* compare interiors only: distributed halos of the global boundary
+     follow a different update discipline than the serial boundary *)
+  let max_diff = ref 0.0 in
+  for k = 1 to nz do
+    for j = 1 to ny do
+      for i = 1 to nx do
+        let a = Rt.get u.V.g_buf [| i; j; k |] in
+        let b = Rt.get gathered [| i; j; k |] in
+        max_diff := Float.max !max_diff (Float.abs (a -. b))
+      done
+    done
+  done;
+  Alcotest.(check (float 0.)) "interior identical" 0.0 !max_diff;
+  let msgs, bytes = DX.stats t in
+  Alcotest.(check bool) "halo messages flowed" true (msgs > 0 && bytes > 0)
+
+(* ---- IR-level DMP/MPI lowerings ---- *)
+
+let stencil_module () =
+  Fsc_core.Extraction.reset_name_counter ();
+  let m =
+    Fsc_fortran.Flower.compile_source
+      (Fsc_driver.Benchmarks.gauss_seidel ~nx:6 ~ny:6 ~nz:6 ~niter:1 ())
+  in
+  ignore (Fsc_core.Discovery.run m);
+  ignore (Fsc_core.Merge.run m);
+  (Fsc_core.Extraction.run m).Fsc_core.Extraction.stencil_module
+
+let count name m =
+  List.length (Op.collect_ops (fun o -> o.Op.o_name = name) m)
+
+let test_stencil_to_dmp () =
+  let sm = stencil_module () in
+  let swaps = Fsc_dmp.Stencil_to_dmp.run sm in
+  (* the sweep apply reads u with halo 1 in both decomposed dims; the
+     copy-back apply has offsets 0 so no swap; the init kernel has no
+     reads at all *)
+  Alcotest.(check int) "one swap inserted" 1 swaps;
+  let swap = List.hd (Op.collect_ops (fun o -> o.Op.o_name = "dmp.swap") sm) in
+  Alcotest.(check (list int)) "halo widths" [ 1; 1; 1 ]
+    (Fsc_dmp.Dmp_dialect.swap_halo swap)
+
+let test_dmp_to_mpi () =
+  let sm = stencil_module () in
+  ignore (Fsc_dmp.Stencil_to_dmp.run sm);
+  let lowered = Fsc_dmp.Dmp_to_mpi.run sm in
+  Alcotest.(check int) "one swap lowered" 1 lowered;
+  Alcotest.(check int) "no dmp left" 0 (count "dmp.swap" sm);
+  (* 2 decomposed dims x 2 directions of isend+irecv, one waitall *)
+  Alcotest.(check int) "isends" 4 (count "mpi.isend" sm);
+  Alcotest.(check int) "irecvs" 4 (count "mpi.irecv" sm);
+  Alcotest.(check int) "waitall" 1 (count "mpi.waitall" sm)
+
+let () =
+  Alcotest.run "dmp"
+    [ ("decomposition",
+       [ Alcotest.test_case "factorize" `Quick test_factorize;
+         Alcotest.test_case "local ranges" `Quick test_local_ranges;
+         Alcotest.test_case "neighbors" `Quick test_neighbors;
+         QCheck_alcotest.to_alcotest prop_partition;
+         QCheck_alcotest.to_alcotest prop_split_covers ]);
+      ("execution",
+       [ Alcotest.test_case "halo exchange" `Quick test_halo_exchange;
+         Alcotest.test_case "distributed GS == serial" `Quick
+           test_distributed_gs_equals_serial ]);
+      ("dialect",
+       [ Alcotest.test_case "stencil -> dmp" `Quick test_stencil_to_dmp;
+         Alcotest.test_case "dmp -> mpi" `Quick test_dmp_to_mpi ]) ]

@@ -1,0 +1,195 @@
+(* Extraction tests: module splitting, the llvm_ptr boundary, dialect
+   registration constraints, and the GPU data-placement pass. *)
+
+open Fsc_ir
+
+let () = Fsc_dialects.Registry.init ()
+
+let extract src =
+  Fsc_core.Extraction.reset_name_counter ();
+  let m = Fsc_fortran.Flower.compile_source src in
+  ignore (Fsc_core.Discovery.run m);
+  ignore (Fsc_core.Merge.run m);
+  Fsc_core.Extraction.run m
+
+let count name m =
+  List.length (Op.collect_ops (fun o -> o.Op.o_name = name) m)
+
+let gs = Fsc_driver.Benchmarks.gauss_seidel ~nx:6 ~ny:6 ~nz:6 ~niter:2 ()
+
+let test_host_is_flang_clean () =
+  let ex = extract gs in
+  (* the host module must verify under Flang's restricted registry... *)
+  Verifier.verify_in_context_exn (Dialect.flang_context ())
+    ex.Fsc_core.Extraction.host_module;
+  (* ...and contain no stencil ops at all *)
+  Alcotest.(check int) "no stencil ops in host" 0
+    (List.length
+       (Op.collect_ops
+          (fun o -> Dialect.dialect_of_op_name o.Op.o_name = "stencil")
+          ex.Fsc_core.Extraction.host_module))
+
+let test_stencil_module_is_fir_free () =
+  let ex = extract gs in
+  Alcotest.(check int) "no fir ops in stencil module" 0
+    (List.length
+       (Op.collect_ops
+          (fun o -> Dialect.dialect_of_op_name o.Op.o_name = "fir")
+          ex.Fsc_core.Extraction.stencil_module));
+  (* the mixed pre-extraction module is NOT acceptable to either tool;
+     after lowering to scf the stencil module becomes mlir-opt clean *)
+  Fsc_lowering.Stencil_to_scf.run ~mode:Fsc_lowering.Stencil_to_scf.Cpu
+    ex.Fsc_core.Extraction.stencil_module;
+  Verifier.verify_in_context_exn (Dialect.mlir_opt_context ())
+    ex.Fsc_core.Extraction.stencil_module
+
+let test_boundary_types () =
+  let ex = extract gs in
+  (* host passes !fir.llvm_ptr<i8>; kernels accept !llvm.ptr — nominally
+     different, reconciled at link time (Section 3 of the paper) *)
+  let calls =
+    Op.collect_ops
+      (fun o ->
+        o.Op.o_name = "fir.call"
+        &&
+        match Op.attr o "callee" with
+        | Some (Attr.Sym_a s) ->
+          String.length s > 15 && String.sub s 0 15 = "_stencil_kernel"
+        | _ -> false)
+      ex.Fsc_core.Extraction.host_module
+  in
+  Alcotest.(check bool) "kernel calls exist" true (calls <> []);
+  List.iter
+    (fun call ->
+      List.iter
+        (fun (v : Op.value) ->
+          match Op.value_type v with
+          | Types.Fir_llvm_ptr Types.I8 -> ()
+          | t when Types.is_scalar t -> ()
+          | t ->
+            Alcotest.failf "unexpected boundary type %s" (Types.to_string t))
+        (Op.operands call))
+    calls;
+  List.iter
+    (fun k ->
+      let args, _ = Fsc_dialects.Func.signature k in
+      List.iter
+        (fun t ->
+          match t with
+          | Types.Llvm_ptr -> ()
+          | t when Types.is_scalar t -> ()
+          | t -> Alcotest.failf "kernel arg type %s" (Types.to_string t))
+        args)
+    (Fsc_dialects.Func.all_functions ex.Fsc_core.Extraction.stencil_module)
+
+let test_kernel_metadata () =
+  let ex = extract gs in
+  Alcotest.(check int) "two kernels (init, sweep+copy)" 2
+    (List.length ex.Fsc_core.Extraction.kernels);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "has array args" true
+        (List.exists
+           (function Fsc_core.Extraction.K_array _ -> true | _ -> false)
+           k.Fsc_core.Extraction.k_args))
+    ex.Fsc_core.Extraction.kernels
+
+let test_memref_rebuild () =
+  let ex = extract gs in
+  (* each kernel rebuilds memrefs from pointers via
+     builtin.unrealized_conversion_cast *)
+  let casts =
+    count "builtin.unrealized_conversion_cast"
+      ex.Fsc_core.Extraction.stencil_module
+  in
+  Alcotest.(check bool) "casts present" true (casts > 0)
+
+let test_pw_scalars_cross_boundary () =
+  let ex =
+    extract (Fsc_driver.Benchmarks.pw_advection ~nx:6 ~ny:6 ~nz:6 ~niter:1 ())
+  in
+  (* rdx/rdy/rdz cross as scalar f64 arguments *)
+  let has_scalar_args =
+    List.exists
+      (fun k ->
+        List.exists
+          (function
+            | Fsc_core.Extraction.K_scalar Types.F64 -> true
+            | _ -> false)
+          k.Fsc_core.Extraction.k_args)
+      ex.Fsc_core.Extraction.kernels
+  in
+  Alcotest.(check bool) "scalar args" true has_scalar_args;
+  Verifier.verify_in_context_exn (Dialect.flang_context ())
+    ex.Fsc_core.Extraction.host_module
+
+let test_gpu_data_pass () =
+  let ex = extract gs in
+  let managed =
+    Fsc_core.Gpu_data.run ~host_module:ex.Fsc_core.Extraction.host_module
+      ~stencil_module:ex.Fsc_core.Extraction.stencil_module
+  in
+  Alcotest.(check int) "both kernels managed" 2 (List.length managed);
+  let host = ex.Fsc_core.Extraction.host_module in
+  Verifier.verify_in_context_exn (Dialect.flang_context ()) host;
+  (* init/sync/free trampolines appear in the host *)
+  let call_names =
+    Op.collect_ops (fun o -> o.Op.o_name = "fir.call") host
+    |> List.map (fun o -> Op.string_attr o "callee")
+  in
+  Alcotest.(check bool) "init call" true
+    (List.exists
+       (fun n -> Filename.check_suffix n "_gpu_init")
+       call_names);
+  Alcotest.(check bool) "sync call" true
+    (List.exists
+       (fun n -> Filename.check_suffix n "_gpu_sync")
+       call_names);
+  (* device functions with gpu dialect ops live in the stencil module,
+     never in the host (Flang does not register gpu) *)
+  Alcotest.(check int) "no gpu ops in host" 0
+    (List.length
+       (Op.collect_ops
+          (fun o -> Dialect.dialect_of_op_name o.Op.o_name = "gpu")
+          host));
+  Alcotest.(check bool) "gpu ops in stencil module" true
+    (count "gpu.memcpy" ex.Fsc_core.Extraction.stencil_module > 0)
+
+let test_init_hoisted_out_of_time_loop () =
+  let ex = extract gs in
+  ignore
+    (Fsc_core.Gpu_data.run ~host_module:ex.Fsc_core.Extraction.host_module
+       ~stencil_module:ex.Fsc_core.Extraction.stencil_module);
+  (* the _gpu_init call for the time-loop kernel must NOT be inside any
+     fir.do_loop *)
+  let host = ex.Fsc_core.Extraction.host_module in
+  Op.walk
+    (fun o ->
+      if
+        o.Op.o_name = "fir.call"
+        && Filename.check_suffix (Op.string_attr o "callee") "_gpu_init"
+      then begin
+        let rec in_loop p =
+          match Op.parent_op p with
+          | Some q -> q.Op.o_name = "fir.do_loop" || in_loop q
+          | None -> false
+        in
+        Alcotest.(check bool) "init outside loops" false (in_loop o)
+      end)
+    host
+
+let () =
+  Alcotest.run "extraction"
+    [ ("extraction",
+       [ Alcotest.test_case "host flang-clean" `Quick test_host_is_flang_clean;
+         Alcotest.test_case "stencil module fir-free" `Quick
+           test_stencil_module_is_fir_free;
+         Alcotest.test_case "boundary types" `Quick test_boundary_types;
+         Alcotest.test_case "kernel metadata" `Quick test_kernel_metadata;
+         Alcotest.test_case "memref rebuild" `Quick test_memref_rebuild;
+         Alcotest.test_case "pw scalars cross boundary" `Quick
+           test_pw_scalars_cross_boundary ]);
+      ("gpu-data",
+       [ Alcotest.test_case "gpu data pass" `Quick test_gpu_data_pass;
+         Alcotest.test_case "init hoisted out of time loop" `Quick
+           test_init_hoisted_out_of_time_loop ]) ]

@@ -1,0 +1,156 @@
+(* Tests for the FIR -> standard-dialects lowering (the paper's fourth
+   further-work item, implemented): the lowered module must be free of
+   computational FIR, acceptable to the mlir-opt registry (modulo
+   fir.print), and compute bit-identical grids. *)
+
+open Fsc_ir
+module P = Fsc_driver.Pipeline
+module F2S = Fsc_lowering.Fir_to_std_dialects
+module Rt = Fsc_rt.Memref_rt
+
+let () = Fsc_dialects.Registry.init ()
+
+let buffer_of_ctx ctx name =
+  List.assoc name ctx.Fsc_rt.Interp.named_buffers
+
+let dialect_census m =
+  let tbl = Hashtbl.create 8 in
+  Op.walk
+    (fun o ->
+      let d = Dialect.dialect_of_op_name o.Op.o_name in
+      Hashtbl.replace tbl d
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
+    m;
+  tbl
+
+let test_gs_lowered_matches () =
+  let src = Fsc_driver.Benchmarks.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:3 () in
+  (* reference via FIR interpretation *)
+  let reference = P.flang_only src in
+  P.run reference;
+  let u_ref = P.buffer_exn reference "u" in
+  (* lowered module *)
+  let m = Fsc_fortran.Flower.compile_source src in
+  let { F2S.lowered; skipped } = F2S.run m in
+  Alcotest.(check int) "nothing skipped" 0 (List.length skipped);
+  Verifier.verify_exn lowered;
+  let census = dialect_census lowered in
+  Alcotest.(check bool) "no computational fir left" true
+    (match Hashtbl.find_opt census "fir" with
+    | None -> true
+    | Some _ ->
+      (* only fir.print may remain *)
+      let bad = ref false in
+      Op.walk
+        (fun o ->
+          if
+            Dialect.dialect_of_op_name o.Op.o_name = "fir"
+            && o.Op.o_name <> "fir.print"
+          then bad := true)
+        lowered;
+      not !bad);
+  Alcotest.(check bool) "uses scf and memref now" true
+    (Hashtbl.mem census "scf" && Hashtbl.mem census "memref");
+  (* execute the lowered module *)
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx lowered;
+  Fsc_rt.Interp.run_main ctx;
+  Alcotest.(check (float 0.)) "identical grid" 0.0
+    (Rt.max_abs_diff u_ref (buffer_of_ctx ctx "u"))
+
+let test_heap_arrays_forwarded () =
+  (* allocatable arrays: the heap pointer cell must be store-forwarded
+     away entirely *)
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 6
+  integer :: i
+  real(kind=8), allocatable :: a(:)
+  allocate(a(n))
+  do i = 1, n
+    a(i) = dble(i) * 1.5d0
+  end do
+  print *, sum(a)
+  deallocate(a)
+end program p
+|}
+  in
+  let m = Fsc_fortran.Flower.compile_source src in
+  let { F2S.lowered; skipped } = F2S.run m in
+  Alcotest.(check int) "nothing skipped" 0 (List.length skipped);
+  Verifier.verify_exn lowered;
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx lowered;
+  let buf = Buffer.create 16 in
+  ctx.Fsc_rt.Interp.output <- Some buf;
+  Fsc_rt.Interp.run_main ctx;
+  Alcotest.(check string) "sum computed" "31.5\n" (Buffer.contents buf)
+
+let test_host_module_after_extraction () =
+  (* the paper's suggestion: with FIR lowered to standard dialects, the
+     host side of the split pipeline joins the mlir-opt world too *)
+  Fsc_core.Extraction.reset_name_counter ();
+  let src = Fsc_driver.Benchmarks.gauss_seidel ~nx:6 ~ny:6 ~nz:6 ~niter:2 () in
+  let m = Fsc_fortran.Flower.compile_source src in
+  ignore (Fsc_core.Discovery.run m);
+  ignore (Fsc_core.Merge.run m);
+  let ex = Fsc_core.Extraction.run m in
+  let { F2S.lowered = host; skipped } =
+    F2S.run ex.Fsc_core.Extraction.host_module
+  in
+  Alcotest.(check int) "host fully lowered" 0 (List.length skipped);
+  (* lower the stencil side as usual and link both *)
+  let sm = ex.Fsc_core.Extraction.stencil_module in
+  Fsc_lowering.Stencil_to_scf.run ~mode:Fsc_lowering.Stencil_to_scf.Cpu sm;
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx host;
+  Fsc_rt.Interp.add_module ctx sm;
+  Fsc_rt.Interp.run_main ctx;
+  (* versus the plain flang-only reference *)
+  let reference = P.flang_only src in
+  P.run reference;
+  Alcotest.(check (float 0.)) "linked pipeline identical" 0.0
+    (Rt.max_abs_diff
+       (P.buffer_exn reference "u")
+       (buffer_of_ctx ctx "u"))
+
+let test_unsupported_is_skipped_not_broken () =
+  (* a do-while cannot be lowered (no scf.while here); the function is
+     kept as FIR and reported, and still runs *)
+  let src =
+    {|
+program p
+  implicit none
+  integer :: i
+  i = 0
+  do while (i < 4)
+    i = i + 1
+  end do
+  print *, i
+end program p
+|}
+  in
+  let m = Fsc_fortran.Flower.compile_source src in
+  let { F2S.lowered; skipped } = F2S.run m in
+  Alcotest.(check int) "one function skipped" 1 (List.length skipped);
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx lowered;
+  let buf = Buffer.create 16 in
+  ctx.Fsc_rt.Interp.output <- Some buf;
+  Fsc_rt.Interp.run_main ctx;
+  Alcotest.(check string) "still runs" "4\n" (Buffer.contents buf)
+
+let () =
+  
+  Alcotest.run "fir_to_std"
+    [ ("fir-to-std",
+       [ Alcotest.test_case "gauss-seidel lowered" `Quick
+           test_gs_lowered_matches;
+         Alcotest.test_case "heap arrays forwarded" `Quick
+           test_heap_arrays_forwarded;
+         Alcotest.test_case "host module after extraction" `Quick
+           test_host_module_after_extraction;
+         Alcotest.test_case "unsupported skipped" `Quick
+           test_unsupported_is_skipped_not_broken ]) ]

@@ -1,0 +1,573 @@
+(* Fortran frontend tests: lexer, parser, semantic analysis and FIR
+   lowering (including the stack-vs-heap array representation split). *)
+
+open Fsc_fortran
+open Fsc_ir
+
+let () = Fsc_dialects.Registry.init ()
+
+(* ---------------- lexer ---------------- *)
+
+let toks s = List.map (fun t -> t.Flexer.tok) (Flexer.tokenize s)
+
+let test_lexer_basics () =
+  Alcotest.(check bool) "keywords and idents" true
+    (toks "do i = 1, n"
+    = [ Flexer.IDENT "do"; Flexer.IDENT "i"; Flexer.ASSIGN; Flexer.INT 1;
+        Flexer.COMMA; Flexer.IDENT "n"; Flexer.NEWLINE; Flexer.EOF ]);
+  Alcotest.(check bool) "case insensitive" true
+    (toks "REAL :: X" = toks "real :: x");
+  Alcotest.(check bool) "comment stripped" true
+    (toks "x = 1 ! a comment" = toks "x = 1")
+
+let test_lexer_numbers () =
+  Alcotest.(check bool) "d exponent" true
+    (match toks "x = 6.0d0" with
+    | [ _; _; Flexer.REAL (6.0, 8); _; _ ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "kind suffix" true
+    (match toks "x = 1.5_8" with
+    | [ _; _; Flexer.REAL (1.5, 8); _; _ ] -> true
+    | _ -> false);
+  Alcotest.(check bool) "exponent" true
+    (match toks "x = 2.5e-3" with
+    | [ _; _; Flexer.REAL (0.0025, 4); _; _ ] -> true
+    | _ -> false)
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "dot operators" true
+    (toks "a .and. .not. b"
+    = [ Flexer.IDENT "a"; Flexer.AND; Flexer.NOT; Flexer.IDENT "b";
+        Flexer.NEWLINE; Flexer.EOF ]);
+  Alcotest.(check bool) "pow vs mul" true
+    (toks "a ** b * c"
+    = [ Flexer.IDENT "a"; Flexer.POW; Flexer.IDENT "b"; Flexer.STAR;
+        Flexer.IDENT "c"; Flexer.NEWLINE; Flexer.EOF ]);
+  Alcotest.(check bool) "comparisons" true
+    (toks "a /= b <= c"
+    = [ Flexer.IDENT "a"; Flexer.NE; Flexer.IDENT "b"; Flexer.LE_;
+        Flexer.IDENT "c"; Flexer.NEWLINE; Flexer.EOF ])
+
+let test_lexer_continuation () =
+  Alcotest.(check bool) "continuation joins lines" true
+    (toks "x = 1 + &\n 2" = toks "x = 1 + 2")
+
+(* ---------------- parser ---------------- *)
+
+let parse1 src =
+  match Fparser.parse_source src with
+  | [ u ] -> u
+  | us -> Alcotest.failf "expected 1 unit, got %d" (List.length us)
+
+let test_parse_program () =
+  let u =
+    parse1
+      {|
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: x
+  x = 0.0d0
+  do i = 1, 10
+    x = x + 1.0d0
+  end do
+end program p
+|}
+  in
+  Alcotest.(check string) "name" "p" u.Fast.u_name;
+  Alcotest.(check int) "decls" 2 (List.length u.Fast.u_decls);
+  Alcotest.(check int) "stmts" 2 (List.length u.Fast.u_body);
+  match (List.nth u.Fast.u_body 1).Fast.s_kind with
+  | Fast.Do ("i", _, _, None, body) ->
+    Alcotest.(check int) "loop body" 1 (List.length body)
+  | _ -> Alcotest.fail "expected do loop"
+
+let test_parse_dims () =
+  let u =
+    parse1
+      {|
+program p
+  implicit none
+  integer, parameter :: n = 4
+  real(kind=8), dimension(0:n+1, n) :: a
+  real(kind=8), allocatable :: b(:, :)
+  a(1, 1) = 0.0d0
+end program p
+|}
+  in
+  let a = List.nth u.Fast.u_decls 1 in
+  Alcotest.(check int) "a rank" 2 (List.length a.Fast.d_dims);
+  let b = List.nth u.Fast.u_decls 2 in
+  Alcotest.(check bool) "b allocatable" true b.Fast.d_allocatable;
+  Alcotest.(check bool) "b deferred" true
+    (List.for_all
+       (fun d -> d.Fast.ds_lower = None && d.Fast.ds_upper = None)
+       b.Fast.d_dims)
+
+let test_parse_if_elseif () =
+  let u =
+    parse1
+      {|
+program p
+  implicit none
+  integer :: i
+  i = 0
+  if (i > 0) then
+    i = 1
+  else if (i < 0) then
+    i = 2
+  else
+    i = 3
+  end if
+end program p
+|}
+  in
+  match (List.nth u.Fast.u_body 1).Fast.s_kind with
+  | Fast.If (branches, Some else_body) ->
+    Alcotest.(check int) "branches" 2 (List.length branches);
+    Alcotest.(check int) "else" 1 (List.length else_body)
+  | _ -> Alcotest.fail "expected if"
+
+let test_parse_subroutine_function () =
+  let us =
+    Fparser.parse_source
+      {|
+subroutine s(a, b)
+  implicit none
+  real(kind=8), intent(in) :: a
+  real(kind=8), intent(out) :: b
+  b = a * 2.0d0
+end subroutine s
+
+real(kind=8) function f(x)
+  implicit none
+  real(kind=8) :: x
+  real(kind=8) :: f
+  f = x + 1.0d0
+end function f
+|}
+  in
+  Alcotest.(check int) "two units" 2 (List.length us);
+  (match (List.hd us).Fast.u_kind with
+  | Fast.Subroutine [ "a"; "b" ] -> ()
+  | _ -> Alcotest.fail "subroutine args");
+  match (List.nth us 1).Fast.u_kind with
+  | Fast.Function ([ "x" ], "f") -> ()
+  | _ -> Alcotest.fail "function result"
+
+let test_precedence () =
+  let u = parse1 "program p\nimplicit none\nreal :: x\nx = 1 + 2 * 3 ** 2\nend program p" in
+  match (List.hd u.Fast.u_body).Fast.s_kind with
+  | Fast.Assign (_, rhs) ->
+    Alcotest.(check string) "precedence" "(1 + (2 * (3 ** 2)))"
+      (Fast.expr_to_string rhs)
+  | _ -> Alcotest.fail "assign"
+
+let test_parse_error_reported () =
+  Alcotest.(check bool) "missing end do" true
+    (match Fparser.parse_source "program p\ndo i = 1, 3\nend program p" with
+    | exception Fparser.Parse_error _ -> true
+    | _ -> false)
+
+(* ---------------- sema ---------------- *)
+
+let analyze src = Fsema.analyze (Fparser.parse_source src)
+
+let sema_fails src =
+  match analyze src with
+  | exception Fsema.Sema_error _ -> true
+  | _ -> false
+
+let test_sema_undeclared () =
+  Alcotest.(check bool) "undeclared var" true
+    (sema_fails "program p\nimplicit none\nx = 1\nend program p")
+
+let test_sema_rank_mismatch () =
+  Alcotest.(check bool) "rank mismatch" true
+    (sema_fails
+       {|
+program p
+  implicit none
+  real(kind=8), dimension(4, 4) :: a
+  a(1) = 0.0d0
+end program p
+|})
+
+let test_sema_parameter_assignment () =
+  Alcotest.(check bool) "assign to parameter" true
+    (sema_fails
+       {|
+program p
+  implicit none
+  integer, parameter :: n = 4
+  n = 5
+end program p
+|})
+
+let test_sema_allocate_non_allocatable () =
+  Alcotest.(check bool) "allocate non-allocatable" true
+    (sema_fails
+       {|
+program p
+  implicit none
+  real(kind=8), dimension(4) :: a
+  allocate(a(4))
+end program p
+|})
+
+let test_sema_parameter_folding () =
+  let envs =
+    analyze
+      {|
+program p
+  implicit none
+  integer, parameter :: n = 4, m = n * 2 + 1
+  real(kind=8), dimension(m) :: a
+  a(1) = 0.0d0
+end program p
+|}
+  in
+  let env = List.hd envs in
+  match Hashtbl.find env.Fsema.env_symbols "m" with
+  | Fsema.S_param (_, Fsema.C_int 9) -> ()
+  | _ -> Alcotest.fail "parameter m should fold to 9"
+
+(* ---------------- lowering ---------------- *)
+
+let lower src = Flower.compile_source src
+
+let count name m =
+  List.length (Op.collect_ops (fun o -> o.Op.o_name = name) m)
+
+let test_lower_stack_array () =
+  let m =
+    lower
+      {|
+program p
+  implicit none
+  real(kind=8), dimension(4, 4) :: a
+  a(2, 3) = 1.5d0
+end program p
+|}
+  in
+  Verifier.verify_exn m;
+  Verifier.verify_in_context_exn (Dialect.flang_context ()) m;
+  Alcotest.(check int) "one array alloca + program alloca count" 1
+    (count "fir.alloca" m);
+  Alcotest.(check int) "coordinate_of" 1 (count "fir.coordinate_of" m);
+  Alcotest.(check int) "store" 1 (count "fir.store" m);
+  (* stack array: coordinate_of operates directly on the alloca *)
+  let coord =
+    List.hd (Op.collect_ops (fun o -> o.Op.o_name = "fir.coordinate_of") m)
+  in
+  match Op.defining_op (Op.operand coord) with
+  | Some d -> Alcotest.(check string) "base is alloca" "fir.alloca" d.Op.o_name
+  | None -> Alcotest.fail "no base"
+
+let test_lower_heap_array () =
+  let m =
+    lower
+      {|
+program p
+  implicit none
+  integer, parameter :: n = 4
+  real(kind=8), allocatable :: a(:, :)
+  allocate(a(n, n))
+  a(2, 3) = 1.5d0
+  deallocate(a)
+end program p
+|}
+  in
+  Verifier.verify_exn m;
+  Alcotest.(check int) "allocmem" 1 (count "fir.allocmem" m);
+  Alcotest.(check int) "freemem" 1 (count "fir.freemem" m);
+  (* heap route: coordinate_of goes through a fir.load of the cell *)
+  let coord =
+    List.hd (Op.collect_ops (fun o -> o.Op.o_name = "fir.coordinate_of") m)
+  in
+  match Op.defining_op (Op.operand coord) with
+  | Some d -> Alcotest.(check string) "base is load" "fir.load" d.Op.o_name
+  | None -> Alcotest.fail "no base"
+
+let test_lower_lower_bounds () =
+  (* dimension(0:n) means index i maps to zero-based i - 0; while
+     dimension(n) maps i to i - 1: verify by executing *)
+  let m =
+    lower
+      {|
+program p
+  implicit none
+  real(kind=8), dimension(0:3) :: a
+  real(kind=8), dimension(4) :: b
+  a(0) = 1.0d0
+  b(1) = 2.0d0
+end program p
+|}
+  in
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx m;
+  Fsc_rt.Interp.run_main ctx;
+  let a = List.assoc "a" ctx.Fsc_rt.Interp.named_buffers in
+  let b = List.assoc "b" ctx.Fsc_rt.Interp.named_buffers in
+  Alcotest.(check (float 0.)) "a(0) -> flat 0" 1.0
+    (Fsc_rt.Memref_rt.get_flat a 0);
+  Alcotest.(check (float 0.)) "b(1) -> flat 0" 2.0
+    (Fsc_rt.Memref_rt.get_flat b 0)
+
+let test_lower_paren_no_reassoc () =
+  let m =
+    lower
+      {|
+program p
+  implicit none
+  real(kind=8) :: x, y
+  y = 1.0d0
+  x = 2.0d0 * (y + 3.0d0)
+end program p
+|}
+  in
+  Alcotest.(check int) "no_reassoc emitted" 1 (count "fir.no_reassoc" m)
+
+let test_lower_do_loop_shape () =
+  let m =
+    lower
+      {|
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: x
+  x = 0.0d0
+  do i = 1, 8
+    x = x + 1.0d0
+  end do
+end program p
+|}
+  in
+  Alcotest.(check int) "do_loop" 1 (count "fir.do_loop" m);
+  let loop =
+    List.hd (Op.collect_ops (fun o -> o.Op.o_name = "fir.do_loop") m)
+  in
+  Alcotest.(check int) "3 bounds operands" 3 (Op.num_operands loop)
+
+let test_lower_function_call () =
+  let m =
+    lower
+      {|
+real(kind=8) function double_it(x)
+  implicit none
+  real(kind=8) :: x
+  real(kind=8) :: double_it
+  double_it = x * 2.0d0
+end function double_it
+
+program p
+  implicit none
+  real(kind=8) :: y
+  y = double_it(21.0d0)
+end program p
+|}
+  in
+  Verifier.verify_exn m;
+  Alcotest.(check int) "call lowered" 1 (count "fir.call" m);
+  (* and it executes correctly *)
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx m;
+  let buf = Buffer.create 16 in
+  ctx.Fsc_rt.Interp.output <- Some buf;
+  Fsc_rt.Interp.run_main ctx
+
+let run_program src =
+  let m = lower src in
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx m;
+  let buf = Buffer.create 32 in
+  ctx.Fsc_rt.Interp.output <- Some buf;
+  Fsc_rt.Interp.run_main ctx;
+  Buffer.contents buf
+
+let test_do_while () =
+  let out =
+    run_program
+      {|
+program p
+  implicit none
+  integer :: i
+  i = 0
+  do while (i < 5)
+    i = i + 1
+  end do
+  print *, i
+end program p
+|}
+  in
+  Alcotest.(check string) "while counts to 5" "5\n" out
+
+let test_exit_cycle () =
+  let out =
+    run_program
+      {|
+program p
+  implicit none
+  integer :: i, total
+  total = 0
+  do i = 1, 100
+    if (i > 10) then
+      exit
+    end if
+    if (mod(i, 2) == 0) then
+      cycle
+    end if
+    total = total + i
+  end do
+  print *, total
+end program p
+|}
+  in
+  (* 1+3+5+7+9 = 25 *)
+  Alcotest.(check string) "exit and cycle" "25\n" out
+
+let test_exit_inner_loop_only () =
+  let out =
+    run_program
+      {|
+program p
+  implicit none
+  integer :: i, j, total
+  total = 0
+  do i = 1, 3
+    do j = 1, 10
+      if (j > 2) then
+        exit
+      end if
+      total = total + 1
+    end do
+  end do
+  print *, total
+end program p
+|}
+  in
+  (* inner loop contributes 2 per outer iteration *)
+  Alcotest.(check string) "exit unwinds one level" "6\n" out
+
+let test_array_reductions () =
+  let out =
+    run_program
+      {|
+program p
+  implicit none
+  integer, parameter :: n = 4
+  integer :: i, j
+  real(kind=8), dimension(n, n) :: a
+  do j = 1, n
+    do i = 1, n
+      a(i, j) = dble(i) + 10.0d0 * dble(j)
+    end do
+  end do
+  print *, sum(a), maxval(a), minval(a)
+end program p
+|}
+  in
+  Alcotest.(check string) "sum/maxval/minval" "440 44 11\n" out
+
+let test_reduction_not_a_stencil () =
+  (* the reduction loop writes its accumulator inside the nest: discovery
+     must leave it alone *)
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 4
+  integer :: i
+  real(kind=8) :: total
+  real(kind=8), dimension(n) :: a
+  do i = 1, n
+    a(i) = dble(i)
+  end do
+  total = sum(a)
+  print *, total
+end program p
+|}
+  in
+  let m = lower src in
+  let stats = Fsc_core.Discovery.run m in
+  (* only the initialisation loop becomes a stencil *)
+  Alcotest.(check int) "init only" 1 stats.Fsc_core.Discovery.found;
+  Alcotest.(check bool) "reduction loop survives" true
+    (count "fir.do_loop" m >= 1)
+
+let test_unsupported_reported () =
+  (* whole-array assignment remains unsupported and must be reported *)
+  Alcotest.(check bool) "whole-array assignment unsupported" true
+    (match
+       Fsema.analyze
+         (Fparser.parse_source
+            "program p\nimplicit none\nreal(kind=8), dimension(4) :: a\na = 0.0d0\nend program p")
+     with
+    | exception Fsema.Sema_error _ -> true
+    | _ -> false)
+
+(* fuzz: the frontend must fail only through its declared exceptions *)
+let prop_frontend_total =
+  QCheck.Test.make ~name:"frontend is total on garbage" ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         let frag =
+           oneofl
+             [ "program p"; "implicit none"; "integer :: i";
+               "real(kind=8), dimension(0:n+1) :: a"; "do i = 1, n";
+               "end do"; "end program p"; "a(i) = a(i-1) + 1.0d0";
+               "if (i > 0) then"; "end if"; "call s(a)"; "allocate(a(n))";
+               "x = 1.0d0 ** 2"; "print *, x"; "::"; "(("; "end";
+               "integer, parameter :: n = 8"; "+ 1.0" ]
+         in
+         map (String.concat "\n") (list_size (int_range 0 14) frag)))
+    (fun src ->
+      match Fsc_fortran.Flower.compile_source src with
+      | _ -> true
+      | exception Fsc_fortran.Fparser.Parse_error _ -> true
+      | exception Fsc_fortran.Fsema.Sema_error _ -> true
+      | exception Fsc_fortran.Flower.Unsupported _ -> true
+      | exception Fsc_fortran.Flexer.Lex_error _ -> true)
+
+let () =
+  Alcotest.run "fortran"
+    [ ("lexer",
+       [ Alcotest.test_case "basics" `Quick test_lexer_basics;
+         Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+         Alcotest.test_case "operators" `Quick test_lexer_operators;
+         Alcotest.test_case "continuation" `Quick test_lexer_continuation ]);
+      ("parser",
+       [ Alcotest.test_case "program" `Quick test_parse_program;
+         Alcotest.test_case "dimensions" `Quick test_parse_dims;
+         Alcotest.test_case "if/else if" `Quick test_parse_if_elseif;
+         Alcotest.test_case "subroutine+function" `Quick
+           test_parse_subroutine_function;
+         Alcotest.test_case "precedence" `Quick test_precedence;
+         Alcotest.test_case "errors" `Quick test_parse_error_reported ]);
+      ("sema",
+       [ Alcotest.test_case "undeclared" `Quick test_sema_undeclared;
+         Alcotest.test_case "rank mismatch" `Quick test_sema_rank_mismatch;
+         Alcotest.test_case "parameter assignment" `Quick
+           test_sema_parameter_assignment;
+         Alcotest.test_case "allocate non-allocatable" `Quick
+           test_sema_allocate_non_allocatable;
+         Alcotest.test_case "parameter folding" `Quick
+           test_sema_parameter_folding ]);
+      ("lowering",
+       [ Alcotest.test_case "stack array" `Quick test_lower_stack_array;
+         Alcotest.test_case "heap array" `Quick test_lower_heap_array;
+         Alcotest.test_case "lower bounds" `Quick test_lower_lower_bounds;
+         Alcotest.test_case "paren -> no_reassoc" `Quick
+           test_lower_paren_no_reassoc;
+         Alcotest.test_case "do loop shape" `Quick test_lower_do_loop_shape;
+         Alcotest.test_case "function call" `Quick test_lower_function_call;
+         Alcotest.test_case "do while" `Quick test_do_while;
+         Alcotest.test_case "exit and cycle" `Quick test_exit_cycle;
+         Alcotest.test_case "exit unwinds one level" `Quick
+           test_exit_inner_loop_only;
+         Alcotest.test_case "array reductions" `Quick test_array_reductions;
+         Alcotest.test_case "reduction is not a stencil" `Quick
+           test_reduction_not_a_stencil;
+         Alcotest.test_case "unsupported reported" `Quick
+           test_unsupported_reported ]);
+      ("fuzz", [ QCheck_alcotest.to_alcotest prop_frontend_total ]) ]

@@ -1,0 +1,45 @@
+(* Byte-exact golden test: the extracted stencil module for the paper's
+   Listing 1 must match the checked-in reference text. Guards the whole
+   frontend + discovery + merge + extraction chain against accidental
+   output drift. Regenerate with:
+     dune exec bin/sfc.exe -- compile <listing1.f90> --emit stencil
+   after verifying the change is intentional. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let produce () =
+  Fsc_dialects.Registry.init ();
+  Fsc_core.Extraction.reset_name_counter ();
+  let m =
+    Fsc_fortran.Flower.compile_source
+      (Fsc_driver.Benchmarks.listing1 ~n:8 ())
+  in
+  ignore (Fsc_core.Discovery.run m);
+  ignore (Fsc_core.Merge.run m);
+  let ex = Fsc_core.Extraction.run m in
+  Fsc_ir.Printer.module_to_string ex.Fsc_core.Extraction.stencil_module
+
+let test_golden_stencil_module () =
+  let expected = read_file "golden/listing1_stencil_module.mlir" in
+  Alcotest.(check string) "listing1 stencil module" expected (produce ())
+
+let test_golden_round_trips () =
+  (* the checked-in text itself must parse and re-print identically *)
+  let text = read_file "golden/listing1_stencil_module.mlir" in
+  match Fsc_ir.Parser.parse_module_result text with
+  | Error e -> Alcotest.failf "golden file does not parse: %s" e
+  | Ok m ->
+    Alcotest.(check string) "round trip" text
+      (Fsc_ir.Printer.module_to_string m)
+
+let () =
+  Alcotest.run "golden"
+    [ ("golden",
+       [ Alcotest.test_case "stencil module text" `Quick
+           test_golden_stencil_module;
+         Alcotest.test_case "golden file round-trips" `Quick
+           test_golden_round_trips ]) ]

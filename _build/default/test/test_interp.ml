@@ -1,0 +1,224 @@
+(* Interpreter tests: op semantics, control flow, calls, printing. *)
+
+open Fsc_ir
+module Interp = Fsc_rt.Interp
+module Arith = Fsc_dialects.Arith
+
+let () = Fsc_dialects.Registry.init ()
+
+(* build main returning a float, run it *)
+let run_float build =
+  let m = Op.create_module () in
+  let f =
+    Fsc_dialects.Func.func ~name:"main" ~args:[] ~results:[ Types.F64 ]
+      (fun b _ -> Fsc_dialects.Func.return_ b [ build b ])
+  in
+  Op.append_to (Op.module_block m) f;
+  let ctx = Interp.create_context () in
+  Interp.add_module ctx m;
+  match Interp.call ctx "main" [] with
+  | [ Interp.R_float f ] -> f
+  | _ -> Alcotest.fail "expected one float"
+
+let test_arith () =
+  Alcotest.(check (float 0.)) "addf" 5.5
+    (run_float (fun b ->
+         Arith.addf b (Arith.constant_float b 2.25)
+           (Arith.constant_float b 3.25)));
+  Alcotest.(check (float 0.)) "select" 7.0
+    (run_float (fun b ->
+         let c =
+           Arith.cmpi b Arith.Slt (Arith.constant_int b 1)
+             (Arith.constant_int b 2)
+         in
+         Arith.select b c (Arith.constant_float b 7.0)
+           (Arith.constant_float b 9.0)));
+  Alcotest.(check (float 1e-12)) "math.sqrt" 3.0
+    (run_float (fun b ->
+         Fsc_dialects.Math.sqrt b (Arith.constant_float b 9.0)))
+
+let test_fptosi_truncates () =
+  Alcotest.(check (float 0.)) "fptosi truncates toward zero" 3.0
+    (run_float (fun b ->
+         let x = Arith.constant_float b 3.9 in
+         let i = Arith.fptosi b ~to_:Types.I32 x in
+         Arith.sitofp b ~to_:Types.F64 i))
+
+let test_scf_for_iter_args () =
+  (* sum of 0..9 via iter_args *)
+  Alcotest.(check (float 0.)) "loop sum" 45.0
+    (run_float (fun b ->
+         let lb = Arith.constant_index b 0 in
+         let ub = Arith.constant_index b 10 in
+         let step = Arith.constant_index b 1 in
+         let init = Arith.constant_float b 0.0 in
+         match
+           Fsc_dialects.Scf.for_ b ~lb ~ub ~step ~iter_args:[ init ]
+             (fun inner iv iters ->
+               let ivf =
+                 Builder.op1 inner "arith.index_cast" ~operands:[ iv ]
+                   ~results:[ Types.I64 ]
+               in
+               let ivf = Arith.sitofp inner ~to_:Types.F64 ivf in
+               [ Arith.addf inner (List.hd iters) ivf ])
+         with
+         | [ r ] -> r
+         | _ -> assert false))
+
+let test_fir_do_loop_inclusive () =
+  (* fir.do_loop runs lb..ub inclusive: 1..5 -> 5 iterations *)
+  Alcotest.(check (float 0.)) "inclusive bounds" 5.0
+    (run_float (fun b ->
+         let cell = Fsc_fir.Fir.alloca b Types.F64 in
+         Fsc_fir.Fir.store b (Arith.constant_float b 0.0) cell;
+         let lb = Arith.constant_index b 1 in
+         let ub = Arith.constant_index b 5 in
+         let step = Arith.constant_index b 1 in
+         ignore
+           (Fsc_fir.Fir.do_loop b ~lb ~ub ~step (fun inner _ _ ->
+                let v = Fsc_fir.Fir.load inner cell in
+                let v' = Arith.addf inner v (Arith.constant_float inner 1.0) in
+                Fsc_fir.Fir.store inner v' cell;
+                []));
+         Fsc_fir.Fir.load b cell))
+
+let test_if_else () =
+  Alcotest.(check (float 0.)) "else branch" 2.0
+    (run_float (fun b ->
+         let cell = Fsc_fir.Fir.alloca b Types.F64 in
+         let c =
+           Arith.cmpi b Arith.Sgt (Arith.constant_int b 1)
+             (Arith.constant_int b 2)
+         in
+         ignore
+           (Fsc_fir.Fir.if_ b c
+              ~else_:(fun eb ->
+                Fsc_fir.Fir.store eb (Arith.constant_float eb 2.0) cell)
+              (fun tb ->
+                Fsc_fir.Fir.store tb (Arith.constant_float tb 1.0) cell));
+         Fsc_fir.Fir.load b cell))
+
+let test_print_capture () =
+  let src =
+    {|
+program p
+  implicit none
+  integer :: i
+  real(kind=8) :: x
+  x = 1.5d0
+  i = 3
+  print *, "x =", x, "i =", i
+end program p
+|}
+  in
+  let m = Fsc_fortran.Flower.compile_source src in
+  let ctx = Interp.create_context () in
+  Interp.add_module ctx m;
+  let buf = Buffer.create 32 in
+  ctx.Interp.output <- Some buf;
+  Interp.run_main ctx;
+  Alcotest.(check string) "captured output" "x = 1.5 i = 3\n"
+    (Buffer.contents buf)
+
+let test_cross_module_linking () =
+  (* host module fir.calls a function defined in a second module with a
+     nominally different pointer type — resolved at "link" time *)
+  let host = Op.create_module () in
+  let f =
+    Fsc_dialects.Func.func ~name:"main" ~args:[] ~results:[ Types.F64 ]
+      (fun b _ ->
+        let arr =
+          Fsc_fir.Fir.alloca b
+            (Types.Fir_array ([ Types.Static 4 ], Types.F64))
+        in
+        let ptr =
+          Fsc_fir.Fir.convert b ~to_:(Types.Fir_llvm_ptr Types.I8) arr
+        in
+        ignore
+          (Fsc_fir.Fir.call b ~callee:"fill" ~results:[] [ ptr ]);
+        let zero = Arith.constant_index b 0 in
+        let addr = Fsc_fir.Fir.coordinate_of b arr [ zero ] in
+        Fsc_dialects.Func.return_ b [ Fsc_fir.Fir.load b addr ])
+  in
+  Op.append_to (Op.module_block host) f;
+  let kernel_mod = Op.create_module () in
+  let k =
+    Fsc_dialects.Func.func ~name:"fill" ~args:[ Types.Llvm_ptr ]
+      ~results:[] (fun b args ->
+        let mr =
+          Fsc_dialects.Builtin.unrealized_cast b
+            ~to_:(Types.Memref ([ Types.Static 4 ], Types.F64))
+            (List.hd args)
+        in
+        let zero = Arith.constant_index b 0 in
+        Fsc_dialects.Memref.store b (Arith.constant_float b 42.0) mr [ zero ];
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to (Op.module_block kernel_mod) k;
+  let ctx = Interp.create_context () in
+  Interp.add_module ctx host;
+  Interp.add_module ctx kernel_mod;
+  match Interp.call ctx "main" [] with
+  | [ Interp.R_float f ] -> Alcotest.(check (float 0.)) "linked" 42.0 f
+  | _ -> Alcotest.fail "expected float"
+
+let test_unknown_symbol_error () =
+  let ctx = Interp.create_context () in
+  Alcotest.(check bool) "unknown symbol" true
+    (match Interp.call ctx "nope" [] with
+    | exception Interp.Interp_error _ -> true
+    | _ -> false)
+
+let test_scf_parallel_reference () =
+  (* scf.parallel in the interpreter = serial reference execution *)
+  let m = Op.create_module () in
+  let f =
+    Fsc_dialects.Func.func ~name:"main"
+      ~args:[ Types.Memref ([ Types.Static 4; Types.Static 4 ], Types.F64) ]
+      ~results:[] (fun b args ->
+        let mr = List.hd args in
+        let zero = Arith.constant_index b 0 in
+        let four = Arith.constant_index b 4 in
+        let one = Arith.constant_index b 1 in
+        ignore
+          (Fsc_dialects.Scf.parallel b ~lbs:[ zero; zero ]
+             ~ubs:[ four; four ] ~steps:[ one; one ]
+             (fun inner ivs ->
+               match ivs with
+               | [ i; j ] ->
+                 let v = Arith.constant_float inner 1.0 in
+                 Fsc_dialects.Memref.store inner v mr [ i; j ]
+               | _ -> assert false));
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to (Op.module_block m) f;
+  let ctx = Interp.create_context () in
+  Interp.add_module ctx m;
+  let buf = Fsc_rt.Memref_rt.create [ 4; 4 ] in
+  ignore (Interp.call ctx "main" [ Interp.R_buf buf ]);
+  Alcotest.(check (float 0.)) "all cells written" 16.0
+    (let s = ref 0.0 in
+     for i = 0 to 15 do
+       s := !s +. Fsc_rt.Memref_rt.get_flat buf i
+     done;
+     !s)
+
+let () =
+  Alcotest.run "interp"
+    [ ("ops",
+       [ Alcotest.test_case "arith/math" `Quick test_arith;
+         Alcotest.test_case "fptosi truncation" `Quick test_fptosi_truncates ]);
+      ("control-flow",
+       [ Alcotest.test_case "scf.for iter_args" `Quick
+           test_scf_for_iter_args;
+         Alcotest.test_case "fir.do_loop inclusive" `Quick
+           test_fir_do_loop_inclusive;
+         Alcotest.test_case "if/else" `Quick test_if_else;
+         Alcotest.test_case "scf.parallel reference" `Quick
+           test_scf_parallel_reference ]);
+      ("programs",
+       [ Alcotest.test_case "print capture" `Quick test_print_capture;
+         Alcotest.test_case "cross-module linking" `Quick
+           test_cross_module_linking;
+         Alcotest.test_case "unknown symbol" `Quick
+           test_unknown_symbol_error ]) ]

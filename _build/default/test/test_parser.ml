@@ -1,0 +1,196 @@
+(* Printer/parser round-trip tests: golden strings plus a qcheck property
+   over randomly generated IR modules — the pipeline depends on passing
+   modules between "tools" as text. *)
+
+open Fsc_ir
+
+let () = Fsc_dialects.Registry.init ()
+
+let roundtrip m =
+  let s1 = Printer.module_to_string m in
+  match Parser.parse_module_result s1 with
+  | Error e -> Alcotest.failf "parse failed: %s\n%s" e s1
+  | Ok m2 ->
+    let s2 = Printer.module_to_string m2 in
+    Alcotest.(check string) "round trip" s1 s2
+
+let test_empty_module () = roundtrip (Op.create_module ())
+
+let test_simple_module () =
+  let m = Op.create_module () in
+  let b = Builder.at_end (Op.module_block m) in
+  let x = Fsc_dialects.Arith.constant_float b 0.25 in
+  let y = Fsc_dialects.Arith.constant_float b 1.5 in
+  ignore (Fsc_dialects.Arith.mulf b x y);
+  roundtrip m
+
+let test_regions_and_args () =
+  let m = Op.create_module () in
+  let b = Builder.at_end (Op.module_block m) in
+  let f =
+    Fsc_dialects.Func.func ~name:"f" ~args:[ Types.F64; Types.I64 ]
+      ~results:[ Types.F64 ] (fun fb args ->
+        match args with
+        | [ x; _n ] ->
+          let y = Fsc_dialects.Arith.addf fb x x in
+          Fsc_dialects.Func.return_ fb [ y ]
+        | _ -> assert false)
+  in
+  ignore (Builder.insert b f);
+  roundtrip m
+
+let test_loops_and_attrs () =
+  let m = Op.create_module () in
+  let b = Builder.at_end (Op.module_block m) in
+  let lb = Fsc_dialects.Arith.constant_index b 0 in
+  let ub = Fsc_dialects.Arith.constant_index b 8 in
+  ignore
+    (Fsc_dialects.Scf.for_ b ~lb ~ub ~step:lb (fun inner iv _ ->
+         let c = Fsc_dialects.Arith.constant_float inner 3.25 in
+         ignore (Fsc_dialects.Arith.index_cast inner ~to_:Types.I64 iv);
+         ignore c;
+         []));
+  roundtrip m
+
+let test_stencil_types_roundtrip () =
+  let tests =
+    [ "!stencil.temp<[-1,255]x[-1,255]xf64>";
+      "!stencil.field<[0,16]x[0,16]x[0,16]xf32>";
+      "memref<257x257xf64>"; "!fir.ref<!fir.array<10x20xf64>>";
+      "!fir.heap<!fir.array<?x?xf64>>"; "!fir.llvm_ptr<i8>"; "!llvm.ptr";
+      "!llvm.ptr<f64>"; "index"; "i1"; "i32"; "f32"; "none";
+      "vector<4xf64>"; "(i64) -> (f64)" ]
+  in
+  List.iter
+    (fun s ->
+      let st =
+        { Parser.src = s; pos = 0; values = Hashtbl.create 1;
+          blocks = Hashtbl.create 1 }
+      in
+      let t = Parser.parse_type st in
+      Alcotest.(check string) s s (Types.to_string t))
+    tests
+
+let test_attr_roundtrip () =
+  let attrs =
+    [ Attr.Int_a 42; Attr.Int_a (-7); Attr.Float_a 0.25; Attr.Float_a 1e-9;
+      Attr.Str_a "hello world"; Attr.Bool_a true; Attr.Sym_a "kernel_0";
+      Attr.Index_a [ 0; -1; 2 ];
+      Attr.Arr_a [ Attr.Int_a 1; Attr.Str_a "x" ];
+      Attr.Dict_a [ ("a", Attr.Int_a 1) ] ]
+  in
+  List.iter
+    (fun a ->
+      let s = Attr.to_string a in
+      let st =
+        { Parser.src = s; pos = 0; values = Hashtbl.create 1;
+          blocks = Hashtbl.create 1 }
+      in
+      let a2 = Parser.parse_attr st in
+      Alcotest.(check string) s s (Attr.to_string a2))
+    attrs
+
+let test_parse_errors () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Parser.parse_module_result "not mlir at all"));
+  Alcotest.(check bool) "undefined value rejected" true
+    (Result.is_error
+       (Parser.parse_module_result
+          {|"builtin.module"() ({
+^bb0:
+  %0 = "arith.addi"(%1, %1) : (i64, i64) -> (i64)
+}) : () -> ()|}))
+
+let test_fortran_pipeline_roundtrip () =
+  (* the full FIR of a real benchmark must survive text round-trip *)
+  let m =
+    Fsc_fortran.Flower.compile_source
+      (Fsc_driver.Benchmarks.gauss_seidel ~nx:4 ~ny:4 ~nz:4 ~niter:1 ())
+  in
+  roundtrip m;
+  (* and the post-discovery mixed module too *)
+  ignore (Fsc_core.Discovery.run m);
+  ignore (Fsc_core.Merge.run m);
+  roundtrip m
+
+(* random expression-module generator for the property *)
+let gen_module =
+  QCheck.Gen.(
+    let rec gen_expr depth b values =
+      if depth = 0 || values = [] then
+        map
+          (fun f -> Fsc_dialects.Arith.constant_float b f)
+          (float_range (-100.) 100.)
+      else
+        oneof
+          [ map
+              (fun f -> Fsc_dialects.Arith.constant_float b f)
+              (float_range (-100.) 100.);
+            (pair (oneofl values) (gen_expr (depth - 1) b values)
+            >|= fun (x, y) -> Fsc_dialects.Arith.addf b x y);
+            (pair (oneofl values) (gen_expr (depth - 1) b values)
+            >|= fun (x, y) -> Fsc_dialects.Arith.mulf b x y) ]
+    in
+    sized (fun n ->
+        let n = min n 12 in
+        fun st ->
+          let m = Op.create_module () in
+          let b = Builder.at_end (Op.module_block m) in
+          let values = ref [] in
+          for _ = 0 to n do
+            let v = (gen_expr 3 b !values) st in
+            values := v :: !values
+          done;
+          m))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip on random IR" ~count:100
+    (QCheck.make gen_module) (fun m ->
+      let s1 = Printer.module_to_string m in
+      match Parser.parse_module_result s1 with
+      | Error _ -> false
+      | Ok m2 -> Printer.module_to_string m2 = s1)
+
+(* fuzz: arbitrary garbage must produce Ok/Error, never an escaped
+   exception or a hang *)
+let prop_parser_total =
+  QCheck.Test.make ~name:"parser is total on garbage" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 200) Gen.printable)
+    (fun s ->
+      match Parser.parse_module_result s with
+      | Ok _ | Error _ -> true)
+
+(* fuzz with IR-flavoured fragments, which reach deeper into the
+   grammar than uniform noise *)
+let prop_parser_total_irish =
+  QCheck.Test.make ~name:"parser is total on IR-flavoured garbage"
+    ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         let frag =
+           oneofl
+             [ "\"builtin.module\"() ({"; "^bb0:"; "%0 = "; "(%1, %2)";
+               ": (f64) -> (f64)"; "!stencil.temp<[-1,255]xf64>";
+               "{\"value\" = 0.25}"; "memref<10x"; "})"; "\""; "<"; "[";
+               "#stencil.index<1,"; "-"; "1e"; "}) : () -> ()" ]
+         in
+         map (String.concat " ") (list_size (int_range 0 12) frag)))
+    (fun s ->
+      match Parser.parse_module_result s with
+      | Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "parser"
+    [ ("roundtrip",
+       [ Alcotest.test_case "empty module" `Quick test_empty_module;
+         Alcotest.test_case "simple module" `Quick test_simple_module;
+         Alcotest.test_case "regions and args" `Quick test_regions_and_args;
+         Alcotest.test_case "loops and attrs" `Quick test_loops_and_attrs;
+         Alcotest.test_case "types" `Quick test_stencil_types_roundtrip;
+         Alcotest.test_case "attributes" `Quick test_attr_roundtrip;
+         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+         Alcotest.test_case "fortran pipeline IR" `Quick
+           test_fortran_pipeline_roundtrip ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_roundtrip; prop_parser_total; prop_parser_total_irish ]) ]

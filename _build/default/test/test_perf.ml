@@ -1,0 +1,237 @@
+(* Performance-model tests: the models must reproduce the *shape* of the
+   paper's Figures 2-6 — who wins, by roughly what factor, and where the
+   crossovers fall. These are the quantitative claims EXPERIMENTS.md
+   records. *)
+
+module C = Fsc_perf.Cpu_model
+module G = Fsc_perf.Gpu_model
+module N = Fsc_perf.Net_model
+
+let mc ~bench ~pipe ~threads = C.mcells ~bench ~pipe ~threads ()
+
+(* ---- Figure 2: single core ---- *)
+
+let test_fig2_ordering () =
+  List.iter
+    (fun bench ->
+      let cray = mc ~bench ~pipe:C.Cray ~threads:1 in
+      let st = mc ~bench ~pipe:C.Stencil_opt ~threads:1 in
+      let flang = mc ~bench ~pipe:C.Flang_only ~threads:1 in
+      Alcotest.(check bool) "Cray fastest single-core" true (cray > st);
+      Alcotest.(check bool) "Stencil beats Flang" true (st > flang))
+    [ C.Gauss_seidel; C.Pw_advection ]
+
+let test_fig2_speedup_factors () =
+  (* paper: ~2x for Gauss-Seidel, ~10x for PW advection over Flang *)
+  let gs_speedup =
+    mc ~bench:C.Gauss_seidel ~pipe:C.Stencil_opt ~threads:1
+    /. mc ~bench:C.Gauss_seidel ~pipe:C.Flang_only ~threads:1
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "GS speedup ~2x (got %.1fx)" gs_speedup)
+    true
+    (gs_speedup >= 1.5 && gs_speedup <= 4.0);
+  let pw_speedup =
+    mc ~bench:C.Pw_advection ~pipe:C.Stencil_opt ~threads:1
+    /. mc ~bench:C.Pw_advection ~pipe:C.Flang_only ~threads:1
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "PW speedup ~10x (got %.1fx)" pw_speedup)
+    true
+    (pw_speedup >= 7.0 && pw_speedup <= 15.0)
+
+(* ---- Figures 3/4: thread scaling ---- *)
+
+let threads = [ 1; 2; 4; 8; 16; 32; 64; 128 ]
+
+let test_fig3_gs_cray_always_wins () =
+  (* Figure 3: for Gauss-Seidel the Cray compiler stays ahead at every
+     thread count, Flang stays last *)
+  List.iter
+    (fun t ->
+      let cray = mc ~bench:C.Gauss_seidel ~pipe:C.Cray ~threads:t in
+      let st = mc ~bench:C.Gauss_seidel ~pipe:C.Stencil_opt ~threads:t in
+      let flang = mc ~bench:C.Gauss_seidel ~pipe:C.Flang_only ~threads:t in
+      Alcotest.(check bool)
+        (Printf.sprintf "ordering at %d threads" t)
+        true
+        (cray >= st && st >= flang))
+    threads
+
+let test_fig4_pw_crossover () =
+  (* Figure 4: the fused stencil wins at 64 and 128 threads (memory
+     traffic advantage once bandwidth saturates), Cray wins below *)
+  let cray t = mc ~bench:C.Pw_advection ~pipe:C.Cray ~threads:t in
+  let st t = mc ~bench:C.Pw_advection ~pipe:C.Stencil_opt ~threads:t in
+  Alcotest.(check bool) "Cray wins at 1" true (cray 1 > st 1);
+  Alcotest.(check bool) "Cray wins at 16" true (cray 16 > st 16);
+  Alcotest.(check bool) "Stencil wins at 64" true (st 64 > cray 64);
+  Alcotest.(check bool) "Stencil wins at 128" true (st 128 > cray 128)
+
+let test_scaling_monotone () =
+  List.iter
+    (fun (bench, pipe) ->
+      let rates = List.map (fun t -> mc ~bench ~pipe ~threads:t) threads in
+      (* adding threads may cost a little once bandwidth saturates (the
+         paper's curves flatten and dip too); it must never collapse *)
+      let rec sane = function
+        | a :: (b :: _ as rest) -> b >= a *. 0.85 && sane rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "throughput does not collapse with threads" true
+        (sane rates))
+    [ (C.Gauss_seidel, C.Cray); (C.Gauss_seidel, C.Stencil_opt);
+      (C.Pw_advection, C.Flang_only) ]
+
+(* ---- Figure 5: GPU ---- *)
+
+let gpu ~strategy ~cells ~arrays ~bytes_per_cell ~flops_per_cell =
+  G.mcells ~strategy ~cells ~flops_per_cell ~bytes_per_cell ~arrays
+    ~array_bytes:(cells *. 8.0 *. float_of_int arrays)
+    ~iters:500 ()
+
+let gs_gpu strategy cells =
+  gpu ~strategy ~cells ~arrays:2 ~bytes_per_cell:32.0 ~flops_per_cell:6.0
+
+let pw_gpu strategy cells =
+  gpu ~strategy ~cells ~arrays:6 ~bytes_per_cell:64.0 ~flops_per_cell:63.0
+
+let test_fig5_initial_is_terrible () =
+  List.iter
+    (fun cells ->
+      Alcotest.(check bool) "paging strategy at least 20x slower" true
+        (gs_gpu G.Stencil_optimised cells
+        > 20.0 *. gs_gpu G.Stencil_initial cells))
+    [ 128. ** 3.; 256. ** 3.; 512. ** 3. ]
+
+let test_fig5_gs_comparable () =
+  (* optimised stencil beats OpenACC at the smallest size and stays
+     within ~2x at the larger sizes *)
+  let small = 128. ** 3. in
+  Alcotest.(check bool) "stencil wins small GS" true
+    (gs_gpu G.Stencil_optimised small > gs_gpu G.Openacc_nvidia small);
+  List.iter
+    (fun cells ->
+      let r =
+        gs_gpu G.Stencil_optimised cells /. gs_gpu G.Openacc_nvidia cells
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "GS comparable at %.0f (ratio %.2f)" cells r)
+        true
+        (r > 0.5 && r < 3.0))
+    [ 256. ** 3.; 512. ** 3. ]
+
+let test_fig5_pw_15x () =
+  (* paper: optimised stencil ~15x the hand OpenACC on PW advection *)
+  List.iter
+    (fun cells ->
+      let r =
+        pw_gpu G.Stencil_optimised cells /. pw_gpu G.Openacc_nvidia cells
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "PW ratio ~15x (got %.1f)" r)
+        true
+        (r >= 8.0 && r <= 25.0))
+    [ 128. ** 3.; 256. ** 3.; 512. ** 3. ]
+
+(* ---- Figure 6: distributed memory ---- *)
+
+let fig6_ranks = [ 256; 512; 1024; 2048; 4096; 8192 ]
+let fig6_global = (2580, 2580, 2580) (* ~1.7e10 cells *)
+
+let test_fig6_hand_beats_auto () =
+  List.iter
+    (fun ranks ->
+      let hand =
+        N.mcells ~variant:N.Hand_cray ~global:fig6_global ~ranks ()
+      in
+      let auto =
+        N.mcells ~variant:N.Auto_dmp ~global:fig6_global ~ranks ()
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "hand > auto at %d ranks" ranks)
+        true (hand > auto))
+    fig6_ranks
+
+let test_fig6_both_scale () =
+  List.iter
+    (fun variant ->
+      let rates =
+        List.map
+          (fun ranks -> N.mcells ~variant ~global:fig6_global ~ranks ())
+          fig6_ranks
+      in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "scales with ranks" true (increasing rates))
+    [ N.Hand_cray; N.Auto_dmp ]
+
+let test_fig6_hand_scales_better () =
+  (* the hand version's parallel efficiency at 8192 ranks exceeds the
+     auto version's (the paper's second observation) *)
+  let eff variant =
+    let base = N.mcells ~variant ~global:fig6_global ~ranks:256 () in
+    let top = N.mcells ~variant ~global:fig6_global ~ranks:8192 () in
+    top /. (base *. 32.0)
+  in
+  Alcotest.(check bool) "hand efficiency higher" true
+    (eff N.Hand_cray > eff N.Auto_dmp)
+
+let test_fig6_auto_magnitude () =
+  (* paper: ~70,000 MCells/s for the auto version at 8192 cores; we
+     accept the same order of magnitude *)
+  let auto =
+    N.mcells ~variant:N.Auto_dmp ~global:fig6_global ~ranks:8192 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "order of magnitude (got %.0f MCells/s)" auto)
+    true
+    (auto > 10_000. && auto < 2_000_000.)
+
+(* ---- future work: multinode GPU ---- *)
+
+let test_multinode_gpu () =
+  let v ~gpus ~gpudirect =
+    N.multinode_gpu_mcells
+      ~cluster:{ N.default_gpu_cluster with N.gc_gpudirect = gpudirect }
+      ~global:(1024, 1024, 1024) ~gpus ~bytes_per_cell:32.0
+      ~flops_per_cell:6.0 ()
+  in
+  (* scales with GPUs *)
+  Alcotest.(check bool) "scales" true
+    (v ~gpus:8 ~gpudirect:false > 2.0 *. v ~gpus:1 ~gpudirect:false);
+  (* GPUDirect at least as fast as PCIe staging, strictly better at
+     scale where halos matter *)
+  Alcotest.(check bool) "gpudirect helps" true
+    (v ~gpus:32 ~gpudirect:true > v ~gpus:32 ~gpudirect:false)
+
+let () =
+  Alcotest.run "perf"
+    [ ("figure-2",
+       [ Alcotest.test_case "ordering" `Quick test_fig2_ordering;
+         Alcotest.test_case "speedup factors" `Quick
+           test_fig2_speedup_factors ]);
+      ("figures-3-4",
+       [ Alcotest.test_case "fig3 GS Cray wins" `Quick
+           test_fig3_gs_cray_always_wins;
+         Alcotest.test_case "fig4 PW crossover at 64" `Quick
+           test_fig4_pw_crossover;
+         Alcotest.test_case "monotone scaling" `Quick test_scaling_monotone ]);
+      ("figure-5",
+       [ Alcotest.test_case "initial approach pathological" `Quick
+           test_fig5_initial_is_terrible;
+         Alcotest.test_case "GS comparable to OpenACC" `Quick
+           test_fig5_gs_comparable;
+         Alcotest.test_case "PW ~15x OpenACC" `Quick test_fig5_pw_15x ]);
+      ("figure-6",
+       [ Alcotest.test_case "hand beats auto" `Quick
+           test_fig6_hand_beats_auto;
+         Alcotest.test_case "both scale" `Quick test_fig6_both_scale;
+         Alcotest.test_case "hand scales better" `Quick
+           test_fig6_hand_scales_better;
+         Alcotest.test_case "auto magnitude" `Quick
+           test_fig6_auto_magnitude ]);
+      ("future-work",
+       [ Alcotest.test_case "multinode gpu" `Quick test_multinode_gpu ]) ]

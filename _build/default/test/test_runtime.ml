@@ -1,0 +1,226 @@
+(* Runtime substrate tests: buffers, the domain pool, and the GPU
+   simulator's data-strategy accounting. *)
+
+module Rt = Fsc_rt.Memref_rt
+module DP = Fsc_rt.Domain_pool
+module G = Fsc_rt.Gpu_sim
+
+(* ---- memref_rt ---- *)
+
+let test_column_major_strides () =
+  let b = Rt.create [ 3; 4; 5 ] in
+  Alcotest.(check (array int)) "strides" [| 1; 3; 12 |] b.Rt.strides;
+  Alcotest.(check int) "size" 60 (Rt.size b);
+  Alcotest.(check int) "bytes" 480 (Rt.bytes b);
+  (* offset of (i,j,k) = i + 3j + 12k *)
+  Alcotest.(check int) "offset" (2 + 9 + 48) (Rt.offset b [| 2; 3; 4 |])
+
+let test_get_set () =
+  let b = Rt.create [ 4; 4 ] in
+  Rt.set b [| 1; 2 |] 3.5;
+  Alcotest.(check (float 0.)) "roundtrip" 3.5 (Rt.get b [| 1; 2 |]);
+  Alcotest.(check (float 0.)) "flat agrees" 3.5 (Rt.get_flat b 9);
+  Rt.fill b 1.0;
+  Alcotest.(check (float 0.)) "fill" 1.0 (Rt.get b [| 3; 3 |])
+
+let test_clone_copy_diff () =
+  let a = Rt.create [ 8 ] in
+  Rt.init a (fun i -> float_of_int (i * i));
+  let b = Rt.clone a in
+  Alcotest.(check (float 0.)) "identical" 0.0 (Rt.max_abs_diff a b);
+  Rt.set_flat b 3 100.0;
+  Alcotest.(check bool) "clone independent" true (Rt.max_abs_diff a b > 0.0);
+  Rt.copy_into ~src:a ~dst:b;
+  Alcotest.(check (float 0.)) "copy restores" 0.0 (Rt.max_abs_diff a b)
+
+(* ---- domain pool ---- *)
+
+let test_parallel_for_covers_range () =
+  DP.with_pool 3 (fun pool ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      (* each worker writes disjoint indices *)
+      DP.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "every index exactly once" true
+        (Array.for_all (fun c -> c = 1) hits))
+
+let test_parallel_for_empty_and_single () =
+  DP.with_pool 2 (fun pool ->
+      let count = ref 0 in
+      DP.parallel_for pool ~lo:5 ~hi:5 (fun _ _ -> incr count);
+      Alcotest.(check int) "empty range" 0 !count;
+      let hits = Atomic.make 0 in
+      DP.parallel_for pool ~lo:0 ~hi:1 (fun lo hi ->
+          Atomic.fetch_and_add hits (hi - lo) |> ignore);
+      Alcotest.(check int) "single" 1 (Atomic.get hits))
+
+let test_pool_reuse () =
+  DP.with_pool 2 (fun pool ->
+      (* many consecutive tasks through the same pool *)
+      let total = Atomic.make 0 in
+      for _ = 1 to 50 do
+        DP.parallel_for pool ~lo:0 ~hi:100 (fun lo hi ->
+            Atomic.fetch_and_add total (hi - lo) |> ignore)
+      done;
+      Alcotest.(check int) "all iterations ran" 5000 (Atomic.get total))
+
+let prop_parallel_sum =
+  QCheck.Test.make ~name:"parallel_for sums equal serial" ~count:30
+    QCheck.(pair (int_range 1 4) (int_range 0 5000))
+    (fun (workers, n) ->
+      DP.with_pool workers (fun pool ->
+          let sum = Atomic.make 0 in
+          DP.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+              let s = ref 0 in
+              for i = lo to hi - 1 do
+                s := !s + i
+              done;
+              Atomic.fetch_and_add sum !s |> ignore);
+          Atomic.get sum = n * (n - 1) / 2))
+
+(* ---- gpu sim ---- *)
+
+let test_residency_and_views () =
+  let g = G.create () in
+  let host = Rt.create [ 16 ] in
+  Rt.init host (fun i -> float_of_int i);
+  G.alloc g host;
+  G.memcpy_h2d g host;
+  let dev = G.kernel_view g host in
+  Alcotest.(check (float 0.)) "device sees host data" 0.0
+    (Rt.max_abs_diff host dev);
+  (* mutate device, host unchanged until copy-back *)
+  Rt.set_flat dev 0 99.0;
+  Alcotest.(check bool) "host unchanged" true (Rt.get_flat host 0 = 0.0);
+  G.memcpy_d2h g host;
+  Alcotest.(check (float 0.)) "copied back" 99.0 (Rt.get_flat host 0)
+
+let test_host_register_pages_every_launch () =
+  let g = G.create () in
+  let host = Rt.create [ 1024 ] in
+  G.host_register g host;
+  let launch () =
+    G.launch g ~strategy:G.Strategy_host_register ~block_threads:256
+      ~flops:1e3 ~bytes_accessed:1e3
+      ~body:(fun () -> ())
+      [ host ]
+  in
+  launch ();
+  launch ();
+  launch ();
+  let s = G.stats g in
+  (* 1024 cells * 8 B * 2 directions * 3 launches *)
+  Alcotest.(check int) "paged bytes" (1024 * 8 * 2 * 3) s.G.s_bytes_paged;
+  Alcotest.(check int) "3 kernels" 3 s.G.s_kernels
+
+let test_device_resident_no_paging () =
+  let g = G.create () in
+  let host = Rt.create [ 1024 ] in
+  G.alloc g host;
+  G.memcpy_h2d g host;
+  for _ = 1 to 5 do
+    G.launch g ~strategy:G.Strategy_device_resident ~block_threads:256
+      ~flops:1e3 ~bytes_accessed:1e3
+      ~body:(fun () -> ())
+      [ host ]
+  done;
+  G.memcpy_d2h g host;
+  let s = G.stats g in
+  Alcotest.(check int) "no paging" 0 s.G.s_bytes_paged;
+  Alcotest.(check int) "one transfer each way" (1024 * 8) s.G.s_bytes_h2d;
+  Alcotest.(check int) "d2h" (1024 * 8) s.G.s_bytes_d2h
+
+let test_resident_strategy_requires_residency () =
+  let g = G.create () in
+  let host = Rt.create [ 16 ] in
+  G.host_register g host;
+  Alcotest.(check bool) "launch refuses non-resident buffer" true
+    (match
+       G.launch g ~strategy:G.Strategy_device_resident ~block_threads:16
+         ~flops:1.0 ~bytes_accessed:1.0
+         ~body:(fun () -> ())
+         [ host ]
+     with
+    | exception G.Launch_failure _ -> true
+    | () -> false)
+
+let test_unified_first_touch () =
+  let g = G.create () in
+  let host = Rt.create [ 512 ] in
+  G.host_register g host;
+  for _ = 1 to 4 do
+    G.launch g ~strategy:G.Strategy_unified ~block_threads:64 ~flops:1e3
+      ~bytes_accessed:1e3
+      ~body:(fun () -> ())
+      [ host ]
+  done;
+  let s = G.stats g in
+  (* unified: one migration on first touch, resident afterwards *)
+  Alcotest.(check int) "single first-touch transfer" (512 * 8) s.G.s_bytes_h2d;
+  Alcotest.(check int) "no repeated paging" 0 s.G.s_bytes_paged
+
+let test_clock_ordering () =
+  (* the three strategies must be ordered: resident < unified <
+     host_register for a multi-launch workload *)
+  let time strategy =
+    let g = G.create () in
+    let host = Rt.create [ 65536 ] in
+    (match strategy with
+    | G.Strategy_device_resident ->
+      G.alloc g host;
+      G.memcpy_h2d g host
+    | _ -> G.host_register g host);
+    for _ = 1 to 10 do
+      G.launch g ~strategy ~block_threads:1024 ~flops:1e6
+        ~bytes_accessed:(float_of_int (Rt.bytes host))
+        ~body:(fun () -> ())
+        [ host ]
+    done;
+    (G.stats g).G.s_clock
+  in
+  let t_res = time G.Strategy_device_resident in
+  let t_uni = time G.Strategy_unified in
+  let t_reg = time G.Strategy_host_register in
+  Alcotest.(check bool) "resident fastest" true (t_res < t_uni);
+  Alcotest.(check bool) "host_register slowest" true (t_uni < t_reg)
+
+let test_device_oom () =
+  let small_spec = { G.v100 with G.device_mem_bytes = 1024 } in
+  let g = G.create ~spec:small_spec () in
+  let host = Rt.create [ 1024 ] in
+  Alcotest.(check bool) "OOM detected" true
+    (match G.alloc g host with
+    | exception G.Launch_failure _ -> true
+    | () -> false)
+
+let () =
+  Alcotest.run "runtime"
+    [ ("memref",
+       [ Alcotest.test_case "column-major strides" `Quick
+           test_column_major_strides;
+         Alcotest.test_case "get/set" `Quick test_get_set;
+         Alcotest.test_case "clone/copy/diff" `Quick test_clone_copy_diff ]);
+      ("domain-pool",
+       [ Alcotest.test_case "covers range" `Quick
+           test_parallel_for_covers_range;
+         Alcotest.test_case "empty and single" `Quick
+           test_parallel_for_empty_and_single;
+         Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+         QCheck_alcotest.to_alcotest prop_parallel_sum ]);
+      ("gpu-sim",
+       [ Alcotest.test_case "residency and views" `Quick
+           test_residency_and_views;
+         Alcotest.test_case "host_register pages every launch" `Quick
+           test_host_register_pages_every_launch;
+         Alcotest.test_case "device resident no paging" `Quick
+           test_device_resident_no_paging;
+         Alcotest.test_case "resident requires residency" `Quick
+           test_resident_strategy_requires_residency;
+         Alcotest.test_case "unified first touch" `Quick
+           test_unified_first_touch;
+         Alcotest.test_case "strategy clock ordering" `Quick
+           test_clock_ordering;
+         Alcotest.test_case "device OOM" `Quick test_device_oom ]) ]

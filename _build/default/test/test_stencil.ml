@@ -1,0 +1,174 @@
+(* Stencil dialect unit tests: op verifiers, builders, access queries and
+   shape inference. *)
+
+open Fsc_ir
+module Stencil = Fsc_stencil.Stencil
+
+let () = Fsc_dialects.Registry.init ()
+
+let mk_field b ~bounds =
+  let mr =
+    Builder.op1 b "memref.alloc"
+      ~results:
+        [ Types.Memref
+            (List.map (fun (lo, hi) -> Types.Static (hi - lo + 1)) bounds,
+             Types.F64) ]
+  in
+  Stencil.external_load b mr ~bounds
+
+let in_module build =
+  let m = Op.create_module () in
+  let f =
+    Fsc_dialects.Func.func ~name:"k" ~args:[] ~results:[] (fun b _ ->
+        build b;
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to (Op.module_block m) f;
+  m
+
+let test_builders_verify () =
+  let bounds = [ (0, 16); (0, 16) ] in
+  let m =
+    in_module (fun b ->
+        let field = mk_field b ~bounds in
+        let temp = Stencil.load b field in
+        let out_field = mk_field b ~bounds in
+        let results =
+          Stencil.apply b ~inputs:[ temp ] ~out_bounds:[ (1, 15); (1, 15) ]
+            ~out_elems:[ Types.F64 ] (fun inner args ->
+              let x = Stencil.access inner (List.hd args) ~offset:[ 0; -1 ] in
+              let y = Stencil.access inner (List.hd args) ~offset:[ 0; 1 ] in
+              [ Fsc_dialects.Arith.addf inner x y ])
+        in
+        Stencil.store b (List.hd results) out_field ~lb:[ 1; 1 ]
+          ~ub:[ 15; 15 ])
+  in
+  Verifier.verify_exn m
+
+let test_access_offset_rank_checked () =
+  let m =
+    in_module (fun b ->
+        let field = mk_field b ~bounds:[ (0, 8); (0, 8) ] in
+        let temp = Stencil.load b field in
+        ignore
+          (Stencil.apply b ~inputs:[ temp ] ~out_bounds:[ (1, 7); (1, 7) ]
+             ~out_elems:[ Types.F64 ] (fun inner args ->
+               (* wrong rank offset: 1 entry for a 2-D temp *)
+               let bad =
+                 Builder.op1 inner "stencil.access"
+                   ~operands:[ List.hd args ] ~results:[ Types.F64 ]
+                   ~attrs:[ ("offset", Attr.Index_a [ 1 ]) ]
+               in
+               [ bad ])))
+  in
+  Alcotest.(check bool) "rank mismatch rejected" true
+    (Result.is_error (Verifier.verify m))
+
+let test_apply_arg_mismatch_checked () =
+  let m =
+    in_module (fun b ->
+        let field = mk_field b ~bounds:[ (0, 8) ] in
+        let temp = Stencil.load b field in
+        (* an apply whose block takes no args but has one operand *)
+        let region, blk = Op.region_with_block () in
+        ignore
+          (Builder.op (Builder.at_end blk) "stencil.return"
+             ~operands:[]);
+        ignore
+          (Builder.op b "stencil.apply" ~operands:[ temp ]
+             ~results:[ Stencil.temp_type [ (0, 8) ] Types.F64 ]
+             ~regions:[ region ]))
+  in
+  Alcotest.(check bool) "apply arg count checked" true
+    (Result.is_error (Verifier.verify m))
+
+let test_apply_accesses_query () =
+  let bounds = [ (0, 8); (0, 8) ] in
+  let captured = ref None in
+  let _m =
+    in_module (fun b ->
+        let f1 = mk_field b ~bounds in
+        let t1 = Stencil.load b f1 in
+        let f2 = mk_field b ~bounds in
+        let t2 = Stencil.load b f2 in
+        let out = mk_field b ~bounds in
+        let rs =
+          Stencil.apply b ~inputs:[ t1; t2 ]
+            ~out_bounds:[ (1, 7); (1, 7) ] ~out_elems:[ Types.F64 ]
+            (fun inner args ->
+              match args with
+              | [ a; c ] ->
+                let x = Stencil.access inner a ~offset:[ -1; 0 ] in
+                let y = Stencil.access inner a ~offset:[ 1; 0 ] in
+                let z = Stencil.access inner c ~offset:[ 0; 0 ] in
+                let s = Fsc_dialects.Arith.addf inner x y in
+                [ Fsc_dialects.Arith.addf inner s z ]
+              | _ -> assert false)
+        in
+        (match Op.defining_op (List.hd rs) with
+        | Some apply -> captured := Some (Stencil.apply_accesses apply)
+        | None -> ());
+        Stencil.store b (List.hd rs) out ~lb:[ 1; 1 ] ~ub:[ 7; 7 ])
+  in
+  match !captured with
+  | Some accesses ->
+    Alcotest.(check int) "three accesses" 3 (List.length accesses);
+    Alcotest.(check bool) "input 0 has two" true
+      (List.length (List.filter (fun (i, _) -> i = 0) accesses) = 2);
+    Alcotest.(check bool) "input 1 offset 0,0" true
+      (List.mem (1, [ 0; 0 ]) accesses)
+  | None -> Alcotest.fail "no apply captured"
+
+let test_shape_inference () =
+  (* an apply whose input type starts too small: inference must grow the
+     input temp to cover output + offsets *)
+  let m =
+    in_module (fun b ->
+        let bounds = [ (0, 10); (0, 10) ] in
+        let field = mk_field b ~bounds in
+        let temp = Stencil.load b field in
+        let out = mk_field b ~bounds in
+        let rs =
+          Stencil.apply b ~inputs:[ temp ] ~out_bounds:[ (2, 9); (2, 9) ]
+            ~out_elems:[ Types.F64 ] (fun inner args ->
+              [ Stencil.access inner (List.hd args) ~offset:[ -2; 1 ] ])
+        in
+        Stencil.store b (List.hd rs) out ~lb:[ 2; 2 ] ~ub:[ 9; 9 ])
+  in
+  let f = Fsc_dialects.Func.lookup_exn m "k" in
+  Stencil.infer_shapes_in_func f;
+  let apply = List.hd (Op.collect_ops Stencil.is_apply m) in
+  (match Op.value_type (Op.operand apply) with
+  | Types.Stencil_temp (b, _) ->
+    (* output [2,9]x[2,9] at offset [-2,1] needs [0,7]x[3,10] *)
+    Alcotest.(check bool) "input covers accesses" true
+      (List.for_all2
+         (fun (lo, hi) (nlo, nhi) -> lo <= nlo && hi >= nhi)
+         b
+         [ (0, 7); (3, 10) ])
+  | _ -> Alcotest.fail "temp expected");
+  match Op.value_type (Op.result apply) with
+  | Types.Stencil_temp (b, _) ->
+    Alcotest.(check bool) "output bounds set" true (b = [ (2, 9); (2, 9) ])
+  | _ -> Alcotest.fail "temp result expected"
+
+let test_type_helpers () =
+  let t = Stencil.temp_type [ (-1, 255); (-1, 255) ] Types.F64 in
+  Alcotest.(check string) "printed like the paper"
+    "!stencil.temp<[-1,255]x[-1,255]xf64>" (Types.to_string t);
+  Alcotest.(check bool) "bounds round" true
+    (Stencil.type_bounds t = [ (-1, 255); (-1, 255) ]);
+  Alcotest.(check bool) "elem" true (Stencil.type_elem t = Types.F64)
+
+let () =
+  Alcotest.run "stencil"
+    [ ("dialect",
+       [ Alcotest.test_case "builders verify" `Quick test_builders_verify;
+         Alcotest.test_case "access offset rank" `Quick
+           test_access_offset_rank_checked;
+         Alcotest.test_case "apply arg mismatch" `Quick
+           test_apply_arg_mismatch_checked;
+         Alcotest.test_case "apply_accesses query" `Quick
+           test_apply_accesses_query;
+         Alcotest.test_case "shape inference" `Quick test_shape_inference;
+         Alcotest.test_case "type helpers" `Quick test_type_helpers ]) ]

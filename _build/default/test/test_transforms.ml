@@ -1,0 +1,218 @@
+(* Transformation pass tests: canonicalise/CSE/DCE, math simplification,
+   cast reconciliation — plus a qcheck property that canonicalisation
+   preserves interpreter semantics on random arithmetic programs. *)
+
+open Fsc_ir
+module Arith = Fsc_dialects.Arith
+
+let () = Fsc_dialects.Registry.init ()
+
+let count name m =
+  List.length (Op.collect_ops (fun o -> o.Op.o_name = name) m)
+
+(* build a module with a function evaluating an expression and storing it
+   to a 1-cell memref so DCE cannot remove it *)
+let with_sink build =
+  let m = Op.create_module () in
+  let blk = Op.module_block m in
+  let f =
+    Fsc_dialects.Func.func ~name:"main"
+      ~args:[ Types.Memref ([ Types.Static 1 ], Types.F64) ]
+      ~results:[] (fun b args ->
+        let out = List.hd args in
+        let v = build b in
+        let zero = Arith.constant_index b 0 in
+        Fsc_dialects.Memref.store b v out [ zero ];
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to blk f;
+  m
+
+let eval m =
+  let ctx = Fsc_rt.Interp.create_context () in
+  Fsc_rt.Interp.add_module ctx m;
+  let buf = Fsc_rt.Memref_rt.create [ 1 ] in
+  ignore (Fsc_rt.Interp.call ctx "main" [ Fsc_rt.Interp.R_buf buf ]);
+  Fsc_rt.Memref_rt.get_flat buf 0
+
+let test_constant_folding () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 2.0 in
+        let y = Arith.constant_float b 3.0 in
+        let s = Arith.addf b x y in
+        Arith.mulf b s s)
+  in
+  let before = eval m in
+  ignore (Fsc_transforms.Canonicalize.run m);
+  Alcotest.(check int) "all folded" 0 (count "arith.addf" m + count "arith.mulf" m);
+  Alcotest.(check (float 0.)) "value preserved" before (eval m)
+
+let test_identities () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 7.0 in
+        let one = Arith.constant_float b 1.0 in
+        let zero = Arith.constant_float b 0.0 in
+        Arith.addf b (Arith.mulf b x one) zero)
+  in
+  ignore (Fsc_transforms.Canonicalize.run m);
+  Alcotest.(check int) "mulf gone" 0 (count "arith.mulf" m);
+  Alcotest.(check int) "addf gone" 0 (count "arith.addf" m);
+  Alcotest.(check (float 0.)) "still 7" 7.0 (eval m)
+
+let test_cse () =
+  let m =
+    with_sink (fun b ->
+        (* two identical loads of the same expression *)
+        let x = Arith.constant_float b 4.0 in
+        let a = Fsc_dialects.Math.sqrt b x in
+        let c = Fsc_dialects.Math.sqrt b x in
+        Arith.addf b a c)
+  in
+  let eliminated = Fsc_transforms.Cse.run m in
+  Alcotest.(check int) "one sqrt eliminated" 1 eliminated;
+  Alcotest.(check int) "one sqrt left" 1 (count "math.sqrt" m);
+  Alcotest.(check (float 1e-12)) "value" 4.0 (eval m)
+
+let test_cse_respects_attrs () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 1.0 in
+        let y = Arith.constant_float b 2.0 in
+        Arith.addf b x y)
+  in
+  ignore (Fsc_transforms.Cse.run m);
+  (* the two constants differ in attrs: must NOT merge *)
+  Alcotest.(check int) "constants kept" 3 (count "arith.constant" m)
+
+let test_dce_keeps_side_effects () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 1.0 in
+        (* a dead pure chain *)
+        let d = Arith.addf b x x in
+        ignore (Arith.mulf b d d);
+        x)
+  in
+  let removed = Fsc_transforms.Dce.run m in
+  Alcotest.(check bool) "removed dead ops" true (removed >= 2);
+  Alcotest.(check int) "store survives" 1 (count "memref.store" m);
+  Alcotest.(check (float 0.)) "value" 1.0 (eval m)
+
+let test_math_simplify_powf () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 3.0 in
+        let two = Arith.constant_float b 2.0 in
+        Fsc_dialects.Math.powf b x two)
+  in
+  ignore
+    (Rewrite.apply_greedily Fsc_transforms.Math_simplify.algebraic_patterns m);
+  Alcotest.(check int) "powf expanded" 0 (count "math.powf" m);
+  Alcotest.(check (float 0.)) "9" 9.0 (eval m)
+
+let test_expand_fpowi () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 2.0 in
+        let n = Arith.constant_int b ~ty:Types.I32 5 in
+        Fsc_dialects.Math.fpowi b x n)
+  in
+  ignore
+    (Rewrite.apply_greedily Fsc_transforms.Math_simplify.expand_patterns m);
+  Alcotest.(check int) "fpowi expanded" 0 (count "math.fpowi" m);
+  Alcotest.(check (float 0.)) "32" 32.0 (eval m)
+
+let test_reconcile_casts () =
+  let m =
+    with_sink (fun b ->
+        let x = Arith.constant_float b 5.0 in
+        let p = Fsc_dialects.Builtin.unrealized_cast b ~to_:Types.Llvm_ptr x in
+        Fsc_dialects.Builtin.unrealized_cast b ~to_:Types.F64 p)
+  in
+  Pass.run_pipeline ~verify_each:false
+    [ Fsc_transforms.Reconcile_casts.pass ] m
+  |> ignore;
+  Alcotest.(check int) "cast pair cancelled" 0
+    (count "builtin.unrealized_conversion_cast" m)
+
+let test_fold_memref_aliases () =
+  let m = Op.create_module () in
+  let f =
+    Fsc_dialects.Func.func ~name:"main"
+      ~args:[ Types.Memref ([ Types.Static 4 ], Types.F64) ]
+      ~results:[] (fun b args ->
+        let mr = List.hd args in
+        let cast =
+          Fsc_dialects.Memref.cast b
+            ~to_:(Types.Memref ([ Types.Dynamic ], Types.F64))
+            mr
+        in
+        let zero = Arith.constant_index b 0 in
+        let v = Fsc_dialects.Memref.load b cast [ zero ] in
+        Fsc_dialects.Memref.store b v cast [ zero ];
+        Fsc_dialects.Func.return_ b [])
+  in
+  Op.append_to (Op.module_block m) f;
+  Pass.run_pipeline ~verify_each:false
+    [ Fsc_transforms.Fold_memref_aliases.pass ] m
+  |> ignore;
+  let load =
+    List.hd (Op.collect_ops (fun o -> o.Op.o_name = "memref.load") m)
+  in
+  Alcotest.(check bool) "load bypasses cast" true
+    (match Op.defining_op (Op.operand load) with
+    | None -> true (* block argument: the root *)
+    | Some d -> d.Op.o_name <> "memref.cast")
+
+(* property: canonicalisation preserves semantics on random programs *)
+let gen_program =
+  QCheck.Gen.(
+    let leaf b = map (fun f -> Arith.constant_float b f) (float_range (-8.) 8.) in
+    let rec expr depth b =
+      if depth = 0 then leaf b
+      else
+        oneof
+          [ leaf b;
+            (pair (expr (depth - 1) b) (expr (depth - 1) b)
+            >|= fun (x, y) -> Arith.addf b x y);
+            (pair (expr (depth - 1) b) (expr (depth - 1) b)
+            >|= fun (x, y) -> Arith.subf b x y);
+            (pair (expr (depth - 1) b) (expr (depth - 1) b)
+            >|= fun (x, y) -> Arith.mulf b x y) ]
+    in
+    int_range 1 4 >>= fun depth st ->
+    with_sink (fun b -> (expr depth b) st))
+
+let prop_canonicalize_preserves =
+  QCheck.Test.make ~name:"canonicalize preserves semantics" ~count:150
+    (QCheck.make gen_program) (fun m ->
+      let before = eval m in
+      ignore (Fsc_transforms.Canonicalize.run m);
+      ignore (Fsc_transforms.Cse.run m);
+      let after = eval m in
+      before = after
+      || Float.abs (before -. after) <= 1e-9 *. Float.abs before)
+
+let () =
+  Alcotest.run "transforms"
+    [ ("canonicalize",
+       [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+         Alcotest.test_case "identities" `Quick test_identities ]);
+      ("cse-dce",
+       [ Alcotest.test_case "cse" `Quick test_cse;
+         Alcotest.test_case "cse respects attrs" `Quick
+           test_cse_respects_attrs;
+         Alcotest.test_case "dce keeps side effects" `Quick
+           test_dce_keeps_side_effects ]);
+      ("math",
+       [ Alcotest.test_case "powf simplification" `Quick
+           test_math_simplify_powf;
+         Alcotest.test_case "fpowi expansion" `Quick test_expand_fpowi ]);
+      ("casts",
+       [ Alcotest.test_case "reconcile casts" `Quick test_reconcile_casts;
+         Alcotest.test_case "fold memref aliases" `Quick
+           test_fold_memref_aliases ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_canonicalize_preserves ]) ]

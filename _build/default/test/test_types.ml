@@ -1,0 +1,119 @@
+(* Type system and bounds arithmetic tests, including qcheck properties
+   on the interval algebra that shape inference relies on. *)
+
+open Fsc_ir
+
+let check_str = Alcotest.(check string)
+
+let test_to_string () =
+  check_str "memref" "memref<10x20xf64>"
+    (Types.to_string (Types.Memref ([ Types.Static 10; Types.Static 20 ],
+                                    Types.F64)));
+  check_str "dynamic memref" "memref<?x4xf32>"
+    (Types.to_string
+       (Types.Memref ([ Types.Dynamic; Types.Static 4 ], Types.F32)));
+  check_str "stencil temp" "!stencil.temp<[-1,255]x[-1,255]xf64>"
+    (Types.to_string
+       (Types.Stencil_temp ([ (-1, 255); (-1, 255) ], Types.F64)));
+  check_str "fir ref array" "!fir.ref<!fir.array<257x257xf64>>"
+    (Types.to_string
+       (Types.Fir_ref
+          (Types.Fir_array ([ Types.Static 257; Types.Static 257 ],
+                            Types.F64))));
+  check_str "func type" "(i64, f64) -> (f64)"
+    (Types.to_string (Types.Func_t ([ Types.I64; Types.F64 ], [ Types.F64 ])))
+
+let test_bounds () =
+  let b1 = [ (0, 10); (0, 10) ] and b2 = [ (-1, 5); (2, 12) ] in
+  Alcotest.(check (list (pair int int)))
+    "union" [ (-1, 10); (0, 12) ]
+    (Types.bounds_union b1 b2);
+  Alcotest.(check (list (pair int int)))
+    "intersect" [ (0, 5); (2, 10) ]
+    (Types.bounds_intersect b1 b2);
+  Alcotest.(check int) "volume" 121 (Types.bounds_volume b1);
+  Alcotest.(check (list (pair int int)))
+    "expand by offsets" [ (-1, 11); (0, 10) ]
+    (Types.bounds_expand_by_offsets b1 [ [ -1; 0 ]; [ 1; 0 ] ])
+
+let test_element_rank () =
+  let t = Types.Memref ([ Types.Static 4; Types.Static 5 ], Types.F32) in
+  Alcotest.(check bool) "element" true (Types.element_type t = Types.F32);
+  Alcotest.(check int) "rank" 2 (Types.rank t);
+  Alcotest.(check int) "scalar rank" 0 (Types.rank Types.F64)
+
+(* qcheck: bounds algebra *)
+let bounds_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 3)
+      (map
+         (fun (a, b) -> (min a b, max a b))
+         (pair (int_range (-50) 50) (int_range (-50) 50))))
+
+let arb_bounds_pair =
+  QCheck.make
+    QCheck.Gen.(
+      bounds_gen >>= fun b1 ->
+      map
+        (fun deltas ->
+          let b2 =
+            List.map2
+              (fun (lo, hi) (dl, dh) -> (lo + dl, hi + dh))
+              b1 deltas
+          in
+          (b1, b2))
+        (list_size (return (List.length b1))
+           (pair (int_range (-5) 5) (int_range 0 5))))
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"bounds_union contains both" ~count:200
+    arb_bounds_pair (fun (b1, b2) ->
+      let u = Types.bounds_union b1 b2 in
+      List.for_all2 (fun (lo, hi) (ulo, uhi) -> ulo <= lo && uhi >= hi) b1 u
+      && List.for_all2
+           (fun (lo, hi) (ulo, uhi) -> ulo <= lo && uhi >= hi)
+           b2 u)
+
+let prop_union_idempotent =
+  QCheck.Test.make ~name:"bounds_union idempotent" ~count:200
+    (QCheck.make bounds_gen) (fun b -> Types.bounds_union b b = b)
+
+let prop_intersect_within =
+  QCheck.Test.make ~name:"intersect within union" ~count:200 arb_bounds_pair
+    (fun (b1, b2) ->
+      let i = Types.bounds_intersect b1 b2
+      and u = Types.bounds_union b1 b2 in
+      List.for_all2 (fun (ilo, ihi) (ulo, uhi) -> ilo >= ulo && ihi <= uhi)
+        i u)
+
+let prop_expand_grows =
+  QCheck.Test.make ~name:"expand_by_offsets covers shifted regions"
+    ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         bounds_gen >>= fun b ->
+         map
+           (fun offs -> (b, offs))
+           (list_size (int_range 1 4)
+              (list_size (return (List.length b)) (int_range (-3) 3)))))
+    (fun (b, offsets) ->
+      let e = Types.bounds_expand_by_offsets b offsets in
+      List.for_all
+        (fun ofs ->
+          List.for_all2
+            (fun ((lo, hi), o) (elo, ehi) -> elo <= lo + o && ehi >= hi + o)
+            (List.combine b ofs) e)
+        offsets)
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_union_contains; prop_union_idempotent; prop_intersect_within;
+      prop_expand_grows ]
+
+let () =
+  Alcotest.run "types"
+    [ ("types",
+       [ Alcotest.test_case "to_string" `Quick test_to_string;
+         Alcotest.test_case "bounds algebra" `Quick test_bounds;
+         Alcotest.test_case "element/rank" `Quick test_element_rank ]);
+      ("properties", qcheck_suite) ]
