@@ -40,6 +40,78 @@ let () =
 
 let want fig = !figures = [] || List.mem fig !figures
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable pipeline timings: BENCH_pipeline.json              *)
+(* ------------------------------------------------------------------ *)
+
+(* Instrument one representative compile+run (gauss-seidel through the
+   gpu-optimised flow, which exercises the full Listing-4 pass pipeline)
+   and dump per-phase / per-pass / per-kernel timings plus counters as
+   JSON, so perf PRs can diff pipeline cost mechanically instead of
+   scraping the tables above. *)
+let write_pipeline_json () =
+  let module Obs = Fsc_obs.Obs in
+  let module J = Fsc_obs.Obs.Json in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let n = 12 in
+  let iters = 2 in
+  let src = B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters () in
+  let a, _ = P.stencil ~target:(P.Gpu P.Gpu_optimised) src in
+  P.run a;
+  P.shutdown a;
+  Obs.set_enabled false;
+  let ms s = J.Num (1000. *. s) in
+  let arg_json name e =
+    match List.assoc_opt name e.Obs.e_args with
+    | Some a -> Obs.json_of_arg a
+    | None -> J.Null
+  in
+  let phases =
+    List.map
+      (fun e ->
+        J.Obj [ ("name", J.Str e.Obs.e_name); ("ms", ms e.Obs.e_dur) ])
+      (Obs.events_with_cat "pipeline")
+  in
+  let passes =
+    List.map
+      (fun e ->
+        J.Obj
+          [ ("name", J.Str e.Obs.e_name); ("ms", ms e.Obs.e_dur);
+            ("ops_before", arg_json "ops_before" e);
+            ("ops_after", arg_json "ops_after" e);
+            ("verify_ms", arg_json "verify_ms" e) ])
+      (Obs.events_with_cat "pass")
+  in
+  let kernels =
+    List.map
+      (fun (name, count, total) ->
+        J.Obj
+          [ ("name", J.Str name); ("count", J.Num (float_of_int count));
+            ("total_ms", ms total) ])
+      (Obs.span_summary ~cat:"kernel" ())
+  in
+  let counters =
+    List.map
+      (fun (name, v) -> (name, J.Num (float_of_int v)))
+      (Obs.counter_totals ())
+  in
+  let json =
+    J.Obj
+      [ ("benchmark",
+         J.Str
+           (Printf.sprintf "gauss_seidel %d^3 x%d, gpu-optimised" n iters));
+        ("phases", J.List phases); ("passes", J.List passes);
+        ("kernels", J.List kernels); ("counters", J.Obj counters) ]
+  in
+  let path = "BENCH_pipeline.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "pipeline timings written to %s (%d passes, %d phases)\n"
+    path (List.length passes) (List.length phases)
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -542,6 +614,7 @@ let () =
     "fsc benchmark harness — reproducing Brown et al., \"Fortran \
      performance optimisation and auto-parallelisation by leveraging \
      MLIR-based domain specific abstractions in Flang\" (SC-W 2023)\n";
+  write_pipeline_json ();
   if want 2 then figure2 ();
   if want 3 then figure34 C.Gauss_seidel 3;
   if want 4 then figure34 C.Pw_advection 4;

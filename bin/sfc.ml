@@ -9,10 +9,11 @@
      sfc compile prog.f90 --emit fir
      sfc compile prog.f90 --emit stencil
      sfc compile prog.f90 --emit host --target gpu-optimised
-     sfc run prog.f90 --target openmp --threads 4 --stats                *)
+     sfc run prog.f90 --target openmp --threads 4 --stats --trace out.json *)
 
 open Cmdliner
 module P = Fsc_driver.Pipeline
+module Obs = Fsc_obs.Obs
 
 let read_file path =
   let ic = open_in_bin path in
@@ -28,14 +29,13 @@ let target_conv =
     | "gpu" | "gpu-optimised" | "gpu-optimized" -> Ok (P.Gpu P.Gpu_optimised)
     | s -> Error (`Msg ("unknown target " ^ s))
   in
-  let print ppf t =
-    Format.pp_print_string ppf
-      (match t with
-      | P.Serial -> "serial"
-      | P.Openmp n -> Printf.sprintf "openmp(%d)" n
-      | P.Gpu P.Gpu_initial -> "gpu-initial"
-      | P.Gpu P.Gpu_optimised -> "gpu-optimised")
+  let target_name = function
+    | P.Serial -> "serial"
+    | P.Openmp n -> Printf.sprintf "openmp(%d)" n
+    | P.Gpu P.Gpu_initial -> "gpu-initial"
+    | P.Gpu P.Gpu_optimised -> "gpu-optimised"
   in
+  let print ppf t = Format.pp_print_string ppf (target_name t) in
   Arg.conv (parse, print)
 
 let file_arg =
@@ -47,21 +47,70 @@ let file_arg =
 let target_arg =
   Arg.(
     value
-    & opt target_conv P.Serial
+    & opt (some target_conv) None
     & info [ "target"; "t" ] ~docv:"TARGET"
         ~doc:
-          "Execution target: serial, openmp, gpu-initial or gpu-optimised.")
+          "Execution target: serial (default), openmp, gpu-initial or \
+           gpu-optimised.")
 
 let threads_arg =
   Arg.(
     value
     & opt (some int) None
-    & info [ "threads" ] ~docv:"N" ~doc:"OpenMP thread count.")
+    & info [ "threads" ] ~docv:"N"
+        ~doc:
+          "OpenMP thread count; overrides the machine default. Requires \
+           the openmp target (implied when no --target is given).")
 
+(* An explicit --threads overrides the openmp default sizing; combining
+   it with a non-OpenMP target is an error instead of being silently
+   ignored. With no --target at all, --threads implies openmp. *)
 let resolve_target target threads =
   match (target, threads) with
-  | P.Openmp _, Some n | P.Serial, Some n -> P.Openmp n
-  | t, _ -> t
+  | _, Some n when n < 1 ->
+    Error (Printf.sprintf "--threads must be >= 1 (got %d)" n)
+  | None, None -> Ok P.Serial
+  | None, Some n -> Ok (P.Openmp n)
+  | Some (P.Openmp _), Some n -> Ok (P.Openmp n)
+  | Some ((P.Serial | P.Gpu _) as t), Some _ ->
+    Error
+      (Printf.sprintf
+         "--threads only applies to --target openmp (target is %s)"
+         (match t with
+         | P.Serial -> "serial"
+         | P.Gpu P.Gpu_initial -> "gpu-initial"
+         | _ -> "gpu-optimised"))
+  | Some t, None -> Ok t
+
+(* ---- observability plumbing ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the compilation and \
+           execution (pipeline stages, passes, kernels, counters). Load \
+           it in chrome://tracing or https://ui.perfetto.dev.")
+
+let setup_obs ~trace ~stats =
+  if trace <> None || stats then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end
+
+let finish_obs ~trace =
+  match trace with
+  | None -> Ok ()
+  | Some path -> (
+    match Obs.write_trace path with
+    | () ->
+      Printf.eprintf
+        "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n"
+        path;
+      Ok ()
+    | exception Sys_error e -> Error (`Msg ("--trace: cannot write " ^ e)))
 
 (* ---- compile ---- *)
 
@@ -82,105 +131,125 @@ let emit_arg =
            item).")
 
 let compile_cmd =
-  let run file emit target threads =
-    let src = read_file file in
-    let target = resolve_target target threads in
-    Fsc_dialects.Registry.init ();
-    match emit with
-    | `Fir ->
-      let m = Fsc_fortran.Flower.compile_source src in
-      print_string (Fsc_ir.Printer.module_to_string m)
-    | `Mixed ->
-      let m = Fsc_fortran.Flower.compile_source src in
-      let stats = Fsc_core.Discovery.run m in
-      ignore (Fsc_core.Merge.run m);
-      Printf.eprintf "; %d stencils discovered, %d rejects\n"
-        stats.Fsc_core.Discovery.found
-        (List.length stats.Fsc_core.Discovery.rejected);
-      print_string (Fsc_ir.Printer.module_to_string m)
-    | `Host ->
-      let a, _ = P.stencil ~target src in
-      print_string (Fsc_ir.Printer.module_to_string a.P.a_host)
-    | `Stencil ->
-      let a, _ = P.stencil ~target src in
-      (match a.P.a_stencil with
-      | Some sm -> print_string (Fsc_ir.Printer.module_to_string sm)
-      | None -> prerr_endline "no stencil module")
-    | `Std ->
-      let m = Fsc_fortran.Flower.compile_source src in
-      let { Fsc_lowering.Fir_to_std_dialects.lowered; skipped } =
-        Fsc_lowering.Fir_to_std_dialects.run m
-      in
-      List.iter
-        (fun (f, reason) ->
-          Printf.eprintf "; %s kept as FIR: %s\n" f reason)
-        skipped;
-      print_string (Fsc_ir.Printer.module_to_string lowered)
-    | `Gpu -> (
-      let a, _ = P.stencil ~target src in
-      match a.P.a_gpu_ir with
-      | Some gm ->
-        print_string (Fsc_ir.Printer.module_to_string gm);
-        (match Fsc_lowering.Gpu_pipeline.verify_gpu_artifact gm with
-        | Ok () -> prerr_endline "; GPU artifact check: OK"
-        | Error e -> prerr_endline ("; GPU artifact check FAILED: " ^ e))
-      | None ->
-        prerr_endline
-          "no GPU IR (use --target gpu-optimised or gpu-initial)")
+  let run file emit target threads trace =
+    match resolve_target target threads with
+    | Error msg -> Error (`Msg msg)
+    | Ok target ->
+      let src = read_file file in
+      setup_obs ~trace ~stats:false;
+      Fsc_dialects.Registry.init ();
+      (match emit with
+      | `Fir ->
+        let m = Fsc_fortran.Flower.compile_source src in
+        print_string (Fsc_ir.Printer.module_to_string m)
+      | `Mixed ->
+        let m = Fsc_fortran.Flower.compile_source src in
+        let stats = Fsc_core.Discovery.run m in
+        ignore (Fsc_core.Merge.run m);
+        Printf.eprintf "; %d stencils discovered, %d rejects\n"
+          stats.Fsc_core.Discovery.found
+          (List.length stats.Fsc_core.Discovery.rejected);
+        print_string (Fsc_ir.Printer.module_to_string m)
+      | `Host ->
+        let a, _ = P.stencil ~target src in
+        print_string (Fsc_ir.Printer.module_to_string a.P.a_host)
+      | `Stencil -> (
+        let a, _ = P.stencil ~target src in
+        match a.P.a_stencil with
+        | Some sm -> print_string (Fsc_ir.Printer.module_to_string sm)
+        | None -> prerr_endline "no stencil module")
+      | `Std ->
+        let m = Fsc_fortran.Flower.compile_source src in
+        let { Fsc_lowering.Fir_to_std_dialects.lowered; skipped } =
+          Fsc_lowering.Fir_to_std_dialects.run m
+        in
+        List.iter
+          (fun (f, reason) ->
+            Printf.eprintf "; %s kept as FIR: %s\n" f reason)
+          skipped;
+        print_string (Fsc_ir.Printer.module_to_string lowered)
+      | `Gpu -> (
+        let a, _ = P.stencil ~target src in
+        match a.P.a_gpu_ir with
+        | Some gm ->
+          print_string (Fsc_ir.Printer.module_to_string gm);
+          (match Fsc_lowering.Gpu_pipeline.verify_gpu_artifact gm with
+          | Ok () -> prerr_endline "; GPU artifact check: OK"
+          | Error e -> prerr_endline ("; GPU artifact check FAILED: " ^ e))
+        | None ->
+          prerr_endline
+            "no GPU IR (use --target gpu-optimised or gpu-initial)"));
+      finish_obs ~trace
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Fortran file and dump IR")
-    Term.(const run $ file_arg $ emit_arg $ target_arg $ threads_arg)
+    Term.(
+      term_result
+        (const run $ file_arg $ emit_arg $ target_arg $ threads_arg
+        $ trace_arg))
 
 (* ---- run ---- *)
 
 let stats_arg =
   Arg.(
     value & flag
-    & info [ "stats" ] ~doc:"Print pipeline and device statistics.")
+    & info [ "stats" ]
+        ~doc:
+          "Print pipeline, pass, kernel and device statistics (timings, \
+           op counts, rewrite/pool counters).")
 
 let run_cmd =
-  let run file target threads stats =
-    let src = read_file file in
-    let target = resolve_target target threads in
-    let a, st = P.stencil ~target src in
-    if stats then begin
-      Printf.eprintf
-        "pipeline: %d stencils discovered, %d merges, %d kernels\n"
-        st.P.st_discovered st.P.st_merged st.P.st_kernels;
-      List.iter
-        (fun (name, impl) ->
-          Printf.eprintf "  %s: %s\n" name
-            (match impl with
-            | P.Compiled _ -> "compiled"
-            | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
-        a.P.a_kernels
-    end;
-    P.run a;
-    if stats then begin
-      (match a.P.a_ctx.Fsc_rt.Interp.gpu with
-      | Some g ->
-        let s = Fsc_rt.Gpu_sim.stats g in
+  let run file target threads stats trace =
+    match resolve_target target threads with
+    | Error msg -> Error (`Msg msg)
+    | Ok target ->
+      let src = read_file file in
+      setup_obs ~trace ~stats;
+      let a, st = P.stencil ~target src in
+      if stats then begin
         Printf.eprintf
-          "device: %d launches, %.3f ms simulated, %d kB paged, %d kB \
-           h2d, %d kB d2h\n"
-          s.Fsc_rt.Gpu_sim.s_kernels
-          (1000. *. s.Fsc_rt.Gpu_sim.s_clock)
-          (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
-          (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
-          (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
-      | None -> ());
-      List.iter
-        (fun (name, buf) ->
-          Printf.eprintf "grid %-12s checksum %.6f\n" name
-            (Fsc_rt.Memref_rt.checksum buf))
-        a.P.a_ctx.Fsc_rt.Interp.named_buffers
-    end;
-    P.shutdown a
+          "pipeline: %d stencils discovered, %d merges, %d kernels\n"
+          st.P.st_discovered st.P.st_merged st.P.st_kernels;
+        List.iter
+          (fun (name, impl) ->
+            Printf.eprintf "  %s: %s\n" name
+              (match impl with
+              | P.Compiled _ -> "compiled"
+              | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
+          a.P.a_kernels
+      end;
+      P.run a;
+      if stats then begin
+        (match a.P.a_ctx.Fsc_rt.Interp.gpu with
+        | Some g ->
+          let s = Fsc_rt.Gpu_sim.stats g in
+          Printf.eprintf
+            "device: %d launches, %.3f ms simulated, %d kB paged, %d kB \
+             h2d, %d kB d2h\n"
+            s.Fsc_rt.Gpu_sim.s_kernels
+            (1000. *. s.Fsc_rt.Gpu_sim.s_clock)
+            (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
+            (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
+            (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
+        | None -> ());
+        List.iter
+          (fun (name, buf) ->
+            Printf.eprintf "grid %-12s checksum %.6f\n" name
+              (Fsc_rt.Memref_rt.checksum buf))
+          a.P.a_ctx.Fsc_rt.Interp.named_buffers;
+        Printf.eprintf "host ops interpreted: %d\n"
+          a.P.a_ctx.Fsc_rt.Interp.op_count;
+        prerr_string (Obs.report ())
+      end;
+      P.shutdown a;
+      finish_obs ~trace
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a Fortran program")
-    Term.(const run $ file_arg $ target_arg $ threads_arg $ stats_arg)
+    Term.(
+      term_result
+        (const run $ file_arg $ target_arg $ threads_arg $ stats_arg
+        $ trace_arg))
 
 (* ---- passes ---- *)
 

@@ -1,0 +1,44 @@
+! 3-D Gauss-Seidel / Laplace diffusion at a CLI-friendly size — the
+! paper's first benchmark, checked in so the sfc driver has a ready-made
+! input:
+!
+!   dune exec bin/sfc.exe -- run examples/laplace.f90 \
+!     --target openmp --threads 2 --stats --trace trace.json
+!
+! (same code shape as lib/driver/benchmarks.ml's gauss_seidel generator)
+program gauss_seidel
+  implicit none
+  integer, parameter :: nx = 12, ny = 12, nz = 12, niter = 2
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: u, unew
+
+  ! initial condition: smooth non-harmonic field; the boundary stays
+  ! fixed as a Dirichlet condition
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        u(i, j, k) = 0.01d0 * dble(i) * dble(i) &
+                   + 0.02d0 * dble(j) * dble(k) + 0.03d0 * dble(k)
+        unew(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do iter = 1, niter
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          unew(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                        + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          u(i, j, k) = unew(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program gauss_seidel

@@ -14,6 +14,12 @@
 open Fsc_ir
 module Interp = Fsc_rt.Interp
 module Kc = Fsc_rt.Kernel_compile
+module Obs = Fsc_obs.Obs
+
+(* every pipeline stage is a span under this category, so a --trace of a
+   compile shows frontend / discovery / merge / extraction / lowering /
+   linking as one nested timeline *)
+let stage name f = Obs.with_span ~cat:"pipeline" name f
 
 let log_src = Logs.Src.create "fsc.driver" ~doc:"compilation driver"
 
@@ -47,8 +53,9 @@ let ensure_registered = lazy (Fsc_dialects.Registry.init ())
 
 let flang_only src =
   Lazy.force ensure_registered;
-  let m = Fsc_fortran.Flower.compile_source src in
-  Verifier.verify_in_context_exn (Dialect.flang_context ()) m;
+  let m = stage "frontend" (fun () -> Fsc_fortran.Flower.compile_source src) in
+  stage "verify" (fun () ->
+      Verifier.verify_in_context_exn (Dialect.flang_context ()) m);
   let ctx = Interp.create_context () in
   Interp.add_module ctx m;
   { a_host = m; a_stencil = None; a_gpu_ir = None; a_ctx = ctx;
@@ -78,6 +85,7 @@ let register_kernel ~target ~pool ctx kernel_func =
     (name, Interpreted reason)
   | Ok spec ->
     let impl _ctx args =
+      Obs.with_span ~cat:"kernel" ("kernel.exec " ^ name) @@ fun () ->
       let bufs = Array.of_list (spec_buffers args) in
       let scalars = Array.of_list (spec_scalars args) in
       (match target with
@@ -96,8 +104,19 @@ let register_kernel ~target ~pool ctx kernel_func =
           | Gpu_initial -> Fsc_rt.Gpu_sim.Strategy_host_register
           | Gpu_optimised -> Fsc_rt.Gpu_sim.Strategy_device_resident
         in
+        let block_threads = 32 * 32 in
+        let elems =
+          if Array.length bufs = 0 then 0 else Fsc_rt.Memref_rt.size bufs.(0)
+        in
+        let blocks = (elems + block_threads - 1) / block_threads in
+        Obs.with_span ~cat:"kernel"
+          ~args:
+            [ ("blocks", Obs.A_int blocks);
+              ("threads_per_block", Obs.A_int block_threads) ]
+          ("gpu.launch " ^ name)
+        @@ fun () ->
         Fsc_rt.Gpu_sim.launch g ~strategy:sim_strategy
-          ~block_threads:(32 * 32)
+          ~block_threads
           ~flops:(float_of_int (Kc.flops spec))
           ~bytes_accessed:(8.0 *. float_of_int (Kc.loads spec))
           ~body:(fun () -> Kc.run spec ~bufs:dev_bufs ~scalars ())
@@ -142,22 +161,26 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
   Lazy.force ensure_registered;
   Fsc_core.Extraction.reset_name_counter ();
   (* 1. Flang frontend *)
-  let m = Fsc_fortran.Flower.compile_source src in
+  let m = stage "frontend" (fun () -> Fsc_fortran.Flower.compile_source src) in
   (* 2. xDSL side: discover + merge on the mixed module *)
-  let dstats = Fsc_core.Discovery.run m in
-  let merged = if merge then Fsc_core.Merge.run m else 0 in
-  Verifier.verify_exn m;
+  let dstats = stage "discovery" (fun () -> Fsc_core.Discovery.run m) in
+  let merged =
+    stage "merge" (fun () -> if merge then Fsc_core.Merge.run m else 0)
+  in
+  stage "verify" (fun () -> Verifier.verify_exn m);
   (* 3. extract stencil sections into their own module *)
-  let ex = Fsc_core.Extraction.run m in
+  let ex = stage "extraction" (fun () -> Fsc_core.Extraction.run m) in
   let host = ex.Fsc_core.Extraction.host_module in
   let stencil_m = ex.Fsc_core.Extraction.stencil_module in
   (* the host side must now be pure Flang-registered dialects *)
-  Verifier.verify_in_context_exn (Dialect.flang_context ()) host;
+  stage "verify host" (fun () ->
+      Verifier.verify_in_context_exn (Dialect.flang_context ()) host);
   (* 4. GPU data placement (optimised strategy only) *)
   let managed =
     match target with
     | Gpu Gpu_optimised ->
-      Fsc_core.Gpu_data.run ~host_module:host ~stencil_module:stencil_m
+      stage "gpu data placement" (fun () ->
+          Fsc_core.Gpu_data.run ~host_module:host ~stencil_module:stencil_m)
     | _ -> []
   in
   (* 5. lower the stencil module *)
@@ -166,24 +189,31 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
     | Gpu _ -> Fsc_lowering.Stencil_to_scf.Gpu
     | _ -> Fsc_lowering.Stencil_to_scf.Cpu
   in
-  Fsc_lowering.Stencil_to_scf.run ~mode stencil_m;
-  ignore (Fsc_transforms.Canonicalize.run stencil_m);
+  stage "stencil-to-scf" (fun () ->
+      Fsc_lowering.Stencil_to_scf.run ~mode stencil_m);
+  stage "canonicalize" (fun () ->
+      ignore (Fsc_transforms.Canonicalize.run stencil_m));
   (match target with
   | Serial | Openmp _ ->
-    if specialize then ignore (Fsc_lowering.Loop_specialize.run stencil_m)
+    if specialize then
+      stage "loop specialisation" (fun () ->
+          ignore (Fsc_lowering.Loop_specialize.run stencil_m))
   | Gpu _ -> ());
   (* keep a pre-GPU-pipeline copy for compiled execution; the Listing 4
      pipeline output is produced alongside for inspection/verification *)
   let gpu_ir =
     match target with
     | Gpu _ ->
-      let clone = Op.clone stencil_m in
-      ignore (Fsc_lowering.Gpu_pipeline.run ~tile_sizes clone);
-      Some clone
+      stage "gpu pipeline (Listing 4)" (fun () ->
+          let clone = Op.clone stencil_m in
+          ignore (Fsc_lowering.Gpu_pipeline.run ~tile_sizes clone);
+          Some clone)
     | _ -> None
   in
   (match target with
-  | Openmp _ -> ignore (Fsc_lowering.Scf_to_openmp.run stencil_m)
+  | Openmp _ ->
+    stage "scf-to-openmp" (fun () ->
+        ignore (Fsc_lowering.Scf_to_openmp.run stencil_m))
   | _ -> ());
   (* 6. link: host interpreted, kernels compiled where possible *)
   let ctx = Interp.create_context () in
@@ -204,18 +234,19 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
       | Gpu_optimised -> Fsc_rt.Gpu_sim.Strategy_device_resident)
   | _ -> ());
   let kernels =
-    List.map
-      (register_kernel ~target ~pool ctx)
-      (Fsc_dialects.Func.all_functions stencil_m
-      |> List.filter (fun f ->
-             let n = Fsc_dialects.Func.name f in
-             String.length n >= 15
-             && String.sub n 0 15 = "_stencil_kernel"
-             (* the *_gpu_init/sync/free device-management trampolines
-                are implemented by runtime externals, not kernels *)
-             && not (Filename.check_suffix n "_gpu_init")
-             && not (Filename.check_suffix n "_gpu_sync")
-             && not (Filename.check_suffix n "_gpu_free")))
+    stage "link + kernel compile" (fun () ->
+        List.map
+          (register_kernel ~target ~pool ctx)
+          (Fsc_dialects.Func.all_functions stencil_m
+          |> List.filter (fun f ->
+                 let n = Fsc_dialects.Func.name f in
+                 String.length n >= 15
+                 && String.sub n 0 15 = "_stencil_kernel"
+                 (* the *_gpu_init/sync/free device-management trampolines
+                    are implemented by runtime externals, not kernels *)
+                 && not (Filename.check_suffix n "_gpu_init")
+                 && not (Filename.check_suffix n "_gpu_sync")
+                 && not (Filename.check_suffix n "_gpu_free"))))
   in
   register_gpu_data ctx managed;
   ( { a_host = host; a_stencil = Some stencil_m; a_gpu_ir = gpu_ir;

@@ -1,6 +1,15 @@
 (* Greedy pattern-rewrite driver, the engine behind canonicalisation and
    the dialect-conversion style lowerings. *)
 
+module Obs = Fsc_obs.Obs
+
+(* worklist iterations / successful pattern applications across all
+   [apply_greedily] invocations; per-pattern application counts are
+   recorded under "rewrite.pattern.<name>" when tracing is on *)
+let c_steps = Obs.counter "rewrite.steps"
+let c_applied = Obs.counter "rewrite.applied"
+let c_invocations = Obs.counter "rewrite.invocations"
+
 type rewriter = {
   mutable changed : bool;
   mutable worklist : Op.op list;
@@ -76,6 +85,7 @@ let apply_greedily ?(max_iterations = 2_000_000) patterns top =
     (* An op removed from its block must not be rewritten again. *)
     Op.parent_block op <> None
   in
+  Obs.incr c_invocations;
   let steps = ref 0 in
   let rec drain () =
     match rw.worklist with
@@ -83,6 +93,7 @@ let apply_greedily ?(max_iterations = 2_000_000) patterns top =
     | op :: rest ->
       rw.worklist <- rest;
       incr steps;
+      Obs.incr c_steps;
       if !steps > max_iterations then
         failwith "Rewrite.apply_greedily: pattern set does not terminate";
       if is_live op then begin
@@ -95,7 +106,12 @@ let apply_greedily ?(max_iterations = 2_000_000) patterns top =
           | [] -> ()
           | p :: ps ->
             if is_live op then
-              if p.p_rewrite rw op then () else try_patterns ps
+              if p.p_rewrite rw op then begin
+                Obs.incr c_applied;
+                if Obs.enabled () then
+                  Obs.incr (Obs.counter ("rewrite.pattern." ^ p.p_name))
+              end
+              else try_patterns ps
         in
         try_patterns candidates
       end;

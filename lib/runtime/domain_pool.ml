@@ -2,6 +2,17 @@
    substrate. A pool of [size] worker domains executes chunked
    parallel-for loops; the calling domain acts as worker 0. *)
 
+module Obs = Fsc_obs.Obs
+
+(* Utilisation counters: "caller" chunks are executed by the domain that
+   issued the parallel_for, "worker" chunks were stolen off the shared
+   index by pool workers. caller >> worker means the range was too small
+   (or the workers too slow to wake) for the pool to help. *)
+let c_parallel_for = Obs.counter "pool.parallel_for"
+let c_serial_for = Obs.counter "pool.serial_for"
+let c_caller_chunks = Obs.counter "pool.chunks.caller"
+let c_worker_chunks = Obs.counter "pool.chunks.worker"
+
 type task = {
   t_body : int -> int -> unit; (* lo, hi (exclusive) *)
   t_lo : int;
@@ -22,11 +33,12 @@ type t = {
   mutable shutdown : bool;
 }
 
-let run_chunks task =
+let run_chunks chunk_counter task =
   let rec go () =
     let i = Atomic.fetch_and_add task.t_next task.t_chunk in
     if i < task.t_hi then begin
       let hi = min (i + task.t_chunk) task.t_hi in
+      Obs.incr chunk_counter;
       task.t_body i hi;
       go ()
     end
@@ -47,7 +59,7 @@ let worker_loop pool () =
       Mutex.unlock pool.work_mutex;
       (match task with
       | Some task ->
-        run_chunks task;
+        run_chunks c_worker_chunks task;
         let m, c = task.t_done in
         Mutex.lock m;
         if Atomic.fetch_and_add task.t_remaining (-1) = 1 then
@@ -81,8 +93,12 @@ let shutdown pool =
    Chunk size defaults to a fraction of the range per worker. *)
 let parallel_for ?chunk pool ~lo ~hi body =
   if hi <= lo then ()
-  else if pool.size = 1 || hi - lo = 1 then body lo hi
+  else if pool.size = 1 || hi - lo = 1 then begin
+    Obs.incr c_serial_for;
+    body lo hi
+  end
   else begin
+    Obs.incr c_parallel_for;
     let range = hi - lo in
     let chunk =
       match chunk with
@@ -101,7 +117,7 @@ let parallel_for ?chunk pool ~lo ~hi body =
     Condition.broadcast pool.work_cond;
     Mutex.unlock pool.work_mutex;
     (* the caller participates as a worker *)
-    run_chunks task;
+    run_chunks c_caller_chunks task;
     let m, c = task.t_done in
     Mutex.lock m;
     if Atomic.fetch_and_add task.t_remaining (-1) > 1 then

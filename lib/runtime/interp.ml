@@ -15,6 +15,12 @@
 
 open Fsc_ir
 module Math = Fsc_dialects.Math
+module Obs = Fsc_obs.Obs
+
+(* total interpreted ops; per-op-name counts live under "interp.op.<name>"
+   and are only accumulated while tracing is enabled *)
+let c_interp_ops = Obs.counter "interp.ops"
+let c_kernel_launches = Obs.counter "interp.gpu_launches"
 
 exception Interp_error of string
 
@@ -139,6 +145,9 @@ let rec exec_block ctx env block : block_result =
     | [] -> Fell_through
     | op :: rest -> (
       ctx.op_count <- ctx.op_count + 1;
+      Obs.incr c_interp_ops;
+      if Obs.enabled () then
+        Obs.incr (Obs.counter ("interp.op." ^ op.Op.o_name));
       match op.Op.o_name with
       | "func.return" -> Returned (List.map (lookup env) (Op.operands op))
       | "fir.result" | "scf.yield" | "omp.yield" | "omp.terminator"
@@ -678,13 +687,20 @@ and exec_launch_func ctx env op =
     done;
     ctx.gpu_coords <- saved
   in
-  (match ctx.gpu with
-  | Some g ->
-    let cells = float_of_int (gx * gy * gz * bx * by * bz) in
-    Gpu_sim.launch g ~strategy:ctx.gpu_strategy
-      ~block_threads:(bx * by * bz) ~flops:(cells *. 10.)
-      ~bytes_accessed:(cells *. 16.) ~body:execute host_buffers
-  | None -> execute ());
+  Obs.incr c_kernel_launches;
+  Obs.with_span ~cat:"kernel"
+    ~args:
+      [ ("blocks", Obs.A_int (gx * gy * gz));
+        ("threads_per_block", Obs.A_int (bx * by * bz)) ]
+    ("gpu.launch " ^ kernel_sym)
+    (fun () ->
+      match ctx.gpu with
+      | Some g ->
+        let cells = float_of_int (gx * gy * gz * bx * by * bz) in
+        Gpu_sim.launch g ~strategy:ctx.gpu_strategy
+          ~block_threads:(bx * by * bz) ~flops:(cells *. 10.)
+          ~bytes_accessed:(cells *. 16.) ~body:execute host_buffers
+      | None -> execute ());
   None
 
 and call ctx callee args =
@@ -713,5 +729,7 @@ let run_main ctx =
     (fun name f -> if name = "_QQmain" then main := Some f)
     ctx.funcs;
   match !main with
-  | Some f -> ignore (call_func ctx f [])
+  | Some f ->
+    Obs.with_span ~cat:"interp" "interp.run_main" (fun () ->
+        ignore (call_func ctx f []))
   | None -> err "no main program (_QQmain) registered"

@@ -132,6 +132,30 @@ let test_ablation_flags () =
   check_flags ~merge:true ~specialize:false;
   check_flags ~merge:false ~specialize:false
 
+(* A failing pass must surface its name and keep the stats recorded up
+   to and including the failure — the debuggability contract the
+   observability layer depends on. *)
+let test_failed_pass_preserves_stats () =
+  let module Pass = Fsc_ir.Pass in
+  let m = Fsc_ir.Op.create_module () in
+  let ran = ref false in
+  let ok = Pass.create "warmup" (fun _ -> ran := true) in
+  let boom = Pass.create "boom" (fun _ -> failwith "nope") in
+  match Pass.run_pipeline ~verify_each:false [ ok; boom ] m with
+  | _ -> Alcotest.fail "pipeline should have failed"
+  | exception Pass.Pipeline_error (name, Failure msg, stats) ->
+    Alcotest.(check bool) "first pass ran" true !ran;
+    Alcotest.(check string) "failing pass name surfaced" "boom" name;
+    Alcotest.(check string) "original exception preserved" "nope" msg;
+    Alcotest.(check (list string))
+      "stats preserved, including the failing pass" [ "warmup"; "boom" ]
+      (List.map (fun s -> s.Pass.s_pass) stats);
+    List.iter
+      (fun s ->
+        Alcotest.(check bool)
+          (s.Pass.s_pass ^ " timed") true (s.Pass.s_seconds >= 0.))
+      stats
+
 let test_gpu_ir_artifact () =
   let a, _ = P.stencil ~target:(P.Gpu P.Gpu_optimised) gs_src in
   match a.P.a_gpu_ir with
@@ -190,6 +214,8 @@ let () =
          Alcotest.test_case "all kernels compiled" `Quick
            test_all_kernels_compiled;
          Alcotest.test_case "ablation flags" `Quick test_ablation_flags;
+         Alcotest.test_case "failed pass preserves stats" `Quick
+           test_failed_pass_preserves_stats;
          Alcotest.test_case "gpu IR artifact" `Quick test_gpu_ir_artifact ]);
       ("gpu-accounting",
        [ Alcotest.test_case "strategy accounting" `Quick

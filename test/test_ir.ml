@@ -200,7 +200,7 @@ let test_pass_manager () =
   let boom = Pass.create "boom" (fun _ -> failwith "nope") in
   check "pipeline error carries pass name" true
     (match Pass.run_pipeline [ boom ] m with
-    | exception Pass.Pipeline_error ("boom", _) -> true
+    | exception Pass.Pipeline_error ("boom", _, _) -> true
     | _ -> false)
 
 let test_rewriter_fixpoint () =

@@ -1,0 +1,186 @@
+(* Observability substrate tests: span nesting, counter totals (including
+   cross-domain recording), Chrome trace-event JSON round-trip, and the
+   exception behaviour the pass manager relies on. *)
+
+module Obs = Fsc_obs.Obs
+module J = Fsc_obs.Obs.Json
+
+let with_recording f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  with_recording (fun () ->
+      Obs.with_span ~cat:"outer" "outer" (fun () ->
+          Obs.with_span ~cat:"inner" "inner" (fun () -> ignore (Sys.time ()))));
+  let evs = Obs.events () in
+  Alcotest.(check int) "two spans" 2 (List.length evs);
+  (* completion order: the nested span closes first *)
+  let inner = List.nth evs 0 and outer = List.nth evs 1 in
+  Alcotest.(check string) "inner first" "inner" inner.Obs.e_name;
+  Alcotest.(check string) "outer second" "outer" outer.Obs.e_name;
+  Alcotest.(check bool) "outer starts before inner" true
+    (outer.Obs.e_start <= inner.Obs.e_start);
+  Alcotest.(check bool) "outer contains inner" true
+    (outer.Obs.e_dur >= inner.Obs.e_dur)
+
+let test_span_on_exception () =
+  (try
+     with_recording (fun () ->
+         Obs.with_span "doomed" (fun () -> failwith "kaboom"))
+   with Failure _ -> ());
+  match Obs.events () with
+  | [ e ] ->
+    Alcotest.(check string) "span recorded despite raise" "doomed"
+      e.Obs.e_name;
+    Alcotest.(check bool) "error tagged in args" true
+      (List.mem_assoc "error" e.Obs.e_args)
+  | evs -> Alcotest.failf "expected one span, got %d" (List.length evs)
+
+let test_disabled_is_silent () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Obs.with_span "ghost" (fun () -> ());
+  Obs.incr (Obs.counter "ghost.counter");
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.events ()));
+  Alcotest.(check bool) "no counters recorded" true
+    (not (List.mem_assoc "ghost.counter" (Obs.counter_totals ())))
+
+let test_span_summary () =
+  with_recording (fun () ->
+      for _ = 1 to 3 do
+        Obs.with_span "repeat" (fun () -> ())
+      done);
+  match Obs.span_summary () with
+  | [ (name, count, total) ] ->
+    Alcotest.(check string) "aggregated name" "repeat" name;
+    Alcotest.(check int) "aggregated count" 3 count;
+    Alcotest.(check bool) "non-negative total" true (total >= 0.)
+  | l -> Alcotest.failf "expected one aggregate, got %d" (List.length l)
+
+(* ---- counters ---- *)
+
+let test_counter_totals () =
+  with_recording (fun () ->
+      let c = Obs.counter "test.counter" in
+      Obs.add c 5;
+      Obs.incr c;
+      Alcotest.(check int) "value" 6 (Obs.counter_value c);
+      (* interning: same name, same cell *)
+      Obs.incr (Obs.counter "test.counter");
+      Alcotest.(check int) "interned" 7 (Obs.counter_value c));
+  Alcotest.(check (option int))
+    "total survives disable" (Some 7)
+    (List.assoc_opt "test.counter" (Obs.counter_totals ()))
+
+let test_counter_across_domains () =
+  with_recording (fun () ->
+      let c = Obs.counter "test.domains" in
+      let worker () =
+        for _ = 1 to 1000 do
+          Obs.incr c
+        done
+      in
+      let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+      worker ();
+      Domain.join d1;
+      Domain.join d2;
+      Alcotest.(check int) "3000 increments survive contention" 3000
+        (Obs.counter_value c))
+
+let test_reset_keeps_handles () =
+  with_recording (fun () ->
+      let c = Obs.counter "test.reset" in
+      Obs.add c 9;
+      Obs.reset ();
+      Alcotest.(check int) "zeroed" 0 (Obs.counter_value c);
+      Obs.add c 2;
+      Alcotest.(check int) "handle still live after reset" 2
+        (Obs.counter_value c))
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let j =
+    J.Obj
+      [ ("s", J.Str "line\nbreak \"quoted\" back\\slash");
+        ("n", J.Num 42.); ("x", J.Num 1.5); ("b", J.Bool true);
+        ("nil", J.Null); ("l", J.List [ J.Num 1.; J.Str "two"; J.Obj [] ]) ]
+  in
+  Alcotest.(check bool) "roundtrip equal" true (J.of_string (J.to_string j) = j)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" s)
+    [ "{"; "[1,"; "\"unterminated"; "12 34"; "nul" ]
+
+let test_trace_roundtrip () =
+  with_recording (fun () ->
+      Obs.with_span ~cat:"pass" "canonicalize" (fun () ->
+          Obs.add (Obs.counter "trace.counter") 11));
+  let parsed = J.of_string (J.to_string (Obs.trace_json ())) in
+  let evs =
+    match J.member "traceEvents" parsed with
+    | Some (J.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let find_str key e =
+    match J.member key e with Some (J.Str s) -> s | _ -> "" in
+  let spans = List.filter (fun e -> find_str "ph" e = "X") evs in
+  let counters = List.filter (fun e -> find_str "ph" e = "C") evs in
+  Alcotest.(check int) "one complete event" 1 (List.length spans);
+  let span = List.hd spans in
+  Alcotest.(check string) "span name" "canonicalize" (find_str "name" span);
+  Alcotest.(check string) "span category" "pass" (find_str "cat" span);
+  (match J.member "dur" span with
+  | Some (J.Num d) ->
+    Alcotest.(check bool) "non-negative duration" true (d >= 0.)
+  | _ -> Alcotest.fail "span has no dur");
+  Alcotest.(check bool) "counter event present" true
+    (List.exists
+       (fun e ->
+         find_str "name" e = "trace.counter"
+         && J.member "args" e
+            |> Option.map (J.member "value")
+            |> Option.join = Some (J.Num 11.))
+       counters)
+
+let test_write_trace_file () =
+  with_recording (fun () -> Obs.with_span "io" (fun () -> ()));
+  let path = Filename.temp_file "fsc_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.write_trace path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match J.of_string (String.trim s) with
+      | J.Obj _ -> ()
+      | _ -> Alcotest.fail "trace file is not a JSON object")
+
+let () =
+  Alcotest.run "obs"
+    [ ("spans",
+       [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+         Alcotest.test_case "exception safety" `Quick test_span_on_exception;
+         Alcotest.test_case "disabled is silent" `Quick
+           test_disabled_is_silent;
+         Alcotest.test_case "summary aggregation" `Quick test_span_summary ]);
+      ("counters",
+       [ Alcotest.test_case "totals" `Quick test_counter_totals;
+         Alcotest.test_case "cross-domain" `Quick test_counter_across_domains;
+         Alcotest.test_case "reset keeps handles" `Quick
+           test_reset_keeps_handles ]);
+      ("trace-json",
+       [ Alcotest.test_case "value roundtrip" `Quick test_json_roundtrip;
+         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+         Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+         Alcotest.test_case "write file" `Quick test_write_trace_file ]) ]
