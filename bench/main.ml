@@ -112,6 +112,101 @@ let write_pipeline_json () =
   Printf.printf "pipeline timings written to %s (%d passes, %d phases)\n"
     path (List.length passes) (List.length phases)
 
+(* ------------------------------------------------------------------ *)
+(* Compilation-service timings: BENCH_serve.json                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold-vs-warm compile series through the artifact cache, per
+   benchmark and target, plus the wall clock of an 8-job batch on a
+   2-worker pool — the numbers behind `sfc batch` / `sfc serve`. *)
+let write_serve_json () =
+  let module J = Fsc_obs.Obs.Json in
+  let module Cc = Fsc_driver.Compile_cache in
+  let fresh_cache () =
+    let dir = Filename.temp_file "fsc_bench_cache" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Cc.create_cache ~dir ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, 1e3 *. (Unix.gettimeofday () -. t0))
+  in
+  let n = 12 in
+  let iters = 2 in
+  let benches =
+    [ ("gauss-seidel", B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters ());
+      ("pw-advection", B.pw_advection ~nx:n ~ny:n ~nz:n ~niter:iters ()) ]
+  in
+  let targets = [ P.Serial; P.Openmp 2; P.Gpu P.Gpu_optimised ] in
+  let cache = fresh_cache () in
+  let warm_reps = 5 in
+  let series =
+    List.concat_map
+      (fun (bname, src) ->
+        List.map
+          (fun target ->
+            let options = P.default_options ~target () in
+            let _, cold_ms = time (fun () -> Cc.compile ~cache options src) in
+            let warm_total =
+              List.fold_left ( +. ) 0.
+                (List.init warm_reps (fun _ ->
+                     snd (time (fun () -> Cc.compile ~cache options src))))
+            in
+            let warm_ms = warm_total /. float_of_int warm_reps in
+            J.Obj
+              [ ("benchmark", J.Str bname);
+                ("target", J.Str (P.target_name target));
+                ("cold_ms", J.Num cold_ms); ("warm_ms", J.Num warm_ms);
+                ("speedup", J.Num (cold_ms /. warm_ms)) ])
+          targets)
+      benches
+  in
+  (* batch wall clock: every target on both programs, 2 workers *)
+  let job src target_fields =
+    J.to_string (J.Obj (("source", J.Str src) :: target_fields))
+  in
+  let lines =
+    List.concat_map
+      (fun (_, src) ->
+        [ job src [ ("target", J.Str "serial") ];
+          job src [ ("target", J.Str "openmp"); ("threads", J.Num 2.) ];
+          job src [ ("target", J.Str "gpu-initial") ];
+          job src [ ("target", J.Str "gpu-optimised") ] ])
+      benches
+  in
+  let bcache = fresh_cache () in
+  let batch ~label:_ () =
+    snd
+      (time (fun () ->
+           Fsc_server.Service.run_batch ~cache:bcache ~workers:2 lines))
+  in
+  let batch_cold_ms = batch ~label:"cold" () in
+  let batch_warm_ms = batch ~label:"warm" () in
+  let json =
+    J.Obj
+      [ ("setup",
+         J.Str
+           (Printf.sprintf "%d^3 x%d, %d warm reps, 2 workers" n iters
+              warm_reps));
+        ("series", J.List series);
+        ("batch",
+         J.Obj
+           [ ("jobs", J.Num (float_of_int (List.length lines)));
+             ("workers", J.Num 2.); ("cold_ms", J.Num batch_cold_ms);
+             ("warm_ms", J.Num batch_warm_ms) ]) ]
+  in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "serve timings written to %s (%d series points; batch %d jobs cold \
+     %.0f ms -> warm %.0f ms)\n"
+    path (List.length series) (List.length lines) batch_cold_ms batch_warm_ms
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -615,6 +710,7 @@ let () =
      performance optimisation and auto-parallelisation by leveraging \
      MLIR-based domain specific abstractions in Flang\" (SC-W 2023)\n";
   write_pipeline_json ();
+  write_serve_json ();
   if want 2 then figure2 ();
   if want 3 then figure34 C.Gauss_seidel 3;
   if want 4 then figure34 C.Pw_advection 4;

@@ -3,17 +3,27 @@
    Subcommands:
      sfc compile FILE   dump IR at a chosen stage of the Figure-1 pipeline
      sfc run FILE       compile and execute a Fortran program
+     sfc batch JOBS     run a JSONL job file over a worker pool
+     sfc serve          serve the same job protocol on a Unix socket
      sfc passes         list the GPU pass pipeline (Listing 4)
 
    Examples:
      sfc compile prog.f90 --emit fir
      sfc compile prog.f90 --emit stencil
      sfc compile prog.f90 --emit host --target gpu-optimised
-     sfc run prog.f90 --target openmp --threads 4 --stats --trace out.json *)
+     sfc run prog.f90 --target openmp --threads 4 --stats --trace out.json
+     sfc run prog.f90 --cache --stats
+     sfc batch jobs.jsonl --workers 4 --cache-dir /tmp/sfc-cache
+     sfc serve --socket /tmp/sfc.sock *)
 
 open Cmdliner
 module P = Fsc_driver.Pipeline
+module Cc = Fsc_driver.Compile_cache
+module Cache = Fsc_cache.Cache
+module Svc = Fsc_server.Service
 module Obs = Fsc_obs.Obs
+
+let ( let* ) = Result.bind
 
 let read_file path =
   let ic = open_in_bin path in
@@ -22,20 +32,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let target_conv =
-  let parse = function
-    | "serial" -> Ok P.Serial
-    | "openmp" -> Ok (P.Openmp (Fsc_rt.Domain_pool.recommended_size ()))
-    | "gpu-initial" -> Ok (P.Gpu P.Gpu_initial)
-    | "gpu" | "gpu-optimised" | "gpu-optimized" -> Ok (P.Gpu P.Gpu_optimised)
-    | s -> Error (`Msg ("unknown target " ^ s))
-  in
-  let target_name = function
-    | P.Serial -> "serial"
-    | P.Openmp n -> Printf.sprintf "openmp(%d)" n
-    | P.Gpu P.Gpu_initial -> "gpu-initial"
-    | P.Gpu P.Gpu_optimised -> "gpu-optimised"
-  in
-  let print ppf t = Format.pp_print_string ppf (target_name t) in
+  let parse s = Result.map_error (fun e -> `Msg e) (Svc.target_of_name s) in
+  let print ppf t = Format.pp_print_string ppf (P.target_name t) in
   Arg.conv (parse, print)
 
 let file_arg =
@@ -62,25 +60,57 @@ let threads_arg =
           "OpenMP thread count; overrides the machine default. Requires \
            the openmp target (implied when no --target is given).")
 
-(* An explicit --threads overrides the openmp default sizing; combining
-   it with a non-OpenMP target is an error instead of being silently
-   ignored. With no --target at all, --threads implies openmp. *)
+(* The target/threads combination rules live in Service so the CLI and
+   the job protocol reject the same nonsense the same way. *)
 let resolve_target target threads =
-  match (target, threads) with
-  | _, Some n when n < 1 ->
-    Error (Printf.sprintf "--threads must be >= 1 (got %d)" n)
-  | None, None -> Ok P.Serial
-  | None, Some n -> Ok (P.Openmp n)
-  | Some (P.Openmp _), Some n -> Ok (P.Openmp n)
-  | Some ((P.Serial | P.Gpu _) as t), Some _ ->
-    Error
-      (Printf.sprintf
-         "--threads only applies to --target openmp (target is %s)"
-         (match t with
-         | P.Serial -> "serial"
-         | P.Gpu P.Gpu_initial -> "gpu-initial"
-         | _ -> "gpu-optimised"))
-  | Some t, None -> Ok t
+  Result.map_error (fun e -> `Msg e) (Svc.resolve_target target threads)
+
+(* ---- artifact cache plumbing ---- *)
+
+let cache_flag =
+  Arg.(
+    value
+    & vflag None
+        [ ( Some true,
+            info [ "cache" ]
+              ~doc:
+                "Reuse compiled artifacts from the content-addressed \
+                 cache (and populate it). Implied by $(b,--cache-dir)." );
+          ( Some false,
+            info [ "no-cache" ] ~doc:"Disable the artifact cache." ) ])
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Artifact cache directory (default: \\$XDG_CACHE_HOME/sfc or \
+           ~/.cache/sfc).")
+
+(* [default] is the policy when neither flag is given: off for the
+   one-shot compile/run commands, on for the batch/serve service, where
+   deduplicating repeated compiles is the point. *)
+let make_cache ~default flag dir =
+  let enabled =
+    match flag with Some b -> b | None -> default || dir <> None
+  in
+  if enabled then Some (Cc.create_cache ?dir ()) else None
+
+let cache_status_name = function
+  | `Hit -> "hit"
+  | `Miss -> "miss"
+  | `Off -> "off"
+
+let print_cache_stats cache =
+  match cache with
+  | None -> ()
+  | Some c ->
+    let s = Cache.stats c in
+    Printf.eprintf "cache: hits=%d misses=%d evictions=%d invalid=%d (%s)\n"
+      (s.Cache.mem_hits + s.Cache.disk_hits)
+      s.Cache.misses s.Cache.evictions s.Cache.invalid
+      (Option.value (Cache.dir c) ~default:"memory only")
 
 (* ---- observability plumbing ---- *)
 
@@ -130,34 +160,40 @@ let emit_arg =
            standard scf/memref dialects — the paper's further-work \
            item).")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print pipeline, pass, kernel and device statistics (timings, \
+           op counts, rewrite/pool counters, cache hit/miss).")
+
 let compile_cmd =
-  let run file emit target threads trace =
-    match resolve_target target threads with
-    | Error msg -> Error (`Msg msg)
-    | Ok target ->
-      let src = read_file file in
-      setup_obs ~trace ~stats:false;
-      Fsc_dialects.Registry.init ();
-      (match emit with
+  let run file emit target threads cache_flag cache_dir stats trace =
+    let* target = resolve_target target threads in
+    let src = read_file file in
+    setup_obs ~trace ~stats;
+    Fsc_dialects.Registry.init ();
+    let cache = make_cache ~default:false cache_flag cache_dir in
+    let options = P.default_options ~target () in
+    (* the stages that need the extracted artifact share one (possibly
+       cached) compile; the early-stage dumps bypass it *)
+    let compiled = lazy (Cc.compile ?cache options src) in
+    let* () =
+      match emit with
       | `Fir ->
         let m = Fsc_fortran.Flower.compile_source src in
-        print_string (Fsc_ir.Printer.module_to_string m)
+        print_string (Fsc_ir.Printer.module_to_string m);
+        Ok ()
       | `Mixed ->
         let m = Fsc_fortran.Flower.compile_source src in
-        let stats = Fsc_core.Discovery.run m in
+        let dstats = Fsc_core.Discovery.run m in
         ignore (Fsc_core.Merge.run m);
         Printf.eprintf "; %d stencils discovered, %d rejects\n"
-          stats.Fsc_core.Discovery.found
-          (List.length stats.Fsc_core.Discovery.rejected);
-        print_string (Fsc_ir.Printer.module_to_string m)
-      | `Host ->
-        let a, _ = P.stencil ~target src in
-        print_string (Fsc_ir.Printer.module_to_string a.P.a_host)
-      | `Stencil -> (
-        let a, _ = P.stencil ~target src in
-        match a.P.a_stencil with
-        | Some sm -> print_string (Fsc_ir.Printer.module_to_string sm)
-        | None -> prerr_endline "no stencil module")
+          dstats.Fsc_core.Discovery.found
+          (List.length dstats.Fsc_core.Discovery.rejected);
+        print_string (Fsc_ir.Printer.module_to_string m);
+        Ok ()
       | `Std ->
         let m = Fsc_fortran.Flower.compile_source src in
         let { Fsc_lowering.Fir_to_std_dialects.lowered; skipped } =
@@ -167,89 +203,226 @@ let compile_cmd =
           (fun (f, reason) ->
             Printf.eprintf "; %s kept as FIR: %s\n" f reason)
           skipped;
-        print_string (Fsc_ir.Printer.module_to_string lowered)
+        print_string (Fsc_ir.Printer.module_to_string lowered);
+        Ok ()
+      | `Host ->
+        let ca, _ = Lazy.force compiled in
+        print_string (Fsc_ir.Printer.module_to_string ca.P.ca_host);
+        Ok ()
+      | `Stencil ->
+        let ca, _ = Lazy.force compiled in
+        if ca.P.ca_stats.P.st_kernels = 0 then
+          Error
+            (`Msg
+               "no stencil module: the program has no recognised stencil \
+                sections")
+        else begin
+          print_string (Fsc_ir.Printer.module_to_string ca.P.ca_stencil);
+          Ok ()
+        end
       | `Gpu -> (
-        let a, _ = P.stencil ~target src in
-        match a.P.a_gpu_ir with
+        let ca, _ = Lazy.force compiled in
+        match ca.P.ca_gpu_ir with
         | Some gm ->
           print_string (Fsc_ir.Printer.module_to_string gm);
           (match Fsc_lowering.Gpu_pipeline.verify_gpu_artifact gm with
-          | Ok () -> prerr_endline "; GPU artifact check: OK"
-          | Error e -> prerr_endline ("; GPU artifact check FAILED: " ^ e))
+          | Ok () ->
+            prerr_endline "; GPU artifact check: OK";
+            Ok ()
+          | Error e -> Error (`Msg ("GPU artifact check FAILED: " ^ e)))
         | None ->
-          prerr_endline
-            "no GPU IR (use --target gpu-optimised or gpu-initial)"));
-      finish_obs ~trace
+          Error
+            (`Msg "no GPU IR (use --target gpu-optimised or gpu-initial)"))
+    in
+    if stats then begin
+      if Lazy.is_val compiled then begin
+        let ca, outcome = Lazy.force compiled in
+        Printf.eprintf
+          "pipeline: %d stencils discovered, %d merges, %d kernels\n"
+          ca.P.ca_stats.P.st_discovered ca.P.ca_stats.P.st_merged
+          ca.P.ca_stats.P.st_kernels;
+        Printf.eprintf "compile: cache %s\n" (cache_status_name outcome)
+      end;
+      print_cache_stats cache;
+      prerr_string (Obs.report ())
+    end;
+    finish_obs ~trace
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Fortran file and dump IR")
     Term.(
       term_result
         (const run $ file_arg $ emit_arg $ target_arg $ threads_arg
-        $ trace_arg))
+        $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
 
 (* ---- run ---- *)
 
-let stats_arg =
-  Arg.(
-    value & flag
-    & info [ "stats" ]
-        ~doc:
-          "Print pipeline, pass, kernel and device statistics (timings, \
-           op counts, rewrite/pool counters).")
-
 let run_cmd =
-  let run file target threads stats trace =
-    match resolve_target target threads with
-    | Error msg -> Error (`Msg msg)
-    | Ok target ->
-      let src = read_file file in
-      setup_obs ~trace ~stats;
-      let a, st = P.stencil ~target src in
-      if stats then begin
-        Printf.eprintf
-          "pipeline: %d stencils discovered, %d merges, %d kernels\n"
-          st.P.st_discovered st.P.st_merged st.P.st_kernels;
-        List.iter
-          (fun (name, impl) ->
-            Printf.eprintf "  %s: %s\n" name
-              (match impl with
-              | P.Compiled _ -> "compiled"
-              | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
-          a.P.a_kernels
-      end;
-      P.run a;
-      if stats then begin
-        (match a.P.a_ctx.Fsc_rt.Interp.gpu with
-        | Some g ->
-          let s = Fsc_rt.Gpu_sim.stats g in
-          Printf.eprintf
-            "device: %d launches, %.3f ms simulated, %d kB paged, %d kB \
-             h2d, %d kB d2h\n"
-            s.Fsc_rt.Gpu_sim.s_kernels
-            (1000. *. s.Fsc_rt.Gpu_sim.s_clock)
-            (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
-            (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
-            (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
-        | None -> ());
-        List.iter
-          (fun (name, buf) ->
-            Printf.eprintf "grid %-12s checksum %.6f\n" name
-              (Fsc_rt.Memref_rt.checksum buf))
-          a.P.a_ctx.Fsc_rt.Interp.named_buffers;
-        Printf.eprintf "host ops interpreted: %d\n"
-          a.P.a_ctx.Fsc_rt.Interp.op_count;
-        prerr_string (Obs.report ())
-      end;
-      P.shutdown a;
-      finish_obs ~trace
+  let run file target threads cache_flag cache_dir stats trace =
+    let* target = resolve_target target threads in
+    let src = read_file file in
+    setup_obs ~trace ~stats;
+    let cache = make_cache ~default:false cache_flag cache_dir in
+    let options = P.default_options ~target () in
+    (* the trace must be flushed and the pool shut down even when the
+       program itself fails mid-run *)
+    let outcome =
+      try
+        let ca, cache_outcome = Cc.compile ?cache options src in
+        let a = P.link ca in
+        Fun.protect
+          ~finally:(fun () -> P.shutdown a)
+          (fun () ->
+            if stats then begin
+              Printf.eprintf
+                "pipeline: %d stencils discovered, %d merges, %d kernels\n"
+                ca.P.ca_stats.P.st_discovered ca.P.ca_stats.P.st_merged
+                ca.P.ca_stats.P.st_kernels;
+              Printf.eprintf "compile: cache %s\n"
+                (cache_status_name cache_outcome);
+              List.iter
+                (fun (name, impl) ->
+                  Printf.eprintf "  %s: %s\n" name
+                    (match impl with
+                    | P.Compiled _ -> "compiled"
+                    | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
+                a.P.a_kernels
+            end;
+            P.run a;
+            if stats then begin
+              (match a.P.a_ctx.Fsc_rt.Interp.gpu with
+              | Some g ->
+                let s = Fsc_rt.Gpu_sim.stats g in
+                Printf.eprintf
+                  "device: %d launches, %.3f ms simulated, %d kB paged, %d \
+                   kB h2d, %d kB d2h\n"
+                  s.Fsc_rt.Gpu_sim.s_kernels
+                  (1000. *. s.Fsc_rt.Gpu_sim.s_clock)
+                  (s.Fsc_rt.Gpu_sim.s_bytes_paged / 1024)
+                  (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
+                  (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
+              | None -> ());
+              List.iter
+                (fun (name, buf) ->
+                  Printf.eprintf "grid %-12s checksum %.6f\n" name
+                    (Fsc_rt.Memref_rt.checksum buf))
+                a.P.a_ctx.Fsc_rt.Interp.named_buffers;
+              Printf.eprintf "host ops interpreted: %d\n"
+                a.P.a_ctx.Fsc_rt.Interp.op_count;
+              print_cache_stats cache;
+              prerr_string (Obs.report ())
+            end);
+        Ok ()
+      with e -> Error (`Msg ("run failed: " ^ Printexc.to_string e))
+    in
+    let flushed = finish_obs ~trace in
+    let* () = outcome in
+    flushed
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and execute a Fortran program")
     Term.(
       term_result
-        (const run $ file_arg $ target_arg $ threads_arg $ stats_arg
-        $ trace_arg))
+        (const run $ file_arg $ target_arg $ threads_arg $ cache_flag
+        $ cache_dir_arg $ stats_arg $ trace_arg))
+
+(* ---- batch / serve ---- *)
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains in the pool (default: machine size).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Submission queue capacity; beyond it, batch submission waits \
+           and serve rejects jobs (backpressure).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-job deadline. A job past it resolves to a timeout result \
+           instead of hanging its client.")
+
+let read_job_lines path =
+  let ic = if path = "-" then stdin else open_in path in
+  Fun.protect
+    ~finally:(fun () -> if path <> "-" then close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line when String.trim line = "" -> go acc
+        | line -> go (line :: acc)
+      in
+      go [])
+
+let batch_cmd =
+  let run jobs_file workers queue_capacity deadline_s cache_flag cache_dir
+      stats trace =
+    let lines = read_job_lines jobs_file in
+    setup_obs ~trace ~stats;
+    let cache = make_cache ~default:true cache_flag cache_dir in
+    let results =
+      Svc.run_batch ?cache ?workers ~queue_capacity ?deadline_s lines
+    in
+    List.iter print_endline results;
+    if stats then begin
+      Printf.eprintf "batch: %d jobs\n" (List.length results);
+      print_cache_stats cache;
+      prerr_string (Obs.report ())
+    end;
+    finish_obs ~trace
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a JSONL job file ({\"src\": ..., \"target\": ..., \"action\": \
+          \"compile\"|\"run\"} per line, or \"-\" for stdin) over a worker \
+          pool; results come out as JSONL in input order. The artifact \
+          cache is on by default ($(b,--no-cache) disables it).")
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"JOBS" ~doc:"JSONL job file, or - for stdin")
+        $ workers_arg $ queue_arg $ deadline_arg $ cache_flag $ cache_dir_arg
+        $ stats_arg $ trace_arg))
+
+let serve_cmd =
+  let run socket workers queue_capacity deadline_s cache_flag cache_dir =
+    let cache = make_cache ~default:true cache_flag cache_dir in
+    Printf.eprintf
+      "sfc: serving on %s (send {\"action\": \"shutdown\"} to stop)\n%!"
+      socket;
+    Svc.serve ?cache ?workers ~queue_capacity ?deadline_s ~socket ();
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the batch job protocol on a Unix domain socket until a \
+          client sends {\"action\": \"shutdown\"}. The artifact cache is \
+          on by default ($(b,--no-cache) disables it).")
+    Term.(
+      term_result
+        (const run
+        $ Arg.(
+            required
+            & opt (some string) None
+            & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path")
+        $ workers_arg $ queue_arg $ deadline_arg $ cache_flag $ cache_dir_arg))
 
 (* ---- passes ---- *)
 
@@ -272,4 +445,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sfc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; run_cmd; passes_cmd ]))
+          [ compile_cmd; run_cmd; batch_cmd; serve_cmd; passes_cmd ]))

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Tier-1 gate plus a service smoke test: build, run the full test
+# suite, then drive `sfc batch` over the example programs twice with a
+# shared cache directory — the warm pass must hit on every job.
+set -eu
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+
+SFC=_build/default/bin/sfc.exe
+CACHE=$(mktemp -d)
+JOBS=$(mktemp)
+trap 'rm -rf "$CACHE" "$JOBS"' EXIT
+
+for f in examples/*.f90; do
+  for target in serial openmp gpu-initial gpu-optimised; do
+    printf '{"src": "%s", "target": "%s", "action": "run"}\n' "$f" "$target"
+    printf '{"src": "%s", "target": "%s", "action": "compile"}\n' "$f" "$target"
+  done
+done >"$JOBS"
+
+njobs=$(wc -l <"$JOBS")
+
+cold_out=$("$SFC" batch "$JOBS" --workers 2 --cache-dir "$CACHE")
+cold_hits=$(printf '%s\n' "$cold_out" | grep -c '"cache":"hit"' || true)
+warm_out=$("$SFC" batch "$JOBS" --workers 2 --cache-dir "$CACHE")
+warm_hits=$(printf '%s\n' "$warm_out" | grep -c '"cache":"hit"' || true)
+errors=$(printf '%s\n%s\n' "$cold_out" "$warm_out" \
+  | grep -c '"status":"error"' || true)
+
+echo "batch smoke: $njobs jobs, cold hits=$cold_hits, warm hits=$warm_hits"
+[ "$errors" -eq 0 ] || { echo "ci: batch jobs failed"; exit 1; }
+[ "$warm_hits" -ge "$cold_hits" ] || {
+  echo "ci: warm run reused fewer cache entries than cold"
+  exit 1
+}
+[ "$warm_hits" -eq "$njobs" ] || {
+  echo "ci: warm run should hit the cache on every job"
+  exit 1
+}
+echo "ci: OK"

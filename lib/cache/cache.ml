@@ -1,0 +1,280 @@
+(* Content-addressed artifact cache: a mutex-guarded in-memory LRU over
+   an atomically written on-disk store. See the interface for the
+   contract; the load path is deliberately paranoid because cache files
+   are the one input the rest of the compiler does not control — every
+   entry re-earns its place through the caller's validator on every hit,
+   and anything suspect is deleted rather than reported. *)
+
+module Obs = Fsc_obs.Obs
+
+(* Disk entry layout:
+
+     sfc-cache <version> <key> <payload-bytes>\n<payload>
+
+   The explicit payload length makes truncation (a crash between the
+   atomic rename of one entry and a later partial overwrite, or plain
+   filesystem damage) detectable without parsing the payload. *)
+let magic = "sfc-cache"
+
+type entry = {
+  e_payload : string;
+  mutable e_stamp : int; (* LRU clock value at last touch *)
+}
+
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  invalid : int;
+  stores : int;
+  store_failures : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, entry) Hashtbl.t;
+  mem_entries : int;
+  cache_dir : string option;
+  t_version : int;
+  mutable tick : int;
+  mutable s_mem_hits : int;
+  mutable s_disk_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+  mutable s_invalid : int;
+  mutable s_stores : int;
+  mutable s_store_failures : int;
+}
+
+(* Obs counters (process-wide; no-ops unless recording is enabled) so a
+   --stats run shows cache behaviour alongside spans and pool counters. *)
+let c_hit = Obs.counter "cache.hit"
+let c_miss = Obs.counter "cache.miss"
+let c_invalid = Obs.counter "cache.invalid"
+let c_evict = Obs.counter "cache.evict"
+
+let default_dir () =
+  let base =
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> d
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat h ".cache"
+      | _ -> Filename.get_temp_dir_name ())
+  in
+  Filename.concat base "sfc"
+
+let create ?(mem_entries = 64) ?(disk = true) ?dir ~version () =
+  let cache_dir =
+    if disk then Some (match dir with Some d -> d | None -> default_dir ())
+    else None
+  in
+  { mutex = Mutex.create (); tbl = Hashtbl.create 64;
+    mem_entries = max 1 mem_entries; cache_dir; t_version = version;
+    tick = 0; s_mem_hits = 0; s_disk_hits = 0; s_misses = 0;
+    s_evictions = 0; s_invalid = 0; s_stores = 0; s_store_failures = 0 }
+
+let version t = t.t_version
+let dir t = t.cache_dir
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let digest t parts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (Printf.sprintf "%s %d" magic t.t_version :: parts)))
+
+let entry_path t ~key =
+  Option.map (fun d -> Filename.concat d (key ^ ".art")) t.cache_dir
+
+(* ---------------- memory layer ---------------- *)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_stamp <- t.tick
+
+(* O(n) scan for the least recently used entry; the memory layer is
+   bounded to tens of entries, so simplicity wins over a linked list. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.e_stamp -> ()
+      | _ -> victim := Some (key, e.e_stamp))
+    t.tbl;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.s_evictions <- t.s_evictions + 1;
+    Obs.incr c_evict
+  | None -> ()
+
+let mem_insert t key payload =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    let e' = { e_payload = payload; e_stamp = e.e_stamp } in
+    touch t e';
+    Hashtbl.replace t.tbl key e'
+  | None ->
+    if Hashtbl.length t.tbl >= t.mem_entries then evict_lru t;
+    let e = { e_payload = payload; e_stamp = 0 } in
+    touch t e;
+    Hashtbl.add t.tbl key e
+
+let mem_keys t =
+  locked t (fun () ->
+      Hashtbl.fold (fun key e acc -> (key, e.e_stamp) :: acc) t.tbl []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+      |> List.map fst)
+
+(* ---------------- disk layer ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let encode_entry t ~key payload =
+  Printf.sprintf "%s %d %s %d\n%s" magic t.t_version key
+    (String.length payload)
+    payload
+
+(* [Ok payload] | [Error `Missing] | [Error `Invalid]: version skew,
+   foreign key, truncation and malformed headers all map to `Invalid. *)
+let decode_entry t ~key data =
+  match String.index_opt data '\n' with
+  | None -> Error `Invalid
+  | Some nl -> (
+    let header = String.sub data 0 nl in
+    let payload_start = nl + 1 in
+    match String.split_on_char ' ' header with
+    | [ m; v; k; len ]
+      when m = magic
+           && int_of_string_opt v = Some t.t_version
+           && k = key -> (
+      match int_of_string_opt len with
+      | Some n when String.length data - payload_start = n ->
+        Ok (String.sub data payload_start n)
+      | _ -> Error `Invalid)
+    | _ -> Error `Invalid)
+
+let disk_remove t key =
+  match entry_path t ~key with
+  | Some path when Sys.file_exists path -> (
+    try Sys.remove path with Sys_error _ -> ())
+  | _ -> ()
+
+let disk_load t key =
+  match entry_path t ~key with
+  | None -> Error `Missing
+  | Some path ->
+    if not (Sys.file_exists path) then Error `Missing
+    else (
+      match read_file path with
+      | exception Sys_error _ -> Error `Invalid
+      | data -> decode_entry t ~key data)
+
+(* Atomic publication: write the full entry to a private temp file in
+   the same directory, then rename over the final name. Readers either
+   see the old entry, the new one, or none — never a partial write. *)
+let disk_store t key payload =
+  match t.cache_dir with
+  | None -> true
+  | Some d -> (
+    try
+      mkdir_p d;
+      let tmp =
+        Filename.concat d
+          (Printf.sprintf ".tmp.%s.%d" key (Unix.getpid ()))
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (encode_entry t ~key payload);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp (Filename.concat d (key ^ ".art"));
+      true
+    with Sys_error _ | Unix.Unix_error _ -> false)
+
+(* ---------------- public API ---------------- *)
+
+let put t ~key payload =
+  locked t (fun () ->
+      mem_insert t key payload;
+      if disk_store t key payload then t.s_stores <- t.s_stores + 1
+      else t.s_store_failures <- t.s_store_failures + 1)
+
+(* Drop [key] everywhere after a failed validation. *)
+let invalidate t key =
+  Hashtbl.remove t.tbl key;
+  disk_remove t key;
+  t.s_invalid <- t.s_invalid + 1;
+  Obs.incr c_invalid
+
+let find t ~key ~validate =
+  (* Fetch under the lock, validate outside it: validation re-parses IR
+     and must not serialise every concurrent worker behind one mutex. *)
+  let fetched =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e ->
+          touch t e;
+          `Mem e.e_payload
+        | None -> (
+          match disk_load t key with
+          | Ok payload -> `Disk payload
+          | Error `Missing -> `Missing
+          | Error `Invalid -> `Invalid))
+  in
+  let miss () =
+    locked t (fun () -> t.s_misses <- t.s_misses + 1);
+    Obs.incr c_miss;
+    None
+  in
+  match fetched with
+  | `Missing -> miss ()
+  | `Invalid ->
+    locked t (fun () -> invalidate t key);
+    miss ()
+  | `Mem payload -> (
+    match validate payload with
+    | Ok v ->
+      locked t (fun () -> t.s_mem_hits <- t.s_mem_hits + 1);
+      Obs.incr c_hit;
+      Some v
+    | Error _ ->
+      locked t (fun () -> invalidate t key);
+      miss ())
+  | `Disk payload -> (
+    match validate payload with
+    | Ok v ->
+      locked t (fun () ->
+          mem_insert t key payload;
+          t.s_disk_hits <- t.s_disk_hits + 1);
+      Obs.incr c_hit;
+      Some v
+    | Error _ ->
+      locked t (fun () -> invalidate t key);
+      miss ())
+
+let stats t =
+  locked t (fun () ->
+      { mem_hits = t.s_mem_hits; disk_hits = t.s_disk_hits;
+        misses = t.s_misses; evictions = t.s_evictions;
+        invalid = t.s_invalid; stores = t.s_stores;
+        store_failures = t.s_store_failures })

@@ -1,0 +1,67 @@
+(** Content-addressed artifact cache.
+
+    Keys are digests of whatever the client deems identity-defining
+    (source text, target, flags, format version — see {!digest}); values
+    are opaque serialized payloads. Two layers:
+
+    - an in-memory LRU, capacity-bounded in entries and safe to use from
+      any domain (one mutex guards all cache state);
+    - an optional on-disk store, one file per entry, written atomically
+      (temp file + rename) so a crash mid-write can only ever leave a
+      garbage temp file or a truncated entry — never a half-visible one.
+
+    Loads are {e revalidated}: every lookup (memory or disk) runs the
+    caller's [validate] function over the raw payload, and entries that
+    fail — corrupt, truncated, or written by a different format version —
+    are evicted from both layers and reported as a miss, never an error.
+    The cache is strictly best-effort: disk write failures are counted
+    and swallowed. *)
+
+type t
+
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;  (** lookups that returned nothing (includes invalid) *)
+  evictions : int;  (** LRU evictions from the memory layer *)
+  invalid : int;  (** entries dropped by validation / header checks *)
+  stores : int;  (** successful {!put}s *)
+  store_failures : int;  (** disk writes that failed and were swallowed *)
+}
+
+(** [$XDG_CACHE_HOME/sfc] or [~/.cache/sfc]. *)
+val default_dir : unit -> string
+
+(** [create ~version ()] makes a cache whose entries are only readable
+    by caches of the same [version] (mismatches are evicted on load).
+    [mem_entries] bounds the LRU layer (default 64); [dir] places the
+    disk store (default {!default_dir}); [disk:false] keeps the cache
+    memory-only. The directory is created on first write. *)
+val create :
+  ?mem_entries:int -> ?disk:bool -> ?dir:string -> version:int -> unit -> t
+
+val version : t -> int
+
+(** Directory of the disk store, if any. *)
+val dir : t -> string option
+
+(** Hex digest of the given identity parts plus the cache version; the
+    canonical way to build a key. *)
+val digest : t -> string list -> string
+
+(** Insert (or refresh) an entry in both layers. *)
+val put : t -> key:string -> string -> unit
+
+(** [find t ~key ~validate] checks memory then disk. The payload found —
+    on {e every} hit, memory included — is passed through [validate];
+    [Error _] evicts the entry from both layers and yields [None]. *)
+val find :
+  t -> key:string -> validate:(string -> ('a, string) result) -> 'a option
+
+(** Memory-layer keys, most recently used first (test hook). *)
+val mem_keys : t -> string list
+
+(** Path an entry would occupy on disk (test hook; [None] if diskless). *)
+val entry_path : t -> key:string -> string option
+
+val stats : t -> stats

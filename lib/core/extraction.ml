@@ -70,12 +70,12 @@ let memref_type_of_field t =
     ( List.map (fun e -> Types.Static e) (field_extents t),
       Stencil.type_elem t )
 
-let kernel_counter = ref 0
+(* Atomic so concurrent compiles (the job server) never mint the same
+   name; resetting remains a serial-caller affair. *)
+let kernel_counter = Atomic.make 0
 
 let fresh_kernel_name () =
-  let n = !kernel_counter in
-  incr kernel_counter;
-  Printf.sprintf "_stencil_kernel_%d" n
+  Printf.sprintf "_stencil_kernel_%d" (Atomic.fetch_and_add kernel_counter 1)
 
 (* Extract one section from [block] into a kernel function appended to
    [stencil_block]. Returns kernel metadata. *)
@@ -249,4 +249,4 @@ let run m =
   List.iter process_block (Op.region m).Op.g_blocks;
   { host_module = m; stencil_module; kernels = List.rev !kernels }
 
-let reset_name_counter () = kernel_counter := 0
+let reset_name_counter () = Atomic.set kernel_counter 0

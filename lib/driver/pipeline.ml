@@ -34,6 +34,16 @@ type target =
   | Openmp of int (* threads *)
   | Gpu of gpu_strategy
 
+let target_kind = function
+  | Serial -> "serial"
+  | Openmp _ -> "openmp"
+  | Gpu Gpu_initial -> "gpu-initial"
+  | Gpu Gpu_optimised -> "gpu-optimised"
+
+let target_name = function
+  | Openmp n -> Printf.sprintf "openmp(%d)" n
+  | t -> target_kind t
+
 type kernel_impl =
   | Compiled of Kc.spec
   | Interpreted of string (* fallback reason *)
@@ -47,12 +57,24 @@ type artifact = {
   a_target : target;
 }
 
-let ensure_registered = lazy (Fsc_dialects.Registry.init ())
+(* Not [lazy]: forcing a lazy from two domains at once is undefined in
+   OCaml 5, and the job server compiles on worker domains. A mutex-run
+   once-guard gives the same one-shot init, domain-safely. *)
+let reg_mutex = Mutex.create ()
+let reg_done = ref false
+
+let ensure_registered () =
+  Mutex.lock reg_mutex;
+  if not !reg_done then begin
+    Fsc_dialects.Registry.init ();
+    reg_done := true
+  end;
+  Mutex.unlock reg_mutex
 
 (* -------------------- flang only -------------------- *)
 
 let flang_only src =
-  Lazy.force ensure_registered;
+  ensure_registered ();
   let m = stage "frontend" (fun () -> Fsc_fortran.Flower.compile_source src) in
   stage "verify" (fun () ->
       Verifier.verify_in_context_exn (Dialect.flang_context ()) m);
@@ -126,11 +148,11 @@ let register_kernel ~target ~pool ctx kernel_func =
     Interp.register_external ctx name impl;
     (name, Compiled spec)
 
-(* GPU data-management externals for the optimised strategy. *)
-let register_gpu_data ctx (managed : Fsc_core.Gpu_data.managed list) =
+(* GPU data-management externals for the optimised strategy; [managed]
+   is the list of kernel symbols whose placement was hoisted. *)
+let register_gpu_data ctx (managed : string list) =
   List.iter
-    (fun m ->
-      let kernel = m.Fsc_core.Gpu_data.mg_kernel in
+    (fun kernel ->
       let with_gpu f _ args =
         (match ctx.Interp.gpu with
         | Some g -> List.iter (f g) (spec_buffers args)
@@ -153,19 +175,52 @@ type stencil_stats = {
   st_kernels : int;
 }
 
-(* The full stencil pipeline of the paper's Figure 1. [merge] and
-   [specialize] exist for the ablation studies: disabling them leaves the
-   rest of the pipeline untouched. *)
-let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
-    ?(merge = true) ?(specialize = true) src =
-  Lazy.force ensure_registered;
-  Fsc_core.Extraction.reset_name_counter ();
+type options = {
+  opt_target : target;
+  opt_tile_sizes : int list;
+  opt_merge : bool;
+  opt_specialize : bool;
+}
+
+let default_options ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
+    ?(merge = true) ?(specialize = true) () =
+  { opt_target = target; opt_tile_sizes = tile_sizes; opt_merge = merge;
+    opt_specialize = specialize }
+
+type compiled_artifact = {
+  ca_host : Op.op;
+  ca_stencil : Op.op;
+  ca_gpu_ir : Op.op option;
+  ca_kernels : string list;
+  ca_managed : string list;
+  ca_stats : stencil_stats;
+  ca_options : options;
+}
+
+let is_stencil_kernel n =
+  String.length n >= 15
+  && String.sub n 0 15 = "_stencil_kernel"
+  (* the *_gpu_init/sync/free device-management trampolines are
+     implemented by runtime externals, not kernels *)
+  && not (Filename.check_suffix n "_gpu_init")
+  && not (Filename.check_suffix n "_gpu_sync")
+  && not (Filename.check_suffix n "_gpu_free")
+
+(* The pure front half of the paper's Figure 1: everything from source
+   text to lowered modules. No runtime state is created here, so the
+   result can be printed, cached and re-linked at will. [opt_merge] and
+   [opt_specialize] exist for the ablation studies: disabling them
+   leaves the rest of the pipeline untouched. *)
+let compile options src =
+  ensure_registered ();
+  let target = options.opt_target in
   (* 1. Flang frontend *)
   let m = stage "frontend" (fun () -> Fsc_fortran.Flower.compile_source src) in
   (* 2. xDSL side: discover + merge on the mixed module *)
   let dstats = stage "discovery" (fun () -> Fsc_core.Discovery.run m) in
   let merged =
-    stage "merge" (fun () -> if merge then Fsc_core.Merge.run m else 0)
+    stage "merge" (fun () ->
+        if options.opt_merge then Fsc_core.Merge.run m else 0)
   in
   stage "verify" (fun () -> Verifier.verify_exn m);
   (* 3. extract stencil sections into their own module *)
@@ -195,7 +250,7 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
       ignore (Fsc_transforms.Canonicalize.run stencil_m));
   (match target with
   | Serial | Openmp _ ->
-    if specialize then
+    if options.opt_specialize then
       stage "loop specialisation" (fun () ->
           ignore (Fsc_lowering.Loop_specialize.run stencil_m))
   | Gpu _ -> ());
@@ -206,7 +261,9 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
     | Gpu _ ->
       stage "gpu pipeline (Listing 4)" (fun () ->
           let clone = Op.clone stencil_m in
-          ignore (Fsc_lowering.Gpu_pipeline.run ~tile_sizes clone);
+          ignore
+            (Fsc_lowering.Gpu_pipeline.run ~tile_sizes:options.opt_tile_sizes
+               clone);
           Some clone)
     | _ -> None
   in
@@ -215,10 +272,29 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
     stage "scf-to-openmp" (fun () ->
         ignore (Fsc_lowering.Scf_to_openmp.run stencil_m))
   | _ -> ());
-  (* 6. link: host interpreted, kernels compiled where possible *)
+  let kernels =
+    Fsc_dialects.Func.all_functions stencil_m
+    |> List.filter_map (fun f ->
+           let n = Fsc_dialects.Func.name f in
+           if is_stencil_kernel n then Some n else None)
+  in
+  { ca_host = host; ca_stencil = stencil_m; ca_gpu_ir = gpu_ir;
+    ca_kernels = kernels;
+    ca_managed = List.map (fun m -> m.Fsc_core.Gpu_data.mg_kernel) managed;
+    ca_stats =
+      { st_discovered = dstats.Fsc_core.Discovery.found; st_merged = merged;
+        st_kernels = List.length kernels };
+    ca_options = options }
+
+(* The impure back half: host interpreted, kernels compiled where
+   possible, pool/device allocated per target. Works identically on a
+   freshly compiled artifact and on one re-parsed from the cache. *)
+let link ca =
+  ensure_registered ();
+  let target = ca.ca_options.opt_target in
   let ctx = Interp.create_context () in
-  Interp.add_module ctx host;
-  Interp.add_module ctx stencil_m;
+  Interp.add_module ctx ca.ca_host;
+  Interp.add_module ctx ca.ca_stencil;
   let pool =
     match target with
     | Openmp n -> Some (Fsc_rt.Domain_pool.create n)
@@ -235,24 +311,25 @@ let stencil ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
   | _ -> ());
   let kernels =
     stage "link + kernel compile" (fun () ->
-        List.map
-          (register_kernel ~target ~pool ctx)
-          (Fsc_dialects.Func.all_functions stencil_m
-          |> List.filter (fun f ->
-                 let n = Fsc_dialects.Func.name f in
-                 String.length n >= 15
-                 && String.sub n 0 15 = "_stencil_kernel"
-                 (* the *_gpu_init/sync/free device-management trampolines
-                    are implemented by runtime externals, not kernels *)
-                 && not (Filename.check_suffix n "_gpu_init")
-                 && not (Filename.check_suffix n "_gpu_sync")
-                 && not (Filename.check_suffix n "_gpu_free"))))
+        Fsc_dialects.Func.all_functions ca.ca_stencil
+        |> List.filter (fun f ->
+               List.mem (Fsc_dialects.Func.name f) ca.ca_kernels)
+        |> List.map (register_kernel ~target ~pool ctx))
   in
-  register_gpu_data ctx managed;
-  ( { a_host = host; a_stencil = Some stencil_m; a_gpu_ir = gpu_ir;
-      a_ctx = ctx; a_kernels = kernels; a_target = target },
-    { st_discovered = dstats.Fsc_core.Discovery.found; st_merged = merged;
-      st_kernels = List.length kernels } )
+  register_gpu_data ctx ca.ca_managed;
+  { a_host = ca.ca_host; a_stencil = Some ca.ca_stencil;
+    a_gpu_ir = ca.ca_gpu_ir; a_ctx = ctx; a_kernels = kernels;
+    a_target = target }
+
+(* The full stencil pipeline of the paper's Figure 1. Resets the global
+   kernel-name counter for reproducible names — which is why [compile]
+   (callable concurrently from server workers) does not: a reset racing
+   another in-flight compile could hand out duplicate names. *)
+let stencil ?target ?tile_sizes ?merge ?specialize src =
+  let options = default_options ?target ?tile_sizes ?merge ?specialize () in
+  Fsc_core.Extraction.reset_name_counter ();
+  let ca = compile options src in
+  (link ca, ca.ca_stats)
 
 (* -------------------- execution -------------------- *)
 

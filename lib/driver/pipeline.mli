@@ -14,6 +14,16 @@ type target =
   | Openmp of int  (** auto-parallelised, thread count *)
   | Gpu of gpu_strategy
 
+(** Human-readable target, e.g. ["openmp(4)"] — the one spelling used by
+    the CLI, the batch/serve job printer and error messages. *)
+val target_name : target -> string
+
+(** Target without link-time parameters (["openmp"], no thread count):
+    the spelling that identifies {e compiled code}, and therefore the one
+    that belongs in cache keys — an OpenMP artifact is reusable across
+    pool sizes because the pool is only created at {!link} time. *)
+val target_kind : target -> string
+
 (** How a kernel is executed at runtime. *)
 type kernel_impl =
   | Compiled of Fsc_rt.Kernel_compile.spec
@@ -36,14 +46,59 @@ type stencil_stats = {
   st_kernels : int;
 }
 
+(** Everything {!compile} is parameterised by. One record so the cache
+    key and the compiler agree by construction on what defines an
+    artifact's identity. *)
+type options = {
+  opt_target : target;
+  opt_tile_sizes : int list;  (** GPU pipeline tiling (paper: 32,32,1) *)
+  opt_merge : bool;  (** ablation: stencil merging *)
+  opt_specialize : bool;  (** ablation: loop specialisation *)
+}
+
+val default_options :
+  ?target:target ->
+  ?tile_sizes:int list ->
+  ?merge:bool ->
+  ?specialize:bool ->
+  unit ->
+  options
+
+(** The pure, serializable half of a stencil compilation: IR modules and
+    metadata only — no interpreter context, no domain pool, no GPU
+    simulator, no Bigarrays, no closures. It is exactly the value the
+    artifact cache stores (as printed IR) and {!link} consumes. *)
+type compiled_artifact = {
+  ca_host : Op.op;  (** FIR host module after extraction *)
+  ca_stencil : Op.op;  (** extracted module after lowering *)
+  ca_gpu_ir : Op.op option;  (** Listing-4 output (GPU targets) *)
+  ca_kernels : string list;  (** stencil kernel symbols, in order *)
+  ca_managed : string list;
+      (** kernels whose GPU data placement was hoisted (optimised GPU) *)
+  ca_stats : stencil_stats;
+  ca_options : options;
+}
+
 (** The baseline: frontend to FIR, no stencil optimisation, naive
     execution (the paper's "Flang only" series). *)
 val flang_only : string -> artifact
 
-(** The full stencil pipeline: discover, merge, extract, lower for the
-    target, link compiled kernels back against the interpreted host.
-    [merge] and [specialize] default to [true] and exist for ablation
-    studies; [tile_sizes] parameterises the GPU pipeline (paper default
+(** Pure front half of the Figure-1 pipeline: frontend, discovery,
+    merge, extraction, GPU data placement and lowering. Deterministic in
+    [options] and the source text, and free of runtime state — the
+    cacheable unit. *)
+val compile : options -> string -> compiled_artifact
+
+(** Impure back half: create the interpreter context, register the host
+    and stencil modules, allocate the OpenMP pool / GPU simulator for
+    the artifact's target, and closure-JIT each kernel (falling back to
+    the interpreter outside the supported shape). Safe to call several
+    times on one artifact; each call yields an independent runnable. *)
+val link : compiled_artifact -> artifact
+
+(** The full stencil pipeline: {!compile} then {!link}. [merge] and
+    [specialize] default to [true] and exist for ablation studies;
+    [tile_sizes] parameterises the GPU pipeline (paper default
     32,32,1). *)
 val stencil :
   ?target:target ->

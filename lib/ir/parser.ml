@@ -290,7 +290,22 @@ let rec parse_attr st : Attr.t =
   | '"' -> Attr.Str_a (parse_quoted st)
   | '@' ->
     advance st;
-    Attr.Sym_a (parse_ident st)
+    (* possibly-nested reference: @sym, @module::sym or @module::@sym
+       (gpu.launch_func kernel references are module-qualified) *)
+    let rec nested acc =
+      if
+        st.pos + 1 < String.length st.src
+        && st.src.[st.pos] = ':'
+        && st.src.[st.pos + 1] = ':'
+      then begin
+        advance st;
+        advance st;
+        if (not (eof st)) && peek st = '@' then advance st;
+        nested (acc ^ "::" ^ parse_ident st)
+      end
+      else acc
+    in
+    Attr.Sym_a (nested (parse_ident st))
   | '[' ->
     advance st;
     skip_ws st;

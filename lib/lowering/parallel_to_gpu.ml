@@ -202,11 +202,10 @@ let convert_pass =
 
 (* ---------------- gpu-kernel-outlining ---------------- *)
 
-let outline_counter = ref 0
+let outline_counter = Atomic.make 0
 
 let outline_one ~gpu_mod launch =
-  let n = !outline_counter in
-  incr outline_counter;
+  let n = Atomic.fetch_and_add outline_counter 1 in
   let kname = Printf.sprintf "stencil_gpu_kernel_%d" n in
   let region = Op.region ~index:0 launch in
   let blk =

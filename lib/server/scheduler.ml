@@ -1,0 +1,222 @@
+(* Bounded-queue scheduler over domain workers.
+
+   Locking discipline: [t.mutex] guards the queue, intake flag and
+   aggregate counters; each ticket carries its own mutex/condvar for its
+   resolution state. The two are never held at once (resolve first,
+   then bump counters), so there is no lock ordering to get wrong.
+
+   Timeouts are cooperative by necessity — a running domain cannot be
+   interrupted — so a deadline is enforced at the three points where it
+   can be: the worker discards expired jobs instead of starting them,
+   the awaiter stops waiting at the deadline, and a late worker result
+   loses the resolution race against the awaiter's [Timed_out] (first
+   resolution wins, later ones are dropped). *)
+
+module Obs = Fsc_obs.Obs
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string
+  | Timed_out
+
+type reject =
+  [ `Queue_full
+  | `Shutting_down ]
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  timed_out : int;
+  max_queue_depth : int;
+  total_wait_s : float;
+}
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  queue : (float * (unit -> unit)) Queue.t; (* enqueue time, job thunk *)
+  capacity : int;
+  mutable accepting : bool;
+  mutable domains : unit Domain.t list;
+  mutable s_submitted : int;
+  mutable s_rejected : int;
+  mutable s_completed : int;
+  mutable s_failed : int;
+  mutable s_timed_out : int;
+  mutable s_max_depth : int;
+  mutable s_wait : float;
+}
+
+type 'a state =
+  | Waiting
+  | Resolved of 'a outcome
+
+type 'a ticket = {
+  tk_mutex : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_state : 'a state;
+  tk_deadline : float option; (* absolute, seconds *)
+  tk_sched : t;
+}
+
+let c_completed = Obs.counter "server.jobs_completed"
+let c_failed = Obs.counter "server.jobs_failed"
+let c_timed_out = Obs.counter "server.jobs_timed_out"
+let c_rejected = Obs.counter "server.jobs_rejected"
+let c_wait_us = Obs.counter "server.queue_wait_us"
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* First resolution wins; returns whether this call was it. *)
+let resolve ticket outcome =
+  locked ticket.tk_mutex (fun () ->
+      match ticket.tk_state with
+      | Resolved _ -> false
+      | Waiting ->
+        ticket.tk_state <- Resolved outcome;
+        Condition.broadcast ticket.tk_cond;
+        true)
+
+let expired ticket now =
+  match ticket.tk_deadline with Some d -> now >= d | None -> false
+
+(* Runs on a worker domain, outside any lock. *)
+let run_job t ticket f =
+  if expired ticket (Unix.gettimeofday ()) then begin
+    if resolve ticket Timed_out then begin
+      locked t.mutex (fun () -> t.s_timed_out <- t.s_timed_out + 1);
+      Obs.incr c_timed_out
+    end
+  end
+  else begin
+    match Obs.with_span ~cat:"server" "job.exec" f with
+    | v ->
+      if resolve ticket (Done v) then begin
+        locked t.mutex (fun () -> t.s_completed <- t.s_completed + 1);
+        Obs.incr c_completed
+      end
+    | exception e ->
+      if resolve ticket (Failed (Printexc.to_string e)) then begin
+        locked t.mutex (fun () -> t.s_failed <- t.s_failed + 1);
+        Obs.incr c_failed
+      end
+  end
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && t.accepting do
+    Condition.wait t.not_empty t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* drained: exit *)
+  else begin
+    let enqueued_at, thunk = Queue.pop t.queue in
+    let wait = Unix.gettimeofday () -. enqueued_at in
+    t.s_wait <- t.s_wait +. wait;
+    Mutex.unlock t.mutex;
+    Obs.add c_wait_us (int_of_float (1e6 *. wait));
+    thunk ();
+    worker t
+  end
+
+let create ?(queue_capacity = 64) ~workers () =
+  let t =
+    { mutex = Mutex.create (); not_empty = Condition.create ();
+      queue = Queue.create (); capacity = max 1 queue_capacity;
+      accepting = true; domains = []; s_submitted = 0; s_rejected = 0;
+      s_completed = 0; s_failed = 0; s_timed_out = 0; s_max_depth = 0;
+      s_wait = 0. }
+  in
+  t.domains <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ?deadline_s f =
+  let now = Unix.gettimeofday () in
+  locked t.mutex (fun () ->
+      if not t.accepting then begin
+        t.s_rejected <- t.s_rejected + 1;
+        Obs.incr c_rejected;
+        Error `Shutting_down
+      end
+      else if Queue.length t.queue >= t.capacity then begin
+        t.s_rejected <- t.s_rejected + 1;
+        Obs.incr c_rejected;
+        Error `Queue_full
+      end
+      else begin
+        let ticket =
+          { tk_mutex = Mutex.create (); tk_cond = Condition.create ();
+            tk_state = Waiting;
+            tk_deadline = Option.map (fun d -> now +. d) deadline_s;
+            tk_sched = t }
+        in
+        Queue.push (now, (fun () -> run_job t ticket f)) t.queue;
+        t.s_submitted <- t.s_submitted + 1;
+        t.s_max_depth <- max t.s_max_depth (Queue.length t.queue);
+        Condition.signal t.not_empty;
+        Ok ticket
+      end)
+
+let await ticket =
+  let deadline_hit = ref false in
+  let outcome =
+    locked ticket.tk_mutex (fun () ->
+        let rec wait () =
+          match ticket.tk_state with
+          | Resolved o -> o
+          | Waiting -> (
+            match ticket.tk_deadline with
+            | None ->
+              Condition.wait ticket.tk_cond ticket.tk_mutex;
+              wait ()
+            | Some d ->
+              let now = Unix.gettimeofday () in
+              if now >= d then begin
+                (* we are the resolver: the worker's eventual result
+                   will lose the race and be discarded *)
+                ticket.tk_state <- Resolved Timed_out;
+                Condition.broadcast ticket.tk_cond;
+                deadline_hit := true;
+                Timed_out
+              end
+              else begin
+                (* no timed condition wait in the stdlib: poll at a
+                   resolution far below any plausible deadline *)
+                Mutex.unlock ticket.tk_mutex;
+                Unix.sleepf (Float.min 0.002 (d -. now));
+                Mutex.lock ticket.tk_mutex;
+                wait ()
+              end)
+        in
+        wait ())
+  in
+  if !deadline_hit then begin
+    let t = ticket.tk_sched in
+    locked t.mutex (fun () -> t.s_timed_out <- t.s_timed_out + 1);
+    Obs.incr c_timed_out
+  end;
+  outcome
+
+let queue_depth t = locked t.mutex (fun () -> Queue.length t.queue)
+
+let shutdown t =
+  let domains =
+    locked t.mutex (fun () ->
+        t.accepting <- false;
+        Condition.broadcast t.not_empty;
+        let d = t.domains in
+        t.domains <- [];
+        d)
+  in
+  List.iter Domain.join domains
+
+let stats t =
+  locked t.mutex (fun () ->
+      { submitted = t.s_submitted; rejected = t.s_rejected;
+        completed = t.s_completed; failed = t.s_failed;
+        timed_out = t.s_timed_out; max_queue_depth = t.s_max_depth;
+        total_wait_s = t.s_wait })

@@ -1,0 +1,64 @@
+(** Concurrent job scheduler: a bounded submission queue drained by a
+    fixed pool of domain workers — the request-multiplexing layer under
+    [sfc batch] and [sfc serve].
+
+    Contract highlights:
+
+    - {b backpressure}: {!submit} never blocks; a full queue yields
+      [Error `Queue_full] immediately and the caller decides whether to
+      retry, shed or report;
+    - {b deadlines}: a job past its deadline resolves to {!Timed_out} —
+      whether it is still queued (the worker discards it unrun) or
+      executing (the awaiter stops waiting; the worker's eventual result
+      is discarded, since a running domain cannot be interrupted);
+    - {b shutdown drains}: {!shutdown} stops intake, lets the workers
+      finish every queued job, then joins them — submitted work is never
+      silently dropped.
+
+    Every job execution is recorded as an obs span ([cat:"server"]) and
+    the scheduler keeps aggregate counters (see {!stats}). *)
+
+type t
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of string  (** the job raised; carries [Printexc.to_string] *)
+  | Timed_out  (** deadline exceeded while queued or running *)
+
+(** A handle on one submitted job. *)
+type 'a ticket
+
+type reject =
+  [ `Queue_full  (** backpressure: capacity reached *)
+  | `Shutting_down  (** submitted after {!shutdown} began *) ]
+
+(** [create ~workers ()] spawns [workers] domains; [queue_capacity]
+    bounds the submission queue (default 64). *)
+val create : ?queue_capacity:int -> workers:int -> unit -> t
+
+(** Enqueue a job; [deadline_s] is relative to submission time. *)
+val submit :
+  t -> ?deadline_s:float -> (unit -> 'a) -> ('a ticket, reject) result
+
+(** Block until the job resolves (or its deadline passes). Safe to call
+    from any domain, and repeatedly — the outcome is sticky. *)
+val await : 'a ticket -> 'a outcome
+
+(** Jobs currently queued (not yet picked up). *)
+val queue_depth : t -> int
+
+(** Drain then stop: reject new work, run everything queued, join the
+    workers. Idempotent. *)
+val shutdown : t -> unit
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  completed : int;
+  failed : int;
+  timed_out : int;
+  max_queue_depth : int;
+  total_wait_s : float;  (** summed time jobs spent queued *)
+}
+
+val stats : t -> stats

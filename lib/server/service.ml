@@ -1,0 +1,342 @@
+(* The JSONL job protocol. [run_batch] and [serve] are thin transports
+   over the same core: parse_job -> Scheduler.submit -> execute ->
+   result_to_line, with results emitted in input order so identical
+   inputs give identical outputs whatever the completion order. *)
+
+module J = Fsc_obs.Obs.Json
+module P = Fsc_driver.Pipeline
+module CC = Fsc_driver.Compile_cache
+module Interp = Fsc_rt.Interp
+module Rt = Fsc_rt.Memref_rt
+
+type action =
+  | Compile
+  | Run
+
+type job = {
+  j_id : int;
+  j_src : [ `Path of string | `Inline of string ];
+  j_target : P.target;
+  j_action : action;
+}
+
+type status =
+  | Ok_
+  | Error_ of string
+  | Timeout
+
+type result_rec = {
+  r_id : int;
+  r_label : string;
+  r_target : string;
+  r_action : string;
+  r_status : status;
+  r_cache : [ `Hit | `Miss | `Off ];
+  r_compile_ms : float;
+  r_run_ms : float;
+  r_kernels : int;
+  r_checksums : (string * float) list;
+}
+
+(* ---------------- job parsing ---------------- *)
+
+let ( let* ) = Result.bind
+
+let target_of_name = function
+  | "serial" -> Ok P.Serial
+  | "openmp" -> Ok (P.Openmp (Fsc_rt.Domain_pool.recommended_size ()))
+  | "gpu-initial" -> Ok (P.Gpu P.Gpu_initial)
+  | "gpu" | "gpu-optimised" | "gpu-optimized" -> Ok (P.Gpu P.Gpu_optimised)
+  | s -> Error ("unknown target " ^ s)
+
+(* An explicit thread count overrides the openmp default sizing;
+   combining it with a non-OpenMP target is an error instead of being
+   silently ignored. With no target at all, threads imply openmp. *)
+let resolve_target target threads =
+  match (target, threads) with
+  | _, Some n when n < 1 ->
+    Error (Printf.sprintf "threads must be >= 1 (got %d)" n)
+  | None, None -> Ok P.Serial
+  | None, Some n -> Ok (P.Openmp n)
+  | Some (P.Openmp _), Some n -> Ok (P.Openmp n)
+  | Some ((P.Serial | P.Gpu _) as t), Some _ ->
+    Error
+      (Printf.sprintf "threads only apply to the openmp target (target is %s)"
+         (P.target_name t))
+  | Some t, None -> Ok t
+
+let str_field name json =
+  match J.member name json with
+  | Some (J.Str s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Ok None
+
+let int_field name json =
+  match J.member name json with
+  | Some (J.Num f) -> Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  | None -> Ok None
+
+let parse_job ~index line =
+  match J.of_string line with
+  | exception J.Parse_error e -> Error ("bad job JSON: " ^ e)
+  | json ->
+    let* src = str_field "src" json in
+    let* source = str_field "source" json in
+    let* target = str_field "target" json in
+    let* threads = int_field "threads" json in
+    let* action = str_field "action" json in
+    let* id = int_field "id" json in
+    let* j_src =
+      match (src, source) with
+      | Some p, None -> Ok (`Path p)
+      | None, Some s -> Ok (`Inline s)
+      | Some _, Some _ -> Error "give \"src\" or \"source\", not both"
+      | None, None -> Error "missing \"src\" (or inline \"source\")"
+    in
+    let* j_action =
+      match action with
+      | None | Some "run" -> Ok Run
+      | Some "compile" -> Ok Compile
+      | Some "shutdown" -> Error "\"shutdown\" is a control line, not a job"
+      | Some a -> Error ("unknown action " ^ a)
+    in
+    let* target =
+      match target with
+      | None -> Ok None
+      | Some name ->
+        let* t = target_of_name name in
+        Ok (Some t)
+    in
+    let* j_target = resolve_target target threads in
+    Ok { j_id = Option.value id ~default:index; j_src; j_target; j_action }
+
+let is_shutdown line =
+  match J.of_string line with
+  | exception J.Parse_error _ -> false
+  | json -> (
+    match J.member "action" json with
+    | Some (J.Str "shutdown") -> true
+    | _ -> false)
+
+(* ---------------- execution ---------------- *)
+
+let action_name = function Compile -> "compile" | Run -> "run"
+
+let blank_result ~id ~label ~target ~action =
+  { r_id = id; r_label = label; r_target = target; r_action = action;
+    r_status = Ok_; r_cache = `Off; r_compile_ms = 0.; r_run_ms = 0.;
+    r_kernels = 0; r_checksums = [] }
+
+let job_result job =
+  blank_result ~id:job.j_id
+    ~label:(match job.j_src with `Path p -> p | `Inline _ -> "<inline>")
+    ~target:(P.target_name job.j_target)
+    ~action:(action_name job.j_action)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let execute ?cache job =
+  let base = job_result job in
+  try
+    let source =
+      match job.j_src with `Inline s -> s | `Path p -> read_file p
+    in
+    let options = P.default_options ~target:job.j_target () in
+    let t0 = Unix.gettimeofday () in
+    let ca, outcome = CC.compile ?cache options source in
+    let compile_ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+    let base =
+      { base with r_cache = outcome; r_compile_ms = compile_ms;
+        r_kernels = ca.P.ca_stats.P.st_kernels }
+    in
+    match job.j_action with
+    | Compile -> base
+    | Run ->
+      let t1 = Unix.gettimeofday () in
+      let a = P.link ca in
+      let checksums =
+        Fun.protect
+          ~finally:(fun () -> P.shutdown a)
+          (fun () ->
+            P.run a;
+            a.P.a_ctx.Interp.named_buffers
+            |> List.map (fun (name, buf) -> (name, Rt.checksum buf))
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+      in
+      { base with r_run_ms = 1e3 *. (Unix.gettimeofday () -. t1);
+        r_kernels = List.length a.P.a_kernels; r_checksums = checksums }
+  with e -> { base with r_status = Error_ (Printexc.to_string e) }
+
+(* ---------------- result lines ---------------- *)
+
+let result_to_line r =
+  let status, error =
+    match r.r_status with
+    | Ok_ -> ("ok", [])
+    | Timeout -> ("timeout", [])
+    | Error_ msg -> ("error", [ ("error", J.Str msg) ])
+  in
+  let cache =
+    match r.r_cache with `Hit -> "hit" | `Miss -> "miss" | `Off -> "off"
+  in
+  J.to_string
+    (J.Obj
+       ([ ("id", J.Num (float_of_int r.r_id));
+          ("src", J.Str r.r_label);
+          ("action", J.Str r.r_action);
+          ("target", J.Str r.r_target);
+          ("status", J.Str status);
+          ("cache", J.Str cache);
+          ("compile_ms", J.Num r.r_compile_ms);
+          ("run_ms", J.Num r.r_run_ms);
+          ("kernels", J.Num (float_of_int r.r_kernels));
+          ("checksums",
+           (* full-precision strings: equal grids -> byte-equal output *)
+           J.Obj
+             (List.map
+                (fun (name, v) -> (name, J.Str (Printf.sprintf "%.17g" v)))
+                r.r_checksums)) ]
+       @ error))
+
+let parse_error_result ~index msg =
+  { (blank_result ~id:index ~label:"<parse>" ~target:"" ~action:"") with
+    r_status = Error_ msg }
+
+(* ---------------- transports ---------------- *)
+
+type slot =
+  | Immediate of result_rec
+  | Pending of job * result_rec Scheduler.ticket
+
+let await_slot = function
+  | Immediate r -> r
+  | Pending (job, ticket) -> (
+    match Scheduler.await ticket with
+    | Scheduler.Done r -> r
+    | Scheduler.Failed msg -> { (job_result job) with r_status = Error_ msg }
+    | Scheduler.Timed_out -> { (job_result job) with r_status = Timeout })
+
+(* Submit one parsed line; [on_full] decides the backpressure policy
+   (batch retries, serve reports the rejection to the client). *)
+let submit_line ?cache ?deadline_s ~on_full sched ~index line =
+  match parse_job ~index line with
+  | Error msg -> Immediate (parse_error_result ~index msg)
+  | Ok job -> (
+    let rec go () =
+      match Scheduler.submit sched ?deadline_s (fun () -> execute ?cache job) with
+      | Ok ticket -> Pending (job, ticket)
+      | Error `Shutting_down ->
+        Immediate
+          { (job_result job) with
+            r_status = Error_ "rejected: scheduler shutting down" }
+      | Error `Queue_full -> (
+        match on_full with
+        | `Retry ->
+          Unix.sleepf 0.002;
+          go ()
+        | `Reject ->
+          Immediate
+            { (job_result job) with
+              r_status = Error_ "rejected: queue full" })
+    in
+    go ())
+
+let default_workers () = Fsc_rt.Domain_pool.recommended_size ()
+
+let run_batch ?cache ?workers ?(queue_capacity = 64) ?deadline_s lines =
+  let workers = match workers with Some n -> n | None -> default_workers () in
+  (* dialect registration touches shared tables: do it once, serially,
+     before any worker domain can race into it *)
+  Fsc_dialects.Registry.init ();
+  let sched = Scheduler.create ~queue_capacity ~workers () in
+  Fun.protect
+    ~finally:(fun () -> Scheduler.shutdown sched)
+    (fun () ->
+      lines
+      |> List.mapi (fun index line ->
+             submit_line ?cache ?deadline_s ~on_full:`Retry sched ~index line)
+      |> List.map (fun slot -> result_to_line (await_slot slot)))
+
+(* ---- socket server ---- *)
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* One client connection: read job lines to EOF (or a shutdown line),
+   answer in input order. Returns whether shutdown was requested. *)
+let handle_connection ?cache ?deadline_s sched client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  let rec read_jobs index acc =
+    match input_line ic with
+    | exception End_of_file -> (List.rev acc, false)
+    | line when String.trim line = "" -> read_jobs index acc
+    | line when is_shutdown line -> (List.rev acc, true)
+    | line ->
+      let slot =
+        submit_line ?cache ?deadline_s ~on_full:`Reject sched ~index line
+      in
+      read_jobs (index + 1) (slot :: acc)
+  in
+  let slots, shutdown_requested = read_jobs 0 [] in
+  List.iter
+    (fun slot ->
+      output_string oc (result_to_line (await_slot slot));
+      output_char oc '\n')
+    slots;
+  if shutdown_requested then
+    output_string oc "{\"status\": \"shutting-down\"}\n";
+  flush oc;
+  shutdown_requested
+
+let serve ?cache ?workers ?(queue_capacity = 64) ?deadline_s ~socket () =
+  let workers = match workers with Some n -> n | None -> default_workers () in
+  Fsc_dialects.Registry.init ();
+  let sched = Scheduler.create ~queue_capacity ~workers () in
+  remove_if_exists socket;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      remove_if_exists socket;
+      Scheduler.shutdown sched)
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.listen fd 16;
+      let stop = ref false in
+      while not !stop do
+        let client, _ = Unix.accept fd in
+        let finished =
+          match handle_connection ?cache ?deadline_s sched client with
+          | v -> v
+          | exception _ -> false (* client vanished: keep serving *)
+        in
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        if finished then stop := true
+      done)
+
+let request ~socket lines =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      let oc = Unix.out_channel_of_descr fd in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        lines;
+      flush oc;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      let ic = Unix.in_channel_of_descr fd in
+      let rec read acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> read (line :: acc)
+      in
+      read [])

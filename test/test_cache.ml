@@ -1,0 +1,250 @@
+(* Artifact-cache tests: digest stability, LRU eviction order, crash
+   safety of the on-disk store (truncation, version skew), and the
+   end-to-end contract — cold -> warm round trips must produce
+   bit-identical grids on every benchmark program and target while
+   skipping the entire front half of the pipeline (checked through the
+   obs spans of the warm compile). *)
+
+module C = Fsc_cache.Cache
+module P = Fsc_driver.Pipeline
+module Cc = Fsc_driver.Compile_cache
+module B = Fsc_driver.Benchmarks
+module Rt = Fsc_rt.Memref_rt
+module Obs = Fsc_obs.Obs
+
+let tmp_dir () =
+  let d = Filename.temp_file "fsc_cache_test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let ok_validate s = Ok s
+
+(* ---- digests ---- *)
+
+let test_digest_stability () =
+  let c = C.create ~disk:false ~version:1 () in
+  Alcotest.(check string)
+    "same parts, same key"
+    (C.digest c [ "src"; "serial" ])
+    (C.digest c [ "src"; "serial" ]);
+  Alcotest.(check bool)
+    "different part, different key" false
+    (C.digest c [ "src"; "serial" ] = C.digest c [ "src"; "openmp" ]);
+  Alcotest.(check bool)
+    "parts are not concatenation-ambiguous" false
+    (C.digest c [ "ab"; "" ] = C.digest c [ "a"; "b" ]);
+  let c2 = C.create ~disk:false ~version:2 () in
+  Alcotest.(check bool)
+    "version is part of the key" false
+    (C.digest c [ "src" ] = C.digest c2 [ "src" ])
+
+(* ---- LRU ---- *)
+
+let test_lru_eviction_order () =
+  let c = C.create ~disk:false ~mem_entries:2 ~version:1 () in
+  C.put c ~key:"k1" "v1";
+  C.put c ~key:"k2" "v2";
+  (* touch k1 so k2 becomes the LRU entry *)
+  Alcotest.(check (option string))
+    "k1 hit" (Some "v1")
+    (C.find c ~key:"k1" ~validate:ok_validate);
+  C.put c ~key:"k3" "v3";
+  Alcotest.(check (list string))
+    "k2 evicted, MRU order" [ "k3"; "k1" ] (C.mem_keys c);
+  Alcotest.(check (option string))
+    "k2 gone" None
+    (C.find c ~key:"k2" ~validate:ok_validate);
+  Alcotest.(check int) "one eviction" 1 (C.stats c).C.evictions
+
+(* ---- disk store ---- *)
+
+let test_disk_round_trip () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "some source" ] in
+  C.put c ~key "the payload";
+  (* a fresh cache on the same directory simulates a new process: the
+     memory layer is cold, so this must come from disk *)
+  let c2 = C.create ~dir ~version:1 () in
+  Alcotest.(check (option string))
+    "disk hit" (Some "the payload")
+    (C.find c2 ~key ~validate:ok_validate);
+  Alcotest.(check int) "counted as disk hit" 1 (C.stats c2).C.disk_hits
+
+let test_truncated_entry_evicted () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "will be truncated" ] in
+  C.put c ~key "a payload that will lose its tail in the crash";
+  let path = Option.get (C.entry_path c ~key) in
+  (* simulate a crash that left a torn entry behind *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full / 2)));
+  let c2 = C.create ~dir ~version:1 () in
+  Alcotest.(check (option string))
+    "truncated entry is a miss" None
+    (C.find c2 ~key ~validate:ok_validate);
+  Alcotest.(check bool) "entry file deleted" false (Sys.file_exists path);
+  Alcotest.(check int) "counted invalid" 1 (C.stats c2).C.invalid
+
+let test_version_mismatch_evicted () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "versioned" ] in
+  C.put c ~key "payload";
+  (* same key string, newer format version *)
+  let c2 = C.create ~dir ~version:2 () in
+  Alcotest.(check (option string))
+    "old-version entry is a miss" None
+    (C.find c2 ~key ~validate:ok_validate);
+  Alcotest.(check bool)
+    "old entry deleted" false
+    (Sys.file_exists (Option.get (C.entry_path c2 ~key)))
+
+let test_failed_validation_evicts_everywhere () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "rotten" ] in
+  C.put c ~key "payload";
+  Alcotest.(check (option string))
+    "validator rejects" None
+    (C.find c ~key ~validate:(fun _ -> Error "rotten"));
+  (* gone from the memory layer AND the disk *)
+  Alcotest.(check (option string))
+    "subsequent lookup misses" None
+    (C.find c ~key ~validate:ok_validate);
+  Alcotest.(check bool)
+    "file gone" false
+    (Sys.file_exists (Option.get (C.entry_path c ~key)))
+
+(* ---- cold -> warm compilation round trips ---- *)
+
+let programs =
+  [ ("gauss-seidel", B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:2 (), [ "u" ]);
+    ("pw-advection", B.pw_advection ~nx:8 ~ny:8 ~nz:8 ~niter:2 (),
+     [ "su"; "sv"; "sw" ]) ]
+
+let targets =
+  [ P.Serial; P.Openmp 2; P.Gpu P.Gpu_initial; P.Gpu P.Gpu_optimised ]
+
+let grids_of artifact names =
+  List.map (fun n -> (n, P.buffer_exn artifact n)) names
+
+let run_linked ca names =
+  let a = P.link ca in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown a)
+    (fun () ->
+      P.run a;
+      grids_of a names)
+
+let front_half_spans =
+  [ "frontend"; "discovery"; "merge"; "extraction"; "gpu data placement";
+    "stencil-to-scf"; "canonicalize"; "loop specialisation";
+    "gpu pipeline (Listing 4)"; "scf-to-openmp" ]
+
+let span_count name =
+  List.length
+    (List.filter (fun e -> e.Obs.e_name = name) (Obs.events_with_cat "pipeline"))
+
+let check_round_trip (pname, src, names) target =
+  let label = pname ^ "/" ^ P.target_name target in
+  (* ground truth: the uncached pipeline *)
+  let a0, _ = P.stencil ~target src in
+  P.run a0;
+  let reference = grids_of a0 names in
+  P.shutdown a0;
+  let dir = tmp_dir () in
+  let options = P.default_options ~target () in
+  (* cold: miss, populates the store *)
+  let cache = Cc.create_cache ~dir () in
+  let ca_cold, outcome = Cc.compile ~cache options src in
+  Alcotest.(check bool) (label ^ ": cold is a miss") true (outcome = `Miss);
+  let cold = run_linked ca_cold names in
+  (* warm, fresh cache instance on the same dir: everything comes back
+     through print -> disk -> parse; the front half must not run *)
+  let cache2 = Cc.create_cache ~dir () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let ca_warm, outcome = Cc.compile ~cache:cache2 options src in
+  Obs.set_enabled false;
+  Alcotest.(check bool) (label ^ ": warm is a hit") true (outcome = `Hit);
+  List.iter
+    (fun stage ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: warm compile never ran %S" label stage)
+        0 (span_count stage))
+    front_half_spans;
+  Alcotest.(check bool)
+    (label ^ ": warm compile revalidated the entry")
+    true
+    (span_count "cache revalidate" > 0);
+  let warm = run_linked ca_warm names in
+  (* all three executions bit-identical *)
+  List.iter
+    (fun (name, reference_buf) ->
+      Alcotest.(check (float 0.))
+        (label ^ ": cold " ^ name ^ " identical to uncached")
+        0.0
+        (Rt.max_abs_diff reference_buf (List.assoc name cold));
+      Alcotest.(check (float 0.))
+        (label ^ ": warm " ^ name ^ " identical to uncached")
+        0.0
+        (Rt.max_abs_diff reference_buf (List.assoc name warm)))
+    reference;
+  Alcotest.(check int)
+    (label ^ ": stats survive the round trip")
+    ca_cold.P.ca_stats.P.st_kernels ca_warm.P.ca_stats.P.st_kernels
+
+let test_round_trip_all () =
+  List.iter
+    (fun program -> List.iter (check_round_trip program) targets)
+    programs
+
+let test_memory_warm_hit () =
+  let src = B.gauss_seidel ~nx:6 ~ny:6 ~nz:6 ~niter:1 () in
+  let cache = Cc.create_cache ~disk:false () in
+  let options = P.default_options () in
+  let _, o1 = Cc.compile ~cache options src in
+  let _, o2 = Cc.compile ~cache options src in
+  Alcotest.(check bool) "first miss" true (o1 = `Miss);
+  Alcotest.(check bool) "second hit (memory)" true (o2 = `Hit);
+  Alcotest.(check int) "memory hit counted" 1 (C.stats cache).C.mem_hits
+
+(* The OpenMP pool size is a link-time parameter: one cached artifact
+   serves every thread count, and the requested count wins. *)
+let test_thread_count_not_in_key () =
+  let src = B.gauss_seidel ~nx:6 ~ny:6 ~nz:6 ~niter:1 () in
+  let cache = Cc.create_cache ~disk:false () in
+  let _, o1 = Cc.compile ~cache (P.default_options ~target:(P.Openmp 2) ()) src in
+  let ca, o2 =
+    Cc.compile ~cache (P.default_options ~target:(P.Openmp 4) ()) src
+  in
+  Alcotest.(check bool) "cold under 2 threads" true (o1 = `Miss);
+  Alcotest.(check bool) "warm under 4 threads" true (o2 = `Hit);
+  Alcotest.(check bool)
+    "requested thread count attached" true
+    (ca.P.ca_options.P.opt_target = P.Openmp 4)
+
+let () =
+  Alcotest.run "cache"
+    [ ("store",
+       [ Alcotest.test_case "digest stability" `Quick test_digest_stability;
+         Alcotest.test_case "lru eviction order" `Quick
+           test_lru_eviction_order;
+         Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
+         Alcotest.test_case "truncated entry evicted" `Quick
+           test_truncated_entry_evicted;
+         Alcotest.test_case "version mismatch evicted" `Quick
+           test_version_mismatch_evicted;
+         Alcotest.test_case "failed validation evicts" `Quick
+           test_failed_validation_evicts_everywhere ]);
+      ("compile",
+       [ Alcotest.test_case "cold/warm round trip, all targets" `Quick
+           test_round_trip_all;
+         Alcotest.test_case "memory warm hit" `Quick test_memory_warm_hit;
+         Alcotest.test_case "thread count not in key" `Quick
+           test_thread_count_not_in_key ]) ]

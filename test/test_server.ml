@@ -1,0 +1,314 @@
+(* Job-server tests: scheduler semantics (backpressure, deadlines,
+   drain-on-shutdown), protocol parsing, and the batch/serve contract —
+   concurrent execution must give results identical to serial execution,
+   one bad job must fail alone, and a warm cache must turn a repeated
+   batch into all hits. *)
+
+module S = Fsc_server.Scheduler
+module Svc = Fsc_server.Service
+module P = Fsc_driver.Pipeline
+module Cc = Fsc_driver.Compile_cache
+module B = Fsc_driver.Benchmarks
+module J = Fsc_obs.Obs.Json
+
+(* ---- scheduler ---- *)
+
+let test_sched_completes () =
+  let s = S.create ~workers:2 () in
+  let tickets =
+    List.init 8 (fun i ->
+        match S.submit s (fun () -> i * i) with
+        | Ok t -> t
+        | Error _ -> Alcotest.fail "submit rejected")
+  in
+  List.iteri
+    (fun i t ->
+      match S.await t with
+      | S.Done v -> Alcotest.(check int) "job result" (i * i) v
+      | _ -> Alcotest.fail "job did not complete")
+    tickets;
+  S.shutdown s;
+  let st = S.stats s in
+  Alcotest.(check int) "submitted" 8 st.S.submitted;
+  Alcotest.(check int) "completed" 8 st.S.completed
+
+let test_sched_failure_isolated () =
+  let s = S.create ~workers:1 () in
+  let bad = Result.get_ok (S.submit s (fun () -> failwith "boom")) in
+  let good = Result.get_ok (S.submit s (fun () -> 41 + 1)) in
+  (match S.await bad with
+  | S.Failed msg ->
+    Alcotest.(check bool) "carries the exception" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Failed");
+  (match S.await good with
+  | S.Done 42 -> ()
+  | _ -> Alcotest.fail "good job poisoned by bad one");
+  S.shutdown s
+
+let test_sched_queue_full () =
+  let release = Atomic.make false in
+  let block () =
+    while not (Atomic.get release) do
+      Unix.sleepf 0.001
+    done
+  in
+  let s = S.create ~workers:1 ~queue_capacity:2 () in
+  (* occupy the single worker, then fill the queue *)
+  let running = Result.get_ok (S.submit s block) in
+  (* wait until the worker has actually picked the blocker up *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while S.queue_depth s > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let q1 = Result.get_ok (S.submit s (fun () -> 1)) in
+  let q2 = Result.get_ok (S.submit s (fun () -> 2)) in
+  (match S.submit s (fun () -> 3) with
+  | Error `Queue_full -> ()
+  | Ok _ -> Alcotest.fail "expected Queue_full backpressure"
+  | Error `Shutting_down -> Alcotest.fail "not shutting down yet");
+  Atomic.set release true;
+  ignore (S.await running);
+  ignore (S.await q1);
+  ignore (S.await q2);
+  S.shutdown s;
+  Alcotest.(check int) "one rejection counted" 1 (S.stats s).S.rejected
+
+let test_sched_deadline () =
+  let s = S.create ~workers:1 () in
+  (* a running job past its deadline: the awaiter resolves Timed_out
+     and the worker's late result is discarded *)
+  let slow =
+    Result.get_ok
+      (S.submit s ~deadline_s:0.05 (fun () ->
+           Unix.sleepf 0.4;
+           "late"))
+  in
+  (match S.await slow with
+  | S.Timed_out -> ()
+  | _ -> Alcotest.fail "running job should time out");
+  (* a queued job past its deadline: the worker (still busy sleeping
+     above) never runs it *)
+  let queued =
+    Result.get_ok (S.submit s ~deadline_s:0.05 (fun () -> "unreached"))
+  in
+  (match S.await queued with
+  | S.Timed_out -> ()
+  | _ -> Alcotest.fail "queued job should time out");
+  (* outcomes are sticky *)
+  (match S.await slow with
+  | S.Timed_out -> ()
+  | _ -> Alcotest.fail "outcome must be sticky");
+  S.shutdown s;
+  Alcotest.(check bool) "timeouts counted" true ((S.stats s).S.timed_out >= 2)
+
+let test_sched_shutdown_drains () =
+  let done_count = Atomic.make 0 in
+  let s = S.create ~workers:2 () in
+  let tickets =
+    List.init 6 (fun _ ->
+        Result.get_ok
+          (S.submit s (fun () ->
+               Unix.sleepf 0.02;
+               Atomic.incr done_count)))
+  in
+  S.shutdown s;
+  Alcotest.(check int) "every queued job ran" 6 (Atomic.get done_count);
+  List.iter
+    (fun t ->
+      match S.await t with
+      | S.Done () -> ()
+      | _ -> Alcotest.fail "drained job must resolve Done")
+    tickets;
+  (match S.submit s (fun () -> ()) with
+  | Error `Shutting_down -> ()
+  | _ -> Alcotest.fail "submit after shutdown must be rejected");
+  S.shutdown s (* idempotent *)
+
+(* ---- protocol parsing ---- *)
+
+let parse_err line =
+  match Svc.parse_job ~index:0 line with
+  | Error e -> e
+  | Ok _ -> Alcotest.fail ("expected parse error for " ^ line)
+
+let test_parse_job () =
+  (match Svc.parse_job ~index:3 {|{"source": "program p\nend"}|} with
+  | Ok j ->
+    Alcotest.(check int) "id defaults to index" 3 j.Svc.j_id;
+    Alcotest.(check bool) "target defaults to serial" true
+      (j.Svc.j_target = P.Serial);
+    Alcotest.(check bool) "action defaults to run" true
+      (j.Svc.j_action = Svc.Run)
+  | Error e -> Alcotest.fail e);
+  (match
+     Svc.parse_job ~index:0
+       {|{"id": 9, "src": "x.f90", "threads": 4, "action": "compile"}|}
+   with
+  | Ok j ->
+    Alcotest.(check int) "explicit id wins" 9 j.Svc.j_id;
+    Alcotest.(check bool) "threads imply openmp" true
+      (j.Svc.j_target = P.Openmp 4);
+    Alcotest.(check bool) "compile action" true (j.Svc.j_action = Svc.Compile)
+  | Error e -> Alcotest.fail e);
+  ignore (parse_err "not json at all");
+  ignore (parse_err {|{"action": "run"}|});
+  ignore (parse_err {|{"src": "a", "source": "b"}|});
+  ignore (parse_err {|{"src": "a", "target": "warp-drive"}|});
+  ignore (parse_err {|{"src": "a", "target": "serial", "threads": 2}|});
+  ignore (parse_err {|{"src": "a", "threads": 0}|});
+  ignore (parse_err {|{"src": "a", "action": "shutdown"}|});
+  Alcotest.(check bool) "shutdown control line" true
+    (Svc.is_shutdown {|{"action": "shutdown"}|});
+  Alcotest.(check bool) "jobs are not shutdown" false
+    (Svc.is_shutdown {|{"src": "a"}|})
+
+(* ---- batch ---- *)
+
+let job_line ?id ?target ?threads ?action source =
+  let opt name f v = Option.to_list (Option.map (fun x -> (name, f x)) v) in
+  J.to_string
+    (J.Obj
+       ([ ("source", J.Str source) ]
+       @ opt "id" (fun i -> J.Num (float_of_int i)) id
+       @ opt "target" (fun s -> J.Str s) target
+       @ opt "threads" (fun i -> J.Num (float_of_int i)) threads
+       @ opt "action" (fun s -> J.Str s) action))
+
+let gs = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:2 ()
+let pw = B.pw_advection ~nx:8 ~ny:8 ~nz:8 ~niter:2 ()
+
+(* 8 unique (program, target-kind) jobs — every target on both
+   benchmark programs *)
+let batch_lines =
+  List.concat_map
+    (fun src ->
+      [ job_line ~target:"serial" src;
+        job_line ~target:"openmp" ~threads:2 src;
+        job_line ~target:"gpu-initial" src;
+        job_line ~target:"gpu-optimised" src ])
+    [ gs; pw ]
+
+let field name line =
+  match J.member name (J.of_string line) with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "result lacks %S: %s" name line)
+
+let str_of = function
+  | J.Str s -> s
+  | v -> Alcotest.fail ("expected string, got " ^ J.to_string v)
+
+(* Everything except the timing fields: what must be deterministic. *)
+let fingerprint line =
+  Printf.sprintf "%s|%s|%s|%s|%s|%s"
+    (J.to_string (field "id" line))
+    (str_of (field "src" line))
+    (str_of (field "action" line))
+    (str_of (field "target" line))
+    (str_of (field "status" line))
+    (J.to_string (field "checksums" line))
+
+let test_batch_concurrent_equals_serial () =
+  let concurrent = Svc.run_batch ~workers:2 batch_lines in
+  let serial = Svc.run_batch ~workers:1 batch_lines in
+  Alcotest.(check int)
+    "one result per job"
+    (List.length batch_lines)
+    (List.length concurrent);
+  Alcotest.(check (list string))
+    "2-worker pool matches serial, in input order"
+    (List.map fingerprint serial)
+    (List.map fingerprint concurrent);
+  List.iter
+    (fun line ->
+      Alcotest.(check string) "job ok" "ok" (str_of (field "status" line)))
+    concurrent
+
+let test_batch_bad_job_fails_alone () =
+  let lines =
+    [ job_line ~target:"serial" gs;
+      job_line ~target:"serial" "program broken\n  this is not fortran";
+      "this line is not even JSON";
+      job_line ~target:"serial" pw ]
+  in
+  let results = Svc.run_batch ~workers:2 lines in
+  let statuses = List.map (fun l -> str_of (field "status" l)) results in
+  Alcotest.(check (list string))
+    "bad jobs fail alone" [ "ok"; "error"; "error"; "ok" ] statuses;
+  List.iteri
+    (fun i line ->
+      Alcotest.(check string)
+        "results in input order" (string_of_int i)
+        (J.to_string (field "id" line)))
+    results
+
+let test_batch_warm_cache_hits () =
+  let dir = Filename.temp_file "fsc_server_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let cache = Cc.create_cache ~dir () in
+  let cache_of line = str_of (field "cache" line) in
+  let cold = Svc.run_batch ~cache ~workers:2 batch_lines in
+  List.iter
+    (fun l -> Alcotest.(check string) "cold is a miss" "miss" (cache_of l))
+    cold;
+  let warm = Svc.run_batch ~cache ~workers:2 batch_lines in
+  List.iter
+    (fun l -> Alcotest.(check string) "warm is a hit" "hit" (cache_of l))
+    warm;
+  Alcotest.(check (list string))
+    "warm grids identical to cold"
+    (List.map fingerprint cold)
+    (List.map fingerprint warm)
+
+(* ---- serve ---- *)
+
+let test_serve_round_trip () =
+  let socket = Filename.temp_file "fsc_serve_test" ".sock" in
+  Sys.remove socket;
+  let server = Domain.spawn (fun () -> Svc.serve ~workers:2 ~socket ()) in
+  (* wait for the socket to appear *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  let jobs =
+    [ job_line ~id:7 ~target:"serial" gs;
+      job_line ~target:"openmp" ~threads:2 gs ]
+  in
+  let replies = Svc.request ~socket jobs in
+  Alcotest.(check int) "one reply per job" 2 (List.length replies);
+  List.iter
+    (fun line ->
+      Alcotest.(check string) "served job ok" "ok"
+        (str_of (field "status" line)))
+    replies;
+  Alcotest.(check string) "explicit id echoed" "7"
+    (J.to_string (field "id" (List.hd replies)));
+  (* a second connection still works, then shutdown stops the server *)
+  let final = Svc.request ~socket (jobs @ [ {|{"action": "shutdown"}|} ]) in
+  Alcotest.(check int) "results plus shutdown ack" 3 (List.length final);
+  Domain.join server;
+  Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "server"
+    [ ( "scheduler",
+        [ Alcotest.test_case "jobs complete" `Quick test_sched_completes;
+          Alcotest.test_case "failure isolated" `Quick
+            test_sched_failure_isolated;
+          Alcotest.test_case "queue full backpressure" `Quick
+            test_sched_queue_full;
+          Alcotest.test_case "deadlines" `Quick test_sched_deadline;
+          Alcotest.test_case "shutdown drains" `Quick
+            test_sched_shutdown_drains ] );
+      ("protocol", [ Alcotest.test_case "parse_job" `Quick test_parse_job ]);
+      ( "batch",
+        [ Alcotest.test_case "concurrent equals serial" `Quick
+            test_batch_concurrent_equals_serial;
+          Alcotest.test_case "bad job fails alone" `Quick
+            test_batch_bad_job_fails_alone;
+          Alcotest.test_case "warm cache hits" `Quick
+            test_batch_warm_cache_hits ] );
+      ( "serve",
+        [ Alcotest.test_case "socket round trip" `Quick test_serve_round_trip ]
+      ) ]
