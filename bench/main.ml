@@ -113,6 +113,71 @@ let write_pipeline_json () =
     path (List.length passes) (List.length phases)
 
 (* ------------------------------------------------------------------ *)
+(* Static-analysis timings: BENCH_analysis.json                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the `sfc check` analyses (dependence classification + bounds
+   checking) relative to lowering alone, per benchmark program — the
+   overhead a build pays for running the linter on every file. *)
+let write_analysis_json () =
+  let module J = Fsc_obs.Obs.Json in
+  let module Check = Fsc_analysis.Check in
+  let time reps f =
+    (* median-of-reps wall clock, in ms *)
+    let samples =
+      List.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          ignore (f ());
+          1e3 *. (Unix.gettimeofday () -. t0))
+    in
+    List.nth (List.sort compare samples) (reps / 2)
+  in
+  let n = 12 in
+  let iters = 2 in
+  let benches =
+    [ ("gauss-seidel", B.gauss_seidel ~nx:n ~ny:n ~nz:n ~niter:iters ());
+      ("pw-advection", B.pw_advection ~nx:n ~ny:n ~nz:n ~niter:iters ()) ]
+  in
+  let reps = if !quick then 5 else 11 in
+  let series =
+    List.map
+      (fun (bname, src) ->
+        let lower_ms =
+          time reps (fun () -> Fsc_fortran.Flower.compile_source src)
+        in
+        let check_ms = time reps (fun () -> Check.check_source src) in
+        let nests, carried =
+          match Check.check_source src with
+          | Ok (_, r) ->
+            let s = r.Check.r_summary in
+            ( s.Check.ns_parallel + s.Check.ns_carried + s.Check.ns_unknown,
+              s.Check.ns_carried )
+          | Error _ -> (0, 0)
+        in
+        J.Obj
+          [ ("benchmark", J.Str bname); ("lower_ms", J.Num lower_ms);
+            ("check_ms", J.Num check_ms);
+            ("analysis_overhead_ms", J.Num (check_ms -. lower_ms));
+            ("overhead_ratio", J.Num (check_ms /. lower_ms));
+            ("nests", J.Num (float_of_int nests));
+            ("carried", J.Num (float_of_int carried)) ])
+      benches
+  in
+  let json =
+    J.Obj
+      [ ("setup",
+         J.Str (Printf.sprintf "%d^3 x%d, median of %d reps" n iters reps));
+        ("series", J.List series) ]
+  in
+  let path = "BENCH_analysis.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "analysis timings written to %s (%d programs)\n" path
+    (List.length series)
+
+(* ------------------------------------------------------------------ *)
 (* Compilation-service timings: BENCH_serve.json                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -710,6 +775,7 @@ let () =
      performance optimisation and auto-parallelisation by leveraging \
      MLIR-based domain specific abstractions in Flang\" (SC-W 2023)\n";
   write_pipeline_json ();
+  write_analysis_json ();
   write_serve_json ();
   if want 2 then figure2 ();
   if want 3 then figure34 C.Gauss_seidel 3;

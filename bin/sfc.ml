@@ -3,6 +3,7 @@
    Subcommands:
      sfc compile FILE   dump IR at a chosen stage of the Figure-1 pipeline
      sfc run FILE       compile and execute a Fortran program
+     sfc check FILE     run the static analyses without compiling (linter)
      sfc batch JOBS     run a JSONL job file over a worker pool
      sfc serve          serve the same job protocol on a Unix socket
      sfc passes         list the GPU pass pipeline (Listing 4)
@@ -13,6 +14,7 @@
      sfc compile prog.f90 --emit host --target gpu-optimised
      sfc run prog.f90 --target openmp --threads 4 --stats --trace out.json
      sfc run prog.f90 --cache --stats
+     sfc check prog.f90 --json
      sfc batch jobs.jsonl --workers 4 --cache-dir /tmp/sfc-cache
      sfc serve --socket /tmp/sfc.sock *)
 
@@ -22,8 +24,21 @@ module Cc = Fsc_driver.Compile_cache
 module Cache = Fsc_cache.Cache
 module Svc = Fsc_server.Service
 module Obs = Fsc_obs.Obs
+module Diag = Fsc_analysis.Diag
+module Check = Fsc_analysis.Check
 
 let ( let* ) = Result.bind
+
+(* Render typed driver errors and frontend failures as proper located
+   diagnostics instead of raw exception backtraces; anything else is a
+   genuine internal error and keeps propagating. *)
+let with_diagnostics file f =
+  try f () with
+  | P.Error_diag d -> Error (`Msg (Diag.render ~file d))
+  | e -> (
+    match Check.diag_of_frontend_exn e with
+    | Some d -> Error (`Msg (Diag.render ~file d))
+    | None -> raise e)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -170,6 +185,7 @@ let stats_arg =
 
 let compile_cmd =
   let run file emit target threads cache_flag cache_dir stats trace =
+    with_diagnostics file @@ fun () ->
     let* target = resolve_target target threads in
     let src = read_file file in
     setup_obs ~trace ~stats;
@@ -313,7 +329,12 @@ let run_cmd =
               prerr_string (Obs.report ())
             end);
         Ok ()
-      with e -> Error (`Msg ("run failed: " ^ Printexc.to_string e))
+      with
+      | P.Error_diag d -> Error (`Msg (Diag.render ~file d))
+      | e -> (
+        match Check.diag_of_frontend_exn e with
+        | Some d -> Error (`Msg (Diag.render ~file d))
+        | None -> Error (`Msg ("run failed: " ^ Printexc.to_string e)))
     in
     let flushed = finish_obs ~trace in
     let* () = outcome in
@@ -325,6 +346,87 @@ let run_cmd =
       term_result
         (const run $ file_arg $ target_arg $ threads_arg $ cache_flag
         $ cache_dir_arg $ stats_arg $ trace_arg))
+
+(* ---- check ---- *)
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit the diagnostics and the loop-nest summary as one JSON \
+           object on stdout instead of human-readable text on stderr.")
+
+let werror_flag =
+  Arg.(
+    value & flag
+    & info [ "werror" ]
+        ~doc:
+          "Treat warnings (e.g. loop-carried dependences) as errors: \
+           exit nonzero when any are present.")
+
+let check_cmd =
+  let run file json werror =
+    let src = read_file file in
+    let finish diags summary =
+      if json then begin
+        let ds =
+          String.concat ", " (List.map (Diag.to_json ~file) diags)
+        in
+        Printf.printf
+          "{\"file\": \"%s\", \"diagnostics\": [%s], \"summary\": \
+           {\"nests\": %d, \"parallel\": %d, \"carried\": %d, \"unknown\": \
+           %d, \"errors\": %d, \"warnings\": %d}}\n"
+          (Diag.json_escape file) ds
+          (summary.Check.ns_parallel + summary.Check.ns_carried
+         + summary.Check.ns_unknown)
+          summary.Check.ns_parallel summary.Check.ns_carried
+          summary.Check.ns_unknown
+          (Diag.count Diag.Error diags)
+          (Diag.count Diag.Warning diags)
+      end
+      else begin
+        if diags <> [] then prerr_endline (Diag.render_all ~file diags);
+        Printf.eprintf "%s: %s; %d error(s), %d warning(s)\n" file
+          (Check.summary_to_string summary)
+          (Diag.count Diag.Error diags)
+          (Diag.count Diag.Warning diags)
+      end;
+      match Diag.error_count ~werror diags with
+      | 0 -> Ok ()
+      | n -> Error (`Msg (Printf.sprintf "check: %d blocking issue(s)" n))
+    in
+    match Check.check_source src with
+    | Error d -> finish [ d ] Check.empty_summary
+    | Ok (m, result) ->
+      (* The discovery pass explains, per rejected store, why the nest is
+         not offloadable. Race-coded rejections duplicate the dependence
+         diagnostics already in [result], and plain scalar assignments
+         are obviously not stencils, so keep only the informative rest. *)
+      let dstats = Fsc_core.Discovery.run ~log_rejects:false m in
+      let reject_notes =
+        List.filter_map
+          (fun (r : Fsc_core.Discovery.reject) ->
+            let d = r.Fsc_core.Discovery.rej_diag in
+            if
+              d.Diag.d_code = "race"
+              || r.Fsc_core.Discovery.rej_reason
+                 = "scalar assignment (not a stencil candidate)"
+            then None
+            else Some d)
+          (List.rev dstats.Fsc_core.Discovery.rejected)
+      in
+      finish (result.Check.r_diags @ reject_notes) result.Check.r_summary
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the static analyses over a Fortran file without compiling \
+          it: loop-carried dependence/race classification of every loop \
+          nest, provable out-of-bounds subscripts, and the discovery \
+          pass's per-nest offload decisions. Exits nonzero on errors (or \
+          warnings with $(b,--werror)).")
+    Term.(term_result (const run $ file_arg $ json_flag $ werror_flag))
 
 (* ---- batch / serve ---- *)
 
@@ -445,4 +547,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "sfc" ~version:"1.0.0" ~doc)
-          [ compile_cmd; run_cmd; batch_cmd; serve_cmd; passes_cmd ]))
+          [ compile_cmd; run_cmd; check_cmd; batch_cmd; serve_cmd;
+            passes_cmd ]))

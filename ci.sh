@@ -9,6 +9,22 @@ dune build
 dune runtest
 
 SFC=_build/default/bin/sfc.exe
+
+# Static-analysis gate: every example program must check clean, and the
+# racy in-place Gauss-Seidel fixture must fail under --werror.
+for f in examples/*.f90; do
+  if ! "$SFC" check "$f"; then
+    echo "ci: sfc check flagged $f, expected it to be clean"
+    exit 1
+  fi
+done
+if "$SFC" check test/fixtures/gauss_seidel_inplace.f90 --werror \
+    >/dev/null 2>&1; then
+  echo "ci: sfc check --werror accepted the racy fixture"
+  exit 1
+fi
+echo "check smoke: examples clean, racy fixture rejected under --werror"
+
 CACHE=$(mktemp -d)
 JOBS=$(mktemp)
 trap 'rm -rf "$CACHE" "$JOBS"' EXIT

@@ -1,0 +1,110 @@
+(* Static bounds analysis: flag provably out-of-bounds array accesses.
+
+   For every fir.coordinate_of whose root has static extents we compare
+   each subscript's compile-time range against [0, extent). A violation
+   is only reported when the access provably executes: every ancestor up
+   to the function is a fir.do_loop (no fir.if or other control flow)
+   with constant, non-empty, unit-or-positive-step bounds. fir.do_loop
+   upper bounds are inclusive (Fortran `do`). *)
+
+open Fsc_ir
+module Fir = Fsc_fir.Fir
+
+(* The fir.do_loop whose induction variable is [iv], when it is one. *)
+let loop_of_iv (iv : Op.value) =
+  match iv.Op.v_def with
+  | Op.Block_arg (blk, 0) -> (
+    match blk.Op.b_parent with
+    | Some region -> (
+      match region.Op.g_parent with
+      | Some op when op.Op.o_name = "fir.do_loop" -> Some op
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+(* Constant (lb, ub, step) of a loop, requiring step >= 1. *)
+let const_bounds loop =
+  let lb, ub, step = Fir.do_loop_bounds loop in
+  match
+    ( Index_expr.eval_const lb,
+      Index_expr.eval_const ub,
+      Index_expr.eval_const step )
+  with
+  | Some l, Some u, Some s when s >= 1 -> Some (l, u, s)
+  | _ -> None
+
+(* Every ancestor between [op] and its function must be a fir.do_loop
+   with constant non-empty bounds, so the op provably executes. Returns
+   the ancestor loops, or None when execution is conditional. *)
+let provably_executed op =
+  let rec go acc o =
+    match Op.parent_op o with
+    | None -> Some acc
+    | Some p when p.Op.o_name = "func.func" || Op.is_module p -> Some acc
+    | Some p when p.Op.o_name = "fir.do_loop" -> (
+      match const_bounds p with
+      | Some (l, u, _) when l <= u -> go (p :: acc) p
+      | _ -> None)
+    | Some _ -> None
+  in
+  go [] op
+
+(* Inclusive value range of a loop's induction variable. *)
+let iv_range iv =
+  match loop_of_iv iv with
+  | None -> None
+  | Some loop -> (
+    match const_bounds loop with
+    | Some (l, u, s) when l <= u -> Some (l, l + ((u - l) / s) * s)
+    | _ -> None)
+
+(* Check one coordinate op against its root's extents; emit one error
+   per provably out-of-range dimension. *)
+let check_coordinate coord =
+  match Op.defining_op (Op.operand ~index:0 coord) with
+  | _ when not (Fir.is_coordinate_of coord) -> []
+  | _ -> (
+    match Index_expr.resolve_root (Op.operand ~index:0 coord) with
+    | Some root when Index_expr.root_is_static root -> (
+      match provably_executed coord with
+      | None -> []
+      | Some _ ->
+        let indices = List.tl (Op.operands coord) in
+        let loc = Diag.loc_of_op coord in
+        List.concat
+          (List.mapi
+             (fun dim idx ->
+               let extent =
+                 try List.nth root.Index_expr.root_extents dim
+                 with _ -> -1
+               in
+               if extent < 0 then []
+               else
+                 let flag lo hi =
+                   if lo < 0 || hi >= extent then
+                     [ Diag.errorf ?loc ~code:"bounds"
+                         "array '%s' dimension %d: subscript range \
+                          [%d, %d] is outside the allocated range [0, %d] \
+                          (zero-based)"
+                         root.Index_expr.root_name (dim + 1) lo hi
+                         (extent - 1) ]
+                   else []
+                 in
+                 match Index_expr.analyze idx with
+                 | Index_expr.Const k -> flag k k
+                 | Index_expr.Affine (iv, off) -> (
+                   match iv_range iv with
+                   | Some (lo, hi) -> flag (lo + off) (hi + off)
+                   | None -> [])
+                 | Index_expr.Unknown -> [])
+             indices))
+    | _ -> [])
+
+(* Run over a whole module (or any op): one diagnostic per provably
+   out-of-bounds (coordinate, dimension). *)
+let check m =
+  let diags = ref [] in
+  Op.walk
+    (fun o -> if Fir.is_coordinate_of o then diags := check_coordinate o :: !diags)
+    m;
+  List.concat (List.rev !diags)

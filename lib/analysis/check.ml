@@ -1,0 +1,199 @@
+(* The `sfc check` engine: run the static analyses over a module (or
+   straight from Fortran source) without compiling, and produce
+   diagnostics plus a per-nest parallelisability summary. *)
+
+open Fsc_ir
+module Fir = Fsc_fir.Fir
+module Fortran = Fsc_fortran
+
+(* Dialect registration is process-global and guarded; `sfc check` can
+   run without the driver library, so do it here too. *)
+let reg_done = ref false
+
+let ensure_registered () =
+  if not !reg_done then begin
+    Fsc_dialects.Registry.init ();
+    reg_done := true
+  end
+
+type nest_summary = {
+  ns_parallel : int;
+  ns_carried : int;
+  ns_unknown : int;
+}
+
+type result = {
+  r_diags : Diag.t list;
+  r_summary : nest_summary; (* one entry per distinct loop-nest scope *)
+}
+
+let empty_summary = { ns_parallel = 0; ns_carried = 0; ns_unknown = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Dependence diagnostics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let access_what (a : Dependence.access) =
+  if a.Dependence.acc_is_write then "write" else "read"
+
+let dep_diag (d : Dependence.dependence) =
+  let loc = Diag.loc_of_op d.Dependence.dep_src.Dependence.acc_op in
+  let notes =
+    [ ( Diag.loc_of_op d.Dependence.dep_dst.Dependence.acc_op,
+        Printf.sprintf "conflicting %s of '%s' is here"
+          (access_what d.Dependence.dep_dst)
+          d.Dependence.dep_src.Dependence.acc_root.Index_expr.root_name ) ]
+  in
+  if d.Dependence.dep_definite then
+    Diag.warning ?loc ~notes ~code:"race" (Dependence.describe d)
+  else Diag.note ?loc ~notes ~code:"race" (Dependence.describe d)
+
+let inner_seq_diag (nest : Dependence.nest) loop =
+  let store = nest.Dependence.n_store in
+  let loc = Diag.loc_of_op store.Dependence.acc_op in
+  let notes =
+    [ ( Diag.loc_of_op loop,
+        "the loop that repeats the write starts here" ) ]
+  in
+  Diag.warningf ?loc ~notes ~code:"race"
+    "loop-carried output dependence on '%s': the store does not use the \
+     induction variable of an enclosing loop, so every iteration of that \
+     loop rewrites the same elements"
+    store.Dependence.acc_root.Index_expr.root_name
+
+(* Symmetric pairs (write A vs write B) show up once per nest; dedupe on
+   the unordered (src, dst) op-id pair. *)
+let dep_key (d : Dependence.dependence) =
+  let a = d.Dependence.dep_src.Dependence.acc_op.Op.o_id in
+  let b = d.Dependence.dep_dst.Dependence.acc_op.Op.o_id in
+  (min a b, max a b)
+
+let check_dependences m =
+  let nests = ref [] in
+  Op.walk
+    (fun o ->
+      if Fir.is_store o then
+        match Dependence.nest_of_store o with
+        | Some n -> nests := n :: !nests
+        | None -> ())
+    m;
+  let nests = List.rev !nests in
+  let seen = Hashtbl.create 16 in
+  let diags = ref [] in
+  (* per-scope classification, worst nest wins *)
+  let scopes : (int, [ `Parallel | `Carried | `May ]) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let worsen scope cls =
+    let id = scope.Op.o_id in
+    let cur = Hashtbl.find_opt scopes id in
+    let next =
+      match (cur, cls) with
+      | Some `Carried, _ | _, `Carried -> `Carried
+      | Some `May, _ | _, `May -> `May
+      | _ -> `Parallel
+    in
+    Hashtbl.replace scopes id next
+  in
+  List.iter
+    (fun nest ->
+      let cls =
+        match Dependence.classify nest with
+        | Dependence.Parallel -> `Parallel
+        | Dependence.Carried deps | Dependence.May deps ->
+          List.iter
+            (fun d ->
+              let key = dep_key d in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                diags := dep_diag d :: !diags
+              end)
+            deps;
+          if List.exists (fun d -> d.Dependence.dep_definite) deps then
+            `Carried
+          else `May
+      in
+      let cls =
+        match nest.Dependence.n_inner_seq with
+        | [] -> cls
+        | loop :: _ ->
+          diags := inner_seq_diag nest loop :: !diags;
+          `Carried
+      in
+      worsen nest.Dependence.n_scope cls)
+    nests;
+  let summary =
+    Hashtbl.fold
+      (fun _ cls s ->
+        match cls with
+        | `Parallel -> { s with ns_parallel = s.ns_parallel + 1 }
+        | `Carried -> { s with ns_carried = s.ns_carried + 1 }
+        | `May -> { s with ns_unknown = s.ns_unknown + 1 })
+      scopes empty_summary
+  in
+  (List.rev !diags, summary)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module / whole-source entry points                            *)
+(* ------------------------------------------------------------------ *)
+
+let verify_diags m =
+  match Verifier.verify m with
+  | Ok () -> []
+  | Error ds ->
+    List.map
+      (fun (d : Verifier.diagnostic) ->
+        let loc =
+          match d.Verifier.d_loc with
+          | Some (line, col) -> Some (Diag.loc line col)
+          | None -> None
+        in
+        Diag.errorf ?loc ~code:"verify" "invalid IR in %s: %s"
+          d.Verifier.d_op d.Verifier.d_message)
+      ds
+
+let check_module m =
+  ensure_registered ();
+  match verify_diags m with
+  | _ :: _ as vds ->
+    (* malformed IR: report it and skip the analyses *)
+    { r_diags = vds; r_summary = empty_summary }
+  | [] ->
+    let dep_diags, summary = check_dependences m in
+    let bounds_diags = Bounds.check m in
+    { r_diags = dep_diags @ bounds_diags; r_summary = summary }
+
+(* Map a frontend failure to a located diagnostic, for both `sfc check`
+   and the compile/run error paths. *)
+let diag_of_frontend_exn = function
+  | Fortran.Flexer.Lex_error (msg, line, col) ->
+    Some (Diag.error ~loc:(Diag.loc line col) ~code:"frontend" msg)
+  | Fortran.Fparser.Parse_error (msg, line) ->
+    Some (Diag.error ~loc:(Diag.loc line 1) ~code:"frontend" msg)
+  | Fortran.Fsema.Sema_error (msg, l) ->
+    Some
+      (Diag.error
+         ~loc:(Diag.loc l.Fortran.Fast.line l.Fortran.Fast.col)
+         ~code:"frontend" msg)
+  | Fortran.Flower.Unsupported (msg, l) ->
+    Some
+      (Diag.error
+         ~loc:(Diag.loc l.Fortran.Fast.line l.Fortran.Fast.col)
+         ~code:"frontend" msg)
+  | _ -> None
+
+let check_source src =
+  ensure_registered ();
+  match Fortran.Flower.compile_source src with
+  | m -> Ok (m, check_module m)
+  | exception e -> (
+    match diag_of_frontend_exn e with
+    | Some d -> Error d
+    | None -> raise e)
+
+let summary_to_string s =
+  let total = s.ns_parallel + s.ns_carried + s.ns_unknown in
+  Printf.sprintf "%d loop nest%s: %d parallel, %d carried, %d unknown"
+    total
+    (if total = 1 then "" else "s")
+    s.ns_parallel s.ns_carried s.ns_unknown

@@ -1,0 +1,38 @@
+(** The [sfc check] engine: run the dependence/race and bounds analyses
+    over a module — or straight from Fortran source — without
+    compiling, and produce diagnostics plus a per-nest
+    parallelisability summary. *)
+
+open Fsc_ir
+
+type nest_summary = {
+  ns_parallel : int;
+  ns_carried : int;
+  ns_unknown : int;
+}
+
+type result = {
+  r_diags : Diag.t list;
+  r_summary : nest_summary;
+      (** one entry per distinct loop-nest scope (outermost applicable
+          loop) *)
+}
+
+val empty_summary : nest_summary
+
+(** Verify the module, then run the dependence classification (code
+    ["race"]: warnings for provable carried dependences, notes for
+    may-dependences) and the static bounds analysis (code ["bounds"],
+    errors). Malformed IR yields ["verify"] errors and skips the
+    analyses. *)
+val check_module : Op.op -> result
+
+(** Frontend (lex/parse/sema/lowering) failures as located ["frontend"]
+    diagnostics; [None] for unrelated exceptions. *)
+val diag_of_frontend_exn : exn -> Diag.t option
+
+(** Lower Fortran source and {!check_module} it. [Error] carries the
+    frontend diagnostic when the source does not lower. *)
+val check_source : string -> (Op.op * result, Diag.t) Result.t
+
+val summary_to_string : nest_summary -> string

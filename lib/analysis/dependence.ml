@@ -1,0 +1,379 @@
+(* Loop-carried dependence / race analysis over FIR loop nests.
+
+   Built on the same affine access summaries ([Index_expr]) the discovery
+   pass uses, this module computes distance/direction information per
+   loop dimension and classifies each store's loop nest as parallel
+   (Jacobi-style), carried (Gauss-Seidel-style, with the offending
+   read/write pair) or unknown. The discovery pass consults it as its
+   legality oracle; `sfc check` reports its findings as diagnostics.
+
+   Conventions: for a (write W, access X) pair on the same array the
+   per-loop distance is d = i_X - i_W, the number of iterations after the
+   write at which X touches the same cell. All-zero distances mean the
+   dependence is loop-independent (harmless for parallelisation); a
+   nonzero leading distance means the enclosing loop carries it. *)
+
+open Fsc_ir
+module Fir = Fsc_fir.Fir
+
+(* ------------------------------------------------------------------ *)
+(* Access summaries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type access = {
+  acc_op : Op.op; (* the fir.load / fir.store *)
+  acc_is_write : bool;
+  acc_root : Index_expr.array_root;
+  acc_forms : Index_expr.form list; (* per array dimension *)
+}
+
+let analyze_coordinate addr =
+  match Op.defining_op addr with
+  | Some coord when Fir.is_coordinate_of coord -> (
+    let base = Op.operand ~index:0 coord in
+    let indices = List.tl (Op.operands coord) in
+    match Index_expr.resolve_root base with
+    | Some root -> Some (root, List.map Index_expr.analyze indices)
+    | None -> None)
+  | _ -> None
+
+let access_of_store op =
+  if not (Fir.is_store op) then None
+  else
+    match analyze_coordinate (Op.operand ~index:1 op) with
+    | Some (root, forms) ->
+      Some { acc_op = op; acc_is_write = true; acc_root = root;
+             acc_forms = forms }
+    | None -> None
+
+let access_of_load op =
+  if not (Fir.is_load op) then None
+  else
+    match analyze_coordinate (Op.operand op) with
+    | Some (root, forms) ->
+      Some { acc_op = op; acc_is_write = false; acc_root = root;
+             acc_forms = forms }
+    | None -> None
+
+(* Every array access (through fir.coordinate_of) inside [scope],
+   including conditional ones — conservatively treated like any other. *)
+let collect_accesses scope =
+  let acc = ref [] in
+  Op.walk
+    (fun o ->
+      match access_of_store o with
+      | Some a -> acc := a :: !acc
+      | None -> (
+        match access_of_load o with
+        | Some a -> acc := a :: !acc
+        | None -> ()))
+    scope;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Loop nests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type nest = {
+  n_store : access;
+  n_loops : Op.op list; (* applicable loops, outermost first *)
+  n_ivs : Op.value list; (* induction variables, outermost first *)
+  n_scope : Op.op; (* the outermost applicable loop *)
+  n_inner_seq : Op.op list;
+      (* enclosing loops between scope and store whose induction variable
+         does not index the store: each of their iterations rewrites the
+         same elements (an output dependence they carry) *)
+}
+
+let enclosing_loops op =
+  let rec go acc o =
+    match Op.parent_op o with
+    | Some p when p.Op.o_name = "fir.do_loop" -> go (p :: acc) p
+    | Some p -> go acc p
+    | None -> acc
+  in
+  go [] op
+
+let nest_of_store store =
+  match access_of_store store with
+  | None -> None
+  | Some acc ->
+    let ivs =
+      List.filter_map
+        (function Index_expr.Affine (iv, _) -> Some iv | _ -> None)
+        acc.acc_forms
+    in
+    if List.length ivs <> List.length acc.acc_forms then None
+    else if
+      not
+        (List.for_all
+           (fun iv ->
+             List.length (List.filter (fun v -> v == iv) ivs) = 1)
+           ivs)
+    then None
+    else
+      let loops_around = enclosing_loops store in
+      let applicable =
+        List.filter
+          (fun l ->
+            let arg = Fir.do_loop_induction_var l in
+            List.exists (fun iv -> iv == arg) ivs)
+          loops_around
+      in
+      if applicable = [] || List.length applicable <> List.length ivs then
+        None
+      else
+        let scope = List.hd applicable in
+        let chain =
+          let rec drop = function
+            | [] -> []
+            | l :: rest -> if l == scope then l :: rest else drop rest
+          in
+          drop loops_around
+        in
+        let inner_seq =
+          List.filter (fun l -> not (List.memq l applicable)) chain
+        in
+        Some
+          { n_store = acc; n_loops = applicable;
+            n_ivs = List.map Fir.do_loop_induction_var applicable;
+            n_scope = scope; n_inner_seq = inner_seq }
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise dependence                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type dep_kind = Flow | Anti | Output
+
+type dependence = {
+  dep_src : access; (* the write *)
+  dep_dst : access; (* the conflicting access (read or write) *)
+  dep_kind : dep_kind;
+  dep_distances : int option list;
+      (* per nest loop, outermost first; None = not compile-time known *)
+  dep_carrier : int;
+      (* index into the nest loops of the loop that (possibly) carries
+         the dependence *)
+  dep_definite : bool;
+      (* true: provably carried with a known distance vector;
+         false: may-dependence (subscripts not fully analysable) *)
+}
+
+(* Classify the (write [w], access [x]) pair against the nest loops with
+   induction variables [ivs] (outermost first). Returns [None] when the
+   two accesses provably never conflict across different iterations —
+   distinct roots, distinct constant subscripts, or a loop-independent
+   (all-zero-distance) dependence. *)
+let pair ~ivs (w : access) (x : access) : dependence option =
+  if
+    not
+      (w.acc_root.Index_expr.root_value == x.acc_root.Index_expr.root_value)
+  then None
+  else if w.acc_op == x.acc_op then None
+  else begin
+    let n = List.length ivs in
+    let dist = Array.make n `Unconstrained in
+    let unknown = ref false in
+    let independent = ref false in
+    let idx_of iv =
+      let rec go i = function
+        | [] -> None
+        | v :: rest -> if v == iv then Some i else go (i + 1) rest
+      in
+      go 0 ivs
+    in
+    let constrain l d =
+      match dist.(l) with
+      | `Unconstrained | `Any -> dist.(l) <- `Exact d
+      | `Exact d' -> if d' <> d then independent := true
+    in
+    let weaken l =
+      match dist.(l) with
+      | `Unconstrained -> dist.(l) <- `Any
+      | _ -> ()
+    in
+    if List.length w.acc_forms <> List.length x.acc_forms then
+      (* same root accessed at different ranks: give up *)
+      unknown := true
+    else
+      List.iter2
+        (fun fw fx ->
+          match (fw, fx) with
+          | Index_expr.Const a, Index_expr.Const b ->
+            if a <> b then independent := true
+          | Index_expr.Affine (vw, cw), Index_expr.Affine (vx, cx)
+            when vw == vx -> (
+            match idx_of vw with
+            (* same cell needs i_w + cw = i_x + cx, i.e. d = cw - cx *)
+            | Some l -> constrain l (cw - cx)
+            | None -> unknown := true)
+          | Index_expr.Affine (v, _), Index_expr.Const _
+          | Index_expr.Const _, Index_expr.Affine (v, _) -> (
+            (* pins one side's iteration without relating the two *)
+            match idx_of v with
+            | Some l -> weaken l
+            | None -> unknown := true)
+          | _ -> unknown := true)
+        w.acc_forms x.acc_forms;
+    if !independent then None
+    else begin
+      let rec scan i = function
+        | [] -> `Loop_independent
+        | `Exact 0 :: rest -> scan (i + 1) rest
+        | `Exact _ :: _ -> `Carried_at i
+        | (`Any | `Unconstrained) :: _ -> `May_at i
+      in
+      let status = scan 0 (Array.to_list dist) in
+      let status =
+        (* fully zero distances but unanalysable dims elsewhere *)
+        match status with
+        | `Loop_independent when !unknown -> `May_at 0
+        | s -> s
+      in
+      match status with
+      | `Loop_independent -> None
+      | `Carried_at l | `May_at l ->
+        let definite =
+          (match status with `Carried_at _ -> true | _ -> false)
+          && not !unknown
+        in
+        let distances =
+          Array.to_list
+            (Array.map
+               (function `Exact d -> Some d | _ -> None)
+               dist)
+        in
+        let kind =
+          if x.acc_is_write then Output
+          else
+            match dist.(l) with
+            | `Exact d when d < 0 -> Anti
+            | _ -> Flow
+        in
+        Some
+          { dep_src = w; dep_dst = x; dep_kind = kind;
+            dep_distances = distances; dep_carrier = l;
+            dep_definite = definite }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Nest classification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type classification =
+  | Parallel
+  | Carried of dependence list (* at least one definite carried dep *)
+  | May of dependence list (* only may-dependences *)
+
+(* Dependences between the nest's store and every same-root access in its
+   scope. Loop-independent pairs are dropped by [pair]. *)
+let store_dependences nest =
+  let accesses = collect_accesses nest.n_scope in
+  List.filter_map (fun x -> pair ~ivs:nest.n_ivs nest.n_store x) accesses
+
+let classify nest =
+  let deps = store_dependences nest in
+  let definite = List.filter (fun d -> d.dep_definite) deps in
+  if definite <> [] then Carried definite
+  else if deps <> [] then May deps
+  else Parallel
+
+(* All hazards that make extracting [nest]'s store unsound: dependences
+   involving the store itself, plus dependences between any other write
+   in scope and the candidate's own reads (the [reads] fir.load ops) —
+   a read of an array another statement writes in the same nest is not
+   loop-invariant even when the store's own root is clean. *)
+let candidate_hazards nest ~reads =
+  let accesses = collect_accesses nest.n_scope in
+  let store_deps =
+    List.filter_map (fun x -> pair ~ivs:nest.n_ivs nest.n_store x) accesses
+  in
+  let read_accs = List.filter_map access_of_load reads in
+  let other_writes =
+    List.filter
+      (fun a -> a.acc_is_write && not (a.acc_op == nest.n_store.acc_op))
+      accesses
+  in
+  let read_deps =
+    List.concat_map
+      (fun w ->
+        List.filter_map (fun r -> pair ~ivs:nest.n_ivs w r) read_accs)
+      other_writes
+  in
+  store_deps @ read_deps
+
+(* ------------------------------------------------------------------ *)
+(* Scalar cells                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type scalar_fate =
+  | Scalar_invariant (* never written inside the nest *)
+  | Scalar_private
+      (* written, but every read sees a value stored earlier in the same
+         iteration: privatisable temporary, no cross-iteration flow *)
+  | Scalar_carried of Op.op * Op.op
+      (* (store, load): some read can observe a previous iteration's
+         value — a reduction/recurrence pattern *)
+
+let scalar_fate ~scope ~cell =
+  let stores = ref [] in
+  let loads = ref [] in
+  Op.walk
+    (fun o ->
+      if Fir.is_store o && Op.operand ~index:1 o == cell then
+        stores := o :: !stores
+      else if Fir.is_load o && Op.operand o == cell then loads := o :: !loads)
+    scope;
+  match !stores with
+  | [] -> Scalar_invariant
+  | store :: _ -> (
+    (* a load is private when a store to the cell precedes it in the same
+       block, so each iteration rewrites the value before reading it *)
+    let preceded_by_store load =
+      match Op.parent_block load with
+      | None -> false
+      | Some blk ->
+        let rec go found = function
+          | [] -> false
+          | o :: rest ->
+            if o == load then found
+            else
+              go
+                (found
+                || (Fir.is_store o && Op.operand ~index:1 o == cell))
+                rest
+        in
+        go false (Op.block_ops blk)
+    in
+    match List.find_opt (fun l -> not (preceded_by_store l)) (List.rev !loads)
+    with
+    | None -> Scalar_private
+    | Some l -> Scalar_carried (store, l))
+
+(* ------------------------------------------------------------------ *)
+(* Descriptions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_string = function
+  | Flow -> "flow (read-after-write)"
+  | Anti -> "anti (write-after-read)"
+  | Output -> "output (write-after-write)"
+
+let describe d =
+  let root = d.dep_src.acc_root.Index_expr.root_name in
+  if d.dep_definite then
+    let distance =
+      match List.nth d.dep_distances d.dep_carrier with
+      | Some dd -> abs dd
+      | None -> 0
+    in
+    Printf.sprintf
+      "loop-carried %s dependence on '%s': iterations %d apart touch the \
+       same element (carried by loop %d of the nest)"
+      (kind_to_string d.dep_kind) root distance (d.dep_carrier + 1)
+  else
+    Printf.sprintf
+      "possible loop-carried dependence on '%s': subscripts are not \
+       analysable as loop-variable plus constant"
+      root

@@ -1,0 +1,130 @@
+(* Compiler diagnostics: severities, source locations, text and JSON
+   renderers. Every analysis in this library (and the discovery pass in
+   fsc_core) reports its findings as [t] values, so `sfc check` and the
+   pipeline error paths share one user-facing format. *)
+
+open Fsc_ir
+
+type severity = Error | Warning | Note
+
+type srcloc = { l_line : int; l_col : int }
+
+type t = {
+  d_severity : severity;
+  d_code : string; (* short machine-readable slug: "race", "bounds", ... *)
+  d_loc : srcloc option;
+  d_message : string;
+  d_notes : (srcloc option * string) list; (* secondary locations *)
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let loc line col = { l_line = line; l_col = col }
+
+let loc_of_op op =
+  match Op.location op with
+  | Some (line, col) -> Some { l_line = line; l_col = col }
+  | None -> None
+
+let make ?loc ?(notes = []) severity ~code message =
+  { d_severity = severity; d_code = code; d_loc = loc; d_message = message;
+    d_notes = notes }
+
+let error ?loc ?notes ~code message = make ?loc ?notes Error ~code message
+let warning ?loc ?notes ~code message = make ?loc ?notes Warning ~code message
+let note ?loc ?notes ~code message = make ?loc ?notes Note ~code message
+
+let errorf ?loc ?notes ~code fmt =
+  Printf.ksprintf (error ?loc ?notes ~code) fmt
+
+let warningf ?loc ?notes ~code fmt =
+  Printf.ksprintf (warning ?loc ?notes ~code) fmt
+
+let notef ?loc ?notes ~code fmt = Printf.ksprintf (note ?loc ?notes ~code) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering: file:line:col: severity[code]: message              *)
+(* ------------------------------------------------------------------ *)
+
+let render_loc ?file l =
+  let f = match file with Some f -> f ^ ":" | None -> "" in
+  match l with
+  | Some { l_line; l_col } -> Printf.sprintf "%s%d:%d: " f l_line l_col
+  | None -> ( match file with Some f -> f ^ ": " | None -> "")
+
+let render ?file d =
+  let head =
+    Printf.sprintf "%s%s[%s]: %s"
+      (render_loc ?file d.d_loc)
+      (severity_to_string d.d_severity)
+      d.d_code d.d_message
+  in
+  let notes =
+    List.map
+      (fun (l, msg) ->
+        Printf.sprintf "  %snote: %s" (render_loc ?file l) msg)
+      d.d_notes
+  in
+  String.concat "\n" (head :: notes)
+
+let render_all ?file ds = String.concat "\n" (List.map (render ?file) ds)
+
+(* ------------------------------------------------------------------ *)
+(* JSON rendering (hand-rolled; keep it dependency-free)               *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_loc = function
+  | Some { l_line; l_col } ->
+    Printf.sprintf "{\"line\": %d, \"col\": %d}" l_line l_col
+  | None -> "null"
+
+let to_json ?file d =
+  let file_field =
+    match file with
+    | Some f -> Printf.sprintf "\"file\": \"%s\", " (json_escape f)
+    | None -> ""
+  in
+  let notes =
+    String.concat ", "
+      (List.map
+         (fun (l, msg) ->
+           Printf.sprintf "{\"loc\": %s, \"message\": \"%s\"}"
+             (json_of_loc l) (json_escape msg))
+         d.d_notes)
+  in
+  Printf.sprintf
+    "{%s\"severity\": \"%s\", \"code\": \"%s\", \"loc\": %s, \"message\": \
+     \"%s\", \"notes\": [%s]}"
+    file_field
+    (severity_to_string d.d_severity)
+    (json_escape d.d_code) (json_of_loc d.d_loc) (json_escape d.d_message)
+    notes
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation helpers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let count sev ds = List.length (List.filter (fun d -> d.d_severity = sev) ds)
+
+(* Errors for exit-code purposes; [werror] promotes warnings. *)
+let error_count ?(werror = false) ds =
+  count Error ds + if werror then count Warning ds else 0

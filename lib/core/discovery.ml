@@ -25,12 +25,19 @@
 
 open Fsc_ir
 module Stencil = Fsc_stencil.Stencil
+module Index_expr = Fsc_analysis.Index_expr
+module Dependence = Fsc_analysis.Dependence
+module Diag = Fsc_analysis.Diag
 
 let log_src = Logs.Src.create "fsc.discovery" ~doc:"stencil discovery"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 exception Reject of string
+
+(* Like [Reject], but carrying a fully-formed diagnostic (race rejections
+   come with the conflicting-access location as a note). *)
+exception Reject_diag of string * Diag.t
 
 type array_read = {
   ar_root : Index_expr.array_root;
@@ -102,23 +109,50 @@ let analyze_address addr =
   | _ -> None
 
 (* Is [v] the load of a scalar cell that is never stored to inside
-   [scope]? Such loads can be hoisted before the stencil region. *)
+   [scope]? Such loads can be hoisted before the stencil region. The
+   dependence analysis distinguishes the fates of a written scalar:
+   privatisable temporaries and genuine loop-carried reductions are both
+   rejected (privatisation is not implemented), but with different
+   diagnostics. *)
 let invariant_scalar_load ~scope op =
   if not (Fsc_fir.Fir.is_load op) then None
   else
     let addr = Op.operand op in
     match Op.value_type addr with
-    | Types.Fir_ref t when Types.is_scalar t ->
-      let written = ref false in
-      Op.walk
-        (fun o ->
-          if
-            Fsc_fir.Fir.is_store o
-            && Op.operand ~index:1 o == addr
-          then written := true)
-        scope;
-      if !written then raise (Reject "scalar input is written inside nest")
-      else Some { si_load_op = op }
+    | Types.Fir_ref t when Types.is_scalar t -> (
+      let name =
+        match Op.defining_op addr with
+        | Some d -> (
+          match Fsc_fir.Fir.var_name d with Some n -> n | None -> "scalar")
+        | None -> "scalar"
+      in
+      match Dependence.scalar_fate ~scope ~cell:addr with
+      | Dependence.Scalar_invariant -> Some { si_load_op = op }
+      | Dependence.Scalar_private ->
+        raise
+          (Reject
+             (Printf.sprintf
+                "scalar '%s' is written inside nest (privatisable \
+                 temporary, not supported)"
+                name))
+      | Dependence.Scalar_carried (st, ld) ->
+        let msg =
+          Printf.sprintf
+            "loop-carried dependence on scalar '%s': it is written inside \
+             nest and a read can observe a previous iteration's value \
+             (reduction pattern)"
+            name
+        in
+        let diag =
+          Diag.warning
+            ?loc:(Diag.loc_of_op st)
+            ~notes:
+              [ ( Diag.loc_of_op ld,
+                  Printf.sprintf "the read of '%s' that carries the \
+                                  dependence is here" name ) ]
+            ~code:"race" msg
+        in
+        raise (Reject_diag (msg, diag)))
     | _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -176,9 +210,66 @@ let rec walk_rhs ~cand_ivs ~store_offsets ~scope acc (v : Op.value) =
         acc op.Op.o_operands
     | name -> raise (Reject ("op " ^ name ^ " has no stencil translation")))
 
+(* The legality oracle: consult the dependence analysis before accepting
+   a candidate. Rejects (with a located race diagnostic) when
+
+   - an enclosing loop inside the nest does not index the store, so its
+     iterations rewrite the same elements (imperfect nest / carried
+     output dependence);
+   - any access in the nest's scope conflicts with the candidate's store
+     across iterations (carried flow/anti/output dependence, e.g. an
+     in-place Gauss-Seidel sweep);
+   - any other write in scope conflicts with the candidate's own reads
+     (cross-statement races such as [b(i) = a(i); c(i) = b(i-1)]);
+   - a conflict cannot be ruled out (may-dependence). *)
+let dependence_gate cand =
+  match Dependence.nest_of_store cand.c_store with
+  | None -> ()
+  | Some nest -> (
+    (match nest.Dependence.n_inner_seq with
+    | loop :: _ ->
+      let msg =
+        Printf.sprintf
+          "loop-carried output dependence on '%s': an enclosing loop does \
+           not index the store, so each of its iterations rewrites the \
+           same elements"
+          cand.c_out_root.Index_expr.root_name
+      in
+      let diag =
+        Diag.warning
+          ?loc:(Diag.loc_of_op cand.c_store)
+          ~notes:
+            [ (Diag.loc_of_op loop, "the repeating loop starts here") ]
+          ~code:"race" msg
+      in
+      raise (Reject_diag (msg, diag))
+    | [] -> ());
+    let reads = List.map (fun r -> r.ar_load_op) cand.c_reads in
+    match Dependence.candidate_hazards nest ~reads with
+    | [] -> ()
+    | dep :: _ ->
+      let msg = Dependence.describe dep in
+      let what =
+        if dep.Dependence.dep_dst.Dependence.acc_is_write then "write"
+        else "read"
+      in
+      let diag =
+        Diag.warning
+          ?loc:(Diag.loc_of_op dep.Dependence.dep_src.Dependence.acc_op)
+          ~notes:
+            [ ( Diag.loc_of_op dep.Dependence.dep_dst.Dependence.acc_op,
+                Printf.sprintf "conflicting %s is here" what ) ]
+          ~code:"race" msg
+      in
+      raise (Reject_diag (msg, diag)))
+
 let build_candidate store_op =
   match analyze_address (Op.operand ~index:1 store_op) with
-  | None -> raise (Reject "store address is not a static array element")
+  | None -> (
+    match Op.value_type (Op.operand ~index:1 store_op) with
+    | Types.Fir_ref t when Types.is_scalar t ->
+      raise (Reject "scalar assignment (not a stencil candidate)")
+    | _ -> raise (Reject "store address is not a static array element"))
   | Some (out_root, forms) ->
     let loops_around = enclosing_loops store_op in
     if loops_around = [] then raise (Reject "store is not inside a loop");
@@ -212,8 +303,8 @@ let build_candidate store_op =
     in
     if List.length applicable_loops <> List.length ivs then
       raise (Reject "store subscripts use non-enclosing loop variables");
-    (* Reject if any enclosing loop *inside* the applicable nest is not
-       itself applicable (imperfect nest driving the store). *)
+    (* Loops inside the applicable nest that are not themselves applicable
+       (imperfect nests) are caught by the dependence gate below. *)
     let top = List.hd applicable_loops in
     let scope = top in
     (* bounds per array dimension: loop range shifted by write offset *)
@@ -231,10 +322,14 @@ let build_candidate store_op =
       walk_rhs ~cand_ivs:ivs ~store_offsets ~scope ([], [])
         (Op.operand ~index:0 store_op)
     in
-    { c_store = store_op; c_out_root = out_root; c_ivs = ivs;
-      c_store_offsets = store_offsets; c_loops = applicable_loops;
-      c_lb = List.map fst bounds; c_ub = List.map snd bounds;
-      c_reads = List.rev reads; c_scalars = List.rev scalars }
+    let cand =
+      { c_store = store_op; c_out_root = out_root; c_ivs = ivs;
+        c_store_offsets = store_offsets; c_loops = applicable_loops;
+        c_lb = List.map fst bounds; c_ub = List.map snd bounds;
+        c_reads = List.rev reads; c_scalars = List.rev scalars }
+    in
+    dependence_gate cand;
+    cand
 
 (* ------------------------------------------------------------------ *)
 (* Stencil generation                                                  *)
@@ -321,9 +416,10 @@ let translate_body cand b ~temp_args ~scalar_args =
             | Some i -> List.nth scalar_args i
             | None -> invalid_arg "translate_body: unexpected fir.load"))
         | "arith.constant" ->
+          (* drop source locations: the apply body is synthesised code *)
           Builder.op1 b "arith.constant"
             ~results:[ Op.value_type (Op.result op) ]
-            ~attrs:op.Op.o_attrs
+            ~attrs:(List.remove_assoc "loc" op.Op.o_attrs)
         | "fir.no_reassoc" -> tr (Op.operand op)
         | "fir.convert" ->
           let x = tr (Op.operand op) in
@@ -333,7 +429,7 @@ let translate_body cand b ~temp_args ~scalar_args =
           let operands = List.map tr (Op.operands op) in
           Builder.op1 b name ~operands
             ~results:[ Op.value_type (Op.result op) ]
-            ~attrs:op.Op.o_attrs)
+            ~attrs:(List.remove_assoc "loc" op.Op.o_attrs))
   in
   tr
 
@@ -467,14 +563,28 @@ let remove_empty_loops func =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+type reject = {
+  rej_store : string; (* debug description of the store op *)
+  rej_reason : string;
+  rej_diag : Diag.t; (* structured diagnostic, with source location *)
+}
+
 type stats = {
   mutable found : int;
-  mutable rejected : (string * string) list; (* op id, reason *)
+  mutable rejected : reject list;
 }
 
 (* Run discovery over every function in [m]. Returns statistics. *)
 let run ?(log_rejects = true) m =
   let stats = { found = 0; rejected = [] } in
+  let record store reason diag =
+    if log_rejects then
+      Log.debug (fun f -> f "store #%d rejected: %s" store.Op.o_id reason);
+    stats.rejected <-
+      { rej_store = Op.to_debug_string store; rej_reason = reason;
+        rej_diag = diag }
+      :: stats.rejected
+  in
   let funcs = Op.collect_ops (fun o -> o.Op.o_name = "func.func") m in
   List.iter
     (fun func ->
@@ -487,11 +597,13 @@ let run ?(log_rejects = true) m =
             match build_candidate store with
             | c -> Some c
             | exception Reject reason ->
-              if log_rejects then
-                Log.debug (fun f ->
-                    f "store #%d rejected: %s" store.Op.o_id reason);
-              stats.rejected <-
-                (Op.to_debug_string store, reason) :: stats.rejected;
+              record store reason
+                (Diag.note
+                   ?loc:(Diag.loc_of_op store)
+                   ~code:"stencil-reject" reason);
+              None
+            | exception Reject_diag (reason, diag) ->
+              record store reason diag;
               None)
           stores
       in

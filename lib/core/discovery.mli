@@ -16,7 +16,15 @@
     - a right-hand-side array read uses a different induction variable
       for some dimension (e.g. a transposed access);
     - the expression tree contains an operation with no standard-dialect
-      equivalent, or reads a scalar that is written inside the nest. *)
+      equivalent, or reads a scalar that is written inside the nest;
+    - the {!Fsc_analysis.Dependence} oracle finds (or cannot rule out) a
+      loop-carried dependence involving the candidate's store or reads —
+      in-place Gauss-Seidel sweeps, imperfect nests whose inner loop
+      rewrites the same elements, and cross-statement races.
+
+    Every rejection is recorded as a structured
+    {!Fsc_analysis.Diag.t} with the store's source location, consumed by
+    [sfc check]. *)
 
 open Fsc_ir
 
@@ -24,11 +32,22 @@ open Fsc_ir
     recorded in {!stats}. *)
 exception Reject of string
 
+(** Like {!Reject} but carrying a fully-formed diagnostic (race
+    rejections come with the conflicting access's location as a note). *)
+exception Reject_diag of string * Fsc_analysis.Diag.t
+
+type reject = {
+  rej_store : string;  (** debug description of the store op *)
+  rej_reason : string;
+  rej_diag : Fsc_analysis.Diag.t;
+      (** structured diagnostic with source location *)
+}
+
 type stats = {
   mutable found : int;  (** stencils generated *)
-  mutable rejected : (string * string) list;
-      (** (store description, rejection reason) for every candidate the
-          pass declined — useful for compiler diagnostics and tests *)
+  mutable rejected : reject list;
+      (** every candidate the pass declined — consumed by [sfc check]
+          and tests *)
 }
 
 (** Run discovery over every [func.func] in the module. Returns the

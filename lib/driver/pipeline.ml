@@ -15,6 +15,17 @@ open Fsc_ir
 module Interp = Fsc_rt.Interp
 module Kc = Fsc_rt.Kernel_compile
 module Obs = Fsc_obs.Obs
+module Diag = Fsc_analysis.Diag
+
+(* A typed, renderable driver error. The CLI catches it, renders the
+   diagnostic through [Fsc_analysis.Diag] and exits nonzero — no raw
+   [Failure] backtraces for user errors. *)
+exception Error_diag of Diag.t
+
+let driver_error fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Error_diag (Diag.error ~code:"pipeline" msg)))
+    fmt
 
 (* every pipeline stage is a span under this category, so a --trace of a
    compile shows frontend / discovery / merge / extraction / lowering /
@@ -117,7 +128,11 @@ let register_kernel ~target ~pool ctx kernel_func =
         let g =
           match ctx.Interp.gpu with
           | Some g -> g
-          | None -> failwith "GPU target without device"
+          | None ->
+            driver_error
+              "kernel '%s' requires a GPU device, but the artifact was \
+               linked without one (GPU target without device)"
+              name
         in
         (* execute on the device twins, charge the simulator *)
         let dev_bufs = Array.map (Fsc_rt.Gpu_sim.kernel_view g) bufs in
@@ -355,4 +370,11 @@ let buffer artifact name =
 let buffer_exn artifact name =
   match buffer artifact name with
   | Some b -> b
-  | None -> failwith ("no buffer named " ^ name)
+  | None ->
+    driver_error
+      "no buffer named '%s' was allocated during execution (known \
+       buffers: %s)"
+      name
+      (match artifact.a_ctx.Interp.named_buffers with
+      | [] -> "none"
+      | bs -> String.concat ", " (List.map fst bs))

@@ -4,6 +4,10 @@
 
 open Fsc_ir
 
+(** A typed, renderable driver error. The CLI catches it, renders the
+    diagnostic through {!Fsc_analysis.Diag} and exits nonzero. *)
+exception Error_diag of Fsc_analysis.Diag.t
+
 (** GPU data-management strategy (Section 4.3 / Figure 5). *)
 type gpu_strategy =
   | Gpu_initial  (** [gpu.host_register]: page everything, every launch *)

@@ -31,6 +31,12 @@ exception Unsupported of string * loc
 let unsupported loc fmt =
   Printf.ksprintf (fun msg -> raise (Unsupported (msg, loc))) fmt
 
+(* Thread frontend source locations onto lowered ops: while a location is
+   set on the builder, every op it creates carries a loc(line:col)
+   attribute (see Builder.set_loc). [no_loc] clears it. *)
+let set_builder_loc b (l : loc) =
+  if l.line = 0 then () else Builder.set_loc b (Some (l.line, l.col))
+
 let fir_scalar_type = function
   | T_integer -> Types.I32
   | T_real 4 -> Types.F32
@@ -83,6 +89,7 @@ let convert b v to_ =
   if Types.equal (Op.value_type v) to_ then v else Fir.convert b ~to_ v
 
 let rec lower_expr env b (e : expr) : Op.value =
+  set_builder_loc b e.e_loc;
   match e.e_kind with
   | Int_lit n -> Arith.constant_int b ~ty:Types.I32 n
   | Real_lit (f, k) ->
@@ -157,6 +164,9 @@ and lower_array_address env b loc n args =
         Fir.convert b ~to_:Types.Index zero_based)
       args storage.as_lbs
   in
+  (* index sub-expressions moved the location; the coordinate itself
+     should point at the array reference *)
+  set_builder_loc b loc;
   Fir.coordinate_of b base indices
 
 and lower_binop env b loc op x y =
@@ -383,6 +393,7 @@ and lower_actual_arg env b loc (a : expr) : Op.value =
 (* ------------------------------------------------------------------ *)
 
 let rec lower_stmt env b (s : stmt) =
+  set_builder_loc b s.s_loc;
   match s.s_kind with
   | Assign (lhs, rhs) -> (
     match lhs.e_kind with
@@ -391,12 +402,16 @@ let rec lower_stmt env b (s : stmt) =
       | B_scalar cell ->
         let target_t = Fir.referenced_type cell in
         let v = convert b (lower_expr env b rhs) target_t in
+        set_builder_loc b s.s_loc;
         Fir.store b v cell
       | _ -> unsupported s.s_loc "assignment to %s" n)
     | Ref_or_call (n, idx) ->
       let addr = lower_array_address env b s.s_loc n idx in
       let target_t = Fir.referenced_type addr in
       let v = convert b (lower_expr env b rhs) target_t in
+      (* the rhs lowering leaves the location at its last sub-expression;
+         the store is the statement *)
+      set_builder_loc b s.s_loc;
       Fir.store b v addr
     | _ -> unsupported s.s_loc "invalid assignment target")
   | Do (v, lb, ub, step, body) ->
@@ -410,6 +425,9 @@ let rec lower_stmt env b (s : stmt) =
     let lb_i = Fir.convert b ~to_:Types.Index lbv in
     let ub_i = Fir.convert b ~to_:Types.Index ubv in
     let step_i = Fir.convert b ~to_:Types.Index stepv in
+    (* bound expressions moved the location; the loop op itself should
+       point at the DO statement *)
+    set_builder_loc b s.s_loc;
     let saved = Hashtbl.find_opt env.bindings v in
     ignore
       (Fir.do_loop b ~lb:lb_i ~ub:ub_i ~step:step_i (fun inner iv _ ->

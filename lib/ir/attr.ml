@@ -12,6 +12,7 @@ type t =
   | Index_a of int list (* #stencil.index<0, -1> and friends *)
   | Sym_a of string     (* @symbol reference *)
   | Dict_a of (string * t) list
+  | Loc_a of int * int  (* source location: line, column *)
 
 let rec to_string = function
   | Unit_a -> "unit"
@@ -35,6 +36,7 @@ let rec to_string = function
     ^ String.concat ", "
         (List.map (fun (k, v) -> Printf.sprintf "%S = %s" k (to_string v)) kvs)
     ^ "}"
+  | Loc_a (line, col) -> Printf.sprintf "loc(%d:%d)" line col
 
 let pp fmt a = Format.pp_print_string fmt (to_string a)
 
@@ -72,3 +74,7 @@ let as_index = function
 let as_array = function
   | Arr_a xs -> xs
   | a -> invalid_arg ("Attr.as_array: " ^ to_string a)
+
+let as_loc = function
+  | Loc_a (line, col) -> (line, col)
+  | a -> invalid_arg ("Attr.as_loc: " ^ to_string a)

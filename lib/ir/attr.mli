@@ -13,6 +13,9 @@ type t =
   | Index_a of int list  (** [#stencil.index<0, -1>] and friends *)
   | Sym_a of string  (** [@symbol] reference *)
   | Dict_a of (string * t) list
+  | Loc_a of int * int
+      (** source location [loc(line:col)] threaded from the Fortran
+          frontend onto lowered operations *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
@@ -31,3 +34,4 @@ val as_bool : t -> bool
 val as_type : t -> Types.t
 val as_index : t -> int list
 val as_array : t -> t list
+val as_loc : t -> int * int

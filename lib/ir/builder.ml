@@ -6,9 +6,9 @@ type insertion =
   | Before of Op.op
   | After of Op.op
 
-type t = { mutable point : insertion }
+type t = { mutable point : insertion; mutable loc : (int * int) option }
 
-let create point = { point }
+let create point = { point; loc = None }
 
 let at_end block = create (At_end block)
 let at_start block = create (At_start block)
@@ -16,6 +16,9 @@ let before op = create (Before op)
 let after op = create (After op)
 
 let set_point b point = b.point <- point
+
+let set_loc b loc = b.loc <- loc
+let loc b = b.loc
 
 let insert b op =
   (match b.point with
@@ -29,9 +32,17 @@ let insert b op =
     b.point <- After op);
   op
 
-(* Build an op and insert it at the current point. *)
-let op b ?operands ?results ?attrs ?regions name =
-  insert b (Op.create ?operands ?results ?attrs ?regions name)
+(* Build an op and insert it at the current point. The builder's current
+   source location (set by the frontend lowering) is attached as a "loc"
+   attribute unless the caller supplied one explicitly. *)
+let op b ?operands ?results ?(attrs = []) ?regions name =
+  let attrs =
+    match b.loc with
+    | Some (line, col) when not (List.mem_assoc "loc" attrs) ->
+      attrs @ [ ("loc", Attr.Loc_a (line, col)) ]
+    | _ -> attrs
+  in
+  insert b (Op.create ?operands ?results ~attrs ?regions name)
 
 (* Convenience for single-result ops: returns the result value. *)
 let op1 b ?operands ?(results = []) ?attrs ?regions name =

@@ -8,7 +8,7 @@ type insertion =
       (** after inserting, the point advances so consecutive inserts stay
           in source order *)
 
-type t = { mutable point : insertion }
+type t = { mutable point : insertion; mutable loc : (int * int) option }
 
 val create : insertion -> t
 val at_end : Op.block -> t
@@ -17,10 +17,19 @@ val before : Op.op -> t
 val after : Op.op -> t
 val set_point : t -> insertion -> unit
 
+(** Current source location [(line, col)]. While set, every op built via
+    {!op}/{!op1} carries it as a ["loc"] attribute ({!Attr.Loc_a}) — the
+    frontend lowering updates it per statement/expression so diagnostics
+    can point back into the Fortran source. *)
+val set_loc : t -> (int * int) option -> unit
+
+val loc : t -> (int * int) option
+
 (** Insert an already-created op at the current point. *)
 val insert : t -> Op.op -> Op.op
 
-(** Create an op and insert it. *)
+(** Create an op and insert it; attaches the builder's current source
+    location unless [attrs] already has a ["loc"] entry. *)
 val op :
   t ->
   ?operands:Op.value list ->

@@ -192,6 +192,12 @@ let set_attr op key a =
 
 let remove_attr op key = op.o_attrs <- List.remove_assoc key op.o_attrs
 
+(* Source location threaded from the frontend as a "loc" attribute. *)
+let location op =
+  match attr op "loc" with
+  | Some (Attr.Loc_a (line, col)) -> Some (line, col)
+  | _ -> None
+
 let int_attr op key = Attr.as_int (attr_exn op key)
 let float_attr op key = Attr.as_float (attr_exn op key)
 let string_attr op key = Attr.as_string (attr_exn op key)

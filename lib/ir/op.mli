@@ -113,6 +113,10 @@ val attr_exn : op -> string -> Attr.t
 
 val set_attr : op -> string -> Attr.t -> unit
 val remove_attr : op -> string -> unit
+
+(** The frontend source location carried by the op's ["loc"] attribute
+    ([Attr.Loc_a]), when present: [(line, col)]. *)
+val location : op -> (int * int) option
 val int_attr : op -> string -> int
 val float_attr : op -> string -> float
 val string_attr : op -> string -> string

@@ -377,6 +377,14 @@ let rec parse_attr st : Attr.t =
       let lx = parse_ident st in
       Attr.Float_a (float_of_string lx)
     end
+    else if looking_at st "loc(" then begin
+      expect_string st "loc(";
+      let line = parse_int st in
+      expect_char st ':';
+      let col = parse_int st in
+      expect_char st ')';
+      Attr.Loc_a (line, col)
+    end
     else Attr.Type_a (parse_type st)
 
 (* ------------------------------------------------------------------ *)

@@ -5,11 +5,20 @@
    module-splitting design: a tool rejects ops from dialects it has not
    registered. *)
 
-type diagnostic = { d_op : string; d_message : string }
+type diagnostic = {
+  d_op : string;
+  d_loc : (int * int) option; (* source line:col of the offending op *)
+  d_message : string;
+}
 
-let diag op msg = { d_op = op.Op.o_name; d_message = msg }
+let diag op msg =
+  { d_op = op.Op.o_name; d_loc = Op.location op; d_message = msg }
 
-let to_string d = Printf.sprintf "[%s] %s" d.d_op d.d_message
+let to_string d =
+  match d.d_loc with
+  | Some (line, col) ->
+    Printf.sprintf "[%s at %d:%d] %s" d.d_op line col d.d_message
+  | None -> Printf.sprintf "[%s] %s" d.d_op d.d_message
 
 (* Collect the set of values visible at [op]: block arguments of enclosing
    blocks plus results of ops preceding it (we check SSA-dominance in the

@@ -7,7 +7,13 @@
     enforces the dialect-registration constraint that drives the paper's
     module-splitting design. *)
 
-type diagnostic = { d_op : string; d_message : string }
+type diagnostic = {
+  d_op : string;
+  d_loc : (int * int) option;
+      (** source [line:col] of the offending op, from its ["loc"]
+          attribute when the frontend threaded one *)
+  d_message : string;
+}
 
 val to_string : diagnostic -> string
 

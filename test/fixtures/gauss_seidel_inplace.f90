@@ -1,0 +1,23 @@
+program gs
+  ! In-place Gauss-Seidel sweep: each point reads neighbours already
+  ! updated in this iteration, so the nest carries a flow dependence
+  ! and must not be parallelised.
+  implicit none
+  integer, parameter :: n = 64
+  integer :: i, j, iter
+  real(kind=8), dimension(n, n) :: u
+  do j = 1, n
+    do i = 1, n
+      u(i, j) = 0.0d0
+    end do
+  end do
+  u(1, 1) = 1.0d0
+  do iter = 1, 10
+    do j = 2, n - 1
+      do i = 2, n - 1
+        u(i, j) = 0.25d0 * (u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1))
+      end do
+    end do
+  end do
+  print *, u(n / 2, n / 2)
+end program gs

@@ -176,10 +176,11 @@ let rejects src expected_substring =
     ("reject reason mentions " ^ expected_substring)
     true
     (List.exists
-       (fun (_, r) ->
+       (fun (rej : Fsc_core.Discovery.reject) ->
          let re = Str.regexp_string expected_substring in
          try
-           ignore (Str.search_forward re r 0);
+           ignore
+             (Str.search_forward re rej.Fsc_core.Discovery.rej_reason 0);
            true
          with Not_found -> false)
        stats.Fsc_core.Discovery.rejected)
