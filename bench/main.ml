@@ -25,6 +25,7 @@ module Cal = Fsc_perf.Calibrate
 let quick = ref false
 let figures = ref []
 let run_bechamel = ref true
+let kernels_only = ref false
 
 let () =
   Array.iteri
@@ -32,6 +33,7 @@ let () =
       match arg with
       | "--quick" -> quick := true
       | "--no-bechamel" -> run_bechamel := false
+      | "--kernels-only" -> kernels_only := true
       | "--figure" ->
         if i + 1 < Array.length Sys.argv then
           figures := int_of_string Sys.argv.(i + 1) :: !figures
@@ -271,6 +273,178 @@ let write_serve_json () =
     "serve timings written to %s (%d series points; batch %d jobs cold \
      %.0f ms -> warm %.0f ms)\n"
     path (List.length series) (List.length lines) batch_cold_ms batch_warm_ms
+
+(* ------------------------------------------------------------------ *)
+(* Execution-engine comparison: BENCH_kernels.json                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The three kernel execution tiers (interp / closure / vector) on the
+   row-friendly benchmarks. Closure and vector run on the same compiled
+   artifact (same grids) so the ratio isolates the engine; the
+   interpreter runs on a much smaller grid, like figure2_measured, and
+   its ratio is a tier gap rather than a same-size speedup. Before any
+   number is written the closure and vector grids are required to be
+   bitwise identical, and vector must not lose to closure — either
+   failure exits nonzero, which is what ci.sh asserts. *)
+let write_kernels_json () =
+  let module J = Fsc_obs.Obs.Json in
+  let min_seconds = if !quick then 0.1 else 0.2 in
+  let n_gs = if !quick then 32 else 48 in
+  let n_lp = if !quick then 96 else 128 in
+  let n_small = if !quick then 8 else 12 in
+  (* enough timesteps that per-run fixed costs (allocation, host
+     interpretation) amortise against kernel execution *)
+  let iters = if !quick then 6 else 10 in
+  let benches =
+    [ (* name, fast source + cells, interp source + cells, checked grid *)
+      ("gauss-seidel",
+       B.gauss_seidel ~nx:n_gs ~ny:n_gs ~nz:n_gs ~niter:iters (),
+       float_of_int (n_gs * n_gs * n_gs * iters),
+       Printf.sprintf "%d^3 x%d" n_gs iters,
+       B.gauss_seidel ~nx:n_small ~ny:n_small ~nz:n_small ~niter:iters (),
+       float_of_int (n_small * n_small * n_small * iters),
+       "u");
+      ("laplace",
+       B.laplace ~n:n_lp ~niter:iters (),
+       float_of_int (n_lp * n_lp * iters),
+       Printf.sprintf "%d^2 x%d" n_lp iters,
+       B.laplace ~n:n_small ~niter:iters (),
+       float_of_int (n_small * n_small * iters),
+       "phi") ]
+  in
+  let failures = ref [] in
+  let series = ref [] and speedups = ref [] in
+  List.iter
+    (fun (bname, src, cells, size, src_small, cells_small, grid) ->
+      (* one compile, three links: the engine is link-time state *)
+      let options = P.default_options ~target:P.Serial () in
+      let ca = P.compile options src in
+      let linked engine = P.link ~engine ca in
+      (* best of three windows: the mean of one window is hostage to
+         scheduler noise in a shared container; the fastest window is
+         the engine's actual throughput *)
+      let measure ~label a cells_per_iter =
+        let windows =
+          List.init 3 (fun _ ->
+              Cal.measure ~label ~cells_per_iter ~min_seconds (fun () ->
+                  P.run a))
+        in
+        List.fold_left
+          (fun best m -> if Cal.mcells m > Cal.mcells best then m else best)
+          (List.hd windows) (List.tl windows)
+      in
+      let a_interp, _ =
+        P.stencil ~target:P.Serial ~engine:P.Engine_interp src_small
+      in
+      let m_interp =
+        measure
+          ~label:(bname ^ "  interp (FIR interpreter)")
+          a_interp cells_small
+      in
+      let a_closure = linked P.Engine_closure in
+      let m_closure =
+        measure
+          ~label:(bname ^ "  closure (per-cell JIT)")
+          a_closure cells
+      in
+      let a_vector = linked P.Engine_vector in
+      let m_vector =
+        measure
+          ~label:(bname ^ "  vector (row bytecode)")
+          a_vector cells
+      in
+      print_endline (Cal.report [ m_interp; m_closure; m_vector ]);
+      (* bitwise agreement on the full grid, closure vs vector *)
+      let diff =
+        Rt.max_abs_diff
+          (P.buffer_exn a_closure grid)
+          (P.buffer_exn a_vector grid)
+      in
+      if diff <> 0.0 then
+        failures :=
+          Printf.sprintf "%s: closure/vector grids differ by %g" bname diff
+          :: !failures;
+      (* per-nest vectorisation coverage for the record *)
+      let vec_nests, nests =
+        List.fold_left
+          (fun (v, n) (_, impl) ->
+            match impl with
+            | P.Vectorised (_, plan) ->
+              let module Kb = Fsc_rt.Kernel_bytecode in
+              (v + Kb.vectorised_nests plan, n + Kb.nest_count plan)
+            | _ -> (v, n))
+          (0, 0) a_vector.P.a_kernels
+      in
+      P.shutdown a_closure;
+      P.shutdown a_vector;
+      P.shutdown a_interp;
+      let point engine m cells_note =
+        J.Obj
+          [ ("benchmark", J.Str bname); ("engine", J.Str engine);
+            ("size", J.Str cells_note);
+            ("mcells_per_s", J.Num (Cal.mcells m)) ]
+      in
+      series :=
+        !series
+        @ [ point "interp" m_interp
+              (Printf.sprintf "%.0f cells" cells_small);
+            point "closure" m_closure size; point "vector" m_vector size ];
+      let v_over_c = Cal.mcells m_vector /. Cal.mcells m_closure in
+      if v_over_c < 1.0 then
+        failures :=
+          Printf.sprintf "%s: vector engine slower than closure (%.2fx)"
+            bname v_over_c
+          :: !failures;
+      Printf.printf
+        "  %s: vector/closure %.2fx, closure/interp tier gap %.0fx \
+         (%d/%d nests vectorised)\n"
+        bname v_over_c
+        (Cal.mcells m_closure /. Cal.mcells m_interp)
+        vec_nests nests;
+      speedups :=
+        !speedups
+        @ [ J.Obj
+              [ ("benchmark", J.Str bname);
+                ("vector_over_closure", J.Num v_over_c);
+                ("closure_over_interp",
+                 J.Num (Cal.mcells m_closure /. Cal.mcells m_interp));
+                ("vectorised_nests", J.Num (float_of_int vec_nests));
+                ("nests", J.Num (float_of_int nests)) ] ])
+    benches;
+  let json =
+    J.Obj
+      [ ("setup",
+         J.Str
+           (Printf.sprintf
+              "serial, engines on identical compiled artifacts; interp \
+               tier on %d-sized grids; min %.1fs per measurement"
+              n_small min_seconds));
+        ("series", J.List !series); ("speedups", J.List !speedups) ]
+  in
+  let path = "BENCH_kernels.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  (* self-validate: the file must re-parse and carry both sections *)
+  let reread =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (match J.of_string reread with
+  | parsed ->
+    if J.member "series" parsed = None || J.member "speedups" parsed = None
+    then failures := (path ^ ": missing series/speedups") :: !failures
+  | exception J.Parse_error e ->
+    failures := (path ^ ": unparseable: " ^ e) :: !failures);
+  Printf.printf "kernel engine timings written to %s (%d series points)\n"
+    path (List.length !series);
+  if !failures <> [] then begin
+    List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) !failures;
+    exit 1
+  end
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -774,9 +948,14 @@ let () =
     "fsc benchmark harness — reproducing Brown et al., \"Fortran \
      performance optimisation and auto-parallelisation by leveraging \
      MLIR-based domain specific abstractions in Flang\" (SC-W 2023)\n";
+  if !kernels_only then begin
+    write_kernels_json ();
+    exit 0
+  end;
   write_pipeline_json ();
   write_analysis_json ();
   write_serve_json ();
+  write_kernels_json ();
   if want 2 then figure2 ();
   if want 3 then figure34 C.Gauss_seidel 3;
   if want 4 then figure34 C.Pw_advection 4;

@@ -26,6 +26,7 @@ module Svc = Fsc_server.Service
 module Obs = Fsc_obs.Obs
 module Diag = Fsc_analysis.Diag
 module Check = Fsc_analysis.Check
+module Kb = Fsc_rt.Kernel_bytecode
 
 let ( let* ) = Result.bind
 
@@ -79,6 +80,42 @@ let threads_arg =
    the job protocol reject the same nonsense the same way. *)
 let resolve_target target threads =
   Result.map_error (fun e -> `Msg e) (Svc.resolve_target target threads)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("interp", P.Engine_interp); ("closure", P.Engine_closure);
+             ("vector", P.Engine_vector) ])
+        P.Engine_vector
+    & info [ "exec-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Kernel execution engine: vector (default; row-at-a-time \
+           bytecode with per-nest fallback to closure), closure (per-cell \
+           closure JIT) or interp (force the tree-walking interpreter). \
+           Link-time only: does not affect compiled IR or the artifact \
+           cache.")
+
+(* One line per kernel under --stats; for the vector engine include
+   which nests fell back to the closure engine and why. *)
+let impl_description = function
+  | P.Compiled _ -> "compiled (closure engine)"
+  | P.Interpreted r -> "interpreted (" ^ r ^ ")"
+  | P.Vectorised (_, plan) -> (
+    let base =
+      Printf.sprintf "vectorised (%d/%d nests)" (Kb.vectorised_nests plan)
+        (Kb.nest_count plan)
+    in
+    match Kb.fallbacks plan with
+    | [] -> base
+    | fbs ->
+      base ^ "; "
+      ^ String.concat "; "
+          (List.map
+             (fun (i, reason) ->
+               Printf.sprintf "nest %d -> closure: %s" (i + 1) reason)
+             fbs))
 
 (* ---- artifact cache plumbing ---- *)
 
@@ -274,7 +311,7 @@ let compile_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run file target threads cache_flag cache_dir stats trace =
+  let run file target threads engine cache_flag cache_dir stats trace =
     let* target = resolve_target target threads in
     let src = read_file file in
     setup_obs ~trace ~stats;
@@ -285,7 +322,7 @@ let run_cmd =
     let outcome =
       try
         let ca, cache_outcome = Cc.compile ?cache options src in
-        let a = P.link ca in
+        let a = P.link ~engine ca in
         Fun.protect
           ~finally:(fun () -> P.shutdown a)
           (fun () ->
@@ -296,12 +333,10 @@ let run_cmd =
                 ca.P.ca_stats.P.st_kernels;
               Printf.eprintf "compile: cache %s\n"
                 (cache_status_name cache_outcome);
+              Printf.eprintf "engine: %s\n" (P.engine_name engine);
               List.iter
                 (fun (name, impl) ->
-                  Printf.eprintf "  %s: %s\n" name
-                    (match impl with
-                    | P.Compiled _ -> "compiled"
-                    | P.Interpreted r -> "interpreted (" ^ r ^ ")"))
+                  Printf.eprintf "  %s: %s\n" name (impl_description impl))
                 a.P.a_kernels
             end;
             P.run a;
@@ -344,8 +379,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a Fortran program")
     Term.(
       term_result
-        (const run $ file_arg $ target_arg $ threads_arg $ cache_flag
-        $ cache_dir_arg $ stats_arg $ trace_arg))
+        (const run $ file_arg $ target_arg $ threads_arg $ engine_arg
+        $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
 
 (* ---- check ---- *)
 

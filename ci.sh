@@ -55,4 +55,25 @@ echo "batch smoke: $njobs jobs, cold hits=$cold_hits, warm hits=$warm_hits"
   echo "ci: warm run should hit the cache on every job"
   exit 1
 }
+
+# Execution-engine smoke: the kernels bench compares interp/closure/
+# vector on identical artifacts, requires bitwise-identical grids and
+# vector >= closure, and exits nonzero on any violation.
+ROOT=$(pwd)
+BENCHDIR=$(mktemp -d)
+if ! (cd "$BENCHDIR" && "$ROOT/_build/default/bench/main.exe" \
+    --kernels-only --quick); then
+  echo "ci: kernels bench failed (engine mismatch or vector < closure)"
+  rm -rf "$BENCHDIR"
+  exit 1
+fi
+if ! [ -s "$BENCHDIR/BENCH_kernels.json" ] \
+    || ! grep -q '"speedups"' "$BENCHDIR/BENCH_kernels.json"; then
+  echo "ci: BENCH_kernels.json missing or malformed"
+  rm -rf "$BENCHDIR"
+  exit 1
+fi
+echo "bench smoke: BENCH_kernels.json well-formed, vector >= closure"
+rm -rf "$BENCHDIR"
+
 echo "ci: OK"

@@ -59,7 +59,7 @@ let () =
   List.iter
     (fun (name, impl) ->
       match impl with
-      | P.Compiled spec ->
+      | P.Compiled spec | P.Vectorised (spec, _) ->
         List.iter
           (fun nest ->
             Printf.printf

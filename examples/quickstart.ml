@@ -82,6 +82,9 @@ let () =
         | P.Compiled spec ->
           Printf.sprintf "compiled (%d loop nest(s))"
             (List.length spec.Fsc_rt.Kernel_compile.k_nests)
+        | P.Vectorised (spec, _) ->
+          Printf.sprintf "vectorised (%d loop nest(s))"
+            (List.length spec.Fsc_rt.Kernel_compile.k_nests)
         | P.Interpreted reason -> "interpreted (" ^ reason ^ ")"))
     artifact.P.a_kernels;
   print_newline ();

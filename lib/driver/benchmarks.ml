@@ -126,6 +126,43 @@ end program pw_advection
 |}
     nx ny nz niter
 
+(* 2-D Laplace (5-point Jacobi): the long-innermost-row benchmark. One
+   sweep reads four neighbours into phinew, one copies back — the shape
+   the row-vectorised engine's fused weighted-sum path targets, with
+   rows long enough that per-row dispatch overhead amortises away. *)
+let laplace ?(n = 64) ?(niter = 4) () =
+  Printf.sprintf
+    {|
+program laplace
+  implicit none
+  integer, parameter :: n = %d, niter = %d
+  integer :: i, j, iter
+  real(kind=8), dimension(0:n+1, 0:n+1) :: phi, phinew
+
+  do j = 0, n + 1
+    do i = 0, n + 1
+      phi(i, j) = 0.01d0 * dble(i) * dble(i) + 0.02d0 * dble(i) * dble(j)
+      phinew(i, j) = 0.0d0
+    end do
+  end do
+
+  do iter = 1, niter
+    do j = 1, n
+      do i = 1, n
+        phinew(i, j) = 0.25d0 * (phi(i-1, j) + phi(i+1, j) &
+                     + phi(i, j-1) + phi(i, j+1))
+      end do
+    end do
+    do j = 1, n
+      do i = 1, n
+        phi(i, j) = phinew(i, j)
+      end do
+    end do
+  end do
+end program laplace
+|}
+    n niter
+
 (* The paper's Listing 1: 2-D neighbour averaging. *)
 let listing1 ?(n = 256) () =
   Printf.sprintf

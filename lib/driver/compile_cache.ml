@@ -22,6 +22,10 @@ let key cache (options : P.options) src =
       ^ String.concat "," (List.map string_of_int options.P.opt_tile_sizes);
       "merge:" ^ string_of_bool options.P.opt_merge;
       "specialize:" ^ string_of_bool options.P.opt_specialize;
+      (* the cache budget shapes the cpu_tile annotations baked into the
+         stencil IR, so it is part of the artifact's identity (the
+         execution engine, by contrast, is link-time state) *)
+      "l2:" ^ string_of_int options.P.opt_l2_kb;
       src ]
 
 (* ---------------- serialization ---------------- *)

@@ -14,6 +14,7 @@
 open Fsc_ir
 module Interp = Fsc_rt.Interp
 module Kc = Fsc_rt.Kernel_compile
+module Kb = Fsc_rt.Kernel_bytecode
 module Obs = Fsc_obs.Obs
 module Diag = Fsc_analysis.Diag
 
@@ -55,8 +56,28 @@ let target_name = function
   | Openmp n -> Printf.sprintf "openmp(%d)" n
   | t -> target_kind t
 
+(* Which execution tier runs compiled kernels. The engine is link-time
+   state (like the pool size): it never changes the compiled IR, so it
+   is not part of {!options} or the cache key. *)
+type exec_engine =
+  | Engine_interp  (* force the tree-walking interpreter *)
+  | Engine_closure (* Kernel_compile's per-cell closure JIT *)
+  | Engine_vector  (* Kernel_bytecode's row engine, closure fallback *)
+
+let engine_name = function
+  | Engine_interp -> "interp"
+  | Engine_closure -> "closure"
+  | Engine_vector -> "vector"
+
+let engine_of_name = function
+  | "interp" -> Some Engine_interp
+  | "closure" -> Some Engine_closure
+  | "vector" -> Some Engine_vector
+  | _ -> None
+
 type kernel_impl =
   | Compiled of Kc.spec
+  | Vectorised of Kc.spec * Kb.plan
   | Interpreted of string (* fallback reason *)
 
 type artifact = {
@@ -110,58 +131,80 @@ let spec_scalars args =
     args
 
 (* Register one stencil kernel's runtime implementation. *)
-let register_kernel ~target ~pool ctx kernel_func =
+let register_kernel ~engine ~target ~pool ctx kernel_func =
   let name = Fsc_dialects.Func.name kernel_func in
-  match Kc.try_analyze kernel_func with
-  | Error reason ->
-    Log.debug (fun f -> f "kernel %s: interpreter fallback (%s)" name reason);
-    (name, Interpreted reason)
-  | Ok spec ->
-    let impl _ctx args =
-      Obs.with_span ~cat:"kernel" ("kernel.exec " ^ name) @@ fun () ->
-      let bufs = Array.of_list (spec_buffers args) in
-      let scalars = Array.of_list (spec_scalars args) in
-      (match target with
-      | Serial -> Kc.run spec ~bufs ~scalars ()
-      | Openmp _ -> Kc.run spec ?pool ~bufs ~scalars ()
-      | Gpu strategy ->
-        let g =
-          match ctx.Interp.gpu with
-          | Some g -> g
-          | None ->
-            driver_error
-              "kernel '%s' requires a GPU device, but the artifact was \
-               linked without one (GPU target without device)"
-              name
-        in
-        (* execute on the device twins, charge the simulator *)
-        let dev_bufs = Array.map (Fsc_rt.Gpu_sim.kernel_view g) bufs in
-        let sim_strategy =
-          match strategy with
-          | Gpu_initial -> Fsc_rt.Gpu_sim.Strategy_host_register
-          | Gpu_optimised -> Fsc_rt.Gpu_sim.Strategy_device_resident
-        in
-        let block_threads = 32 * 32 in
-        let elems =
-          if Array.length bufs = 0 then 0 else Fsc_rt.Memref_rt.size bufs.(0)
-        in
-        let blocks = (elems + block_threads - 1) / block_threads in
-        Obs.with_span ~cat:"kernel"
-          ~args:
-            [ ("blocks", Obs.A_int blocks);
-              ("threads_per_block", Obs.A_int block_threads) ]
-          ("gpu.launch " ^ name)
-        @@ fun () ->
-        Fsc_rt.Gpu_sim.launch g ~strategy:sim_strategy
-          ~block_threads
-          ~flops:(float_of_int (Kc.flops spec))
-          ~bytes_accessed:(8.0 *. float_of_int (Kc.loads spec))
-          ~body:(fun () -> Kc.run spec ~bufs:dev_bufs ~scalars ())
-          (Array.to_list bufs));
-      []
-    in
-    Interp.register_external ctx name impl;
-    (name, Compiled spec)
+  match engine with
+  | Engine_interp ->
+    (* register nothing: the interpreter executes the kernel func *)
+    (name, Interpreted "execution engine 'interp' selected")
+  | Engine_closure | Engine_vector -> (
+    match Kc.try_analyze kernel_func with
+    | Error reason ->
+      Log.debug (fun f ->
+          f "kernel %s: interpreter fallback (%s)" name reason);
+      (name, Interpreted reason)
+    | Ok spec ->
+      (* GPU targets execute on the simulator's device twins through the
+         closure engine regardless of [engine]; the vector tier is a CPU
+         execution strategy. *)
+      let vplan =
+        match (engine, target) with
+        | Engine_vector, (Serial | Openmp _) -> Some (Kb.compile_spec spec)
+        | _ -> None
+      in
+      let exec ?pool ~bufs ~scalars () =
+        match vplan with
+        | Some plan -> Kb.run plan ?pool ~bufs ~scalars ()
+        | None -> Kc.run spec ?pool ~bufs ~scalars ()
+      in
+      let impl _ctx args =
+        Obs.with_span ~cat:"kernel" ("kernel.exec " ^ name) @@ fun () ->
+        let bufs = Array.of_list (spec_buffers args) in
+        let scalars = Array.of_list (spec_scalars args) in
+        (match target with
+        | Serial -> exec ~bufs ~scalars ()
+        | Openmp _ -> exec ?pool ~bufs ~scalars ()
+        | Gpu strategy ->
+          let g =
+            match ctx.Interp.gpu with
+            | Some g -> g
+            | None ->
+              driver_error
+                "kernel '%s' requires a GPU device, but the artifact was \
+                 linked without one (GPU target without device)"
+                name
+          in
+          (* execute on the device twins, charge the simulator *)
+          let dev_bufs = Array.map (Fsc_rt.Gpu_sim.kernel_view g) bufs in
+          let sim_strategy =
+            match strategy with
+            | Gpu_initial -> Fsc_rt.Gpu_sim.Strategy_host_register
+            | Gpu_optimised -> Fsc_rt.Gpu_sim.Strategy_device_resident
+          in
+          let block_threads = 32 * 32 in
+          let elems =
+            if Array.length bufs = 0 then 0
+            else Fsc_rt.Memref_rt.size bufs.(0)
+          in
+          let blocks = (elems + block_threads - 1) / block_threads in
+          Obs.with_span ~cat:"kernel"
+            ~args:
+              [ ("blocks", Obs.A_int blocks);
+                ("threads_per_block", Obs.A_int block_threads) ]
+            ("gpu.launch " ^ name)
+          @@ fun () ->
+          Fsc_rt.Gpu_sim.launch g ~strategy:sim_strategy
+            ~block_threads
+            ~flops:(float_of_int (Kc.flops spec))
+            ~bytes_accessed:(8.0 *. float_of_int (Kc.loads spec))
+            ~body:(fun () -> Kc.run spec ~bufs:dev_bufs ~scalars ())
+            (Array.to_list bufs));
+        []
+      in
+      Interp.register_external ctx name impl;
+      (match vplan with
+      | Some plan -> (name, Vectorised (spec, plan))
+      | None -> (name, Compiled spec)))
 
 (* GPU data-management externals for the optimised strategy; [managed]
    is the list of kernel symbols whose placement was hoisted. *)
@@ -195,12 +238,14 @@ type options = {
   opt_tile_sizes : int list;
   opt_merge : bool;
   opt_specialize : bool;
+  opt_l2_kb : int; (* per-core cache budget for CPU tile annotation *)
 }
 
 let default_options ?(target = Serial) ?(tile_sizes = [ 32; 32; 1 ])
-    ?(merge = true) ?(specialize = true) () =
+    ?(merge = true) ?(specialize = true)
+    ?(l2_kb = Fsc_perf.Machine.host_cache.Fsc_perf.Machine.ch_l2_kb) () =
   { opt_target = target; opt_tile_sizes = tile_sizes; opt_merge = merge;
-    opt_specialize = specialize }
+    opt_specialize = specialize; opt_l2_kb = l2_kb }
 
 type compiled_artifact = {
   ca_host : Op.op;
@@ -287,6 +332,16 @@ let compile options src =
     stage "scf-to-openmp" (fun () ->
         ignore (Fsc_lowering.Scf_to_openmp.run stencil_m))
   | _ -> ());
+  (* annotate the (final) top-level loop ops with cache-tile sizes for
+     the CPU vector executor; after scf-to-openmp so the attribute lands
+     on the op the kernel analyser starts from *)
+  (match target with
+  | Serial | Openmp _ ->
+    stage "cpu tile annotation" (fun () ->
+        ignore
+          (Fsc_lowering.Loop_tiling.annotate_cpu ~l2_kb:options.opt_l2_kb
+             stencil_m))
+  | Gpu _ -> ());
   let kernels =
     Fsc_dialects.Func.all_functions stencil_m
     |> List.filter_map (fun f ->
@@ -304,7 +359,7 @@ let compile options src =
 (* The impure back half: host interpreted, kernels compiled where
    possible, pool/device allocated per target. Works identically on a
    freshly compiled artifact and on one re-parsed from the cache. *)
-let link ca =
+let link ?(engine = Engine_vector) ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
   let ctx = Interp.create_context () in
@@ -329,7 +384,7 @@ let link ca =
         Fsc_dialects.Func.all_functions ca.ca_stencil
         |> List.filter (fun f ->
                List.mem (Fsc_dialects.Func.name f) ca.ca_kernels)
-        |> List.map (register_kernel ~target ~pool ctx))
+        |> List.map (register_kernel ~engine ~target ~pool ctx))
   in
   register_gpu_data ctx ca.ca_managed;
   { a_host = ca.ca_host; a_stencil = Some ca.ca_stencil;
@@ -340,11 +395,11 @@ let link ca =
    kernel-name counter for reproducible names — which is why [compile]
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
-let stencil ?target ?tile_sizes ?merge ?specialize src =
+let stencil ?target ?tile_sizes ?merge ?specialize ?engine src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  (link ca, ca.ca_stats)
+  (link ?engine ca, ca.ca_stats)
 
 (* -------------------- execution -------------------- *)
 

@@ -28,10 +28,31 @@ val target_name : target -> string
     pool sizes because the pool is only created at {!link} time. *)
 val target_kind : target -> string
 
+(** Which execution tier runs compiled kernels on CPU targets. The
+    engine is link-time state (like the pool size): it never changes the
+    compiled IR, so it is not part of {!options} or the cache key. GPU
+    targets always execute through the closure engine on the simulator's
+    device twins. *)
+type exec_engine =
+  | Engine_interp  (** force the tree-walking interpreter *)
+  | Engine_closure  (** {!Fsc_rt.Kernel_compile}'s per-cell closure JIT *)
+  | Engine_vector
+      (** {!Fsc_rt.Kernel_bytecode}'s row engine; per-nest automatic
+          fallback to the closure engine outside the vectorisable
+          shape *)
+
+val engine_name : exec_engine -> string
+
+(** Inverse of {!engine_name}; [None] for unknown spellings. *)
+val engine_of_name : string -> exec_engine option
+
 (** How a kernel is executed at runtime. *)
 type kernel_impl =
   | Compiled of Fsc_rt.Kernel_compile.spec
       (** closure-compiled fast path *)
+  | Vectorised of Fsc_rt.Kernel_compile.spec * Fsc_rt.Kernel_bytecode.plan
+      (** row-vectorised engine (inspect the plan for per-nest
+          fallbacks) *)
   | Interpreted of string  (** fallback, with the analyser's reason *)
 
 type artifact = {
@@ -58,6 +79,9 @@ type options = {
   opt_tile_sizes : int list;  (** GPU pipeline tiling (paper: 32,32,1) *)
   opt_merge : bool;  (** ablation: stencil merging *)
   opt_specialize : bool;  (** ablation: loop specialisation *)
+  opt_l2_kb : int;
+      (** per-core cache budget (KB) driving the ["cpu_tile"] nest
+          annotations the vector engine blocks by *)
 }
 
 val default_options :
@@ -65,6 +89,7 @@ val default_options :
   ?tile_sizes:int list ->
   ?merge:bool ->
   ?specialize:bool ->
+  ?l2_kb:int ->
   unit ->
   options
 
@@ -95,10 +120,12 @@ val compile : options -> string -> compiled_artifact
 
 (** Impure back half: create the interpreter context, register the host
     and stencil modules, allocate the OpenMP pool / GPU simulator for
-    the artifact's target, and closure-JIT each kernel (falling back to
-    the interpreter outside the supported shape). Safe to call several
-    times on one artifact; each call yields an independent runnable. *)
-val link : compiled_artifact -> artifact
+    the artifact's target, and compile each kernel for [engine]
+    (default {!Engine_vector}; falls back to the interpreter outside
+    the analysable shape, and per nest to the closure engine outside
+    the vectorisable shape). Safe to call several times on one
+    artifact; each call yields an independent runnable. *)
+val link : ?engine:exec_engine -> compiled_artifact -> artifact
 
 (** The full stencil pipeline: {!compile} then {!link}. [merge] and
     [specialize] default to [true] and exist for ablation studies;
@@ -109,6 +136,7 @@ val stencil :
   ?tile_sizes:int list ->
   ?merge:bool ->
   ?specialize:bool ->
+  ?engine:exec_engine ->
   string ->
   artifact * stencil_stats
 

@@ -11,3 +11,12 @@ open Fsc_ir
 val run : tile_sizes:int list -> Op.op -> unit
 
 val pass : tile_sizes:int list -> Pass.t
+
+(** CPU-side cache-tile annotation: marks every top-level loop nest of
+    every kernel with a ["cpu_tile"] attribute — the number of innermost
+    rows whose working set (across all buffer arguments) fits in half of
+    [l2_kb] KB of cache. Read by the vector execution engine
+    ([Fsc_rt.Kernel_bytecode]) to block its outer loops; the driver
+    supplies [l2_kb] from the machine model. Returns the number of nests
+    annotated. *)
+val annotate_cpu : l2_kb:int -> Op.op -> int

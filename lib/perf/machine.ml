@@ -24,6 +24,30 @@ let archer2_node =
     core_flops = 36.0e9 (* 2.25 GHz x 16 dp flops/cycle *);
     numa_bw = 48.0e9; core_bw = 15.0e9 }
 
+(* Per-core cache hierarchy, the input to the CPU executor's cache
+   blocking: the vector engine tiles outer loops so a tile's working
+   set (rows x arrays touched) stays within half the per-core L2. *)
+type cache_hierarchy = {
+  ch_l1_kb : int;  (* per-core L1d *)
+  ch_l2_kb : int;  (* per-core private L2 *)
+  ch_l3_kb : int;  (* shared LLC slice *)
+}
+
+(* AMD EPYC 7742 (Rome): 32 KB L1d + 512 KB L2 per core, 16 MB L3 per
+   CCX. *)
+let archer2_cache = { ch_l1_kb = 32; ch_l2_kb = 512; ch_l3_kb = 16384 }
+
+(* Conservative figure for the host actually running the benchmarks:
+   512 KB private L2 is the common denominator of current x86 server
+   parts; the tile heuristic only needs the order of magnitude. *)
+let host_cache = archer2_cache
+
+(* Rows of [row_bytes] bytes per cache tile so that [arrays] arrays'
+   worth of tile working set fits in half the L2 (the other half is
+   left to the streaming stores and prefetch). *)
+let tile_rows ~cache ~row_bytes ~arrays =
+  max 1 (cache.ch_l2_kb * 1024 / 2 / max 1 (row_bytes * max 1 arrays))
+
 type network = {
   nw_name : string;
   latency : float;       (* s per message *)

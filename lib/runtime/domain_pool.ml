@@ -1,26 +1,69 @@
 (* Work-sharing pool over OCaml domains: the OpenMP runtime of this
-   substrate. A pool of [size] worker domains executes chunked
-   parallel-for loops; the calling domain acts as worker 0. *)
+   substrate. A pool of [size] persistent worker domains executes
+   parallel-for loops; the calling domain acts as worker 0.
+
+   Scheduling is guided work-stealing rather than a single shared index:
+   the range is pre-split into one contiguous segment per worker, each
+   worker claims geometrically shrinking chunks off its own segment's
+   atomic cursor, and a worker that drains its segment steals chunks
+   from the other segments. This keeps chunk claiming mostly
+   uncontended, preserves locality (each worker sweeps one contiguous
+   slab), and rebalances automatically when the per-chunk cost is skewed
+   — the failure mode of the previous fixed [range / (size * 4)]
+   chunking. *)
 
 module Obs = Fsc_obs.Obs
 
 (* Utilisation counters: "caller" chunks are executed by the domain that
-   issued the parallel_for, "worker" chunks were stolen off the shared
-   index by pool workers. caller >> worker means the range was too small
-   (or the workers too slow to wake) for the pool to help. *)
+   issued the parallel_for, "worker" chunks by pool workers, "steals"
+   counts chunks executed off another worker's segment. caller >> worker
+   means the range was too small (or the workers too slow to wake) for
+   the pool to help; a large steal count means the load was skewed. *)
 let c_parallel_for = Obs.counter "pool.parallel_for"
 let c_serial_for = Obs.counter "pool.serial_for"
 let c_caller_chunks = Obs.counter "pool.chunks.caller"
 let c_worker_chunks = Obs.counter "pool.chunks.worker"
+let c_steals = Obs.counter "pool.steals"
+
+(* A reusable phase barrier: [await] blocks until all [parties] arrive,
+   then releases the phase together. Generation-counted so it can be
+   reused across parallel_for invocations without re-allocation. *)
+module Barrier = struct
+  type t = {
+    b_mutex : Mutex.t;
+    b_cond : Condition.t;
+    b_parties : int;
+    mutable b_count : int;
+    mutable b_phase : int;
+  }
+
+  let create parties =
+    { b_mutex = Mutex.create (); b_cond = Condition.create ();
+      b_parties = parties; b_count = 0; b_phase = 0 }
+
+  let await b =
+    Mutex.lock b.b_mutex;
+    b.b_count <- b.b_count + 1;
+    if b.b_count = b.b_parties then begin
+      b.b_count <- 0;
+      b.b_phase <- b.b_phase + 1;
+      Condition.broadcast b.b_cond
+    end
+    else begin
+      let phase = b.b_phase in
+      while b.b_phase = phase do
+        Condition.wait b.b_cond b.b_mutex
+      done
+    end;
+    Mutex.unlock b.b_mutex
+end
 
 type task = {
   t_body : int -> int -> unit; (* lo, hi (exclusive) *)
-  t_lo : int;
-  t_hi : int;
-  t_chunk : int;
-  t_next : int Atomic.t;
-  t_remaining : int Atomic.t;
-  t_done : Mutex.t * Condition.t;
+  (* per-worker segment cursors and (exclusive) segment ends *)
+  t_pos : int Atomic.t array;
+  t_end : int array;
+  t_min_chunk : int;
 }
 
 type t = {
@@ -29,23 +72,61 @@ type t = {
   work : task option ref;
   work_mutex : Mutex.t;
   work_cond : Condition.t;
+  barrier : Barrier.t;
   mutable generation : int;
   mutable shutdown : bool;
 }
 
-let run_chunks chunk_counter task =
+(* Claim the next chunk from segment [seg]: a quarter of what remains,
+   never below the task's minimum chunk. fetch_and_add may over-claim
+   past the segment end when racing a thief; the claimed window is
+   clipped, so every index is still executed exactly once. *)
+let claim task seg =
+  let pos = Array.unsafe_get task.t_pos seg in
+  let seg_end = Array.unsafe_get task.t_end seg in
+  let cur = Atomic.get pos in
+  if cur >= seg_end then None
+  else begin
+    let remaining = seg_end - cur in
+    let c = max task.t_min_chunk ((remaining + 3) / 4) in
+    let lo = Atomic.fetch_and_add pos c in
+    if lo >= seg_end then None else Some (lo, min (lo + c) seg_end)
+  end
+
+let drain task seg counter =
   let rec go () =
-    let i = Atomic.fetch_and_add task.t_next task.t_chunk in
-    if i < task.t_hi then begin
-      let hi = min (i + task.t_chunk) task.t_hi in
-      Obs.incr chunk_counter;
-      task.t_body i hi;
+    match claim task seg with
+    | Some (lo, hi) ->
+      Obs.incr counter;
+      task.t_body lo hi;
       go ()
-    end
+    | None -> ()
   in
   go ()
 
-let worker_loop pool () =
+(* Own segment first, then sweep the other segments stealing chunks
+   until one full sweep finds no work anywhere. *)
+let run_task ~self task =
+  let n = Array.length task.t_pos in
+  drain task self (if self = 0 then c_caller_chunks else c_worker_chunks);
+  if n > 1 then begin
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      for k = 1 to n - 1 do
+        let victim = (self + k) mod n in
+        match claim task victim with
+        | Some (lo, hi) ->
+          progressed := true;
+          Obs.incr c_steals;
+          task.t_body lo hi;
+          drain task victim c_steals
+        | None -> ()
+      done
+    done
+  end
+
+let worker_loop pool self () =
   let seen = ref 0 in
   let rec loop () =
     Mutex.lock pool.work_mutex;
@@ -59,12 +140,8 @@ let worker_loop pool () =
       Mutex.unlock pool.work_mutex;
       (match task with
       | Some task ->
-        run_chunks c_worker_chunks task;
-        let m, c = task.t_done in
-        Mutex.lock m;
-        if Atomic.fetch_and_add task.t_remaining (-1) = 1 then
-          Condition.broadcast c;
-        Mutex.unlock m
+        run_task ~self task;
+        Barrier.await pool.barrier
       | None -> ());
       loop ()
     end
@@ -75,10 +152,11 @@ let create size =
   let size = max 1 size in
   let pool =
     { size; workers = [||]; work = ref None; work_mutex = Mutex.create ();
-      work_cond = Condition.create (); generation = 0; shutdown = false }
+      work_cond = Condition.create (); barrier = Barrier.create size;
+      generation = 0; shutdown = false }
   in
   pool.workers <-
-    Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+    Array.init (size - 1) (fun i -> Domain.spawn (worker_loop pool (i + 1)));
   pool
 
 let shutdown pool =
@@ -90,41 +168,35 @@ let shutdown pool =
   pool.workers <- [||]
 
 (* Parallel for over [lo, hi): [body lo' hi'] must handle any subrange.
-   Chunk size defaults to a fraction of the range per worker. *)
+   [chunk] is the minimum chunk granularity (clamped to >= 1); workers
+   claim geometrically shrinking chunks down to that floor. Ranges too
+   small to give every participant at least two indices run inline. *)
 let parallel_for ?chunk pool ~lo ~hi body =
   if hi <= lo then ()
-  else if pool.size = 1 || hi - lo = 1 then begin
+  else if pool.size = 1 || hi - lo < pool.size * 2 then begin
     Obs.incr c_serial_for;
     body lo hi
   end
   else begin
     Obs.incr c_parallel_for;
     let range = hi - lo in
-    let chunk =
-      match chunk with
-      | Some c -> max 1 c
-      | None -> max 1 (range / (pool.size * 4))
-    in
+    let min_chunk = match chunk with Some c -> max 1 c | None -> 1 in
+    let n = pool.size in
+    let seg_start i = lo + (i * range / n) in
     let task =
-      { t_body = body; t_lo = lo; t_hi = hi; t_chunk = chunk;
-        t_next = Atomic.make lo;
-        t_remaining = Atomic.make pool.size;
-        t_done = (Mutex.create (), Condition.create ()) }
+      { t_body = body;
+        t_pos = Array.init n (fun i -> Atomic.make (seg_start i));
+        t_end = Array.init n (fun i -> seg_start (i + 1));
+        t_min_chunk = min_chunk }
     in
     Mutex.lock pool.work_mutex;
     pool.work := Some task;
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work_cond;
     Mutex.unlock pool.work_mutex;
-    (* the caller participates as a worker *)
-    run_chunks c_caller_chunks task;
-    let m, c = task.t_done in
-    Mutex.lock m;
-    if Atomic.fetch_and_add task.t_remaining (-1) > 1 then
-      while Atomic.get task.t_remaining > 0 do
-        Condition.wait c m
-      done;
-    Mutex.unlock m
+    (* the caller participates as worker 0 *)
+    run_task ~self:0 task;
+    Barrier.await pool.barrier
   end
 
 (* A lazily created default pool sized to the machine. *)

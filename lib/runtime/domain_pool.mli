@@ -1,6 +1,11 @@
 (** Work-sharing pool over OCaml domains: the OpenMP runtime of this
-    substrate. A pool of [size] workers executes chunked parallel-for
-    loops; the calling domain participates as a worker. *)
+    substrate. A pool of [size] persistent workers executes parallel-for
+    loops with guided work-stealing (per-worker contiguous segments,
+    geometrically shrinking chunk claims, chunk stealing from other
+    segments when a worker's own segment is drained); the calling domain
+    participates as worker 0. Scheduling activity is visible through the
+    [pool.*] Obs counters ([pool.chunks.caller], [pool.chunks.worker],
+    [pool.steals]). *)
 
 type t
 
@@ -13,8 +18,10 @@ val shutdown : t -> unit
 
 (** [parallel_for pool ~lo ~hi body] work-shares [lo, hi): [body lo' hi']
     is invoked on disjoint chunks covering the range, concurrently across
-    the pool. Blocks until every chunk completed. [chunk] overrides the
-    default chunk size of [range / (size * 4)]. *)
+    the pool. Blocks until every chunk completed. [chunk] sets the
+    minimum chunk granularity (clamped to [>= 1]); workers claim
+    geometrically shrinking chunks down to that floor. Ranges smaller
+    than twice the pool size run inline on the caller. *)
 val parallel_for :
   ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 

@@ -1,0 +1,67 @@
+(** Row-at-a-time vectorised execution engine for compiled stencil
+    kernels — the tier above {!Kernel_compile}'s closure JIT.
+
+    Each nest's statements compile once into either a fused fast path
+    (weighted-sum rows, copy rows) or a small register bytecode whose
+    instructions each run as one tight loop over the innermost row.
+    Outer sequential dimensions execute in cache tiles of consecutive
+    rows (sized by the ["cpu_tile"] annotation, falling back to an L2
+    heuristic), and the leading parallel loop levels are flattened and
+    work-shared over the {!Domain_pool}.
+
+    Results are bitwise identical to the closure engine: no float
+    reassociation (only syntactically left-leaning add/sub chains are
+    flattened, accumulated in source order), and nests whose statements
+    read a buffer the nest writes — where row batching could change the
+    read/write interleaving — fall back to the closure engine, as do
+    unsupported shapes (compile time) and accesses provably outside a
+    buffer (bind time). Fallbacks are visible per nest via {!summary} /
+    {!fallbacks} and counted on the ["rt.vector.fallbacks"] Obs
+    counter; execution volume appears on ["rt.vector.rows"] and
+    ["rt.vector.tiles"]. *)
+
+module Kc = Kernel_compile
+
+(** A compiled execution plan for one kernel (every nest, in order). *)
+type plan
+
+(** How one nest compiled. [N_vector kinds] lists the per-statement row
+    shapes (["copy"], ["wsum"] or ["expr"]); [N_scalar reason] means the
+    nest runs on the closure engine. *)
+type nest_compile =
+  | N_vector of string list
+  | N_scalar of string
+
+(** Compile every nest of a kernel spec. Never fails: unsupported nests
+    become closure-engine fallbacks recorded in the plan. *)
+val compile_spec : Kc.spec -> plan
+
+(** The spec this plan was compiled from. *)
+val spec : plan -> Kc.spec
+
+(** Per-nest compilation outcome, in nest order. *)
+val summary : plan -> nest_compile list
+
+(** [(nest index, reason)] for every nest that fell back at compile
+    time. *)
+val fallbacks : plan -> (int * string) list
+
+val nest_count : plan -> int
+val vectorised_nests : plan -> int
+
+(** Execute the whole kernel: every nest in order, vectorised where the
+    plan allows and on the closure engine otherwise. Parallel nests are
+    work-shared over [pool] when given.
+    @raise Kc.Fallback on mismatched buffer extents (as {!Kc.run}). *)
+val run :
+  plan ->
+  ?pool:Domain_pool.t ->
+  bufs:Memref_rt.t array ->
+  scalars:float array ->
+  unit ->
+  unit
+
+(** Default rows-per-tile heuristic used when a nest carries no
+    ["cpu_tile"] annotation (half of a nominal L2 across [arrays]
+    buffers of [row_bytes]-byte rows). Exposed for tests. *)
+val default_tile_rows : row_bytes:int -> arrays:int -> int

@@ -51,6 +51,7 @@ type nest = {
   n_uses_iv : bool;         (* body reads induction values (F_ivf) *)
   n_flops_per_cell : int;
   n_loads_per_cell : int;
+  n_tile : int list;        (* cpu_tile annotation: rows per cache tile *)
 }
 
 type spec = {
@@ -112,9 +113,10 @@ let analyze_nest ~arg_class top_op =
     List.iteri
       (fun i lb ->
         let level = List.length !loops in
+        (* prepended (reversed) to stay linear; re-ordered once below *)
         loops :=
-          !loops
-          @ [ (level, const_exn lb, const_exn (List.nth ubs i), true, 1) ];
+          (level, const_exn lb, const_exn (List.nth ubs i), true, 1)
+          :: !loops;
         Hashtbl.replace iv_level (Op.block_arg ~index:i body).Op.v_id level)
       lbs;
     body
@@ -137,7 +139,7 @@ let analyze_nest ~arg_class top_op =
       in
       let body = Fsc_dialects.Scf.body_block op in
       let level = List.length !loops in
-      loops := !loops @ [ (level, lb, ub, false, width) ];
+      loops := (level, lb, ub, false, width) :: !loops;
       Hashtbl.replace iv_level (Op.block_arg ~index:0 body).Op.v_id level;
       descend_block body
     | name -> fallback "unexpected op %s in loop nest" name
@@ -274,10 +276,12 @@ let analyze_nest ~arg_class top_op =
             List.map index_form
               (List.filteri (fun i _ -> i >= 2) (Op.operands op))
           in
+          (* prepended (reversed): appending with [@] per statement is
+             quadratic in the statement count; re-ordered once below *)
           stores :=
-            !stores
-            @ [ { st_buf = bi; st_index = idxs;
-                  st_expr = expr_of (Op.operand ~index:0 op) } ]
+            { st_buf = bi; st_index = idxs;
+              st_expr = expr_of (Op.operand ~index:0 op) }
+            :: !stores
         | None -> fallback "store to non-argument buffer")
       | "memref.load" | "arith.constant" | "scf.yield" -> ()
       | name
@@ -286,7 +290,8 @@ let analyze_nest ~arg_class top_op =
         ()
       | name -> fallback "unsupported op %s in body" name)
     (Op.block_ops body_block);
-  if !stores = [] then fallback "nest has no stores";
+  let stores = List.rev !stores in
+  if stores = [] then fallback "nest has no stores";
   let depth = List.length !loops in
   let level_dim = Array.make depth (-1) in
   List.iter
@@ -300,19 +305,28 @@ let analyze_nest ~arg_class top_op =
             level_dim.(l) <- d
           | Cst _ -> fallback "constant store index")
         st.st_index)
-    !stores;
+    stores;
   Array.iteri
     (fun l d -> if d < 0 then fallback "loop level %d unused in stores" l)
     level_dim;
   let loop_specs =
-    List.map
+    List.rev_map
       (fun (level, lb, ub, par, width) ->
         { l_level = level; l_dim = level_dim.(level); l_lb = lb; l_ub = ub;
           l_parallel = par; l_vector_width = width })
       !loops
   in
-  { n_loops = loop_specs; n_stores = !stores; n_uses_iv = !uses_iv;
-    n_flops_per_cell = !flops; n_loads_per_cell = !loads }
+  let tile =
+    match Op.attr top_op "cpu_tile" with
+    | Some (Attr.Arr_a l) ->
+      List.filter_map
+        (function Attr.Int_a n -> Some n | _ -> None)
+        l
+    | Some (Attr.Int_a n) -> [ n ]
+    | _ -> []
+  in
+  { n_loops = loop_specs; n_stores = stores; n_uses_iv = !uses_iv;
+    n_flops_per_cell = !flops; n_loads_per_cell = !loads; n_tile = tile }
 
 let analyze func =
   let entry = Fsc_dialects.Func.entry_block func in

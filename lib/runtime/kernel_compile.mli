@@ -49,6 +49,9 @@ type nest = {
   n_uses_iv : bool;  (** body reads induction values *)
   n_flops_per_cell : int;
   n_loads_per_cell : int;
+  n_tile : int list;
+      (** rows-per-cache-tile hint from the ["cpu_tile"] annotation set by
+          {!Fsc_lowering.Loop_tiling.annotate_cpu}; [[]] when absent *)
 }
 
 type spec = {
@@ -71,6 +74,17 @@ val try_analyze : Op.op -> (spec, string) result
 (** Is this nest's innermost loop specialised (enabling bounds-check-free
     accesses and unrolling)? *)
 val nest_specialized : nest -> bool
+
+(** Shared helpers for alternative execution engines
+    ({!Kernel_bytecode}): validate that all buffers share extents and
+    return their stride vector.
+    @raise Fallback on mismatched buffer extents. *)
+val check_buffers : Memref_rt.t array -> int array
+
+(** Constant flat-offset delta of an index-form list under [strides]
+    (the per-dimension constant offsets; induction contributions are
+    added separately from the loop bases). *)
+val delta_of : int array -> index_form list -> int
 
 (** Execute one nest. *)
 val run_nest :

@@ -186,28 +186,39 @@ let gen_program =
 
 (* ---------------- the property ---------------- *)
 
-let run_both p =
+(* Run every execution engine against the naive FIR reference; all
+   three must be bitwise identical to it (and therefore to each
+   other). Returns the engines that disagreed. *)
+let run_engines p =
   let src = program_to_fortran p in
   let outs = List.map (fun nst -> nst.n_out) p.p_nests in
   let reference = P.flang_only src in
   P.run reference;
-  let a, _ = P.stencil ~target:P.Serial src in
-  P.run a;
-  let ok =
+  let agrees engine =
+    let a, _ = P.stencil ~target:P.Serial ~engine src in
+    P.run a;
     List.for_all
       (fun name ->
         Rt.max_abs_diff (P.buffer_exn reference name) (P.buffer_exn a name)
         = 0.0)
       outs
   in
-  (ok, src)
+  let bad =
+    List.filter_map
+      (fun (name, engine) -> if agrees engine then None else Some name)
+      [ ("interp", P.Engine_interp); ("closure", P.Engine_closure);
+        ("vector", P.Engine_vector) ]
+  in
+  (bad, src)
 
 let prop_pipeline_matches_reference =
-  QCheck.Test.make ~name:"random programs: stencil pipeline == naive FIR"
-    ~count:60 (QCheck.make gen_program) (fun p ->
-      let ok, src = run_both p in
-      if not ok then
-        QCheck.Test.fail_reportf "grids differ for program:\n%s" src;
+  QCheck.Test.make
+    ~name:"random programs: every engine == naive FIR, bitwise" ~count:60
+    (QCheck.make gen_program) (fun p ->
+      let bad, src = run_engines p in
+      if bad <> [] then
+        QCheck.Test.fail_reportf "engines [%s] differ for program:\n%s"
+          (String.concat ", " bad) src;
       true)
 
 let prop_openmp_matches_reference =

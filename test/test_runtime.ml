@@ -67,6 +67,42 @@ let test_pool_reuse () =
       done;
       Alcotest.(check int) "all iterations ran" 5000 (Atomic.get total))
 
+(* Small ranges (hi - lo < size * 4, i.e. fewer than a few chunks per
+   worker) used to divide into zero-sized default chunks; they must
+   cover every index exactly once whether they run inline or through
+   the workers. *)
+let test_parallel_for_small_ranges () =
+  DP.with_pool 4 (fun pool ->
+      for n = 0 to 16 do
+        let hits = Array.make (max n 1) 0 in
+        DP.parallel_for pool ~lo:0 ~hi:n (fun lo hi ->
+            for i = lo to hi - 1 do
+              hits.(i) <- hits.(i) + 1
+            done);
+        for i = 0 to n - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "n=%d index %d exactly once" n i)
+            1 hits.(i)
+        done
+      done)
+
+(* degenerate chunk requests are clamped to a sane minimum, never an
+   infinite loop or skipped work *)
+let test_parallel_for_chunk_clamped () =
+  DP.with_pool 2 (fun pool ->
+      List.iter
+        (fun chunk ->
+          let hits = Array.make 100 0 in
+          DP.parallel_for pool ~chunk ~lo:0 ~hi:100 (fun lo hi ->
+              for i = lo to hi - 1 do
+                hits.(i) <- hits.(i) + 1
+              done);
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk=%d covers exactly once" chunk)
+            true
+            (Array.for_all (fun c -> c = 1) hits))
+        [ 0; -5; 1; 1000 ])
+
 let prop_parallel_sum =
   QCheck.Test.make ~name:"parallel_for sums equal serial" ~count:30
     QCheck.(pair (int_range 1 4) (int_range 0 5000))
@@ -209,6 +245,10 @@ let () =
          Alcotest.test_case "empty and single" `Quick
            test_parallel_for_empty_and_single;
          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+         Alcotest.test_case "small ranges" `Quick
+           test_parallel_for_small_ranges;
+         Alcotest.test_case "chunk clamped" `Quick
+           test_parallel_for_chunk_clamped;
          QCheck_alcotest.to_alcotest prop_parallel_sum ]);
       ("gpu-sim",
        [ Alcotest.test_case "residency and views" `Quick
