@@ -35,7 +35,8 @@ let ( let* ) = Result.bind
    genuine internal error and keeps propagating. *)
 let with_diagnostics file f =
   try f () with
-  | P.Error_diag d -> Error (`Msg (Diag.render ~file d))
+  | P.Error_diag d | Fsc_dmp.Decomp.Invalid_decomp d ->
+    Error (`Msg (Diag.render ~file d))
   | e -> (
     match Check.diag_of_frontend_exn e with
     | Some d -> Error (`Msg (Diag.render ~file d))
@@ -64,8 +65,9 @@ let target_arg =
     & opt (some target_conv) None
     & info [ "target"; "t" ] ~docv:"TARGET"
         ~doc:
-          "Execution target: serial (default), openmp, gpu-initial or \
-           gpu-optimised.")
+          "Execution target: serial (default), openmp, gpu-initial, \
+           gpu-optimised or dist (distributed-memory over simulated \
+           MPI; see --ranks).")
 
 let threads_arg =
   Arg.(
@@ -80,6 +82,43 @@ let threads_arg =
    the job protocol reject the same nonsense the same way. *)
 let resolve_target target threads =
   Result.map_error (fun e -> `Msg e) (Svc.resolve_target target threads)
+
+let ranks_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "ranks" ] ~docv:"N"
+        ~doc:
+          "Simulated MPI rank count for the dist target (default 4). \
+           Requires --target dist.")
+
+let dist_mode_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("overlap", Fsc_dmp.Dist_exec.Overlap);
+             ("blocking", Fsc_dmp.Dist_exec.Blocking) ])
+        Fsc_dmp.Dist_exec.Overlap
+    & info [ "dist-mode" ] ~docv:"MODE"
+        ~doc:
+          "Halo-exchange superstep shape for the dist target: overlap \
+           (default; interior computed while halos are in flight) or \
+           blocking (exchange completes before the sweep starts).")
+
+(* [--ranks] refines the dist target the same way [--threads] refines
+   openmp; pairing it with any other target is an error, not a no-op. *)
+let apply_ranks target ranks =
+  match (target, ranks) with
+  | _, Some n when n < 1 ->
+    Error (`Msg (Printf.sprintf "ranks must be >= 1 (got %d)" n))
+  | P.Dist _, Some n -> Ok (P.Dist n)
+  | t, None -> Ok t
+  | t, Some _ ->
+    Error
+      (`Msg
+         (Printf.sprintf "ranks only apply to the dist target (target is %s)"
+            (P.target_name t)))
 
 let engine_arg =
   Arg.(
@@ -102,6 +141,9 @@ let engine_arg =
 let impl_description = function
   | P.Compiled _ -> "compiled (closure engine)"
   | P.Interpreted r -> "interpreted (" ^ r ^ ")"
+  | P.Distributed spec ->
+    Printf.sprintf "distributed (%d nest(s), SPMD over simulated ranks)"
+      (List.length spec.Fsc_rt.Kernel_compile.k_nests)
   | P.Vectorised (_, plan) -> (
     let base =
       Printf.sprintf "vectorised (%d/%d nests)" (Kb.vectorised_nests plan)
@@ -310,9 +352,58 @@ let compile_cmd =
 
 (* ---- run ---- *)
 
+(* Distributed-runtime lines under [run --stats]: measured traffic per
+   buffer group, run/stage mix, vector utilisation, and the Figure-6
+   model's projected throughput for the same rank count. *)
+let print_dist_stats dst =
+  let module Dk = Fsc_dmp.Dist_kernel in
+  let s = Dk.stats dst in
+  Printf.eprintf "dist: %d ranks, %s supersteps, %s engine\n" s.Dk.ds_ranks
+    (Fsc_dmp.Dist_exec.mode_name s.Dk.ds_mode)
+    (Dk.engine_name s.Dk.ds_engine);
+  Printf.eprintf
+    "dist: %d distributed runs, %d host fallbacks, %d overlap / %d \
+     blocking stages\n"
+    s.Dk.ds_dist_runs s.Dk.ds_fallback_runs s.Dk.ds_overlap_stages
+    s.Dk.ds_blocking_stages;
+  if s.Dk.ds_total_nests > 0 then
+    Printf.eprintf "dist: vector engine on %d/%d per-rank nests\n"
+      s.Dk.ds_vec_nests s.Dk.ds_total_nests;
+  List.iter
+    (fun g ->
+      let dims =
+        String.concat "x" (List.map string_of_int g.Dk.gs_dims)
+      in
+      Printf.eprintf
+        "dist: group %-10s %dx%d grid, %d msgs, %d kB halo traffic\n" dims
+        g.Dk.gs_py g.Dk.gs_pz g.Dk.gs_msgs
+        (g.Dk.gs_bytes / 1024);
+      (* project the same decomposition through the Figure-6 network
+         model (interior extents; halo planes are not model cells) *)
+      match g.Dk.gs_dims with
+      | ([ _; _; _ ] | [ _; _ ]) when s.Dk.ds_dist_runs > 0 ->
+        let global =
+          match g.Dk.gs_dims with
+          | [ d0; d1; d2 ] -> (d0 - 2, d1 - 2, d2 - 2)
+          | [ d0; d1 ] -> (d0 - 2, d1 - 2, 1)
+          | _ -> assert false
+        in
+        let m =
+          Fsc_perf.Net_model.mcells ~variant:Fsc_perf.Net_model.Auto_dmp
+            ~global ~ranks:s.Dk.ds_ranks ()
+        in
+        Printf.eprintf
+          "dist: model projects %.1f MCells/s at %d ranks (ARCHER2, auto \
+           DMP)\n"
+          m s.Dk.ds_ranks
+      | _ -> ())
+    s.Dk.ds_groups
+
 let run_cmd =
-  let run file target threads engine cache_flag cache_dir stats trace =
+  let run file target threads ranks dist_mode engine cache_flag cache_dir
+      stats trace =
     let* target = resolve_target target threads in
+    let* target = apply_ranks target ranks in
     let src = read_file file in
     setup_obs ~trace ~stats;
     let cache = make_cache ~default:false cache_flag cache_dir in
@@ -322,7 +413,7 @@ let run_cmd =
     let outcome =
       try
         let ca, cache_outcome = Cc.compile ?cache options src in
-        let a = P.link ~engine ca in
+        let a = P.link ~engine ~dist_mode ca in
         Fun.protect
           ~finally:(fun () -> P.shutdown a)
           (fun () ->
@@ -353,6 +444,7 @@ let run_cmd =
                   (s.Fsc_rt.Gpu_sim.s_bytes_h2d / 1024)
                   (s.Fsc_rt.Gpu_sim.s_bytes_d2h / 1024)
               | None -> ());
+              Option.iter print_dist_stats a.P.a_dist;
               List.iter
                 (fun (name, buf) ->
                   Printf.eprintf "grid %-12s checksum %.6f\n" name
@@ -365,7 +457,8 @@ let run_cmd =
             end);
         Ok ()
       with
-      | P.Error_diag d -> Error (`Msg (Diag.render ~file d))
+      | P.Error_diag d | Fsc_dmp.Decomp.Invalid_decomp d ->
+        Error (`Msg (Diag.render ~file d))
       | e -> (
         match Check.diag_of_frontend_exn e with
         | Some d -> Error (`Msg (Diag.render ~file d))
@@ -379,8 +472,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Compile and execute a Fortran program")
     Term.(
       term_result
-        (const run $ file_arg $ target_arg $ threads_arg $ engine_arg
-        $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
+        (const run $ file_arg $ target_arg $ threads_arg $ ranks_arg
+        $ dist_mode_arg $ engine_arg $ cache_flag $ cache_dir_arg
+        $ stats_arg $ trace_arg))
 
 (* ---- check ---- *)
 

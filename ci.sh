@@ -76,4 +76,46 @@ fi
 echo "bench smoke: BENCH_kernels.json well-formed, vector >= closure"
 rm -rf "$BENCHDIR"
 
+# Distributed-backend smoke: the dist target must reproduce the serial
+# grid checksums exactly, a rank count the grid cannot host must fail
+# with the located decomposition diagnostic, and the dist bench must
+# emit a well-formed BENCH_dmp.json (it exits nonzero when overlap
+# loses to blocking).
+serial_grids=$("$SFC" run examples/laplace.f90 --stats 2>&1 >/dev/null \
+  | grep '^grid')
+dist_grids=$("$SFC" run examples/laplace.f90 --target dist --ranks 4 \
+  --stats 2>&1 >/dev/null | grep '^grid')
+if [ "$serial_grids" != "$dist_grids" ]; then
+  echo "ci: dist checksums differ from serial"
+  printf 'serial:\n%s\ndist:\n%s\n' "$serial_grids" "$dist_grids"
+  exit 1
+fi
+if "$SFC" run examples/laplace.f90 --target dist --ranks 1000 \
+    >/dev/null 2>&1; then
+  echo "ci: 1000 ranks on a 12^3 grid should be rejected"
+  exit 1
+fi
+if ! "$SFC" run examples/laplace.f90 --target dist --ranks 1000 2>&1 \
+    | grep -q 'error\[decomp\]'; then
+  echo "ci: degenerate decomposition missing the located diagnostic"
+  exit 1
+fi
+echo "dist smoke: 4-rank run matches serial, degenerate ranks rejected"
+
+DISTDIR=$(mktemp -d)
+if ! (cd "$DISTDIR" && "$ROOT/_build/default/bench/main.exe" \
+    --dist --quick); then
+  echo "ci: dist bench failed (overlap < blocking or missing traffic)"
+  rm -rf "$DISTDIR"
+  exit 1
+fi
+if ! [ -s "$DISTDIR/BENCH_dmp.json" ] \
+    || ! grep -q '"overlap_vs_blocking"' "$DISTDIR/BENCH_dmp.json"; then
+  echo "ci: BENCH_dmp.json missing or malformed"
+  rm -rf "$DISTDIR"
+  exit 1
+fi
+echo "dist bench smoke: BENCH_dmp.json well-formed, overlap >= blocking"
+rm -rf "$DISTDIR"
+
 echo "ci: OK"

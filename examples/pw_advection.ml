@@ -59,7 +59,7 @@ let () =
   List.iter
     (fun (name, impl) ->
       match impl with
-      | P.Compiled spec | P.Vectorised (spec, _) ->
+      | P.Compiled spec | P.Vectorised (spec, _) | P.Distributed spec ->
         List.iter
           (fun nest ->
             Printf.printf

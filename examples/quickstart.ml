@@ -85,7 +85,10 @@ let () =
         | P.Vectorised (spec, _) ->
           Printf.sprintf "vectorised (%d loop nest(s))"
             (List.length spec.Fsc_rt.Kernel_compile.k_nests)
-        | P.Interpreted reason -> "interpreted (" ^ reason ^ ")"))
+        | P.Interpreted reason -> "interpreted (" ^ reason ^ ")"
+        | P.Distributed spec ->
+          Printf.sprintf "distributed (%d loop nest(s))"
+            (List.length spec.Fsc_rt.Kernel_compile.k_nests)))
     artifact.P.a_kernels;
   print_newline ();
   P.run artifact;

@@ -3,6 +3,15 @@
    outermost (non-contiguous) dimensions into a 2-D process grid, one MPI
    rank per core, with single-cell halos swapped every iteration. *)
 
+module Diag = Fsc_analysis.Diag
+
+exception Invalid_decomp of Diag.t
+
+let invalid fmt =
+  Printf.ksprintf
+    (fun msg -> raise (Invalid_decomp (Diag.error ~code:"decomp" msg)))
+    fmt
+
 type t = {
   global : int * int * int; (* interior extents nx, ny, nz *)
   py : int;                 (* ranks along y *)
@@ -19,9 +28,52 @@ let factorize p =
   done;
   !best
 
+(* A process grid only makes sense when every rank owns at least one
+   cell in each decomposed dimension: [split n p] with [p > n] yields
+   empty [lo > hi] ranges, which used to flow silently into halo
+   exchange and gather as degenerate zero-extent ranks. [create] now
+   picks the near-square divisor pair that *fits* the grid (py <= ny,
+   pz <= nz) and rejects with a typed diagnostic when none does. *)
 let create ~global ~ranks =
-  let py, pz = factorize ranks in
-  { global; py; pz }
+  let nx, ny, nz = global in
+  if ranks < 1 then invalid "ranks must be >= 1 (got %d)" ranks;
+  if nx < 1 || ny < 1 || nz < 1 then
+    invalid "grid extents must be >= 1 (got %dx%dx%d)" nx ny nz;
+  let fits =
+    List.filter_map
+      (fun py ->
+        if ranks mod py = 0 then
+          let pz = ranks / py in
+          if py <= ny && pz <= nz then Some (py, pz) else None
+        else None)
+      (List.init ranks (fun i -> i + 1))
+  in
+  (* closest-to-square first; on a tie prefer py <= pz, matching
+     [factorize]'s orientation *)
+  let better (py, pz) (py', pz') =
+    let d = abs (py - pz) and d' = abs (py' - pz') in
+    d < d' || (d = d' && py <= pz && py' > pz')
+  in
+  match fits with
+  | [] ->
+    raise
+      (Invalid_decomp
+         (Diag.errorf ~code:"decomp"
+            ~notes:
+              [ ( None,
+                  Printf.sprintf
+                    "each rank must own at least one cell per decomposed \
+                     dimension; at most %d ranks fit this grid"
+                    (ny * nz) ) ]
+            "cannot decompose a %dx%dx%d grid over %d ranks: no process \
+             grid py*pz = %d fits py <= ny (%d) and pz <= nz (%d)"
+            nx ny nz ranks ranks ny nz))
+  | first :: rest ->
+    let py, pz =
+      List.fold_left (fun best c -> if better c best then c else best)
+        first rest
+    in
+    { global; py; pz }
 
 let nranks d = d.py * d.pz
 
@@ -102,7 +154,11 @@ let check_partition d =
   let owned = Array.make ((ny + 1) * (nz + 1)) 0 in
   for r = 0 to nranks d - 1 do
     let (xl, xh), (yl, yh), (zl, zh) = local_range d r in
-    if xl <> 1 || xh <> nx then failwith "x dimension must not be decomposed";
+    if xl <> 1 || xh <> nx then
+      invalid
+        "x dimension must not be decomposed (rank %d owns x range \
+         %d..%d of 1..%d)"
+        r xl xh nx;
     for z = zl to zh do
       for y = yl to yh do
         owned.(((z - 1) * ny) + (y - 1)) <-

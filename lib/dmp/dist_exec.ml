@@ -1,16 +1,58 @@
-(* Functional SPMD executor: runs a 3-D halo-exchange computation over a
+(* Concurrent SPMD executor: runs a halo-exchange computation over a
    [Decomp.t] with simulated MPI, validating that the auto-parallelised
    pipeline computes the same grid as serial execution. Local grids carry
    one-cell halos in the decomposed (y, z) dimensions; the x dimension is
-   never decomposed (it is the contiguous one). *)
+   never decomposed (it is the contiguous one).
 
-module A1 = Bigarray.Array1
+   Ranks execute in parallel on a [Domain_pool]: each superstep phase is
+   a parallel-for over ranks, and the pool join between phases is the
+   rendezvous barrier that makes every send of one phase visible to every
+   receive of the next (the mailboxes themselves are mutex-guarded, so
+   cross-worker posting is safe).
+
+   Two superstep disciplines, selected per call:
+
+   - [Blocking] mirrors the paper's non-overlapped DMP lowering: all
+     halo sends complete, then all receives complete, then every rank
+     sweeps its whole local interior — three rendezvous per superstep,
+     with every rank idle while messages move.
+   - [Overlap] computes the interior block (which reads no halo cell)
+     concurrently with the exchange, then finishes the four boundary
+     shells once the halos have landed — two rendezvous, compute hiding
+     the communication phase. A rank whose local block is too thin to
+     have an interior ([ly < 3] or [lz < 3]) falls back to the blocking
+     whole-sweep for that superstep, counted in [dmp.fallbacks]. *)
+
 module Mpi = Fsc_rt.Mpi_sim
 module Rt = Fsc_rt.Memref_rt
+module Pool = Fsc_rt.Domain_pool
+module Obs = Fsc_obs.Obs
+
+let c_msgs = Obs.counter "dmp.msgs"
+let c_bytes = Obs.counter "dmp.bytes"
+let c_overlap_hits = Obs.counter "dmp.overlap_hits"
+let c_fallbacks = Obs.counter "dmp.fallbacks"
+
+type mode =
+  | Blocking
+  | Overlap
+
+let mode_name = function
+  | Blocking -> "blocking"
+  | Overlap -> "overlap"
+
+(* A sub-range of one rank's local interior, in local 1-based interior
+   coordinates (j over y, k over z; 2-D fields have k = 1..1). *)
+type window = {
+  w_jlo : int;
+  w_jhi : int;
+  w_klo : int;
+  w_khi : int;
+}
 
 type rank_state = {
   rs_rank : int;
-  rs_fields : (string * Rt.t) list; (* local (lx+2)(ly+2)(lz+2) grids *)
+  mutable rs_fields : (string * Rt.t) list;
   rs_range : (int * int) * (int * int) * (int * int); (* global 1-based *)
 }
 
@@ -18,37 +60,71 @@ type t = {
   decomp : Decomp.t;
   mpi : Mpi.t;
   ranks : rank_state array;
+  pool : Pool.t option;
+  field_rank : int; (* 2 or 3: local grids are (lx+2)(ly+2)[(lz+2)] *)
 }
 
-(* Create the distributed state; [init name (i,j,k)] gives the global
-   value of field [name] at global *array* coordinates (0-based, halos
-   included: 0..n+1). *)
-let create decomp ~fields ~init =
+(* Fill one rank's local grid from the global-coordinate initialiser.
+   Local (i,j,k) with halo maps to global (i, yl-1+j, zl-1+k). *)
+let fill_local t st buf f =
+  let (_, _), (yl, _), (zl, _) = st.rs_range in
+  let dims = buf.Rt.dims in
+  let lz1 = if t.field_rank = 2 then 0 else dims.(2) - 1 in
+  for k = 0 to lz1 do
+    for j = 0 to dims.(1) - 1 do
+      for i = 0 to dims.(0) - 1 do
+        let v = f (i, yl - 1 + j, zl - 1 + k) in
+        if t.field_rank = 2 then Rt.set buf [| i; j |] v
+        else Rt.set buf [| i; j; k |] v
+      done
+    done
+  done
+
+let alloc_local t rank =
+  let lx, ly, lz = Decomp.local_extents t.decomp rank in
+  if t.field_rank = 2 then Rt.create [ lx + 2; ly + 2 ]
+  else Rt.create [ lx + 2; ly + 2; lz + 2 ]
+
+(* Add a field (or overwrite an existing one's values) on every rank,
+   initialised from global 0-based array coordinates, halos included. *)
+let set_field t name f =
+  Array.iter
+    (fun st ->
+      let buf =
+        match List.assoc_opt name st.rs_fields with
+        | Some b -> b
+        | None ->
+          let b = alloc_local t st.rs_rank in
+          st.rs_fields <- (name, b) :: st.rs_fields;
+          b
+      in
+      fill_local t st buf f)
+    t.ranks
+
+let has_field t name =
+  Array.length t.ranks > 0 && List.mem_assoc name t.ranks.(0).rs_fields
+
+let create ?pool ?(field_rank = 3) decomp ~fields ~init =
+  (if field_rank <> 2 && field_rank <> 3 then
+     invalid_arg "Dist_exec.create: field_rank must be 2 or 3");
+  (let _, _, nz = decomp.Decomp.global in
+   if field_rank = 2 && nz <> 1 then
+     invalid_arg "Dist_exec.create: 2-D fields require a global nz of 1");
   let mpi = Mpi.create (Decomp.nranks decomp) in
   let ranks =
     Array.init (Decomp.nranks decomp) (fun rank ->
-        let lx, ly, lz = Decomp.local_extents decomp rank in
-        let ((_, _), (yl, _), (zl, _)) as range =
-          Decomp.local_range decomp rank
-        in
-        let mk name =
-          let buf = Rt.create [ lx + 2; ly + 2; lz + 2 ] in
-          (* local (i,j,k) with halo maps to global (i, yl-1+j, zl-1+k) *)
-          for k = 0 to lz + 1 do
-            for j = 0 to ly + 1 do
-              for i = 0 to lx + 1 do
-                Rt.set buf [| i; j; k |]
-                  (init name (i, yl - 1 + j, zl - 1 + k))
-              done
-            done
-          done;
-          (name, buf)
-        in
-        { rs_rank = rank; rs_fields = List.map mk fields; rs_range = range })
+        { rs_rank = rank; rs_fields = [];
+          rs_range = Decomp.local_range decomp rank })
   in
-  { decomp; mpi; ranks }
+  let t = { decomp; mpi; ranks; pool; field_rank } in
+  List.iter (fun name -> set_field t name (init name)) fields;
+  t
 
 let field st name = List.assoc name st.rs_fields
+
+(* ------------------------------------------------------------------ *)
+(* Halo packing                                                        *)
+(* ------------------------------------------------------------------ *)
 
 (* j/k index of the plane to send (interior boundary) and to receive
    into (halo). *)
@@ -66,15 +142,25 @@ let recv_plane_index buf = function
 
 let pack buf (axis, idx) =
   let dims = buf.Rt.dims in
+  let two_d = Array.length dims = 2 in
   match axis with
   | `Y ->
-    let out = Array.make (dims.(0) * dims.(2)) 0.0 in
-    for k = 0 to dims.(2) - 1 do
+    if two_d then begin
+      let out = Array.make dims.(0) 0.0 in
       for i = 0 to dims.(0) - 1 do
-        out.((k * dims.(0)) + i) <- Rt.get buf [| i; idx; k |]
-      done
-    done;
-    out
+        out.(i) <- Rt.get buf [| i; idx |]
+      done;
+      out
+    end
+    else begin
+      let out = Array.make (dims.(0) * dims.(2)) 0.0 in
+      for k = 0 to dims.(2) - 1 do
+        for i = 0 to dims.(0) - 1 do
+          out.((k * dims.(0)) + i) <- Rt.get buf [| i; idx; k |]
+        done
+      done;
+      out
+    end
   | `Z ->
     let out = Array.make (dims.(0) * dims.(1)) 0.0 in
     for j = 0 to dims.(1) - 1 do
@@ -86,13 +172,19 @@ let pack buf (axis, idx) =
 
 let unpack buf (axis, idx) payload =
   let dims = buf.Rt.dims in
+  let two_d = Array.length dims = 2 in
   match axis with
   | `Y ->
-    for k = 0 to dims.(2) - 1 do
+    if two_d then
       for i = 0 to dims.(0) - 1 do
-        Rt.set buf [| i; idx; k |] payload.((k * dims.(0)) + i)
+        Rt.set buf [| i; idx |] payload.(i)
       done
-    done
+    else
+      for k = 0 to dims.(2) - 1 do
+        for i = 0 to dims.(0) - 1 do
+          Rt.set buf [| i; idx; k |] payload.((k * dims.(0)) + i)
+        done
+      done
   | `Z ->
     for j = 0 to dims.(1) - 1 do
       for i = 0 to dims.(0) - 1 do
@@ -108,9 +200,12 @@ let post_halo t ~name ~rank =
     (fun dir ->
       match Decomp.neighbor t.decomp rank dir with
       | Some nbr ->
+        let payload = pack buf (send_plane_index buf dir) in
         Mpi.send t.mpi ~src:rank ~dst:nbr
           ~tag:(Decomp.tag_of_direction dir)
-          (pack buf (send_plane_index buf dir))
+          payload;
+        Obs.incr c_msgs;
+        Obs.add c_bytes (8 * Array.length payload)
       | None -> ())
     Decomp.directions
 
@@ -131,31 +226,110 @@ let consume_halo t ~name ~rank =
       | None -> ())
     Decomp.directions
 
-(* Run [iters] supersteps: swap halos of [swap_fields], then run
-   [compute t rank] on each rank. *)
-let iterate t ~iters ~swap_fields ~compute =
+(* ------------------------------------------------------------------ *)
+(* Supersteps                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let interior t rank =
+  let _, ly, lz = Decomp.local_extents t.decomp rank in
+  { w_jlo = 1; w_jhi = ly; w_klo = 1; w_khi = lz }
+
+(* Interior block and boundary shells: disjoint, union = whole local
+   interior. The interior reads no halo cell under single-cell-offset
+   stencils, which is what makes phase-1 interior compute safe while the
+   halos are still in flight. *)
+let overlap_capable t rank =
+  let _, ly, lz = Decomp.local_extents t.decomp rank in
+  if t.field_rank = 2 then ly >= 3 else ly >= 3 && lz >= 3
+
+let interior_block t rank =
+  let _, ly, lz = Decomp.local_extents t.decomp rank in
+  if t.field_rank = 2 then { w_jlo = 2; w_jhi = ly - 1; w_klo = 1; w_khi = lz }
+  else { w_jlo = 2; w_jhi = ly - 1; w_klo = 2; w_khi = lz - 1 }
+
+let shells t rank =
+  let _, ly, lz = Decomp.local_extents t.decomp rank in
+  let y_lo = { w_jlo = 1; w_jhi = 1; w_klo = 1; w_khi = lz } in
+  let y_hi = { w_jlo = ly; w_jhi = ly; w_klo = 1; w_khi = lz } in
+  if t.field_rank = 2 then [ y_lo; y_hi ]
+  else
+    [ y_lo; y_hi;
+      { w_jlo = 2; w_jhi = ly - 1; w_klo = 1; w_khi = 1 };
+      { w_jlo = 2; w_jhi = ly - 1; w_klo = lz; w_khi = lz } ]
+
+(* Run [body rank] for every rank, in parallel when a pool is attached.
+   The pool join doubles as the rendezvous barrier between phases. *)
+let for_ranks t body =
+  let n = Array.length t.ranks in
+  match t.pool with
+  | Some pool when n > 1 ->
+    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun lo hi ->
+        for r = lo to hi - 1 do
+          body r
+        done)
+  | _ ->
+    for r = 0 to n - 1 do
+      body r
+    done
+
+let superstep t ~swap_fields ~mode ~sweep ?(finish = fun ~rank:_ -> ()) () =
+  let post rank =
+    List.iter (fun n -> post_halo t ~name:n ~rank) swap_fields
+  in
+  let consume rank =
+    List.iter (fun n -> consume_halo t ~name:n ~rank) swap_fields
+  in
+  (* With no pool the ranks run sequentially and there is no concurrent
+     progress for overlap to exploit: the window-split sweep is pure
+     overhead, so collapse to the fused blocking schedule. *)
+  let mode = if t.pool = None then Blocking else mode in
+  match mode with
+  | Blocking ->
+    (* comms complete globally before any compute starts *)
+    for_ranks t post;
+    for_ranks t consume;
+    for_ranks t (fun rank ->
+        sweep ~rank (interior t rank);
+        finish ~rank)
+  | Overlap ->
+    for_ranks t (fun rank ->
+        post rank;
+        if overlap_capable t rank then begin
+          Obs.incr c_overlap_hits;
+          sweep ~rank (interior_block t rank)
+        end
+        else Obs.incr c_fallbacks);
+    for_ranks t (fun rank ->
+        consume rank;
+        if overlap_capable t rank then
+          List.iter (fun w -> sweep ~rank w) (shells t rank)
+        else sweep ~rank (interior t rank);
+        finish ~rank)
+
+(* Run [iters] supersteps: swap halos of [swap_fields], then run the
+   windowed [sweep] (and the per-rank [finish]) on each rank. *)
+let iterate t ?(mode = Blocking) ~iters ~swap_fields ~sweep ?finish () =
+  let finish =
+    match finish with
+    | Some f -> fun ~rank -> f t ~rank
+    | None -> fun ~rank:_ -> ()
+  in
   for _ = 1 to iters do
-    Array.iter
-      (fun st ->
-        List.iter (fun n -> post_halo t ~name:n ~rank:st.rs_rank) swap_fields)
-      t.ranks;
-    Mpi.exchange t.mpi;
-    Array.iter
-      (fun st ->
-        List.iter
-          (fun n -> consume_halo t ~name:n ~rank:st.rs_rank)
-          swap_fields)
-      t.ranks;
-    Array.iter (fun st -> compute t st.rs_rank) t.ranks
+    superstep t ~swap_fields ~mode ~sweep:(fun ~rank w -> sweep t ~rank w)
+      ~finish ()
   done
 
-(* Gather field [name] into a global (nx+2)(ny+2)(nz+2) grid. Each rank
-   contributes its interior plus only those halo planes that sit on the
-   *global* boundary — interior halos are other ranks' cells (and may be
-   one exchange stale), so writing them would corrupt the gather. *)
-let gather t name =
+(* ------------------------------------------------------------------ *)
+(* Gather                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Gather field [name] into a global (nx+2)(ny+2)[(nz+2)] grid. Each
+   rank contributes its interior plus only those halo planes that sit on
+   the *global* boundary — interior halos are other ranks' cells (and
+   may be one exchange stale), so writing them would corrupt the
+   gather. *)
+let gather_into t name out =
   let nx, ny, nz = t.decomp.Decomp.global in
-  let out = Rt.create [ nx + 2; ny + 2; nz + 2 ] in
   Array.iter
     (fun st ->
       let (_, _), (yl, yh), (zl, zh) = st.rs_range in
@@ -167,12 +341,23 @@ let gather t name =
       for k = klo to khi do
         for j = jlo to jhi do
           for i = 0 to nx + 1 do
-            Rt.set out [| i; j; k |]
-              (Rt.get buf [| i; j - yl + 1; k - zl + 1 |])
+            if t.field_rank = 2 then
+              Rt.set out [| i; j |] (Rt.get buf [| i; j - yl + 1 |])
+            else
+              Rt.set out [| i; j; k |]
+                (Rt.get buf [| i; j - yl + 1; k - zl + 1 |])
           done
         done
       done)
-    t.ranks;
+    t.ranks
+
+let gather t name =
+  let nx, ny, nz = t.decomp.Decomp.global in
+  let out =
+    if t.field_rank = 2 then Rt.create [ nx + 2; ny + 2 ]
+    else Rt.create [ nx + 2; ny + 2; nz + 2 ]
+  in
+  gather_into t name out;
   out
 
-let stats t = (t.mpi.Mpi.total_messages, t.mpi.Mpi.total_bytes)
+let stats t = (Mpi.messages t.mpi, Mpi.bytes t.mpi)

@@ -1,15 +1,46 @@
-(** Functional SPMD executor: runs a 3-D halo-exchange computation over a
+(** Concurrent SPMD executor: runs a halo-exchange computation over a
     {!Decomp.t} with simulated MPI, validating that the auto-parallelised
     pipeline computes the same grid as serial execution. Local grids
-    carry one-cell halos; the x (contiguous) dimension is never
-    decomposed. *)
+    carry one-cell halos in the decomposed (y, z) dimensions; the x
+    (contiguous) dimension is never decomposed.
+
+    Ranks execute in parallel on a {!Fsc_rt.Domain_pool}: each superstep
+    phase is a parallel-for over ranks, and the pool join between phases
+    is the rendezvous barrier that publishes one phase's sends to the
+    next phase's receives. *)
 
 module Mpi = Fsc_rt.Mpi_sim
 module Rt = Fsc_rt.Memref_rt
+module Pool = Fsc_rt.Domain_pool
+
+(** Superstep discipline. [Blocking] is the paper's non-overlapped DMP
+    lowering: all halo traffic completes globally, then every rank
+    sweeps its whole local interior (three rendezvous per superstep).
+    [Overlap] computes the halo-independent interior block while
+    messages are in flight, then finishes the boundary shells once the
+    halos have landed (two rendezvous, compute hiding communication).
+    Without a pool the ranks run sequentially and overlap has nothing
+    to hide behind, so [Overlap] collapses to the blocking schedule. *)
+type mode =
+  | Blocking
+  | Overlap
+
+val mode_name : mode -> string
+
+(** A sub-range of one rank's local interior, in local 1-based interior
+    coordinates: [j] over y in [w_jlo..w_jhi], [k] over z in
+    [w_klo..w_khi] (2-D fields have k = 1..1). *)
+type window = {
+  w_jlo : int;
+  w_jhi : int;
+  w_klo : int;
+  w_khi : int;
+}
 
 type rank_state = {
   rs_rank : int;
-  rs_fields : (string * Rt.t) list;  (** (lx+2)(ly+2)(lz+2) local grids *)
+  mutable rs_fields : (string * Rt.t) list;
+      (** (lx+2)(ly+2)[(lz+2)] local grids *)
   rs_range : (int * int) * (int * int) * (int * int);
       (** global 1-based interior ranges owned by the rank *)
 }
@@ -18,32 +49,73 @@ type t = {
   decomp : Decomp.t;
   mpi : Mpi.t;
   ranks : rank_state array;
+  pool : Pool.t option;
+  field_rank : int;  (** 2 or 3 *)
 }
 
 (** Create the distributed state. [init name (i,j,k)] gives the global
-    value of field [name] at 0-based array coordinates (halos
-    included). *)
+    value of field [name] at 0-based array coordinates (halos included;
+    [k] is 0 for 2-D fields). With a pool, superstep phases run ranks
+    concurrently; per-rank sweeps must not themselves use the pool. *)
 val create :
+  ?pool:Pool.t ->
+  ?field_rank:int ->
   Decomp.t ->
   fields:string list ->
   init:(string -> int * int * int -> float) ->
   t
 
+(** Add a field on every rank (or re-initialise an existing one). *)
+val set_field : t -> string -> (int * int * int -> float) -> unit
+
+val has_field : t -> string -> bool
 val field : rank_state -> string -> Rt.t
 
-(** Run [iters] supersteps: swap the halos of [swap_fields], then run
-    [compute t rank] on every rank. *)
-val iterate :
+(** The whole local interior of a rank. *)
+val interior : t -> int -> window
+
+(** Whether the rank's local block is thick enough ([ly >= 3] and, for
+    3-D fields, [lz >= 3]) to split into a halo-independent interior
+    block plus boundary shells. Thin ranks fall back to the blocking
+    whole-sweep inside an [Overlap] superstep. *)
+val overlap_capable : t -> int -> bool
+
+(** Interior block (reads no halo cell under one-cell-offset stencils)
+    and its complementary boundary shells; disjoint, union = interior. *)
+val interior_block : t -> int -> window
+
+val shells : t -> int -> window list
+
+(** One superstep: swap the halos of [swap_fields], run the windowed
+    [sweep] over every rank's interior (split per [mode]), then the
+    per-rank [finish] (e.g. a copy-back) after all of that rank's
+    windows are done. *)
+val superstep :
   t ->
-  iters:int ->
   swap_fields:string list ->
-  compute:(t -> int -> unit) ->
+  mode:mode ->
+  sweep:(rank:int -> window -> unit) ->
+  ?finish:(rank:int -> unit) ->
+  unit ->
   unit
 
-(** Gather a field into a global grid. Each rank contributes its interior
-    plus only global-boundary halo planes (interior halos may be one
-    exchange stale). *)
+(** Run [iters] supersteps. *)
+val iterate :
+  t ->
+  ?mode:mode ->
+  iters:int ->
+  swap_fields:string list ->
+  sweep:(t -> rank:int -> window -> unit) ->
+  ?finish:(t -> rank:int -> unit) ->
+  unit ->
+  unit
+
+(** Gather a field into a global grid. Each rank contributes its
+    interior plus only global-boundary halo planes (interior halos are
+    other ranks' cells and may be one exchange stale). *)
 val gather : t -> string -> Rt.t
+
+val gather_into : t -> string -> Rt.t -> unit
 
 (** (messages, bytes) moved so far. *)
 val stats : t -> int * int

@@ -1,0 +1,86 @@
+(** Distributed execution of compiled stencil kernels: the runtime half
+    of the paper's DMP lowering. Kernel specs from
+    {!Fsc_rt.Kernel_compile} are re-targeted at SPMD execution over a
+    {!Decomp} — each rank runs ownership-clipped local bounds through
+    the closure or vector engine, with {!Dist_exec} supersteps providing
+    halo swaps and comm/compute overlap.
+
+    Coherence follows the GPU device-resident contract: buffers live
+    scattered across ranks while distributed kernels run and are
+    gathered back into the host globals only at {!sync_back} (end of
+    run) or before a host-side fallback ({!run_fallback}). *)
+
+module Kc = Fsc_rt.Kernel_compile
+module Rt = Fsc_rt.Memref_rt
+
+type engine =
+  | E_closure  (** per-rank execution through the closure JIT *)
+  | E_vector  (** per-rank execution through the row-bytecode engine *)
+
+val engine_name : engine -> string
+
+type state
+
+(** [create ?pool ~ranks ~mode ~engine ()] — one state per linked
+    artifact. [pool] runs ranks concurrently; [mode] selects overlapped
+    or blocking supersteps (per stage, overlap falls back to blocking
+    when a nest writes outside the interior). *)
+val create :
+  ?pool:Fsc_rt.Domain_pool.t ->
+  ranks:int ->
+  mode:Dist_exec.mode ->
+  engine:engine ->
+  unit ->
+  state
+
+(** Reset per-run coherence state. Call at the start of every program
+    run: buffers are allocated fresh each run, so stale groups must not
+    accumulate. *)
+val begin_run : state -> unit
+
+(** Gather every valid group back into the host's global buffers. Call
+    once at the end of a program run. *)
+val sync_back : state -> unit
+
+(** Run a host-side (non-distributed) computation: gathers all valid
+    groups first and marks them invalid so the next distributed kernel
+    re-scatters. Used for kernels that cannot be distributed. *)
+val run_fallback : state -> reason:string -> (unit -> 'a) -> 'a
+
+(** Execute one compiled kernel distributed over the ranks, falling back
+    to [host] (via {!run_fallback}) when the kernel's accesses cannot be
+    split along the decomposed dimensions.
+    @raise Decomp.Invalid_decomp when the buffers' grid cannot host the
+    requested rank count. *)
+val run_kernel :
+  state ->
+  name:string ->
+  Kc.spec ->
+  host:(unit -> unit) ->
+  bufs:Rt.t array ->
+  scalars:float array ->
+  unit
+
+type group_stats = {
+  gs_dims : int list;  (** global buffer shape *)
+  gs_py : int;
+  gs_pz : int;
+  gs_msgs : int;  (** halo messages since the last {!begin_run} *)
+  gs_bytes : int;
+}
+
+type stats = {
+  ds_ranks : int;
+  ds_mode : Dist_exec.mode;
+  ds_engine : engine;
+  ds_groups : group_stats list;
+  ds_dist_runs : int;  (** distributed kernel executions, cumulative *)
+  ds_fallback_runs : int;
+  ds_overlap_stages : int;
+  ds_blocking_stages : int;
+  ds_vec_nests : int;
+      (** vectorised / total nests over compiled per-rank runners *)
+  ds_total_nests : int;
+}
+
+val stats : state -> stats

@@ -28,10 +28,28 @@ let driver_error fmt =
     (fun msg -> raise (Error_diag (Diag.error ~code:"pipeline" msg)))
     fmt
 
+(* A rewrite pass hitting its max-iterations backstop used to escape as
+   a raw [Failure] through the CLI; surface it as a typed diagnostic
+   naming the offending pass instead. *)
+let nontermination_diag pass =
+  Error_diag
+    (Diag.errorf ~code:"pipeline"
+       ~notes:
+         [ ( None,
+             "the greedy rewriter exceeded its max-iterations backstop; a \
+              pattern in this pass keeps firing without reaching a \
+              fixpoint" ) ]
+       "pass '%s' does not terminate" pass)
+
 (* every pipeline stage is a span under this category, so a --trace of a
    compile shows frontend / discovery / merge / extraction / lowering /
    linking as one nested timeline *)
-let stage name f = Obs.with_span ~cat:"pipeline" name f
+let stage name f =
+  Obs.with_span ~cat:"pipeline" name (fun () ->
+      try f () with
+      | Rewrite.Nontermination -> raise (nontermination_diag name)
+      | Pass.Pipeline_error (pass, Rewrite.Nontermination, _) ->
+        raise (nontermination_diag pass))
 
 let log_src = Logs.Src.create "fsc.driver" ~doc:"compilation driver"
 
@@ -45,15 +63,18 @@ type target =
   | Serial
   | Openmp of int (* threads *)
   | Gpu of gpu_strategy
+  | Dist of int (* simulated MPI ranks *)
 
 let target_kind = function
   | Serial -> "serial"
   | Openmp _ -> "openmp"
   | Gpu Gpu_initial -> "gpu-initial"
   | Gpu Gpu_optimised -> "gpu-optimised"
+  | Dist _ -> "dist"
 
 let target_name = function
   | Openmp n -> Printf.sprintf "openmp(%d)" n
+  | Dist r -> Printf.sprintf "dist(%d)" r
   | t -> target_kind t
 
 (* Which execution tier runs compiled kernels. The engine is link-time
@@ -79,6 +100,7 @@ type kernel_impl =
   | Compiled of Kc.spec
   | Vectorised of Kc.spec * Kb.plan
   | Interpreted of string (* fallback reason *)
+  | Distributed of Kc.spec (* SPMD over simulated ranks via Dist_kernel *)
 
 type artifact = {
   a_host : Op.op;
@@ -87,6 +109,7 @@ type artifact = {
   a_ctx : Interp.context;
   a_kernels : (string * kernel_impl) list;
   a_target : target;
+  a_dist : Fsc_dmp.Dist_kernel.state option; (* distributed runtime *)
 }
 
 (* Not [lazy]: forcing a lazy from two domains at once is undefined in
@@ -113,7 +136,7 @@ let flang_only src =
   let ctx = Interp.create_context () in
   Interp.add_module ctx m;
   { a_host = m; a_stencil = None; a_gpu_ir = None; a_ctx = ctx;
-    a_kernels = []; a_target = Serial }
+    a_kernels = []; a_target = Serial; a_dist = None }
 
 (* -------------------- stencil flow -------------------- *)
 
@@ -130,8 +153,10 @@ let spec_scalars args =
       | _ -> None)
     args
 
-(* Register one stencil kernel's runtime implementation. *)
-let register_kernel ~engine ~target ~pool ctx kernel_func =
+(* Register one stencil kernel's runtime implementation. [dist] is the
+   distributed runtime state for [Dist] targets (absent under the interp
+   engine, which executes the whole program on the host interpreter). *)
+let register_kernel ~engine ~target ~pool ~dist ctx kernel_func =
   let name = Fsc_dialects.Func.name kernel_func in
   match engine with
   | Engine_interp ->
@@ -142,14 +167,27 @@ let register_kernel ~engine ~target ~pool ctx kernel_func =
     | Error reason ->
       Log.debug (fun f ->
           f "kernel %s: interpreter fallback (%s)" name reason);
+      (match (target, dist) with
+      | Dist _, Some dst ->
+        (* the interpreter must see current host globals: gather the
+           scattered groups first, and re-scatter afterwards *)
+        let impl ctx args =
+          Obs.with_span ~cat:"kernel" ("kernel.exec " ^ name) @@ fun () ->
+          Fsc_dmp.Dist_kernel.run_fallback dst ~reason (fun () ->
+              Interp.call_func ctx kernel_func args)
+        in
+        Interp.register_external ctx name impl
+      | _ -> ());
       (name, Interpreted reason)
     | Ok spec ->
       (* GPU targets execute on the simulator's device twins through the
          closure engine regardless of [engine]; the vector tier is a CPU
-         execution strategy. *)
+         execution strategy (and, under [Dist], the host-fallback
+         path — per-rank vector plans live in [Dist_kernel]). *)
       let vplan =
         match (engine, target) with
-        | Engine_vector, (Serial | Openmp _) -> Some (Kb.compile_spec spec)
+        | Engine_vector, (Serial | Openmp _ | Dist _) ->
+          Some (Kb.compile_spec spec)
         | _ -> None
       in
       let exec ?pool ~bufs ~scalars () =
@@ -164,6 +202,13 @@ let register_kernel ~engine ~target ~pool ctx kernel_func =
         (match target with
         | Serial -> exec ~bufs ~scalars ()
         | Openmp _ -> exec ?pool ~bufs ~scalars ()
+        | Dist _ -> (
+          match dist with
+          | Some dst ->
+            Fsc_dmp.Dist_kernel.run_kernel dst ~name spec
+              ~host:(fun () -> exec ?pool ~bufs ~scalars ())
+              ~bufs ~scalars
+          | None -> exec ~bufs ~scalars ())
         | Gpu strategy ->
           let g =
             match ctx.Interp.gpu with
@@ -309,7 +354,7 @@ let compile options src =
   stage "canonicalize" (fun () ->
       ignore (Fsc_transforms.Canonicalize.run stencil_m));
   (match target with
-  | Serial | Openmp _ ->
+  | Serial | Openmp _ | Dist _ ->
     if options.opt_specialize then
       stage "loop specialisation" (fun () ->
           ignore (Fsc_lowering.Loop_specialize.run stencil_m))
@@ -336,7 +381,7 @@ let compile options src =
      the CPU vector executor; after scf-to-openmp so the attribute lands
      on the op the kernel analyser starts from *)
   (match target with
-  | Serial | Openmp _ ->
+  | Serial | Openmp _ | Dist _ ->
     stage "cpu tile annotation" (fun () ->
         ignore
           (Fsc_lowering.Loop_tiling.annotate_cpu ~l2_kb:options.opt_l2_kb
@@ -359,7 +404,8 @@ let compile options src =
 (* The impure back half: host interpreted, kernels compiled where
    possible, pool/device allocated per target. Works identically on a
    freshly compiled artifact and on one re-parsed from the cache. *)
-let link ?(engine = Engine_vector) ca =
+let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
+    ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
   let ctx = Interp.create_context () in
@@ -368,9 +414,27 @@ let link ?(engine = Engine_vector) ca =
   let pool =
     match target with
     | Openmp n -> Some (Fsc_rt.Domain_pool.create n)
+    | Dist r ->
+      (* run ranks concurrently, but never spawn more domains than the
+         host has cores for — extra ranks time-share via work stealing *)
+      let n = min r (Fsc_rt.Domain_pool.recommended_size ()) in
+      if n >= 2 then Some (Fsc_rt.Domain_pool.create n) else None
     | _ -> None
   in
   ctx.Interp.pool <- pool;
+  let dist =
+    match (target, engine) with
+    | Dist ranks, (Engine_closure | Engine_vector) ->
+      let dengine =
+        match engine with
+        | Engine_vector -> Fsc_dmp.Dist_kernel.E_vector
+        | _ -> Fsc_dmp.Dist_kernel.E_closure
+      in
+      Some
+        (Fsc_dmp.Dist_kernel.create ?pool ~ranks ~mode:dist_mode
+           ~engine:dengine ())
+    | _ -> None
+  in
   (match target with
   | Gpu strategy ->
     ctx.Interp.gpu <- Some (Fsc_rt.Gpu_sim.create ());
@@ -384,27 +448,31 @@ let link ?(engine = Engine_vector) ca =
         Fsc_dialects.Func.all_functions ca.ca_stencil
         |> List.filter (fun f ->
                List.mem (Fsc_dialects.Func.name f) ca.ca_kernels)
-        |> List.map (register_kernel ~engine ~target ~pool ctx))
+        |> List.map (register_kernel ~engine ~target ~pool ~dist ctx))
   in
   register_gpu_data ctx ca.ca_managed;
   { a_host = ca.ca_host; a_stencil = Some ca.ca_stencil;
     a_gpu_ir = ca.ca_gpu_ir; a_ctx = ctx; a_kernels = kernels;
-    a_target = target }
+    a_target = target; a_dist = dist }
 
 (* The full stencil pipeline of the paper's Figure 1. Resets the global
    kernel-name counter for reproducible names — which is why [compile]
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
-let stencil ?target ?tile_sizes ?merge ?specialize ?engine src =
+let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?dist_mode src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  (link ?engine ca, ca.ca_stats)
+  (link ?engine ?dist_mode ca, ca.ca_stats)
 
 (* -------------------- execution -------------------- *)
 
 let run artifact =
+  (* distributed: buffers are allocated per run, so reset the scatter
+     groups before main and gather everything back after *)
+  Option.iter Fsc_dmp.Dist_kernel.begin_run artifact.a_dist;
   Interp.run_main artifact.a_ctx;
+  Option.iter Fsc_dmp.Dist_kernel.sync_back artifact.a_dist;
   (* GPU: make host mirrors consistent at program end *)
   (match artifact.a_ctx.Interp.gpu with
   | Some g when artifact.a_target <> Gpu Gpu_initial ->

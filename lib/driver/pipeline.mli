@@ -17,6 +17,8 @@ type target =
   | Serial
   | Openmp of int  (** auto-parallelised, thread count *)
   | Gpu of gpu_strategy
+  | Dist of int
+      (** distributed-memory lowering over simulated MPI, rank count *)
 
 (** Human-readable target, e.g. ["openmp(4)"] — the one spelling used by
     the CLI, the batch/serve job printer and error messages. *)
@@ -54,6 +56,8 @@ type kernel_impl =
       (** row-vectorised engine (inspect the plan for per-nest
           fallbacks) *)
   | Interpreted of string  (** fallback, with the analyser's reason *)
+  | Distributed of Fsc_rt.Kernel_compile.spec
+      (** SPMD execution over the ranks of a [Dist] target *)
 
 type artifact = {
   a_host : Op.op;  (** the FIR host module *)
@@ -63,6 +67,9 @@ type artifact = {
   a_ctx : Fsc_rt.Interp.context;  (** linked execution context *)
   a_kernels : (string * kernel_impl) list;
   a_target : target;
+  a_dist : Fsc_dmp.Dist_kernel.state option;
+      (** distributed runtime ([Dist] targets under the closure/vector
+          engines) *)
 }
 
 type stencil_stats = {
@@ -124,8 +131,18 @@ val compile : options -> string -> compiled_artifact
     (default {!Engine_vector}; falls back to the interpreter outside
     the analysable shape, and per nest to the closure engine outside
     the vectorisable shape). Safe to call several times on one
-    artifact; each call yields an independent runnable. *)
-val link : ?engine:exec_engine -> compiled_artifact -> artifact
+    artifact; each call yields an independent runnable.
+
+    For [Dist] targets, [dist_mode] (default {!Fsc_dmp.Dist_exec.Overlap})
+    selects overlapped or blocking halo supersteps; ranks execute
+    concurrently on a domain pool sized [min ranks (recommended_size ())].
+    Under {!Engine_interp} the program runs entirely on the host
+    interpreter (no distribution). *)
+val link :
+  ?engine:exec_engine ->
+  ?dist_mode:Fsc_dmp.Dist_exec.mode ->
+  compiled_artifact ->
+  artifact
 
 (** The full stencil pipeline: {!compile} then {!link}. [merge] and
     [specialize] default to [true] and exist for ablation studies;
@@ -137,11 +154,15 @@ val stencil :
   ?merge:bool ->
   ?specialize:bool ->
   ?engine:exec_engine ->
+  ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   string ->
   artifact * stencil_stats
 
 (** Execute the program's [_QQmain]; for GPU targets, synchronise device
-    mirrors back to the host afterwards. *)
+    mirrors back to the host afterwards; for [Dist] targets, gather the
+    scattered rank-local buffers back into the host globals.
+    @raise Fsc_dmp.Decomp.Invalid_decomp when a distributed kernel's
+    grid cannot host the requested rank count. *)
 val run : artifact -> unit
 
 (** Release the artifact's worker pool (OpenMP targets). *)

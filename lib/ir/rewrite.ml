@@ -63,6 +63,8 @@ let notify_changed rw op =
 (* Apply [patterns] to all ops nested in [top] until fixpoint. Returns
    whether anything changed. A safety cap bounds pathological pattern sets;
    hitting it is a bug in the patterns, so we fail loudly. *)
+exception Nontermination
+
 let apply_greedily ?(max_iterations = 2_000_000) patterns top =
   let patterns =
     List.sort (fun a b -> compare b.p_benefit a.p_benefit) patterns
@@ -94,8 +96,7 @@ let apply_greedily ?(max_iterations = 2_000_000) patterns top =
       rw.worklist <- rest;
       incr steps;
       Obs.incr c_steps;
-      if !steps > max_iterations then
-        failwith "Rewrite.apply_greedily: pattern set does not terminate";
+      if !steps > max_iterations then raise Nontermination;
       if is_live op then begin
         let candidates =
           (Hashtbl.find_opt by_name op.Op.o_name

@@ -44,8 +44,12 @@ val create_before :
 (** Record an in-place modification so the op is revisited. *)
 val notify_changed : rewriter -> Op.op -> unit
 
+(** The [max_iterations] non-termination backstop of {!apply_greedily}
+    fired: the pattern set keeps rewriting without reaching a fixpoint.
+    Drivers convert this into a diagnostic naming the offending pass. *)
+exception Nontermination
+
 (** Apply [patterns] to everything nested in [top] until fixpoint.
     Returns whether anything changed.
-    @raise Failure when [max_iterations] (a non-termination backstop) is
-    exceeded. *)
+    @raise Nontermination when [max_iterations] is exceeded. *)
 val apply_greedily : ?max_iterations:int -> pattern list -> Op.op -> bool

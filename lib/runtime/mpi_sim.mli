@@ -1,8 +1,10 @@
 (** Simulated MPI: SPMD execution of ranks inside one process with real
     message buffers — the functional layer backing the distributed-memory
-    experiments (Figure 6). Ranks execute supersteps sequentially;
-    messages posted during a superstep are delivered before the next,
-    which is exactly the halo-swap pattern the DMP lowering emits. *)
+    experiments (Figure 6). Thread-safe: each destination rank owns a
+    mutex-guarded mailbox, so ranks may post and take messages
+    concurrently from pool workers. Superstep ordering (all sends of a
+    phase visible before the next phase's receives) is the caller's
+    rendezvous barrier, not this module's. *)
 
 type message = {
   m_src : int;
@@ -11,31 +13,30 @@ type message = {
   m_payload : float array;
 }
 
-type t = {
-  nranks : int;
-  mutable in_flight : message list;
-  mutable delivered : message list;
-  mutable total_messages : int;
-  mutable total_bytes : int;
-}
+type t
 
+(** @raise Invalid_argument when [nranks < 1]. *)
 val create : int -> t
 
-(** Post a message (delivered at the next {!exchange}). *)
+val nranks : t -> int
+
+(** Post a message into [dst]'s mailbox. Both endpoints are validated.
+    @raise Invalid_argument on an out-of-range [src] or [dst]. *)
 val send : t -> src:int -> dst:int -> tag:int -> float array -> unit
 
-(** Make everything posted receivable. *)
-val exchange : t -> unit
-
-(** Take the matching message out of the inbox.
-    @raise Invalid_argument when absent. *)
+(** Take the oldest matching message out of [dst]'s mailbox
+    (non-blocking).
+    @raise Invalid_argument when absent — the error includes a summary
+    of what {e is} pending for [dst], so a mismatched tag or a skipped
+    exchange is diagnosable. *)
 val recv : t -> src:int -> dst:int -> tag:int -> float array
 
-(** Run [steps] supersteps: all ranks [post], one {!exchange}, all ranks
-    [consume]. *)
-val run_supersteps :
-  t ->
-  steps:int ->
-  post:(t -> rank:int -> step:int -> unit) ->
-  consume:(t -> rank:int -> step:int -> unit) ->
-  unit
+(** Undelivered (src, dst, tag) triples across all mailboxes, oldest
+    first per mailbox. *)
+val pending : t -> (int * int * int) list
+
+(** Total messages posted so far. *)
+val messages : t -> int
+
+(** Total payload bytes posted so far. *)
+val bytes : t -> int

@@ -47,6 +47,7 @@ let target_of_name = function
   | "openmp" -> Ok (P.Openmp (Fsc_rt.Domain_pool.recommended_size ()))
   | "gpu-initial" -> Ok (P.Gpu P.Gpu_initial)
   | "gpu" | "gpu-optimised" | "gpu-optimized" -> Ok (P.Gpu P.Gpu_optimised)
+  | "dist" -> Ok (P.Dist 4)
   | s -> Error ("unknown target " ^ s)
 
 (* An explicit thread count overrides the openmp default sizing;
@@ -59,7 +60,7 @@ let resolve_target target threads =
   | None, None -> Ok P.Serial
   | None, Some n -> Ok (P.Openmp n)
   | Some (P.Openmp _), Some n -> Ok (P.Openmp n)
-  | Some ((P.Serial | P.Gpu _) as t), Some _ ->
+  | Some ((P.Serial | P.Gpu _ | P.Dist _) as t), Some _ ->
     Error
       (Printf.sprintf "threads only apply to the openmp target (target is %s)"
          (P.target_name t))

@@ -42,16 +42,96 @@ let test_neighbors () =
   | None -> Alcotest.fail "expected neighbour");
   Alcotest.(check bool) "halo bytes positive" true (D.halo_bytes d 0 > 0)
 
+(* [create] succeeds exactly when some divisor pair fits the grid, and a
+   successful decomposition gives every rank at least one cell per
+   dimension (no silent degenerate ranks). *)
 let prop_partition =
-  QCheck.Test.make ~name:"decomposition partitions the grid" ~count:100
+  QCheck.Test.make ~name:"decomposition partitions the grid or is rejected"
+    ~count:100
     QCheck.(pair (int_range 1 64) (triple (int_range 2 20) (int_range 2 20)
                                      (int_range 2 20)))
     (fun (ranks, (nx, ny, nz)) ->
-      let d = D.create ~global:(nx, ny, nz) ~ranks in
-      (* degenerate decompositions (more ranks than cells along a dim)
-         are allowed to produce empty local ranges; partition still must
-         hold *)
-      D.check_partition d)
+      let fits =
+        List.exists
+          (fun py ->
+            ranks mod py = 0 && py <= ny && ranks / py <= nz)
+          (List.init ranks (fun i -> i + 1))
+      in
+      match D.create ~global:(nx, ny, nz) ~ranks with
+      | d ->
+        fits && D.check_partition d
+        && List.for_all
+             (fun r ->
+               let lx, ly, lz = D.local_extents d r in
+               lx >= 1 && ly >= 1 && lz >= 1)
+             (List.init (D.nranks d) Fun.id)
+      | exception D.Invalid_decomp _ -> not fits)
+
+let test_decomp_rejects () =
+  let expect_invalid what f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_decomp" what
+    | exception D.Invalid_decomp diag ->
+      Alcotest.(check string) (what ^ ": diagnostic code") "decomp"
+        diag.Fsc_analysis.Diag.d_code
+  in
+  (* more ranks than ny*nz cells *)
+  expect_invalid "ranks > ny*nz" (fun () ->
+      D.create ~global:(12, 12, 12) ~ranks:1000);
+  (* prime rank count exceeding both decomposed extents: 13 > 10 and
+     13 > 9, and 13 has no other divisors *)
+  expect_invalid "oversized prime" (fun () ->
+      D.create ~global:(16, 10, 9) ~ranks:13);
+  expect_invalid "zero ranks" (fun () ->
+      D.create ~global:(8, 8, 8) ~ranks:0);
+  expect_invalid "empty grid" (fun () ->
+      D.create ~global:(8, 0, 8) ~ranks:2)
+
+(* the fit-aware grid choice: near-square would be 2x2, but ny = 1 only
+   admits 1x4 *)
+let test_decomp_fit_aware () =
+  let d = D.create ~global:(16, 1, 16) ~ranks:4 in
+  Alcotest.(check (pair int int)) "1x4 grid" (1, 4) (d.D.py, d.D.pz);
+  Alcotest.(check bool) "partition" true (D.check_partition d);
+  (* when the square pair fits it is still preferred *)
+  let d = D.create ~global:(16, 16, 16) ~ranks:4 in
+  Alcotest.(check (pair int int)) "2x2 grid" (2, 2) (d.D.py, d.D.pz)
+
+(* ---- simulated MPI endpoint validation ---- *)
+
+let test_mpi_validation () =
+  let m = Fsc_rt.Mpi_sim.create 2 in
+  let expect_invalid what needle f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+    | exception Invalid_argument msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let ok = ref false in
+        for i = 0 to String.length s - n do
+          if String.sub s i n = sub then ok := true
+        done;
+        !ok
+      in
+      if not (contains msg needle) then
+        Alcotest.failf "%s: error %S does not mention %S" what msg needle
+  in
+  expect_invalid "bad src" "src" (fun () ->
+      Fsc_rt.Mpi_sim.send m ~src:7 ~dst:0 ~tag:0 [| 1.0 |]);
+  expect_invalid "bad dst" "dst" (fun () ->
+      Fsc_rt.Mpi_sim.send m ~src:0 ~dst:(-1) ~tag:0 [| 1.0 |]);
+  expect_invalid "recv from empty mailbox" "mailbox empty" (fun () ->
+      Fsc_rt.Mpi_sim.recv m ~src:0 ~dst:1 ~tag:0);
+  (* a mismatched recv must name what IS pending *)
+  Fsc_rt.Mpi_sim.send m ~src:0 ~dst:1 ~tag:3 [| 1.0; 2.0 |];
+  expect_invalid "mismatched tag" "0->1 tag 3" (fun () ->
+      Fsc_rt.Mpi_sim.recv m ~src:0 ~dst:1 ~tag:0);
+  Alcotest.(check (list (triple int int int))) "pending" [ (0, 1, 3) ]
+    (Fsc_rt.Mpi_sim.pending m);
+  let p = Fsc_rt.Mpi_sim.recv m ~src:0 ~dst:1 ~tag:3 in
+  Alcotest.(check int) "payload" 2 (Array.length p);
+  Alcotest.(check (list (triple int int int))) "drained" []
+    (Fsc_rt.Mpi_sim.pending m)
 
 let prop_split_covers =
   QCheck.Test.make ~name:"split covers 1..n contiguously" ~count:200
@@ -67,6 +147,50 @@ let prop_split_covers =
       List.sort_uniq compare covered = List.init n (fun i -> i + 1))
 
 (* ---- halo exchange correctness ---- *)
+
+(* Drive the distributed Gauss-Seidel with the windowed vendor kernels:
+   sweep honours the window (interior block or boundary shell under
+   Overlap), copy-back runs per rank once all its windows are done. *)
+let gs_iterate t ~mode ~iters =
+  let local_grids t rank =
+    let st = t.DX.ranks.(rank) in
+    let lu = DX.field st "u" and ln = DX.field st "unew" in
+    let lx, ly, lz = D.local_extents t.DX.decomp rank in
+    ( { V.g_buf = lu; V.g_nx = lx; V.g_ny = ly; V.g_nz = lz },
+      { V.g_buf = ln; V.g_nx = lx; V.g_ny = ly; V.g_nz = lz } )
+  in
+  DX.iterate t ~mode ~iters ~swap_fields:[ "u" ]
+    ~sweep:(fun t ~rank w ->
+      let gu, gn = local_grids t rank in
+      V.gs3d_sweep_in ~u:gu ~unew:gn ~jlo:w.DX.w_jlo ~jhi:w.DX.w_jhi
+        ~klo:w.DX.w_klo ~khi:w.DX.w_khi ())
+    ~finish:(fun t ~rank ->
+      let gu, gn = local_grids t rank in
+      V.gs3d_copyback ~u:gu ~unew:gn ())
+    ()
+
+let gs_serial ~nx ~ny ~nz ~iters =
+  let u = V.grid3 ~nx ~ny ~nz and unew = V.grid3 ~nx ~ny ~nz in
+  V.init_linear u;
+  V.gs3d_run ~u ~unew ~iters ();
+  u
+
+let gs_init_fields name (i, j, k) =
+  match name with
+  | "u" -> V.gs_init i j k
+  | _ -> 0.0
+
+let max_interior_diff ~nx ~ny ~nz a b =
+  let max_diff = ref 0.0 in
+  for k = 1 to nz do
+    for j = 1 to ny do
+      for i = 1 to nx do
+        let x = Rt.get a [| i; j; k |] and y = Rt.get b [| i; j; k |] in
+        max_diff := Float.max !max_diff (Float.abs (x -. y))
+      done
+    done
+  done;
+  !max_diff
 
 let test_halo_exchange () =
   let global = (6, 8, 10) in
@@ -88,7 +212,8 @@ let test_halo_exchange () =
         done
       done)
     t.DX.ranks;
-  DX.iterate t ~iters:1 ~swap_fields:[ "u" ] ~compute:(fun _ _ -> ());
+  DX.iterate t ~iters:1 ~swap_fields:[ "u" ] ~sweep:(fun _ ~rank:_ _ -> ())
+    ();
   (* interior halos restored *)
   Array.iter
     (fun st ->
@@ -109,46 +234,130 @@ let test_halo_exchange () =
       | None -> ())
     t.DX.ranks
 
+(* Distributed GS must be bitwise-identical to serial over the interior,
+   in both superstep modes, at every rank count that fits — including 1,
+   a prime, the full extent of one dimension, and a non-square process
+   grid — with ranks running concurrently on a pool. *)
 let test_distributed_gs_equals_serial () =
   let nx, ny, nz = (6, 8, 10) in
   let iters = 3 in
-  (* serial reference with the vendor kernel *)
-  let u = V.grid3 ~nx ~ny ~nz and unew = V.grid3 ~nx ~ny ~nz in
-  V.init_linear u;
-  V.gs3d_run ~u ~unew ~iters ();
-  (* distributed over 4 ranks *)
+  let serial = gs_serial ~nx ~ny ~nz ~iters in
+  Fsc_rt.Domain_pool.with_pool 3 (fun pool ->
+      List.iter
+        (fun ranks ->
+          let d = D.create ~global:(nx, ny, nz) ~ranks in
+          List.iter
+            (fun mode ->
+              let t =
+                DX.create ~pool d ~fields:[ "u"; "unew" ]
+                  ~init:gs_init_fields
+              in
+              let label =
+                Printf.sprintf "%d ranks (%dx%d grid), %s" ranks d.D.py
+                  d.D.pz (DX.mode_name mode)
+              in
+              gs_iterate t ~mode ~iters;
+              let gathered = DX.gather t "u" in
+              (* compare interiors only: distributed halos of the global
+                 boundary follow a different update discipline than the
+                 serial boundary *)
+              Alcotest.(check (float 0.))
+                (label ^ " identical") 0.0
+                (max_interior_diff ~nx ~ny ~nz serial.V.g_buf gathered);
+              if ranks > 1 then begin
+                let msgs, bytes = DX.stats t in
+                Alcotest.(check bool)
+                  (label ^ " messages flowed")
+                  true
+                  (msgs > 0 && bytes > 0)
+              end)
+            [ DX.Blocking; DX.Overlap ])
+        (* 1, 2, prime, ny (8 = full y extent), non-square 2x3 *)
+        [ 1; 2; 3; ny; 6 ])
+
+(* Overlap splits the sweep into interior block + shells; the union must
+   cover each rank's interior exactly once. *)
+let test_overlap_windows_partition () =
+  let d = D.create ~global:(6, 9, 11) ~ranks:6 in
+  let t = DX.create d ~fields:[ "u" ] ~init:(fun _ _ -> 0.0) in
+  Array.iter
+    (fun st ->
+      let rank = st.DX.rs_rank in
+      let _, ly, lz = D.local_extents d rank in
+      let seen = Array.make_matrix (ly + 1) (lz + 1) 0 in
+      let mark w =
+        for j = w.DX.w_jlo to w.DX.w_jhi do
+          for k = w.DX.w_klo to w.DX.w_khi do
+            seen.(j).(k) <- seen.(j).(k) + 1
+          done
+        done
+      in
+      if DX.overlap_capable t rank then begin
+        mark (DX.interior_block t rank);
+        List.iter mark (DX.shells t rank)
+      end
+      else mark (DX.interior t rank);
+      for j = 1 to ly do
+        for k = 1 to lz do
+          if seen.(j).(k) <> 1 then
+            Alcotest.failf "rank %d cell (%d,%d) covered %d times" rank j
+              k
+              seen.(j).(k)
+        done
+      done)
+    t.DX.ranks
+
+(* Interior halo planes must never overwrite owner cells in a gather:
+   scribble a sentinel into every interior halo, gather, and check no
+   sentinel leaked into the global grid (regression for gather reading
+   stale neighbour planes as if owned). *)
+let test_gather_staleness () =
+  let nx, ny, nz = (4, 6, 6) in
   let d = D.create ~global:(nx, ny, nz) ~ranks:4 in
-  let init name (i, j, k) =
-    match name with
-    | "u" ->
-      V.gs_init i j k
-    | _ -> 0.0
-  in
-  let t = DX.create d ~fields:[ "u"; "unew" ] ~init in
-  DX.iterate t ~iters ~swap_fields:[ "u" ] ~compute:(fun t rank ->
-      let st = t.DX.ranks.(rank) in
-      let lu = DX.field st "u" and lnew = DX.field st "unew" in
-      let lx, ly, lz = D.local_extents d rank in
-      let gu = { V.g_buf = lu; g_nx = lx; g_ny = ly; g_nz = lz } in
-      let gn = { V.g_buf = lnew; g_nx = lx; g_ny = ly; g_nz = lz } in
-      V.gs3d_sweep ~u:gu ~unew:gn ();
-      V.gs3d_copyback ~u:gu ~unew:gn ());
-  let gathered = DX.gather t "u" in
-  (* compare interiors only: distributed halos of the global boundary
-     follow a different update discipline than the serial boundary *)
-  let max_diff = ref 0.0 in
-  for k = 1 to nz do
-    for j = 1 to ny do
-      for i = 1 to nx do
-        let a = Rt.get u.V.g_buf [| i; j; k |] in
-        let b = Rt.get gathered [| i; j; k |] in
-        max_diff := Float.max !max_diff (Float.abs (a -. b))
+  let init _ (i, j, k) = float_of_int ((100 * i) + (10 * j) + k) in
+  let t = DX.create d ~fields:[ "u" ] ~init in
+  let sentinel = -999.0 in
+  Array.iter
+    (fun st ->
+      let (_, _), (yl, yh), (zl, zh) = st.DX.rs_range in
+      let buf = DX.field st "u" in
+      let dims = buf.Rt.dims in
+      (* poison only *interior* halos (the ones owned by a neighbour) *)
+      if yl > 1 then
+        for k = 0 to dims.(2) - 1 do
+          for i = 0 to dims.(0) - 1 do
+            Rt.set buf [| i; 0; k |] sentinel
+          done
+        done;
+      if yh < ny then
+        for k = 0 to dims.(2) - 1 do
+          for i = 0 to dims.(0) - 1 do
+            Rt.set buf [| i; dims.(1) - 1; k |] sentinel
+          done
+        done;
+      if zl > 1 then
+        for j = 0 to dims.(1) - 1 do
+          for i = 0 to dims.(0) - 1 do
+            Rt.set buf [| i; j; 0 |] sentinel
+          done
+        done;
+      if zh < nz then
+        for j = 0 to dims.(1) - 1 do
+          for i = 0 to dims.(0) - 1 do
+            Rt.set buf [| i; j; dims.(2) - 1 |] sentinel
+          done
+        done)
+    t.DX.ranks;
+  let g = DX.gather t "u" in
+  for k = 0 to nz + 1 do
+    for j = 0 to ny + 1 do
+      for i = 0 to nx + 1 do
+        if Rt.get g [| i; j; k |] = sentinel then
+          Alcotest.failf "stale halo leaked into gather at (%d,%d,%d)" i j
+            k
       done
     done
-  done;
-  Alcotest.(check (float 0.)) "interior identical" 0.0 !max_diff;
-  let msgs, bytes = DX.stats t in
-  Alcotest.(check bool) "halo messages flowed" true (msgs > 0 && bytes > 0)
+  done
 
 (* ---- IR-level DMP/MPI lowerings ---- *)
 
@@ -187,18 +396,127 @@ let test_dmp_to_mpi () =
   Alcotest.(check int) "irecvs" 4 (count "mpi.irecv" sm);
   Alcotest.(check int) "waitall" 1 (count "mpi.waitall" sm)
 
+(* ---- full pipeline: dist target vs serial, bitwise ---- *)
+
+module P = Fsc_driver.Pipeline
+module B = Fsc_driver.Benchmarks
+
+let run_pipeline ?dist_mode ~engine ~target ~grid src =
+  let a, _ = P.stencil ~target ~engine ?dist_mode src in
+  P.run a;
+  let b = P.buffer_exn a grid in
+  (* copy out: the artifact owns the bigarray *)
+  let n = Bigarray.Array1.dim b.Rt.data in
+  let out = Array.init n (fun i -> Bigarray.Array1.unsafe_get b.Rt.data i) in
+  P.shutdown a;
+  out
+
+let check_bitwise ~msg serial dist =
+  Alcotest.(check int) (msg ^ ": size") (Array.length serial)
+    (Array.length dist);
+  Array.iteri
+    (fun i v ->
+      if not (Float.equal v dist.(i)) then
+        Alcotest.failf "%s: cell %d differs: serial %.17g dist %.17g" msg i
+          v dist.(i))
+    serial
+
+(* Every rank count / superstep mode / engine must reproduce the serial
+   answer bit for bit — the distributed lowering is a pure execution
+   strategy, never a numerics change. *)
+let test_pipeline_dist_gs () =
+  let src = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:4 () in
+  let serial =
+    run_pipeline ~engine:P.Engine_vector ~target:P.Serial ~grid:"u" src
+  in
+  List.iter
+    (fun ranks ->
+      List.iter
+        (fun mode ->
+          let dist =
+            run_pipeline ~dist_mode:mode ~engine:P.Engine_vector
+              ~target:(P.Dist ranks) ~grid:"u" src
+          in
+          check_bitwise
+            ~msg:
+              (Printf.sprintf "gs ranks=%d mode=%s" ranks
+                 (DX.mode_name mode))
+            serial dist)
+        [ DX.Blocking; DX.Overlap ])
+    [ 1; 2; 3; 8 ];
+  (* the other engines at one representative rank count *)
+  List.iter
+    (fun (ename, engine) ->
+      let dist =
+        run_pipeline ~dist_mode:DX.Overlap ~engine ~target:(P.Dist 4)
+          ~grid:"u" src
+      in
+      check_bitwise ~msg:("gs engine=" ^ ename) serial dist)
+    [ ("closure", P.Engine_closure); ("interp", P.Engine_interp) ]
+
+let test_pipeline_dist_pw () =
+  let src = B.pw_advection ~nx:8 ~ny:8 ~nz:8 ~niter:3 () in
+  List.iter
+    (fun grid ->
+      let serial =
+        run_pipeline ~engine:P.Engine_vector ~target:P.Serial ~grid src
+      in
+      List.iter
+        (fun ranks ->
+          let dist =
+            run_pipeline ~dist_mode:DX.Overlap ~engine:P.Engine_vector
+              ~target:(P.Dist ranks) ~grid src
+          in
+          check_bitwise
+            ~msg:(Printf.sprintf "pw %s ranks=%d" grid ranks)
+            serial dist)
+        [ 2; 6 ])
+    [ "u"; "su" ]
+
+(* A grid too small for the rank count must fail with the located
+   decomposition diagnostic, not a degenerate layout or a crash. *)
+let test_pipeline_dist_degenerate () =
+  let src = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:2 () in
+  let a, _ =
+    P.stencil ~target:(P.Dist 1000) ~engine:P.Engine_vector src
+  in
+  (match P.run a with
+  | () -> Alcotest.fail "expected Invalid_decomp for 1000 ranks on 8^3"
+  | exception Fsc_dmp.Decomp.Invalid_decomp d ->
+    Alcotest.(check string) "diag code" "decomp"
+      d.Fsc_analysis.Diag.d_code);
+  P.shutdown a
+
 let () =
   Alcotest.run "dmp"
     [ ("decomposition",
        [ Alcotest.test_case "factorize" `Quick test_factorize;
          Alcotest.test_case "local ranges" `Quick test_local_ranges;
          Alcotest.test_case "neighbors" `Quick test_neighbors;
+         Alcotest.test_case "invalid decompositions rejected" `Quick
+           test_decomp_rejects;
+         Alcotest.test_case "fit-aware process grid" `Quick
+           test_decomp_fit_aware;
          QCheck_alcotest.to_alcotest prop_partition;
          QCheck_alcotest.to_alcotest prop_split_covers ]);
+      ("mpi",
+       [ Alcotest.test_case "endpoint validation" `Quick
+           test_mpi_validation ]);
       ("execution",
        [ Alcotest.test_case "halo exchange" `Quick test_halo_exchange;
+         Alcotest.test_case "overlap windows partition interior" `Quick
+           test_overlap_windows_partition;
+         Alcotest.test_case "gather ignores stale halos" `Quick
+           test_gather_staleness;
          Alcotest.test_case "distributed GS == serial" `Quick
            test_distributed_gs_equals_serial ]);
+      ("pipeline",
+       [ Alcotest.test_case "dist target GS == serial (bitwise)" `Quick
+           test_pipeline_dist_gs;
+         Alcotest.test_case "dist target PW == serial (bitwise)" `Quick
+           test_pipeline_dist_pw;
+         Alcotest.test_case "degenerate decomposition diagnosed" `Quick
+           test_pipeline_dist_degenerate ]);
       ("dialect",
        [ Alcotest.test_case "stencil -> dmp" `Quick test_stencil_to_dmp;
          Alcotest.test_case "dmp -> mpi" `Quick test_dmp_to_mpi ]) ]

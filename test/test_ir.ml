@@ -227,6 +227,25 @@ let test_rewriter_fixpoint () =
   check_int "dce removes dead constants" 0
     (List.length (Op.collect_ops (fun o -> o.Op.o_name = "arith.constant") m))
 
+(* A pattern set that never reaches fixpoint must surface as the typed
+   [Rewrite.Nontermination] (which drivers render as a located
+   diagnostic naming the pass), not an anonymous [Failure]. *)
+let test_rewriter_nontermination () =
+  let m = Op.create_module () in
+  let blk = Op.module_block m in
+  let b = Builder.at_end blk in
+  ignore (Fsc_dialects.Arith.constant_int b 1);
+  let churn =
+    Rewrite.pattern ~match_name:"arith.constant" "churn" (fun rw op ->
+        (* "rewrite" to an identical op forever *)
+        Rewrite.notify_changed rw op;
+        true)
+  in
+  check "nontermination backstop raises the typed exception" true
+    (match Rewrite.apply_greedily ~max_iterations:50 [ churn ] m with
+    | exception Rewrite.Nontermination -> true
+    | _ -> false)
+
 let suite =
   [ Alcotest.test_case "create op" `Quick test_create_op;
     Alcotest.test_case "use lists" `Quick test_use_lists;
@@ -244,6 +263,8 @@ let suite =
       test_dialect_contexts;
     Alcotest.test_case "terminator position" `Quick test_terminator_position;
     Alcotest.test_case "pass manager" `Quick test_pass_manager;
-    Alcotest.test_case "rewriter fixpoint" `Quick test_rewriter_fixpoint ]
+    Alcotest.test_case "rewriter fixpoint" `Quick test_rewriter_fixpoint;
+    Alcotest.test_case "rewriter nontermination backstop" `Quick
+      test_rewriter_nontermination ]
 
 let () = Alcotest.run "ir" [ ("ir", suite) ]
