@@ -106,6 +106,26 @@ let dist_mode_arg =
            (default; interior computed while halos are in flight) or \
            blocking (exchange completes before the sweep starts).")
 
+let dist_no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "dist-no-fuse" ]
+        ~doc:
+          "Disable superstep fusion for the dist target: exchange halos \
+           every superstep even when they are already fresh (one halo \
+           swap per stage, the pre-fusion schedule). Bitwise-identical \
+           results; for differential testing and ablation.")
+
+let dist_no_coalesce_arg =
+  Arg.(
+    value & flag
+    & info [ "dist-no-coalesce" ]
+        ~doc:
+          "Disable halo-message coalescing for the dist target: send one \
+           message per field per direction instead of one per neighbour \
+           per superstep. Bitwise-identical results; for differential \
+           testing and ablation.")
+
 (* [--ranks] refines the dist target the same way [--threads] refines
    openmp; pairing it with any other target is an error, not a no-op. *)
 let apply_ranks target ranks =
@@ -358,14 +378,22 @@ let compile_cmd =
 let print_dist_stats dst =
   let module Dk = Fsc_dmp.Dist_kernel in
   let s = Dk.stats dst in
-  Printf.eprintf "dist: %d ranks, %s supersteps, %s engine\n" s.Dk.ds_ranks
+  Printf.eprintf "dist: %d ranks, %s supersteps, %s engine%s%s\n"
+    s.Dk.ds_ranks
     (Fsc_dmp.Dist_exec.mode_name s.Dk.ds_mode)
-    (Dk.engine_name s.Dk.ds_engine);
+    (Dk.engine_name s.Dk.ds_engine)
+    (if s.Dk.ds_fuse then "" else ", fusion off")
+    (if s.Dk.ds_coalesce then "" else ", coalescing off");
   Printf.eprintf
     "dist: %d distributed runs, %d host fallbacks, %d overlap / %d \
-     blocking stages\n"
+     blocking / %d fused stages\n"
     s.Dk.ds_dist_runs s.Dk.ds_fallback_runs s.Dk.ds_overlap_stages
-    s.Dk.ds_blocking_stages;
+    s.Dk.ds_blocking_stages s.Dk.ds_fused_stages;
+  if s.Dk.ds_thin_y_fallbacks > 0 || s.Dk.ds_thin_z_fallbacks > 0 then
+    Printf.eprintf
+      "dist: overlap fallbacks by reason: %d thin-y, %d thin-z (per rank \
+       per superstep)\n"
+      s.Dk.ds_thin_y_fallbacks s.Dk.ds_thin_z_fallbacks;
   if s.Dk.ds_total_nests > 0 then
     Printf.eprintf "dist: vector engine on %d/%d per-rank nests\n"
       s.Dk.ds_vec_nests s.Dk.ds_total_nests;
@@ -400,8 +428,8 @@ let print_dist_stats dst =
     s.Dk.ds_groups
 
 let run_cmd =
-  let run file target threads ranks dist_mode engine cache_flag cache_dir
-      stats trace =
+  let run file target threads ranks dist_mode dist_no_fuse dist_no_coalesce
+      engine cache_flag cache_dir stats trace =
     let* target = resolve_target target threads in
     let* target = apply_ranks target ranks in
     let src = read_file file in
@@ -413,7 +441,10 @@ let run_cmd =
     let outcome =
       try
         let ca, cache_outcome = Cc.compile ?cache options src in
-        let a = P.link ~engine ~dist_mode ca in
+        let a =
+          P.link ~engine ~dist_mode ~dist_fuse:(not dist_no_fuse)
+            ~dist_coalesce:(not dist_no_coalesce) ca
+        in
         Fun.protect
           ~finally:(fun () -> P.shutdown a)
           (fun () ->
@@ -473,8 +504,8 @@ let run_cmd =
     Term.(
       term_result
         (const run $ file_arg $ target_arg $ threads_arg $ ranks_arg
-        $ dist_mode_arg $ engine_arg $ cache_flag $ cache_dir_arg
-        $ stats_arg $ trace_arg))
+        $ dist_mode_arg $ dist_no_fuse_arg $ dist_no_coalesce_arg
+        $ engine_arg $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
 
 (* ---- check ---- *)
 

@@ -4,24 +4,40 @@
    one-cell halos in the decomposed (y, z) dimensions; the x dimension is
    never decomposed (it is the contiguous one).
 
-   Ranks execute in parallel on a [Domain_pool]: each superstep phase is
-   a parallel-for over ranks, and the pool join between phases is the
-   rendezvous barrier that makes every send of one phase visible to every
-   receive of the next (the mailboxes themselves are mutex-guarded, so
-   cross-worker posting is safe).
+   Ranks execute in parallel on a [Domain_pool]. A superstep is a list
+   of *phases*; everything sent in one phase must be receivable in the
+   next, so the executor needs a rendezvous between phases. Two
+   rendezvous disciplines are available:
 
-   Two superstep disciplines, selected per call:
+   - [Rv_barrier] (default): all the phases of a call run inside one
+     pool *team* — each team member owns a fixed contiguous slice of
+     ranks for the whole call and the phases are separated by a cheap
+     reusable spin-then-block barrier. One pool launch amortises over
+     every phase of every superstep in the call.
+   - [Rv_join]: the legacy discipline — each phase is a stealable
+     parallel-for over ranks and the pool join is the rendezvous.
+
+   Two superstep schedules, selected per call:
 
    - [Blocking] mirrors the paper's non-overlapped DMP lowering: all
      halo sends complete, then all receives complete, then every rank
      sweeps its whole local interior — three rendezvous per superstep,
      with every rank idle while messages move.
    - [Overlap] computes the interior block (which reads no halo cell)
-     concurrently with the exchange, then finishes the four boundary
-     shells once the halos have landed — two rendezvous, compute hiding
-     the communication phase. A rank whose local block is too thin to
-     have an interior ([ly < 3] or [lz < 3]) falls back to the blocking
-     whole-sweep for that superstep, counted in [dmp.fallbacks]. *)
+     concurrently with the exchange, then finishes the boundary shells
+     once the halos have landed — two rendezvous, compute hiding the
+     communication phase. Overlap only needs interior thickness >= 3 in
+     the axes that are actually decomposed (an axis with a single
+     process row exchanges nothing, so its halo planes are static
+     global boundaries and safe to read while messages fly); a rank too
+     thin in an active axis falls back to the blocking whole-sweep for
+     that superstep, counted per reason in [dmp.fallbacks.*].
+
+   Halo messages are *coalesced* by default: one message per neighbour
+   per superstep carries every field in the swap set behind a
+   field-offset header, so the message count is independent of the
+   swap-set size. [~coalesce:false] restores one message per field per
+   direction for differential testing. *)
 
 module Mpi = Fsc_rt.Mpi_sim
 module Rt = Fsc_rt.Memref_rt
@@ -32,6 +48,8 @@ let c_msgs = Obs.counter "dmp.msgs"
 let c_bytes = Obs.counter "dmp.bytes"
 let c_overlap_hits = Obs.counter "dmp.overlap_hits"
 let c_fallbacks = Obs.counter "dmp.fallbacks"
+let c_fb_thin_y = Obs.counter "dmp.fallbacks.thin_y"
+let c_fb_thin_z = Obs.counter "dmp.fallbacks.thin_z"
 
 type mode =
   | Blocking
@@ -40,6 +58,14 @@ type mode =
 let mode_name = function
   | Blocking -> "blocking"
   | Overlap -> "overlap"
+
+type rendezvous =
+  | Rv_barrier
+  | Rv_join
+
+let rendezvous_name = function
+  | Rv_barrier -> "barrier"
+  | Rv_join -> "join"
 
 (* A sub-range of one rank's local interior, in local 1-based interior
    coordinates (j over y, k over z; 2-D fields have k = 1..1). *)
@@ -61,7 +87,11 @@ type t = {
   mpi : Mpi.t;
   ranks : rank_state array;
   pool : Pool.t option;
+  rendezvous : rendezvous;
   field_rank : int; (* 2 or 3: local grids are (lx+2)(ly+2)[(lz+2)] *)
+  (* overlap fallback reasons, counted when phase lists are built *)
+  mutable fb_thin_y : int;
+  mutable fb_thin_z : int;
 }
 
 (* Fill one rank's local grid from the global-coordinate initialiser.
@@ -85,26 +115,78 @@ let alloc_local t rank =
   if t.field_rank = 2 then Rt.create [ lx + 2; ly + 2 ]
   else Rt.create [ lx + 2; ly + 2; lz + 2 ]
 
+(* Find-or-allocate a rank's buffer for [name]. On overwrite the assoc
+   list is rebuilt with exactly one binding: a duplicate left behind by
+   out-of-order field creation would otherwise shadow the authoritative
+   buffer on the next lookup. *)
+let rank_buffer t st name =
+  match List.assoc_opt name st.rs_fields with
+  | Some b ->
+    if List.exists (fun (n, b') -> n = name && not (b' == b)) st.rs_fields
+    then
+      st.rs_fields <-
+        (name, b) :: List.filter (fun (n, _) -> n <> name) st.rs_fields;
+    b
+  | None ->
+    let b = alloc_local t st.rs_rank in
+    st.rs_fields <- (name, b) :: st.rs_fields;
+    b
+
 (* Add a field (or overwrite an existing one's values) on every rank,
    initialised from global 0-based array coordinates, halos included. *)
 let set_field t name f =
+  Array.iter (fun st -> fill_local t st (rank_buffer t st name) f) t.ranks
+
+(* Fast scatter from a global (nx+2)(ny+2)[(nz+2)] buffer: x is never
+   decomposed, so every local (j, k) row is a contiguous run of
+   dims.(0) cells mapping to an equally contiguous global run — row
+   copies with flat indices instead of a per-cell closure call. *)
+let set_field_from_global t name gbuf =
+  let nx, ny, nz = t.decomp.Decomp.global in
+  let expected =
+    if t.field_rank = 2 then [| nx + 2; ny + 2 |]
+    else [| nx + 2; ny + 2; nz + 2 |]
+  in
+  if gbuf.Rt.dims <> expected then
+    invalid_arg "Dist_exec.set_field_from_global: global buffer shape";
+  let gdata = gbuf.Rt.data in
+  let gs1 = gbuf.Rt.strides.(1) in
   Array.iter
     (fun st ->
-      let buf =
-        match List.assoc_opt name st.rs_fields with
-        | Some b -> b
-        | None ->
-          let b = alloc_local t st.rs_rank in
-          st.rs_fields <- (name, b) :: st.rs_fields;
-          b
-      in
-      fill_local t st buf f)
+      let buf = rank_buffer t st name in
+      let (_, _), (yl, _), (zl, _) = st.rs_range in
+      let dims = buf.Rt.dims in
+      let d0 = dims.(0) in
+      let data = buf.Rt.data in
+      let ls1 = buf.Rt.strides.(1) in
+      if t.field_rank = 2 then
+        for j = 0 to dims.(1) - 1 do
+          let g = (yl - 1 + j) * gs1 and l = j * ls1 in
+          for i = 0 to d0 - 1 do
+            Bigarray.Array1.unsafe_set data (l + i)
+              (Bigarray.Array1.unsafe_get gdata (g + i))
+          done
+        done
+      else begin
+        let gs2 = gbuf.Rt.strides.(2) and ls2 = buf.Rt.strides.(2) in
+        for k = 0 to dims.(2) - 1 do
+          for j = 0 to dims.(1) - 1 do
+            let g = ((yl - 1 + j) * gs1) + ((zl - 1 + k) * gs2)
+            and l = (j * ls1) + (k * ls2) in
+            for i = 0 to d0 - 1 do
+              Bigarray.Array1.unsafe_set data (l + i)
+                (Bigarray.Array1.unsafe_get gdata (g + i))
+            done
+          done
+        done
+      end)
     t.ranks
 
 let has_field t name =
   Array.length t.ranks > 0 && List.mem_assoc name t.ranks.(0).rs_fields
 
-let create ?pool ?(field_rank = 3) decomp ~fields ~init =
+let create ?pool ?(rendezvous = Rv_barrier) ?(field_rank = 3) decomp ~fields
+    ~init =
   (if field_rank <> 2 && field_rank <> 3 then
      invalid_arg "Dist_exec.create: field_rank must be 2 or 3");
   (let _, _, nz = decomp.Decomp.global in
@@ -116,7 +198,10 @@ let create ?pool ?(field_rank = 3) decomp ~fields ~init =
         { rs_rank = rank; rs_fields = [];
           rs_range = Decomp.local_range decomp rank })
   in
-  let t = { decomp; mpi; ranks; pool; field_rank } in
+  let t =
+    { decomp; mpi; ranks; pool; rendezvous; field_rank; fb_thin_y = 0;
+      fb_thin_z = 0 }
+  in
   List.iter (fun name -> set_field t name (init name)) fields;
   t
 
@@ -140,59 +225,157 @@ let recv_plane_index buf = function
   | Decomp.Z_low -> (`Z, 0)
   | Decomp.Z_high -> (`Z, buf.Rt.dims.(2) - 1)
 
-let pack buf (axis, idx) =
+(* Cells in the halo plane normal to [dir]. *)
+let plane_len buf dir =
   let dims = buf.Rt.dims in
-  let two_d = Array.length dims = 2 in
+  match dir with
+  | Decomp.Y_low | Decomp.Y_high ->
+    if Array.length dims = 2 then dims.(0) else dims.(0) * dims.(2)
+  | Decomp.Z_low | Decomp.Z_high -> dims.(0) * dims.(1)
+
+(* Copy the (axis, idx) plane into [out] starting at [off], returning
+   the cell count. Flat stride arithmetic: per-cell [Rt.get] would
+   allocate an index array per element, a measurable cost at the halo
+   rates a superstep-per-iteration schedule sustains. *)
+let pack_into buf (axis, idx) out ~off =
+  let dims = buf.Rt.dims and s = buf.Rt.strides in
+  let data = buf.Rt.data in
+  let d0 = dims.(0) in
   match axis with
   | `Y ->
-    if two_d then begin
-      let out = Array.make dims.(0) 0.0 in
-      for i = 0 to dims.(0) - 1 do
-        out.(i) <- Rt.get buf [| i; idx |]
+    if Array.length dims = 2 then begin
+      let base = idx * s.(1) in
+      for i = 0 to d0 - 1 do
+        Array.unsafe_set out (off + i) (Bigarray.Array1.unsafe_get data (base + i))
       done;
-      out
+      d0
     end
     else begin
-      let out = Array.make (dims.(0) * dims.(2)) 0.0 in
+      let base = idx * s.(1) and s2 = s.(2) in
       for k = 0 to dims.(2) - 1 do
-        for i = 0 to dims.(0) - 1 do
-          out.((k * dims.(0)) + i) <- Rt.get buf [| i; idx; k |]
+        let src = base + (k * s2) and dst = off + (k * d0) in
+        for i = 0 to d0 - 1 do
+          Array.unsafe_set out (dst + i)
+            (Bigarray.Array1.unsafe_get data (src + i))
         done
       done;
-      out
+      d0 * dims.(2)
     end
   | `Z ->
-    let out = Array.make (dims.(0) * dims.(1)) 0.0 in
+    let base = idx * s.(2) and s1 = s.(1) in
     for j = 0 to dims.(1) - 1 do
-      for i = 0 to dims.(0) - 1 do
-        out.((j * dims.(0)) + i) <- Rt.get buf [| i; j; idx |]
+      let src = base + (j * s1) and dst = off + (j * d0) in
+      for i = 0 to d0 - 1 do
+        Array.unsafe_set out (dst + i)
+          (Bigarray.Array1.unsafe_get data (src + i))
       done
     done;
-    out
+    d0 * dims.(1)
 
-let unpack buf (axis, idx) payload =
-  let dims = buf.Rt.dims in
-  let two_d = Array.length dims = 2 in
+let unpack_from buf (axis, idx) payload ~off =
+  let dims = buf.Rt.dims and s = buf.Rt.strides in
+  let data = buf.Rt.data in
+  let d0 = dims.(0) in
   match axis with
   | `Y ->
-    if two_d then
-      for i = 0 to dims.(0) - 1 do
-        Rt.set buf [| i; idx |] payload.(i)
-      done
-    else
+    if Array.length dims = 2 then begin
+      let base = idx * s.(1) in
+      for i = 0 to d0 - 1 do
+        Bigarray.Array1.unsafe_set data (base + i)
+          (Array.unsafe_get payload (off + i))
+      done;
+      d0
+    end
+    else begin
+      let base = idx * s.(1) and s2 = s.(2) in
       for k = 0 to dims.(2) - 1 do
-        for i = 0 to dims.(0) - 1 do
-          Rt.set buf [| i; idx; k |] payload.((k * dims.(0)) + i)
+        let dst = base + (k * s2) and src = off + (k * d0) in
+        for i = 0 to d0 - 1 do
+          Bigarray.Array1.unsafe_set data (dst + i)
+            (Array.unsafe_get payload (src + i))
         done
-      done
+      done;
+      d0 * dims.(2)
+    end
   | `Z ->
+    let base = idx * s.(2) and s1 = s.(1) in
     for j = 0 to dims.(1) - 1 do
-      for i = 0 to dims.(0) - 1 do
-        Rt.set buf [| i; j; idx |] payload.((j * dims.(0)) + i)
+      let dst = base + (j * s1) and src = off + (j * d0) in
+      for i = 0 to d0 - 1 do
+        Bigarray.Array1.unsafe_set data (dst + i)
+          (Array.unsafe_get payload (src + i))
       done
-    done
+    done;
+    d0 * dims.(1)
 
-(* One halo swap of [name] across all ranks. *)
+let pack buf plane =
+  let n =
+    match plane with
+    | `Y, _ ->
+      if Array.length buf.Rt.dims = 2 then buf.Rt.dims.(0)
+      else buf.Rt.dims.(0) * buf.Rt.dims.(2)
+    | `Z, _ -> buf.Rt.dims.(0) * buf.Rt.dims.(1)
+  in
+  let out = Array.make n 0.0 in
+  ignore (pack_into buf plane out ~off:0);
+  out
+
+let unpack buf plane payload = ignore (unpack_from buf plane payload ~off:0)
+
+(* Coalesced payload: one message per neighbour carrying every field of
+   the swap set. Layout:
+
+     [0]             nfields
+     [1 .. nfields]  absolute start offset of each field's plane
+     planes...       in swap-set order
+
+   The header makes the payload self-describing, so a sender/receiver
+   schedule mismatch (different swap sets after a fusion bug) surfaces
+   as a typed [Invalid_argument] instead of silent corruption. *)
+let pack_coalesced t ~names ~rank ~dir =
+  let st = t.ranks.(rank) in
+  let bufs = List.map (field st) names in
+  let nf = List.length bufs in
+  let header = 1 + nf in
+  let total =
+    List.fold_left (fun acc b -> acc + plane_len b dir) header bufs
+  in
+  let out = Array.make total 0.0 in
+  out.(0) <- float_of_int nf;
+  let off = ref header in
+  List.iteri
+    (fun f b ->
+      out.(1 + f) <- float_of_int !off;
+      off := !off + pack_into b (send_plane_index b dir) out ~off:!off)
+    bufs;
+  out
+
+let unpack_coalesced t ~names ~rank ~dir payload =
+  let st = t.ranks.(rank) in
+  let bufs = List.map (field st) names in
+  let nf = List.length bufs in
+  let len = Array.length payload in
+  if len < 1 + nf || int_of_float payload.(0) <> nf then
+    invalid_arg
+      (Printf.sprintf
+         "Dist_exec.unpack_coalesced: header says %d field(s), receiver \
+          expects %d"
+         (if len = 0 then 0 else int_of_float payload.(0))
+         nf);
+  List.iteri
+    (fun f b ->
+      let off = int_of_float payload.(1 + f) in
+      let n = plane_len b dir in
+      if off < 1 + nf || off + n > len then
+        invalid_arg
+          (Printf.sprintf
+             "Dist_exec.unpack_coalesced: field %d plane [%d, %d) escapes \
+              the %d-cell payload"
+             f off (off + n) len);
+      ignore (unpack_from b (recv_plane_index b dir) payload ~off))
+    bufs
+
+(* One halo swap across all ranks: per-field messages... *)
 let post_halo t ~name ~rank =
   let st = t.ranks.(rank) in
   let buf = field st name in
@@ -226,6 +409,34 @@ let consume_halo t ~name ~rank =
       | None -> ())
     Decomp.directions
 
+(* ... or coalesced: one message per neighbour for the whole swap set. *)
+let post_coalesced t ~names ~rank =
+  List.iter
+    (fun dir ->
+      match Decomp.neighbor t.decomp rank dir with
+      | Some nbr ->
+        let payload = pack_coalesced t ~names ~rank ~dir in
+        Mpi.send t.mpi ~src:rank ~dst:nbr
+          ~tag:(Decomp.tag_of_direction dir)
+          payload;
+        Obs.incr c_msgs;
+        Obs.add c_bytes (8 * Array.length payload)
+      | None -> ())
+    Decomp.directions
+
+let consume_coalesced t ~names ~rank =
+  List.iter
+    (fun dir ->
+      match Decomp.neighbor t.decomp rank dir with
+      | Some nbr ->
+        let payload =
+          Mpi.recv t.mpi ~src:nbr ~dst:rank
+            ~tag:(Decomp.tag_of_direction (Decomp.opposite dir))
+        in
+        unpack_coalesced t ~names ~rank ~dir payload
+      | None -> ())
+    Decomp.directions
+
 (* ------------------------------------------------------------------ *)
 (* Supersteps                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -235,89 +446,175 @@ let interior t rank =
   { w_jlo = 1; w_jhi = ly; w_klo = 1; w_khi = lz }
 
 (* Interior block and boundary shells: disjoint, union = whole local
-   interior. The interior reads no halo cell under single-cell-offset
-   stencils, which is what makes phase-1 interior compute safe while the
-   halos are still in flight. *)
+   interior. The block reads no *exchanged* halo cell under
+   single-cell-offset stencils, which is what makes phase-1 interior
+   compute safe while the halos are still in flight.
+
+   An axis is only "active" when the process grid actually decomposes
+   it: with a single process row along an axis no rank has a neighbour
+   there, its halo planes are static global boundary values, and
+   reading them during overlap is safe — so a thin-but-tall block
+   (ly >= 3, lz = 1 with pz = 1) still overlaps via y-shells alone. *)
+let y_active t = t.decomp.Decomp.py > 1
+let z_active t = t.field_rank = 3 && t.decomp.Decomp.pz > 1
+
 let overlap_capable t rank =
   let _, ly, lz = Decomp.local_extents t.decomp rank in
-  if t.field_rank = 2 then ly >= 3 else ly >= 3 && lz >= 3
+  ((not (y_active t)) || ly >= 3) && ((not (z_active t)) || lz >= 3)
 
 let interior_block t rank =
   let _, ly, lz = Decomp.local_extents t.decomp rank in
-  if t.field_rank = 2 then { w_jlo = 2; w_jhi = ly - 1; w_klo = 1; w_khi = lz }
-  else { w_jlo = 2; w_jhi = ly - 1; w_klo = 2; w_khi = lz - 1 }
+  let jlo, jhi = if y_active t then (2, ly - 1) else (1, ly) in
+  let klo, khi = if z_active t then (2, lz - 1) else (1, lz) in
+  { w_jlo = jlo; w_jhi = jhi; w_klo = klo; w_khi = khi }
 
 let shells t rank =
   let _, ly, lz = Decomp.local_extents t.decomp rank in
-  let y_lo = { w_jlo = 1; w_jhi = 1; w_klo = 1; w_khi = lz } in
-  let y_hi = { w_jlo = ly; w_jhi = ly; w_klo = 1; w_khi = lz } in
-  if t.field_rank = 2 then [ y_lo; y_hi ]
-  else
-    [ y_lo; y_hi;
-      { w_jlo = 2; w_jhi = ly - 1; w_klo = 1; w_khi = 1 };
-      { w_jlo = 2; w_jhi = ly - 1; w_klo = lz; w_khi = lz } ]
-
-(* Run [body rank] for every rank, in parallel when a pool is attached.
-   The pool join doubles as the rendezvous barrier between phases. *)
-let for_ranks t body =
-  let n = Array.length t.ranks in
-  match t.pool with
-  | Some pool when n > 1 ->
-    Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun lo hi ->
-        for r = lo to hi - 1 do
-          body r
-        done)
-  | _ ->
-    for r = 0 to n - 1 do
-      body r
-    done
-
-let superstep t ~swap_fields ~mode ~sweep ?(finish = fun ~rank:_ -> ()) () =
-  let post rank =
-    List.iter (fun n -> post_halo t ~name:n ~rank) swap_fields
+  let y_shells =
+    if y_active t then
+      [ { w_jlo = 1; w_jhi = 1; w_klo = 1; w_khi = lz };
+        { w_jlo = ly; w_jhi = ly; w_klo = 1; w_khi = lz } ]
+    else []
   in
-  let consume rank =
-    List.iter (fun n -> consume_halo t ~name:n ~rank) swap_fields
+  let jlo, jhi = if y_active t then (2, ly - 1) else (1, ly) in
+  let z_shells =
+    if z_active t then
+      [ { w_jlo = jlo; w_jhi = jhi; w_klo = 1; w_khi = 1 };
+        { w_jlo = jlo; w_jhi = jhi; w_klo = lz; w_khi = lz } ]
+    else []
+  in
+  y_shells @ z_shells
+
+(* Record why a rank cannot overlap; called while building phase lists,
+   on the caller, so plain mutable counters suffice. *)
+let count_overlap_disposition t =
+  Array.iter
+    (fun st ->
+      let rank = st.rs_rank in
+      if overlap_capable t rank then Obs.incr c_overlap_hits
+      else begin
+        Obs.incr c_fallbacks;
+        let _, ly, lz = Decomp.local_extents t.decomp rank in
+        if y_active t && ly < 3 then begin
+          t.fb_thin_y <- t.fb_thin_y + 1;
+          Obs.incr c_fb_thin_y
+        end;
+        if z_active t && lz < 3 then begin
+          t.fb_thin_z <- t.fb_thin_z + 1;
+          Obs.incr c_fb_thin_z
+        end
+      end)
+    t.ranks
+
+let fallback_reasons t = (t.fb_thin_y, t.fb_thin_z)
+
+(* Build one superstep as a list of phases (each a per-rank body);
+   everything sent in a phase is receivable in the next. The phase list
+   is data: [run_phases] decides how the rendezvous between phases is
+   realised, and callers may concatenate the phases of many supersteps
+   into one [run_phases] call to amortise the pool launch. *)
+let superstep_phases t ~swap_fields ~mode ?(coalesce = true) ~sweep
+    ?(finish = fun ~rank:_ -> ()) () =
+  let post ~rank =
+    if coalesce then post_coalesced t ~names:swap_fields ~rank
+    else List.iter (fun n -> post_halo t ~name:n ~rank) swap_fields
+  in
+  let consume ~rank =
+    if coalesce then consume_coalesced t ~names:swap_fields ~rank
+    else List.iter (fun n -> consume_halo t ~name:n ~rank) swap_fields
   in
   (* With no pool the ranks run sequentially and there is no concurrent
      progress for overlap to exploit: the window-split sweep is pure
      overhead, so collapse to the fused blocking schedule. *)
   let mode = if t.pool = None then Blocking else mode in
-  match mode with
-  | Blocking ->
-    (* comms complete globally before any compute starts *)
-    for_ranks t post;
-    for_ranks t consume;
-    for_ranks t (fun rank ->
+  if swap_fields = [] then
+    (* nothing to exchange (a fused superstep): one compute-only phase *)
+    [ (fun ~rank ->
         sweep ~rank (interior t rank);
-        finish ~rank)
-  | Overlap ->
-    for_ranks t (fun rank ->
-        post rank;
-        if overlap_capable t rank then begin
-          Obs.incr c_overlap_hits;
-          sweep ~rank (interior_block t rank)
-        end
-        else Obs.incr c_fallbacks);
-    for_ranks t (fun rank ->
-        consume rank;
-        if overlap_capable t rank then
-          List.iter (fun w -> sweep ~rank w) (shells t rank)
-        else sweep ~rank (interior t rank);
-        finish ~rank)
+        finish ~rank) ]
+  else
+    match mode with
+    | Blocking ->
+      (* comms complete globally before any compute starts *)
+      [ post; consume;
+        (fun ~rank ->
+          sweep ~rank (interior t rank);
+          finish ~rank) ]
+    | Overlap ->
+      count_overlap_disposition t;
+      [ (fun ~rank ->
+          post ~rank;
+          if overlap_capable t rank then sweep ~rank (interior_block t rank));
+        (fun ~rank ->
+          consume ~rank;
+          if overlap_capable t rank then
+            List.iter (fun w -> sweep ~rank w) (shells t rank)
+          else sweep ~rank (interior t rank);
+          finish ~rank) ]
+
+(* Execute a phase list. [Rv_barrier] pins each team member to a fixed
+   contiguous slice of ranks for the whole list and separates phases
+   with the team's reusable barrier: one pool launch however many
+   phases. [Rv_join] runs each phase as a stealable parallel-for with
+   the pool join as the rendezvous (the legacy discipline, kept for
+   differential testing). *)
+let run_phases t phases =
+  let n = Array.length t.ranks in
+  let seq () =
+    List.iter
+      (fun ph ->
+        for r = 0 to n - 1 do
+          ph ~rank:r
+        done)
+      phases
+  in
+  match t.pool with
+  | Some pool when n > 1 && Pool.size pool > 1 -> (
+    match t.rendezvous with
+    | Rv_barrier ->
+      let members = min (Pool.size pool) n in
+      Pool.team pool ~members (fun ~member ~barrier ->
+          let lo = member * n / members
+          and hi = (member + 1) * n / members in
+          let first = ref true in
+          List.iter
+            (fun ph ->
+              if !first then first := false else barrier ();
+              for r = lo to hi - 1 do
+                ph ~rank:r
+              done)
+            phases)
+    | Rv_join ->
+      List.iter
+        (fun ph ->
+          Pool.parallel_for ~chunk:1 pool ~lo:0 ~hi:n (fun lo hi ->
+              for r = lo to hi - 1 do
+                ph ~rank:r
+              done))
+        phases)
+  | _ -> seq ()
+
+let superstep t ~swap_fields ~mode ?coalesce ~sweep ?finish () =
+  run_phases t (superstep_phases t ~swap_fields ~mode ?coalesce ~sweep ?finish ())
 
 (* Run [iters] supersteps: swap halos of [swap_fields], then run the
-   windowed [sweep] (and the per-rank [finish]) on each rank. *)
-let iterate t ?(mode = Blocking) ~iters ~swap_fields ~sweep ?finish () =
+   windowed [sweep] (and the per-rank [finish]) on each rank. All the
+   supersteps' phases run inside a single pool launch. *)
+let iterate t ?(mode = Blocking) ?coalesce ~iters ~swap_fields ~sweep ?finish
+    () =
   let finish =
     match finish with
-    | Some f -> fun ~rank -> f t ~rank
-    | None -> fun ~rank:_ -> ()
+    | Some f -> Some (fun ~rank -> f t ~rank)
+    | None -> None
   in
-  for _ = 1 to iters do
-    superstep t ~swap_fields ~mode ~sweep:(fun ~rank w -> sweep t ~rank w)
-      ~finish ()
-  done
+  let phases =
+    List.concat
+      (List.init iters (fun _ ->
+           superstep_phases t ~swap_fields ~mode ?coalesce
+             ~sweep:(fun ~rank w -> sweep t ~rank w)
+             ?finish ()))
+  in
+  run_phases t phases
 
 (* ------------------------------------------------------------------ *)
 (* Gather                                                              *)
@@ -327,9 +624,11 @@ let iterate t ?(mode = Blocking) ~iters ~swap_fields ~sweep ?finish () =
    rank contributes its interior plus only those halo planes that sit on
    the *global* boundary — interior halos are other ranks' cells (and
    may be one exchange stale), so writing them would corrupt the
-   gather. *)
+   gather. Row copies with flat indices (x is contiguous in both). *)
 let gather_into t name out =
   let nx, ny, nz = t.decomp.Decomp.global in
+  let odata = out.Rt.data in
+  let os1 = out.Rt.strides.(1) in
   Array.iter
     (fun st ->
       let (_, _), (yl, yh), (zl, zh) = st.rs_range in
@@ -338,17 +637,29 @@ let gather_into t name out =
       let klo = if zl = 1 then zl - 1 else zl in
       let khi = if zh = nz then zh + 1 else zh in
       let buf = field st name in
-      for k = klo to khi do
+      let data = buf.Rt.data in
+      let ls1 = buf.Rt.strides.(1) in
+      if t.field_rank = 2 then
         for j = jlo to jhi do
+          let l = (j - yl + 1) * ls1 and g = j * os1 in
           for i = 0 to nx + 1 do
-            if t.field_rank = 2 then
-              Rt.set out [| i; j |] (Rt.get buf [| i; j - yl + 1 |])
-            else
-              Rt.set out [| i; j; k |]
-                (Rt.get buf [| i; j - yl + 1; k - zl + 1 |])
+            Bigarray.Array1.unsafe_set odata (g + i)
+              (Bigarray.Array1.unsafe_get data (l + i))
           done
         done
-      done)
+      else begin
+        let os2 = out.Rt.strides.(2) and ls2 = buf.Rt.strides.(2) in
+        for k = klo to khi do
+          for j = jlo to jhi do
+            let l = ((j - yl + 1) * ls1) + ((k - zl + 1) * ls2)
+            and g = (j * os1) + (k * os2) in
+            for i = 0 to nx + 1 do
+              Bigarray.Array1.unsafe_set odata (g + i)
+                (Bigarray.Array1.unsafe_get data (l + i))
+            done
+          done
+        done
+      end)
     t.ranks
 
 let gather t name =

@@ -4,10 +4,10 @@
     carry one-cell halos in the decomposed (y, z) dimensions; the x
     (contiguous) dimension is never decomposed.
 
-    Ranks execute in parallel on a {!Fsc_rt.Domain_pool}: each superstep
-    phase is a parallel-for over ranks, and the pool join between phases
-    is the rendezvous barrier that publishes one phase's sends to the
-    next phase's receives. *)
+    Ranks execute in parallel on a {!Fsc_rt.Domain_pool}. A superstep is
+    a list of phases; the rendezvous publishing one phase's sends to the
+    next phase's receives is either a pinned-team barrier (default) or a
+    full pool join per phase (the legacy discipline). *)
 
 module Mpi = Fsc_rt.Mpi_sim
 module Rt = Fsc_rt.Memref_rt
@@ -26,6 +26,19 @@ type mode =
   | Overlap
 
 val mode_name : mode -> string
+
+(** How phases rendezvous when a pool is attached. [Rv_barrier]
+    (default) runs every phase of a call inside one pool team: each
+    member owns a fixed contiguous slice of ranks for the whole call
+    and phases are separated by a cheap reusable spin-then-block
+    barrier. [Rv_join] is the legacy discipline — one stealable
+    parallel-for plus pool join per phase — kept for differential
+    testing. *)
+type rendezvous =
+  | Rv_barrier
+  | Rv_join
+
+val rendezvous_name : rendezvous -> string
 
 (** A sub-range of one rank's local interior, in local 1-based interior
     coordinates: [j] over y in [w_jlo..w_jhi], [k] over z in
@@ -50,7 +63,11 @@ type t = {
   mpi : Mpi.t;
   ranks : rank_state array;
   pool : Pool.t option;
+  rendezvous : rendezvous;
   field_rank : int;  (** 2 or 3 *)
+  mutable fb_thin_y : int;
+      (** overlap fallbacks because an active y axis is thinner than 3 *)
+  mutable fb_thin_z : int;  (** same, z axis *)
 }
 
 (** Create the distributed state. [init name (i,j,k)] gives the global
@@ -59,14 +76,23 @@ type t = {
     concurrently; per-rank sweeps must not themselves use the pool. *)
 val create :
   ?pool:Pool.t ->
+  ?rendezvous:rendezvous ->
   ?field_rank:int ->
   Decomp.t ->
   fields:string list ->
   init:(string -> int * int * int -> float) ->
   t
 
-(** Add a field on every rank (or re-initialise an existing one). *)
+(** Add a field on every rank (or re-initialise an existing one; the
+    per-rank field list is deduplicated on overwrite so a stale
+    duplicate binding can never shadow the authoritative buffer). *)
 val set_field : t -> string -> (int * int * int -> float) -> unit
+
+(** Like {!set_field}, but scatters from a global
+    (nx+2)(ny+2)[(nz+2)] buffer by contiguous row copies — the fast
+    path behind kernel scatter. @raise Invalid_argument when the buffer
+    shape does not match the decomposition's global extents. *)
+val set_field_from_global : t -> string -> Rt.t -> unit
 
 val has_field : t -> string -> bool
 val field : rank_state -> string -> Rt.t
@@ -74,35 +100,86 @@ val field : rank_state -> string -> Rt.t
 (** The whole local interior of a rank. *)
 val interior : t -> int -> window
 
-(** Whether the rank's local block is thick enough ([ly >= 3] and, for
-    3-D fields, [lz >= 3]) to split into a halo-independent interior
-    block plus boundary shells. Thin ranks fall back to the blocking
-    whole-sweep inside an [Overlap] superstep. *)
+(** Whether the rank's local block is thick enough to split into a
+    halo-independent interior block plus boundary shells: interior
+    extent >= 3 in every *active* axis (an axis actually decomposed by
+    the process grid — a single process row exchanges nothing there, so
+    that axis's halos are static global boundaries and impose no
+    thickness requirement). Thin ranks fall back to the blocking
+    whole-sweep inside an [Overlap] superstep, counted per reason in
+    [fb_thin_y] / [fb_thin_z]. *)
 val overlap_capable : t -> int -> bool
 
-(** Interior block (reads no halo cell under one-cell-offset stencils)
-    and its complementary boundary shells; disjoint, union = interior. *)
+(** Interior block (reads no exchanged halo cell under one-cell-offset
+    stencils) and its complementary boundary shells; disjoint, union =
+    interior. *)
 val interior_block : t -> int -> window
 
 val shells : t -> int -> window list
 
-(** One superstep: swap the halos of [swap_fields], run the windowed
+(** (thin-y, thin-z) overlap fallback counts accumulated by this
+    executor's [Overlap] supersteps (one count per affected rank per
+    superstep). *)
+val fallback_reasons : t -> int * int
+
+(** Pack the swap set [names] for the neighbour in [dir] into one
+    self-describing payload: header = field count + per-field absolute
+    offsets, then the halo planes in swap-set order. Exposed for
+    round-trip testing. *)
+val pack_coalesced :
+  t -> names:string list -> rank:int -> dir:Decomp.direction -> float array
+
+(** Unpack a coalesced payload received from the neighbour in [dir]
+    into [rank]'s halo planes. @raise Invalid_argument when the header
+    does not match the receiver's swap set or an offset escapes the
+    payload. *)
+val unpack_coalesced :
+  t ->
+  names:string list ->
+  rank:int ->
+  dir:Decomp.direction ->
+  float array ->
+  unit
+
+(** Build one superstep as a phase list (each phase a per-rank body):
+    swap the halos of [swap_fields] ([coalesce] defaults to [true]: one
+    message per neighbour for the whole swap set), run the windowed
     [sweep] over every rank's interior (split per [mode]), then the
-    per-rank [finish] (e.g. a copy-back) after all of that rank's
-    windows are done. *)
+    per-rank [finish]. An empty swap set builds a single compute-only
+    phase. Callers may concatenate many supersteps' phases into one
+    {!run_phases} call. *)
+val superstep_phases :
+  t ->
+  swap_fields:string list ->
+  mode:mode ->
+  ?coalesce:bool ->
+  sweep:(rank:int -> window -> unit) ->
+  ?finish:(rank:int -> unit) ->
+  unit ->
+  (rank:int -> unit) list
+
+(** Execute a phase list over all ranks under the executor's rendezvous
+    discipline: one pool-team launch with barrier rendezvous between
+    phases ([Rv_barrier]), or one pool join per phase ([Rv_join]);
+    sequential without a pool. *)
+val run_phases : t -> (rank:int -> unit) list -> unit
+
+(** One superstep: {!superstep_phases} followed by {!run_phases}. *)
 val superstep :
   t ->
   swap_fields:string list ->
   mode:mode ->
+  ?coalesce:bool ->
   sweep:(rank:int -> window -> unit) ->
   ?finish:(rank:int -> unit) ->
   unit ->
   unit
 
-(** Run [iters] supersteps. *)
+(** Run [iters] supersteps inside a single pool launch. *)
 val iterate :
   t ->
   ?mode:mode ->
+  ?coalesce:bool ->
   iters:int ->
   swap_fields:string list ->
   sweep:(t -> rank:int -> window -> unit) ->

@@ -37,6 +37,7 @@ module Obs = Fsc_obs.Obs
 let c_fallbacks = Obs.counter "dmp.fallbacks"
 let c_scatters = Obs.counter "dmp.scatters"
 let c_gathers = Obs.counter "dmp.gathers"
+let c_fused = Obs.counter "dmp.fused"
 
 type engine =
   | E_closure
@@ -51,18 +52,23 @@ type runner = bufs:Rt.t array -> scalars:float array -> unit
 (* One coherence group: all buffers sharing a global shape, scattered
    over one [Dist_exec] state. [g_valid] means the rank-local copies are
    authoritative; false means the host globals are (after a fallback)
-   and the next distributed kernel must re-scatter. *)
+   and the next distributed kernel must re-scatter. [g_fresh] tracks
+   which fields' halo planes currently mirror their owners — fresh
+   after a scatter or an exchange, stale once a stage writes the field
+   — and is what superstep fusion keys on. *)
 type group = {
   g_dims : int list;
   g_dx : Dist_exec.t;
   mutable g_valid : bool;
   mutable g_bufs : (int * Rt.t) list; (* buffer id -> global buffer *)
+  mutable g_fresh : string list; (* fields with up-to-date halos *)
 }
 
 type stage_plan = {
   sg_windowed : Kc.nest list;
   sg_finish : Kc.nest list;
   sg_swap : int list; (* buffer arg indices whose halos the stage reads *)
+  sg_writes : int list; (* buffer arg indices the stage stores to *)
   sg_overlap_ok : bool;
 }
 
@@ -81,6 +87,8 @@ type state = {
   dk_mode : Dist_exec.mode;
   dk_engine : engine;
   dk_pool : Pool.t option;
+  dk_fuse : bool; (* skip exchanges whose halos are already fresh *)
+  dk_coalesce : bool; (* one message per neighbour per superstep *)
   mutable dk_groups : group list;
   mutable dk_ids : (Rt.t * int) list; (* physical buffer -> id *)
   mutable dk_next_id : int;
@@ -90,16 +98,17 @@ type state = {
   mutable dk_fallback_runs : int;
   mutable dk_overlap_stages : int;
   mutable dk_blocking_stages : int;
+  mutable dk_fused_stages : int;
   mutable dk_vec_nests : int;
   mutable dk_total_nests : int;
 }
 
-let create ?pool ~ranks ~mode ~engine () =
+let create ?pool ?(fuse = true) ?(coalesce = true) ~ranks ~mode ~engine () =
   { dk_ranks = ranks; dk_mode = mode; dk_engine = engine; dk_pool = pool;
-    dk_groups = []; dk_ids = []; dk_next_id = 0;
-    dk_plans = Hashtbl.create 8; dk_dist_runs = 0; dk_fallback_runs = 0;
-    dk_overlap_stages = 0; dk_blocking_stages = 0; dk_vec_nests = 0;
-    dk_total_nests = 0 }
+    dk_fuse = fuse; dk_coalesce = coalesce; dk_groups = []; dk_ids = [];
+    dk_next_id = 0; dk_plans = Hashtbl.create 8; dk_dist_runs = 0;
+    dk_fallback_runs = 0; dk_overlap_stages = 0; dk_blocking_stages = 0;
+    dk_fused_stages = 0; dk_vec_nests = 0; dk_total_nests = 0 }
 
 let buf_id st b =
   let rec find = function
@@ -263,7 +272,11 @@ let plan_spec spec ~field_rank ~global =
            List.sort_uniq compare
              (List.concat_map (offset_reads ~ddims) nests)
          in
+         let stage_writes =
+           List.sort_uniq compare (List.concat_map writes nests)
+         in
          { sg_windowed = windowed; sg_finish = finish; sg_swap = swap;
+           sg_writes = stage_writes;
            sg_overlap_ok = stage_overlap_ok ~ddims ~global windowed })
 
 let plan st spec ~field_rank ~global ~name =
@@ -427,11 +440,14 @@ let finish_runner st kplan ~decomp ~ddims ~stage_idx ~rank =
 (* Coherence groups                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Scattering copies the coherent global buffer, halo planes included,
+   so immediately after a scatter every rank's halos mirror their
+   owners: the field is fresh and the next superstep's exchange of it
+   can be fused away. *)
 let scatter g name gbuf =
   Obs.incr c_scatters;
-  let two_d = Array.length gbuf.Rt.dims = 2 in
-  Dist_exec.set_field g.g_dx name (fun (i, j, k) ->
-      if two_d then Rt.get gbuf [| i; j |] else Rt.get gbuf [| i; j; k |])
+  Dist_exec.set_field_from_global g.g_dx name gbuf;
+  if not (List.mem name g.g_fresh) then g.g_fresh <- name :: g.g_fresh
 
 let global_of_dims dims =
   match dims with
@@ -452,13 +468,16 @@ let group_for st dims =
       Dist_exec.create ?pool:st.dk_pool ~field_rank decomp ~fields:[]
         ~init:(fun _ _ -> 0.0)
     in
-    let g = { g_dims = dims; g_dx = dx; g_valid = true; g_bufs = [] } in
+    let g =
+      { g_dims = dims; g_dx = dx; g_valid = true; g_bufs = []; g_fresh = [] }
+    in
     st.dk_groups <- g :: st.dk_groups;
     g
 
 let ensure_scattered st g bufs =
   if not g.g_valid then begin
     (* the host globals are authoritative after a fallback *)
+    g.g_fresh <- [];
     List.iter (fun (id, gb) -> scatter g (field_name id) gb) g.g_bufs;
     g.g_valid <- true
   end;
@@ -511,59 +530,100 @@ let run_dist st g kplan ~bufs ~scalars =
     Array.init nranks (fun r ->
         Array.map (fun nm -> Dist_exec.field dx.Dist_exec.ranks.(r) nm) names)
   in
-  List.iteri
-    (fun stage_idx stage ->
-      let swap_fields =
-        List.filter_map
-          (fun bi ->
-            if bi < Array.length names then Some names.(bi) else None)
-          stage.sg_swap
-      in
-      (* mirror the superstep's no-pool collapse: the runners below are
-         keyed by window, so the window set must match the schedule the
-         superstep will actually run *)
-      let mode =
-        if
-          st.dk_mode = Dist_exec.Overlap && stage.sg_overlap_ok
-          && st.dk_pool <> None
-        then Dist_exec.Overlap
-        else Dist_exec.Blocking
-      in
-      (match mode with
-      | Dist_exec.Overlap -> st.dk_overlap_stages <- st.dk_overlap_stages + 1
-      | Dist_exec.Blocking ->
-        st.dk_blocking_stages <- st.dk_blocking_stages + 1;
-        if st.dk_mode = Dist_exec.Overlap then Obs.incr c_fallbacks);
-      (* compile every runner this superstep can need up front, on the
-         caller: the memo tables are not thread-safe and the sweep
-         callbacks run concurrently on pool workers *)
-      let runners =
-        Array.init nranks (fun rank ->
-            let windows =
-              match mode with
-              | Dist_exec.Blocking -> [ Dist_exec.interior dx rank ]
-              | Dist_exec.Overlap ->
-                if Dist_exec.overlap_capable dx rank then
-                  Dist_exec.interior_block dx rank :: Dist_exec.shells dx rank
-                else [ Dist_exec.interior dx rank ]
-            in
-            ( List.map
-                (fun w ->
-                  ( w,
-                    sweep_runner st kplan ~decomp ~ddims ~stage_idx ~rank
-                      ~w ))
-                windows,
-              finish_runner st kplan ~decomp ~ddims ~stage_idx ~rank ))
-      in
-      Dist_exec.superstep dx ~swap_fields ~mode
-        ~sweep:(fun ~rank w ->
-          let sweeps, _ = runners.(rank) in
-          (List.assoc w sweeps) ~bufs:local_bufs.(rank) ~scalars)
-        ~finish:(fun ~rank ->
-          let _, fin = runners.(rank) in
-          fin ~bufs:local_bufs.(rank) ~scalars)
-        ())
-    kplan.kp_stages
+  let arg_names bis =
+    List.filter_map
+      (fun bi -> if bi < Array.length names then Some names.(bi) else None)
+      bis
+  in
+  (* Build the whole invocation — every stage's superstep — as one phase
+     list, executed by a single [Dist_exec.run_phases] call: under the
+     barrier rendezvous the pool is launched once per kernel invocation,
+     not once per phase. The freshness/fusion decisions below are purely
+     schedule-level, so they are made here at build time. *)
+  let phases =
+    List.concat
+      (List.mapi
+         (fun stage_idx stage ->
+           let swap_fields = arg_names stage.sg_swap in
+           (* Superstep fusion: a swap field whose halos are already
+              fresh — scattered or exchanged since last written — need
+              not be exchanged again. When the whole swap set is fresh
+              the stage pays no exchange at all (the fused superstep is
+              a single compute phase). Dependence distances are within
+              the one-cell halo by construction ([check_nest]), so
+              freshness is exactly the remaining fusion condition. *)
+           let stale =
+             if st.dk_fuse then
+               List.filter (fun n -> not (List.mem n g.g_fresh)) swap_fields
+             else swap_fields
+           in
+           let fused = swap_fields <> [] && stale = [] in
+           (* mirror the superstep's no-pool collapse: the runners below
+              are keyed by window, so the window set must match the
+              schedule the superstep will actually run. A fused stage
+              has no communication to hide and runs the blocking
+              whole-sweep windows. *)
+           let mode =
+             if fused then Dist_exec.Blocking
+             else if
+               st.dk_mode = Dist_exec.Overlap && stage.sg_overlap_ok
+               && st.dk_pool <> None
+             then Dist_exec.Overlap
+             else Dist_exec.Blocking
+           in
+           if fused then begin
+             st.dk_fused_stages <- st.dk_fused_stages + 1;
+             Obs.incr c_fused
+           end
+           else begin
+             match mode with
+             | Dist_exec.Overlap ->
+               st.dk_overlap_stages <- st.dk_overlap_stages + 1
+             | Dist_exec.Blocking ->
+               st.dk_blocking_stages <- st.dk_blocking_stages + 1;
+               if st.dk_mode = Dist_exec.Overlap then Obs.incr c_fallbacks
+           end;
+           (* the exchange refreshes every swap field; the stage's
+              writes then staled the written fields' halos *)
+           let written = arg_names stage.sg_writes in
+           g.g_fresh <-
+             swap_fields
+             @ List.filter (fun n -> not (List.mem n swap_fields)) g.g_fresh;
+           g.g_fresh <- List.filter (fun n -> not (List.mem n written)) g.g_fresh;
+           (* compile every runner this superstep can need up front, on
+              the caller: the memo tables are not thread-safe and the
+              sweep callbacks run concurrently on pool workers *)
+           let runners =
+             Array.init nranks (fun rank ->
+                 let windows =
+                   match mode with
+                   | Dist_exec.Blocking -> [ Dist_exec.interior dx rank ]
+                   | Dist_exec.Overlap ->
+                     if Dist_exec.overlap_capable dx rank then
+                       Dist_exec.interior_block dx rank
+                       :: Dist_exec.shells dx rank
+                     else [ Dist_exec.interior dx rank ]
+                 in
+                 ( List.map
+                     (fun w ->
+                       ( w,
+                         sweep_runner st kplan ~decomp ~ddims ~stage_idx
+                           ~rank ~w ))
+                     windows,
+                   finish_runner st kplan ~decomp ~ddims ~stage_idx ~rank ))
+           in
+           Dist_exec.superstep_phases dx ~swap_fields:stale ~mode
+             ~coalesce:st.dk_coalesce
+             ~sweep:(fun ~rank w ->
+               let sweeps, _ = runners.(rank) in
+               (List.assoc w sweeps) ~bufs:local_bufs.(rank) ~scalars)
+             ~finish:(fun ~rank ->
+               let _, fin = runners.(rank) in
+               fin ~bufs:local_bufs.(rank) ~scalars)
+             ())
+         kplan.kp_stages)
+  in
+  Dist_exec.run_phases dx phases
 
 (* Execute one compiled kernel under the distributed target. [host] runs
    the kernel on the global buffers (the engine's normal serial path)
@@ -606,17 +666,30 @@ type stats = {
   ds_ranks : int;
   ds_mode : Dist_exec.mode;
   ds_engine : engine;
+  ds_fuse : bool;
+  ds_coalesce : bool;
   ds_groups : group_stats list;
   ds_dist_runs : int; (* distributed kernel executions, cumulative *)
   ds_fallback_runs : int;
   ds_overlap_stages : int;
   ds_blocking_stages : int;
+  ds_fused_stages : int; (* supersteps whose exchange was fused away *)
+  ds_thin_y_fallbacks : int; (* overlap fallbacks: active y axis < 3 *)
+  ds_thin_z_fallbacks : int;
   ds_vec_nests : int; (* vectorised / total nests over compiled runners *)
   ds_total_nests : int;
 }
 
 let stats st =
+  let thin_y, thin_z =
+    List.fold_left
+      (fun (ay, az) g ->
+        let y, z = Dist_exec.fallback_reasons g.g_dx in
+        (ay + y, az + z))
+      (0, 0) st.dk_groups
+  in
   { ds_ranks = st.dk_ranks; ds_mode = st.dk_mode; ds_engine = st.dk_engine;
+    ds_fuse = st.dk_fuse; ds_coalesce = st.dk_coalesce;
     ds_groups =
       List.rev_map
         (fun g ->
@@ -628,4 +701,6 @@ let stats st =
     ds_dist_runs = st.dk_dist_runs; ds_fallback_runs = st.dk_fallback_runs;
     ds_overlap_stages = st.dk_overlap_stages;
     ds_blocking_stages = st.dk_blocking_stages;
-    ds_vec_nests = st.dk_vec_nests; ds_total_nests = st.dk_total_nests }
+    ds_fused_stages = st.dk_fused_stages; ds_thin_y_fallbacks = thin_y;
+    ds_thin_z_fallbacks = thin_z; ds_vec_nests = st.dk_vec_nests;
+    ds_total_nests = st.dk_total_nests }

@@ -24,9 +24,18 @@ type state
 (** [create ?pool ~ranks ~mode ~engine ()] — one state per linked
     artifact. [pool] runs ranks concurrently; [mode] selects overlapped
     or blocking supersteps (per stage, overlap falls back to blocking
-    when a nest writes outside the interior). *)
+    when a nest writes outside the interior). [fuse] (default [true])
+    skips a stage's halo exchange when every swap field's halos are
+    already fresh — scattered or exchanged since last written — so e.g.
+    the superstep right after a scatter pays no messages. [coalesce]
+    (default [true]) packs a stage's whole swap set into one message
+    per neighbour per superstep behind a field-offset header instead of
+    one message per field per direction. Both preserve bitwise results;
+    the flags exist for differential testing and ablation. *)
 val create :
   ?pool:Fsc_rt.Domain_pool.t ->
+  ?fuse:bool ->
+  ?coalesce:bool ->
   ranks:int ->
   mode:Dist_exec.mode ->
   engine:engine ->
@@ -73,11 +82,20 @@ type stats = {
   ds_ranks : int;
   ds_mode : Dist_exec.mode;
   ds_engine : engine;
+  ds_fuse : bool;
+  ds_coalesce : bool;
   ds_groups : group_stats list;
   ds_dist_runs : int;  (** distributed kernel executions, cumulative *)
   ds_fallback_runs : int;
   ds_overlap_stages : int;
   ds_blocking_stages : int;
+  ds_fused_stages : int;
+      (** supersteps whose halo exchange was fused away (halos already
+          fresh), cumulative *)
+  ds_thin_y_fallbacks : int;
+      (** overlap fallbacks because an active y axis was thinner than 3
+          (per affected rank per superstep) *)
+  ds_thin_z_fallbacks : int;
   ds_vec_nests : int;
       (** vectorised / total nests over compiled per-rank runners *)
   ds_total_nests : int;

@@ -405,7 +405,7 @@ let compile options src =
    possible, pool/device allocated per target. Works identically on a
    freshly compiled artifact and on one re-parsed from the cache. *)
 let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
-    ca =
+    ?(dist_fuse = true) ?(dist_coalesce = true) ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
   let ctx = Interp.create_context () in
@@ -431,8 +431,8 @@ let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
         | _ -> Fsc_dmp.Dist_kernel.E_closure
       in
       Some
-        (Fsc_dmp.Dist_kernel.create ?pool ~ranks ~mode:dist_mode
-           ~engine:dengine ())
+        (Fsc_dmp.Dist_kernel.create ?pool ~fuse:dist_fuse
+           ~coalesce:dist_coalesce ~ranks ~mode:dist_mode ~engine:dengine ())
     | _ -> None
   in
   (match target with
@@ -459,11 +459,12 @@ let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
    kernel-name counter for reproducible names — which is why [compile]
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
-let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?dist_mode src =
+let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?dist_mode
+    ?dist_fuse ?dist_coalesce src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  (link ?engine ?dist_mode ca, ca.ca_stats)
+  (link ?engine ?dist_mode ?dist_fuse ?dist_coalesce ca, ca.ca_stats)
 
 (* -------------------- execution -------------------- *)
 

@@ -136,11 +136,16 @@ val compile : options -> string -> compiled_artifact
     For [Dist] targets, [dist_mode] (default {!Fsc_dmp.Dist_exec.Overlap})
     selects overlapped or blocking halo supersteps; ranks execute
     concurrently on a domain pool sized [min ranks (recommended_size ())].
-    Under {!Engine_interp} the program runs entirely on the host
-    interpreter (no distribution). *)
+    [dist_fuse] (default [true]) skips superstep halo exchanges whose
+    halos are already fresh; [dist_coalesce] (default [true]) packs a
+    stage's swap set into one message per neighbour per superstep. Both
+    preserve bitwise results. Under {!Engine_interp} the program runs
+    entirely on the host interpreter (no distribution). *)
 val link :
   ?engine:exec_engine ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
+  ?dist_fuse:bool ->
+  ?dist_coalesce:bool ->
   compiled_artifact ->
   artifact
 
@@ -155,6 +160,8 @@ val stencil :
   ?specialize:bool ->
   ?engine:exec_engine ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
+  ?dist_fuse:bool ->
+  ?dist_coalesce:bool ->
   string ->
   artifact * stencil_stats
 

@@ -24,38 +24,66 @@ let c_serial_for = Obs.counter "pool.serial_for"
 let c_caller_chunks = Obs.counter "pool.chunks.caller"
 let c_worker_chunks = Obs.counter "pool.chunks.worker"
 let c_steals = Obs.counter "pool.steals"
+let c_teams = Obs.counter "pool.teams"
+let c_team_barriers = Obs.counter "pool.team_barriers"
 
 (* A reusable phase barrier: [await] blocks until all [parties] arrive,
-   then releases the phase together. Generation-counted so it can be
-   reused across parallel_for invocations without re-allocation. *)
+   then releases the phase together.
+
+   Hybrid spin-then-block, ticket based: arrival order is a monotone
+   atomic ticket counter, a party's generation is [ticket / parties],
+   and the last arriver of a generation publishes [phase = gen + 1].
+   Early arrivers spin briefly on the phase word — a phase released
+   while every party is still on-CPU costs no syscall — then fall back
+   to a condition wait. The publish happens under the mutex before the
+   broadcast, and blocked waiters re-check the phase under the same
+   mutex, so no wakeup can be lost. Tickets never reset, which is what
+   makes immediate reuse across back-to-back phases race-free: a fast
+   party re-arriving before slow parties have observed the release
+   simply lands in the next generation. *)
 module Barrier = struct
   type t = {
+    b_parties : int;
+    b_tickets : int Atomic.t; (* monotone arrival counter *)
+    b_phase : int Atomic.t;   (* completed generations *)
+    b_spin : int;             (* bounded spin before blocking *)
     b_mutex : Mutex.t;
     b_cond : Condition.t;
-    b_parties : int;
-    mutable b_count : int;
-    mutable b_phase : int;
   }
 
-  let create parties =
-    { b_mutex = Mutex.create (); b_cond = Condition.create ();
-      b_parties = parties; b_count = 0; b_phase = 0 }
+  (* The default spin is deliberately small: on an oversubscribed host
+     (more parties than cores) the release can only come after a
+     reschedule, so long spins just burn the releaser's timeslice. *)
+  let create ?(spin = 300) parties =
+    { b_parties = parties; b_tickets = Atomic.make 0;
+      b_phase = Atomic.make 0; b_spin = spin; b_mutex = Mutex.create ();
+      b_cond = Condition.create () }
 
   let await b =
-    Mutex.lock b.b_mutex;
-    b.b_count <- b.b_count + 1;
-    if b.b_count = b.b_parties then begin
-      b.b_count <- 0;
-      b.b_phase <- b.b_phase + 1;
-      Condition.broadcast b.b_cond
+    if b.b_parties > 1 then begin
+      let ticket = Atomic.fetch_and_add b.b_tickets 1 in
+      let gen = ticket / b.b_parties in
+      if ticket mod b.b_parties = b.b_parties - 1 then begin
+        Mutex.lock b.b_mutex;
+        Atomic.set b.b_phase (gen + 1);
+        Condition.broadcast b.b_cond;
+        Mutex.unlock b.b_mutex
+      end
+      else begin
+        let spins = ref b.b_spin in
+        while Atomic.get b.b_phase <= gen && !spins > 0 do
+          decr spins;
+          Domain.cpu_relax ()
+        done;
+        if Atomic.get b.b_phase <= gen then begin
+          Mutex.lock b.b_mutex;
+          while Atomic.get b.b_phase <= gen do
+            Condition.wait b.b_cond b.b_mutex
+          done;
+          Mutex.unlock b.b_mutex
+        end
+      end
     end
-    else begin
-      let phase = b.b_phase in
-      while b.b_phase = phase do
-        Condition.wait b.b_cond b.b_mutex
-      done
-    end;
-    Mutex.unlock b.b_mutex
 end
 
 type task = {
@@ -66,16 +94,32 @@ type task = {
   t_min_chunk : int;
 }
 
+(* Two kinds of published work: a stealable parallel-for task, or a
+   fixed-membership team in which participant [m] runs the body exactly
+   once with its member index and a phase barrier shared by the team.
+   Team work is deliberately not stealable: each member owns its slice
+   of state for the whole launch, so the barrier can be the only
+   synchronisation between phases. *)
+type work =
+  | W_for of task
+  | W_team of {
+      tm_members : int;
+      tm_body : member:int -> barrier:(unit -> unit) -> unit;
+      tm_barrier : unit -> unit;
+    }
+
 type t = {
   size : int;
   mutable workers : unit Domain.t array;
-  work : task option ref;
+  work : work option ref;
   work_mutex : Mutex.t;
   work_cond : Condition.t;
   barrier : Barrier.t;
   mutable generation : int;
   mutable shutdown : bool;
 }
+
+let size pool = pool.size
 
 (* Claim the next chunk from segment [seg]: a quarter of what remains,
    never below the task's minimum chunk. fetch_and_add may over-claim
@@ -136,11 +180,17 @@ let worker_loop pool self () =
     if pool.shutdown then Mutex.unlock pool.work_mutex
     else begin
       seen := pool.generation;
-      let task = !(pool.work) in
+      let work = !(pool.work) in
       Mutex.unlock pool.work_mutex;
-      (match task with
-      | Some task ->
+      (match work with
+      | Some (W_for task) ->
         run_task ~self task;
+        Barrier.await pool.barrier
+      | Some (W_team tm) ->
+        (* workers beyond the team size sit this launch out but still
+           join the pool-wide completion barrier *)
+        if self < tm.tm_members then
+          tm.tm_body ~member:self ~barrier:tm.tm_barrier;
         Barrier.await pool.barrier
       | None -> ());
       loop ()
@@ -190,12 +240,44 @@ let parallel_for ?chunk pool ~lo ~hi body =
         t_min_chunk = min_chunk }
     in
     Mutex.lock pool.work_mutex;
-    pool.work := Some task;
+    pool.work := Some (W_for task);
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work_cond;
     Mutex.unlock pool.work_mutex;
     (* the caller participates as worker 0 *)
     run_task ~self:0 task;
+    Barrier.await pool.barrier
+  end
+
+(* Launch a fixed team of [members] participants: each runs
+   [body ~member ~barrier] exactly once, with [member 0] being the
+   caller and a fresh phase barrier of [members] parties shared by the
+   team. One launch then an arbitrary number of cheap barrier
+   rendezvous inside the body replaces a pool join per phase — the
+   launch/join cost and the steal-thrash of chunked scheduling are paid
+   once per team, not once per phase. The body must not use the pool
+   itself ([parallel_for] or a nested [team] would deadlock waiting for
+   workers that are pinned to this team). *)
+let team pool ~members body =
+  if members < 1 then invalid_arg "Domain_pool.team: members must be >= 1";
+  if members > pool.size then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.team: %d members exceed pool size %d"
+         members pool.size);
+  if members = 1 then body ~member:0 ~barrier:(fun () -> ())
+  else begin
+    Obs.incr c_teams;
+    let phase = Barrier.create members in
+    let tm_barrier () =
+      Obs.incr c_team_barriers;
+      Barrier.await phase
+    in
+    Mutex.lock pool.work_mutex;
+    pool.work := Some (W_team { tm_members = members; tm_body = body; tm_barrier });
+    pool.generation <- pool.generation + 1;
+    Condition.broadcast pool.work_cond;
+    Mutex.unlock pool.work_mutex;
+    body ~member:0 ~barrier:tm_barrier;
     Barrier.await pool.barrier
   end
 

@@ -13,6 +13,9 @@ type t
     plus the caller). *)
 val create : int -> t
 
+(** Number of participants (worker domains + caller). *)
+val size : t -> int
+
 (** Join all worker domains. The pool must be idle. *)
 val shutdown : t -> unit
 
@@ -24,6 +27,23 @@ val shutdown : t -> unit
     than twice the pool size run inline on the caller. *)
 val parallel_for :
   ?chunk:int -> t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+
+(** [team pool ~members body] launches a fixed team: participant [m]
+    (member 0 is the caller, members [1 .. members-1] are pinned pool
+    workers) runs [body ~member:m ~barrier] exactly once. [barrier ()]
+    is a reusable hybrid spin-then-block phase rendezvous over exactly
+    the [members] participants — one team launch plus any number of
+    cheap barriers replaces one full pool join per phase. Blocks until
+    every member returned. Teams are not stealable: each member keeps
+    its identity (and whatever state is keyed on it) across every
+    phase of the launch. With [members = 1] the body runs inline and
+    the barrier is a no-op.
+
+    The body must not use the pool itself (a nested [parallel_for] or
+    [team] would deadlock). @raise Invalid_argument when [members < 1]
+    or [members > size pool]. *)
+val team :
+  t -> members:int -> (member:int -> barrier:(unit -> unit) -> unit) -> unit
 
 (** The machine's recommended worker count. *)
 val recommended_size : unit -> int

@@ -275,6 +275,134 @@ let test_distributed_gs_equals_serial () =
         (* 1, 2, prime, ny (8 = full y extent), non-square 2x3 *)
         [ 1; 2; 3; ny; 6 ])
 
+(* Coalesced halo payloads: for every rank and every neighbour
+   direction, packing a two-field swap set on the sender and unpacking
+   it on the receiver must restore scribbled halo planes bit for bit;
+   corrupted headers must raise instead of scattering into the wrong
+   field. *)
+let test_coalesced_roundtrip () =
+  let d = D.create ~global:(6, 8, 10) ~ranks:4 in
+  let names = [ "u"; "v" ] in
+  let init name (i, j, k) =
+    (if name = "u" then 1000.0 else 2000.0)
+    +. float_of_int ((100 * i) + (10 * j) + k)
+  in
+  let t = DX.create d ~fields:names ~init in
+  let dir_name = function
+    | D.Y_low -> "y-low"
+    | D.Y_high -> "y-high"
+    | D.Z_low -> "z-low"
+    | D.Z_high -> "z-high"
+  in
+  let plane_cells buf dir f =
+    let dims = buf.Rt.dims in
+    let fix_y j =
+      for k = 0 to dims.(2) - 1 do
+        for i = 0 to dims.(0) - 1 do
+          f [| i; j; k |]
+        done
+      done
+    and fix_z k =
+      for j = 0 to dims.(1) - 1 do
+        for i = 0 to dims.(0) - 1 do
+          f [| i; j; k |]
+        done
+      done
+    in
+    match dir with
+    | D.Y_low -> fix_y 0
+    | D.Y_high -> fix_y (dims.(1) - 1)
+    | D.Z_low -> fix_z 0
+    | D.Z_high -> fix_z (dims.(2) - 1)
+  in
+  let tested = ref 0 in
+  Array.iter
+    (fun st ->
+      let rank = st.DX.rs_rank in
+      List.iter
+        (fun dir ->
+          match D.neighbor d rank dir with
+          | None -> ()
+          | Some nbr ->
+            incr tested;
+            let payload = DX.pack_coalesced t ~names ~rank ~dir in
+            let back = D.opposite dir in
+            let nst = t.DX.ranks.(nbr) in
+            (* global coordinates of the receiver's [back] halo plane *)
+            let (_, _), (yl, yh), (zl, zh) = nst.DX.rs_range in
+            let global idx =
+              match back with
+              | D.Y_low -> (idx.(0), yl - 1, zl - 1 + idx.(2))
+              | D.Y_high -> (idx.(0), yh + 1, zl - 1 + idx.(2))
+              | D.Z_low -> (idx.(0), yl - 1 + idx.(1), zl - 1)
+              | D.Z_high -> (idx.(0), yl - 1 + idx.(1), zh + 1)
+            in
+            List.iter
+              (fun name ->
+                plane_cells (DX.field nst name) back (fun idx ->
+                    Rt.set (DX.field nst name) idx (-1.0)))
+              names;
+            DX.unpack_coalesced t ~names ~rank:nbr ~dir:back payload;
+            List.iter
+              (fun name ->
+                plane_cells (DX.field nst name) back (fun idx ->
+                    let want = init name (global idx) in
+                    let got = Rt.get (DX.field nst name) idx in
+                    if not (Float.equal want got) then
+                      Alcotest.failf
+                        "rank %d -> %d %s %s halo: want %g got %g" rank nbr
+                        name (dir_name back) want got))
+              names)
+        [ D.Y_low; D.Y_high; D.Z_low; D.Z_high ])
+    t.DX.ranks;
+  Alcotest.(check bool) "some neighbour pairs tested" true (!tested >= 8);
+  (* header validation: wrong field count, offset escaping the payload *)
+  let payload = DX.pack_coalesced t ~names ~rank:0 ~dir:D.Y_high in
+  (match D.neighbor d 0 D.Y_high with
+  | None -> Alcotest.fail "rank 0 must have a y-high neighbour"
+  | Some nbr ->
+    let corrupt mutate msg =
+      let p = Array.copy payload in
+      mutate p;
+      match DX.unpack_coalesced t ~names ~rank:nbr ~dir:D.Y_low p with
+      | () -> Alcotest.failf "%s accepted" msg
+      | exception Invalid_argument _ -> ()
+    in
+    corrupt (fun p -> p.(0) <- p.(0) +. 1.0) "wrong field count";
+    corrupt
+      (fun p -> p.(1) <- float_of_int (Array.length payload * 2))
+      "escaping offset")
+
+(* The barrier rendezvous and the legacy pool-join rendezvous are pure
+   scheduling strategies: same supersteps, bitwise-identical results,
+   in both modes, with ranks genuinely concurrent on a pool. *)
+let test_rendezvous_differential () =
+  let nx, ny, nz = (6, 8, 10) in
+  let iters = 3 in
+  let serial = gs_serial ~nx ~ny ~nz ~iters in
+  Fsc_rt.Domain_pool.with_pool 3 (fun pool ->
+      List.iter
+        (fun mode ->
+          let gather_with rv =
+            let d = D.create ~global:(nx, ny, nz) ~ranks:4 in
+            let t =
+              DX.create ~pool ~rendezvous:rv d ~fields:[ "u"; "unew" ]
+                ~init:gs_init_fields
+            in
+            gs_iterate t ~mode ~iters;
+            DX.gather t "u"
+          in
+          let barrier = gather_with DX.Rv_barrier in
+          let join = gather_with DX.Rv_join in
+          let label = DX.mode_name mode in
+          Alcotest.(check (float 0.))
+            (label ^ ": barrier == join") 0.0
+            (max_interior_diff ~nx ~ny ~nz barrier join);
+          Alcotest.(check (float 0.))
+            (label ^ ": barrier == serial") 0.0
+            (max_interior_diff ~nx ~ny ~nz serial.V.g_buf barrier))
+        [ DX.Blocking; DX.Overlap ])
+
 (* Overlap splits the sweep into interior block + shells; the union must
    cover each rank's interior exactly once. *)
 let test_overlap_windows_partition () =
@@ -401,15 +529,22 @@ let test_dmp_to_mpi () =
 module P = Fsc_driver.Pipeline
 module B = Fsc_driver.Benchmarks
 
-let run_pipeline ?dist_mode ~engine ~target ~grid src =
-  let a, _ = P.stencil ~target ~engine ?dist_mode src in
+let run_pipeline_stats ?dist_mode ?dist_fuse ?dist_coalesce ~engine ~target
+    ~grid src =
+  let a, _ =
+    P.stencil ~target ~engine ?dist_mode ?dist_fuse ?dist_coalesce src
+  in
   P.run a;
   let b = P.buffer_exn a grid in
   (* copy out: the artifact owns the bigarray *)
   let n = Bigarray.Array1.dim b.Rt.data in
   let out = Array.init n (fun i -> Bigarray.Array1.unsafe_get b.Rt.data i) in
+  let stats = Option.map Fsc_dmp.Dist_kernel.stats a.P.a_dist in
   P.shutdown a;
-  out
+  (out, stats)
+
+let run_pipeline ?dist_mode ~engine ~target ~grid src =
+  fst (run_pipeline_stats ?dist_mode ~engine ~target ~grid src)
 
 let check_bitwise ~msg serial dist =
   Alcotest.(check int) (msg ^ ": size") (Array.length serial)
@@ -473,6 +608,104 @@ let test_pipeline_dist_pw () =
         [ 2; 6 ])
     [ "u"; "su" ]
 
+(* Superstep fusion and coalescing are pure traffic optimisations: every
+   fuse x coalesce combination must reproduce the serial answer bit for
+   bit. On Gauss-Seidel fusion must never fire (each sweep rewrites u,
+   so the per-iteration exchange is semantically required); on a
+   residual-style kernel that reads u at offsets but never writes it,
+   every superstep after the first must fuse, and the message count
+   must drop accordingly. *)
+let test_pipeline_dist_fusion () =
+  let residual_src =
+    {|
+program residual_probe
+  implicit none
+  integer, parameter :: nx = 6, ny = 6, nz = 6, niter = 3
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: u, r
+
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        u(i, j, k) = 0.01d0 * dble(i) * dble(i) &
+                   + 0.02d0 * dble(j) * dble(k) + 0.03d0 * dble(k)
+        r(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do iter = 1, niter
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          r(i, j, k) = u(i, j, k) - (u(i-1, j, k) + u(i+1, j, k) &
+                     + u(i, j-1, k) + u(i, j+1, k) + u(i, j, k-1) &
+                     + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+  end do
+end program residual_probe
+|}
+  in
+  let module Dk = Fsc_dmp.Dist_kernel in
+  let group_msgs = function
+    | Some s ->
+      List.fold_left (fun a g -> a + g.Dk.gs_msgs) 0 s.Dk.ds_groups
+    | None -> 0
+  in
+  let serial =
+    run_pipeline ~engine:P.Engine_vector ~target:P.Serial ~grid:"r"
+      residual_src
+  in
+  let traffic = Hashtbl.create 4 in
+  List.iter
+    (fun (fuse, coalesce) ->
+      let dist, stats =
+        run_pipeline_stats ~dist_mode:DX.Overlap ~dist_fuse:fuse
+          ~dist_coalesce:coalesce ~engine:P.Engine_vector
+          ~target:(P.Dist 4) ~grid:"r" residual_src
+      in
+      let label = Printf.sprintf "residual fuse=%b coalesce=%b" fuse coalesce in
+      check_bitwise ~msg:label serial dist;
+      Hashtbl.replace traffic (fuse, coalesce) (group_msgs stats);
+      match stats with
+      | Some s ->
+        if fuse then
+          Alcotest.(check bool) (label ^ ": stages fused") true
+            (s.Dk.ds_fused_stages > 0)
+        else
+          Alcotest.(check int) (label ^ ": no stage fused") 0
+            s.Dk.ds_fused_stages
+      | None -> Alcotest.fail (label ^ ": no dist state"))
+    [ (true, true); (true, false); (false, true); (false, false) ];
+  (* niter = 3 supersteps swap u; fused pays the first exchange only *)
+  let msgs fuse coalesce = Hashtbl.find traffic (fuse, coalesce) in
+  Alcotest.(check int) "fused sends one exchange in three"
+    (msgs false true)
+    (3 * msgs true true);
+  Alcotest.(check int) "coalescing does not change a 1-field swap"
+    (msgs false false) (msgs false true);
+  (* Gauss-Seidel: fusion must not fire, results identical either way *)
+  let gs = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:3 () in
+  let gs_serial =
+    run_pipeline ~engine:P.Engine_vector ~target:P.Serial ~grid:"u" gs
+  in
+  List.iter
+    (fun fuse ->
+      let dist, stats =
+        run_pipeline_stats ~dist_mode:DX.Overlap ~dist_fuse:fuse
+          ~engine:P.Engine_vector ~target:(P.Dist 4) ~grid:"u" gs
+      in
+      check_bitwise ~msg:(Printf.sprintf "gs fuse=%b" fuse) gs_serial dist;
+      match stats with
+      | Some s ->
+        Alcotest.(check int)
+          (Printf.sprintf "gs fuse=%b: nothing fusible" fuse)
+          0 s.Dk.ds_fused_stages
+      | None -> Alcotest.fail "gs: no dist state")
+    [ true; false ]
+
 (* A grid too small for the rank count must fail with the located
    decomposition diagnostic, not a degenerate layout or a crash. *)
 let test_pipeline_dist_degenerate () =
@@ -504,6 +737,10 @@ let () =
            test_mpi_validation ]);
       ("execution",
        [ Alcotest.test_case "halo exchange" `Quick test_halo_exchange;
+         Alcotest.test_case "coalesced payload round trip" `Quick
+           test_coalesced_roundtrip;
+         Alcotest.test_case "barrier vs join rendezvous" `Quick
+           test_rendezvous_differential;
          Alcotest.test_case "overlap windows partition interior" `Quick
            test_overlap_windows_partition;
          Alcotest.test_case "gather ignores stale halos" `Quick
@@ -515,6 +752,8 @@ let () =
            test_pipeline_dist_gs;
          Alcotest.test_case "dist target PW == serial (bitwise)" `Quick
            test_pipeline_dist_pw;
+         Alcotest.test_case "fusion/coalescing ablation (bitwise)" `Quick
+           test_pipeline_dist_fusion;
          Alcotest.test_case "degenerate decomposition diagnosed" `Quick
            test_pipeline_dist_degenerate ]);
       ("dialect",

@@ -190,6 +190,35 @@ let test_fig6_auto_magnitude () =
     true
     (auto > 10_000. && auto < 2_000_000.)
 
+(* The bench-scale projection that BENCH_dmp.json's "projected" section
+   carries past the measurable rank counts: at the 16^3 grid the model
+   must stay finite and positive out to 64+ simulated ranks, keep the
+   hand > auto ordering, and not promise more than the halo-dominated
+   saturation a 16^3 problem allows (tiny blocks, no heroic scaling). *)
+let test_model_64_rank_projection () =
+  let global = (16, 16, 16) in
+  let at variant ranks = N.mcells ~variant ~global ~ranks () in
+  List.iter
+    (fun ranks ->
+      let auto = at N.Auto_dmp ranks in
+      let hand = at N.Hand_cray ranks in
+      Alcotest.(check bool)
+        (Printf.sprintf "finite positive at %d ranks" ranks)
+        true
+        (Float.is_finite auto && auto > 0.0 && Float.is_finite hand
+       && hand > 0.0);
+      Alcotest.(check bool)
+        (Printf.sprintf "hand >= auto at %d ranks" ranks)
+        true (hand >= auto))
+    [ 8; 16; 32; 64; 128 ];
+  let auto64 = at N.Auto_dmp 64 in
+  Alcotest.(check bool) "64 ranks no slower than 8" true
+    (auto64 >= at N.Auto_dmp 8);
+  Alcotest.(check bool)
+    (Printf.sprintf "saturated, not scaling heroically (got %.1f)" auto64)
+    true
+    (auto64 < 4.0 *. at N.Auto_dmp 8)
+
 (* ---- future work: multinode GPU ---- *)
 
 let test_multinode_gpu () =
@@ -231,6 +260,8 @@ let () =
          Alcotest.test_case "both scale" `Quick test_fig6_both_scale;
          Alcotest.test_case "hand scales better" `Quick
            test_fig6_hand_scales_better;
+         Alcotest.test_case "64-rank bench projection" `Quick
+           test_model_64_rank_projection;
          Alcotest.test_case "auto magnitude" `Quick
            test_fig6_auto_magnitude ]);
       ("future-work",

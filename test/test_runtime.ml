@@ -67,6 +67,59 @@ let test_pool_reuse () =
       done;
       Alcotest.(check int) "all iterations ran" 5000 (Atomic.get total))
 
+(* A team pins members to workers for the whole body; the reusable
+   phase barrier must order phases across members, round after round,
+   without a pool join between phases. *)
+let test_team_barrier_phases () =
+  DP.with_pool 3 (fun pool ->
+      let members = 3 in
+      let phases = 20 in
+      let counts = Array.init phases (fun _ -> Atomic.make 0) in
+      let failed = Atomic.make false in
+      DP.team pool ~members (fun ~member:_ ~barrier ->
+          for p = 0 to phases - 1 do
+            Atomic.incr counts.(p);
+            barrier ();
+            (* after the rendezvous every member's arrival is visible *)
+            if Atomic.get counts.(p) <> members then Atomic.set failed true;
+            barrier ()
+          done);
+      Alcotest.(check bool) "every phase saw all members" false
+        (Atomic.get failed);
+      Array.iteri
+        (fun p c ->
+          Alcotest.(check int)
+            (Printf.sprintf "phase %d count" p)
+            members (Atomic.get c))
+        counts;
+      (* the pool is immediately reusable for ordinary work after a
+         team, and for further teams *)
+      let total = Atomic.make 0 in
+      DP.parallel_for pool ~lo:0 ~hi:100 (fun lo hi ->
+          Atomic.fetch_and_add total (hi - lo) |> ignore);
+      Alcotest.(check int) "parallel_for after team" 100 (Atomic.get total);
+      DP.team pool ~members:2 (fun ~member ~barrier ->
+          Atomic.fetch_and_add total (member + 1) |> ignore;
+          barrier ());
+      Alcotest.(check int) "second team ran both members" 103
+        (Atomic.get total))
+
+let test_team_membership_bounds () =
+  DP.with_pool 2 (fun pool ->
+      (* members = 1 runs inline on the caller *)
+      let ran = ref false in
+      DP.team pool ~members:1 (fun ~member ~barrier ->
+          barrier ();
+          ran := member = 0);
+      Alcotest.(check bool) "singleton team inlined" true !ran;
+      (* a team larger than the pool can never rendezvous: rejected *)
+      List.iter
+        (fun members ->
+          match DP.team pool ~members (fun ~member:_ ~barrier:_ -> ()) with
+          | () -> Alcotest.failf "members=%d accepted" members
+          | exception Invalid_argument _ -> ())
+        [ 0; 3 ])
+
 (* Small ranges (hi - lo < size * 4, i.e. fewer than a few chunks per
    worker) used to divide into zero-sized default chunks; they must
    cover every index exactly once whether they run inline or through
@@ -245,6 +298,10 @@ let () =
          Alcotest.test_case "empty and single" `Quick
            test_parallel_for_empty_and_single;
          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+         Alcotest.test_case "team barrier phases" `Quick
+           test_team_barrier_phases;
+         Alcotest.test_case "team membership bounds" `Quick
+           test_team_membership_bounds;
          Alcotest.test_case "small ranges" `Quick
            test_parallel_for_small_ranges;
          Alcotest.test_case "chunk clamped" `Quick
