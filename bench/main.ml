@@ -280,14 +280,20 @@ let write_serve_json () =
 (* Execution-engine comparison: BENCH_kernels.json                     *)
 (* ------------------------------------------------------------------ *)
 
-(* The three kernel execution tiers (interp / closure / vector) on the
-   row-friendly benchmarks. Closure and vector run on the same compiled
-   artifact (same grids) so the ratio isolates the engine; the
-   interpreter runs on a much smaller grid, like figure2_measured, and
-   its ratio is a tier gap rather than a same-size speedup. Before any
-   number is written the closure and vector grids are required to be
-   bitwise identical, and vector must not lose to closure — either
-   failure exits nonzero, which is what ci.sh asserts. *)
+(* The four kernel execution tiers (interp / closure / vector / native)
+   on the row-friendly benchmarks. Closure, vector and native run on the
+   same compiled artifact (same grids) so the ratio isolates the engine;
+   the interpreter runs on a much smaller grid, like figure2_measured,
+   and its ratio is a tier gap rather than a same-size speedup. The
+   native tier builds Sync into a fresh private cache: the first run
+   pays the cold ocamlopt compile — recorded separately as
+   [cold_build_ms] — and the measured windows then see only the plugin's
+   steady-state throughput. Before any number is written the
+   closure/vector/native grids are required to be bitwise identical, and
+   neither vector (vs closure) nor native (vs vector) may lose to the
+   tier below — any failure exits nonzero, which is what ci.sh asserts.
+   Without an ocamlopt toolchain the native column is skipped with a
+   notice and the gate does not apply. *)
 let write_kernels_json () =
   let module J = Fsc_obs.Obs.Json in
   let min_seconds = if !quick then 0.1 else 0.2 in
@@ -355,17 +361,67 @@ let write_kernels_json () =
           ~label:(bname ^ "  vector (row bytecode)")
           a_vector cells
       in
-      print_endline (Cal.report [ m_interp; m_closure; m_vector ]);
-      (* bitwise agreement on the full grid, closure vs vector *)
-      let diff =
-        Rt.max_abs_diff
-          (P.buffer_exn a_closure grid)
-          (P.buffer_exn a_vector grid)
+      (* native: Sync builds into a fresh private cache so every plugin
+         compile is cold and attributable to this benchmark *)
+      let module N = Fsc_codegen.Native in
+      let native_ctx =
+        N.create
+          ~cache:
+            (Fsc_cache.Cache.create
+               ~dir:
+                 (Filename.concat
+                    (Filename.get_temp_dir_name ())
+                    (Printf.sprintf "sfc-bench-native-%d-%s" (Unix.getpid ())
+                       bname))
+               ~version:N.format_version ())
+          ~mode:N.Sync ()
       in
-      if diff <> 0.0 then
-        failures :=
-          Printf.sprintf "%s: closure/vector grids differ by %g" bname diff
-          :: !failures;
+      let native =
+        match N.toolchain_error native_ctx with
+        | Some why ->
+          Printf.printf "  %s: native tier skipped (%s)\n" bname why;
+          None
+        | None ->
+          let a_native = P.link ~engine:P.Engine_native ~native:native_ctx ca in
+          (* the first run binds and compiles inline (Sync): after it,
+             the per-kernel reports carry the cold build cost *)
+          P.run a_native;
+          let build_ms =
+            List.fold_left
+              (fun acc (_, impl) ->
+                match impl with
+                | P.Native_jit (_, nk) ->
+                  Printf.printf "    %s: %s\n" (N.name nk) (N.describe nk);
+                  acc +. Option.value (N.report nk).N.rp_build_ms ~default:0.
+                | _ -> acc)
+              0. a_native.P.a_kernels
+          in
+          let m_native =
+            measure
+              ~label:(bname ^ "  native (compiled plugin)")
+              a_native cells
+          in
+          Some (a_native, m_native, build_ms)
+      in
+      print_endline
+        (Cal.report
+           ([ m_interp; m_closure; m_vector ]
+           @ match native with Some (_, m, _) -> [ m ] | None -> []));
+      (* bitwise agreement on the full grid across the compiled tiers *)
+      let check_diff other_name other_a =
+        let diff =
+          Rt.max_abs_diff
+            (P.buffer_exn a_closure grid)
+            (P.buffer_exn other_a grid)
+        in
+        if diff <> 0.0 then
+          failures :=
+            Printf.sprintf "%s: closure/%s grids differ by %g" bname
+              other_name diff
+            :: !failures
+      in
+      check_diff "vector" a_vector;
+      Option.iter (fun (a, _, _) -> check_diff "native" a) native;
       (* per-nest vectorisation coverage for the record *)
       let vec_nests, nests =
         List.fold_left
@@ -380,23 +436,45 @@ let write_kernels_json () =
       P.shutdown a_closure;
       P.shutdown a_vector;
       P.shutdown a_interp;
-      let point engine m cells_note =
+      Option.iter (fun (a, _, _) -> P.shutdown a) native;
+      let point ?(extra = []) engine m cells_note =
         J.Obj
-          [ ("benchmark", J.Str bname); ("engine", J.Str engine);
-            ("size", J.Str cells_note);
-            ("mcells_per_s", J.Num (Cal.mcells m)) ]
+          ([ ("benchmark", J.Str bname); ("engine", J.Str engine);
+             ("size", J.Str cells_note);
+             ("mcells_per_s", J.Num (Cal.mcells m)) ]
+          @ extra)
       in
       series :=
         !series
         @ [ point "interp" m_interp
               (Printf.sprintf "%.0f cells" cells_small);
-            point "closure" m_closure size; point "vector" m_vector size ];
+            point "closure" m_closure size; point "vector" m_vector size ]
+        @ (match native with
+          | Some (_, m, build_ms) ->
+            [ point ~extra:[ ("cold_build_ms", J.Num build_ms) ] "native" m
+                size ]
+          | None -> []);
       let v_over_c = Cal.mcells m_vector /. Cal.mcells m_closure in
       if v_over_c < 1.0 then
         failures :=
           Printf.sprintf "%s: vector engine slower than closure (%.2fx)"
             bname v_over_c
           :: !failures;
+      let native_fields =
+        match native with
+        | None -> []
+        | Some (_, m, build_ms) ->
+          let n_over_v = Cal.mcells m /. Cal.mcells m_vector in
+          if n_over_v < 1.0 then
+            failures :=
+              Printf.sprintf "%s: native engine slower than vector (%.2fx)"
+                bname n_over_v
+              :: !failures;
+          Printf.printf "  %s: native/vector %.2fx (cold build %.1f ms)\n"
+            bname n_over_v build_ms;
+          [ ("native_over_vector", J.Num n_over_v);
+            ("native_cold_build_ms", J.Num build_ms) ]
+      in
       Printf.printf
         "  %s: vector/closure %.2fx, closure/interp tier gap %.0fx \
          (%d/%d nests vectorised)\n"
@@ -406,12 +484,13 @@ let write_kernels_json () =
       speedups :=
         !speedups
         @ [ J.Obj
-              [ ("benchmark", J.Str bname);
-                ("vector_over_closure", J.Num v_over_c);
-                ("closure_over_interp",
-                 J.Num (Cal.mcells m_closure /. Cal.mcells m_interp));
-                ("vectorised_nests", J.Num (float_of_int vec_nests));
-                ("nests", J.Num (float_of_int nests)) ] ])
+              ([ ("benchmark", J.Str bname);
+                 ("vector_over_closure", J.Num v_over_c);
+                 ("closure_over_interp",
+                  J.Num (Cal.mcells m_closure /. Cal.mcells m_interp));
+                 ("vectorised_nests", J.Num (float_of_int vec_nests));
+                 ("nests", J.Num (float_of_int nests)) ]
+              @ native_fields) ])
     benches;
   let json =
     J.Obj

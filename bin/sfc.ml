@@ -140,26 +140,46 @@ let apply_ranks target ranks =
          (Printf.sprintf "ranks only apply to the dist target (target is %s)"
             (P.target_name t)))
 
+(* Unknown engine names render as a located diagnostic (the flag's
+   value is the "source") listing every valid spelling, instead of
+   cmdliner's generic enum message. *)
+let engine_conv =
+  let parse s =
+    match P.engine_of_name s with
+    | Some e -> Ok e
+    | None ->
+      let d =
+        Diag.error ~loc:(Diag.loc 1 1) ~code:"engine"
+          ~notes:
+            [ ( None,
+                "valid engines: " ^ String.concat ", " P.engine_names ) ]
+          (Printf.sprintf "unknown execution engine %S" s)
+      in
+      Error (`Msg (Diag.render ~file:"--exec-engine" d))
+  in
+  let print ppf e = Format.pp_print_string ppf (P.engine_name e) in
+  Arg.conv (parse, print)
+
 let engine_arg =
   Arg.(
     value
-    & opt
-        (enum
-           [ ("interp", P.Engine_interp); ("closure", P.Engine_closure);
-             ("vector", P.Engine_vector) ])
-        P.Engine_vector
+    & opt engine_conv P.Engine_vector
     & info [ "exec-engine" ] ~docv:"ENGINE"
         ~doc:
           "Kernel execution engine: vector (default; row-at-a-time \
-           bytecode with per-nest fallback to closure), closure (per-cell \
-           closure JIT) or interp (force the tree-walking interpreter). \
-           Link-time only: does not affect compiled IR or the artifact \
-           cache.")
+           bytecode with per-nest fallback to closure), native (kernels \
+           emitted as OCaml, compiled and Dynlink'ed; vector serves \
+           until the plugin is ready), closure (per-cell closure JIT) \
+           or interp (force the tree-walking interpreter). Link-time \
+           only: does not affect compiled IR or the artifact cache.")
 
 (* One line per kernel under --stats; for the vector engine include
-   which nests fell back to the closure engine and why. *)
+   which nests fell back to the closure engine and why, for the native
+   engine the build origin (cold build ms / warm cache hit) and per-nest
+   fallbacks. *)
 let impl_description = function
   | P.Compiled _ -> "compiled (closure engine)"
+  | P.Native_jit (_, nk) -> Fsc_codegen.Native.describe nk
   | P.Interpreted r -> "interpreted (" ^ r ^ ")"
   | P.Distributed spec ->
     Printf.sprintf "distributed (%d nest(s), SPMD over simulated ranks)"
@@ -435,6 +455,21 @@ let run_cmd =
     let src = read_file file in
     setup_obs ~trace ~stats;
     let cache = make_cache ~default:false cache_flag cache_dir in
+    (* the native tier shares --cache-dir when given, so one directory
+       holds both compiled IR entries and built plugin sidecars *)
+    let native =
+      match engine with
+      | P.Engine_native ->
+        let ncache =
+          Option.map
+            (fun dir ->
+              Cache.create ~dir
+                ~version:Fsc_codegen.Native.format_version ())
+            cache_dir
+        in
+        Some (Fsc_codegen.Native.create ?cache:ncache ())
+      | _ -> None
+    in
     let options = P.default_options ~target () in
     (* the trace must be flushed and the pool shut down even when the
        program itself fails mid-run *)
@@ -442,7 +477,7 @@ let run_cmd =
       try
         let ca, cache_outcome = Cc.compile ?cache options src in
         let a =
-          P.link ~engine ~dist_mode ~dist_fuse:(not dist_no_fuse)
+          P.link ~engine ?native ~dist_mode ~dist_fuse:(not dist_no_fuse)
             ~dist_coalesce:(not dist_no_coalesce) ca
         in
         Fun.protect
@@ -455,14 +490,23 @@ let run_cmd =
                 ca.P.ca_stats.P.st_kernels;
               Printf.eprintf "compile: cache %s\n"
                 (cache_status_name cache_outcome);
-              Printf.eprintf "engine: %s\n" (P.engine_name engine);
-              List.iter
-                (fun (name, impl) ->
-                  Printf.eprintf "  %s: %s\n" name (impl_description impl))
-                a.P.a_kernels
+              Printf.eprintf "engine: %s\n" (P.engine_name engine)
             end;
             P.run a;
             if stats then begin
+              (* await native builds first so each kernel line reports
+                 its final outcome — cold build time or warm cache hit
+                 — rather than "build pending" *)
+              List.iter
+                (fun (_, impl) ->
+                  match impl with
+                  | P.Native_jit (_, nk) -> Fsc_codegen.Native.await nk
+                  | _ -> ())
+                a.P.a_kernels;
+              List.iter
+                (fun (name, impl) ->
+                  Printf.eprintf "  %s: %s\n" name (impl_description impl))
+                a.P.a_kernels;
               (match a.P.a_ctx.Fsc_rt.Interp.gpu with
               | Some g ->
                 let s = Fsc_rt.Gpu_sim.stats g in

@@ -57,8 +57,9 @@ echo "batch smoke: $njobs jobs, cold hits=$cold_hits, warm hits=$warm_hits"
 }
 
 # Execution-engine smoke: the kernels bench compares interp/closure/
-# vector on identical artifacts, requires bitwise-identical grids and
-# vector >= closure, and exits nonzero on any violation.
+# vector/native on identical artifacts, requires bitwise-identical
+# grids, vector >= closure and native >= vector (when a toolchain is
+# present), and exits nonzero on any violation.
 ROOT=$(pwd)
 BENCHDIR=$(mktemp -d)
 if ! (cd "$BENCHDIR" && "$ROOT/_build/default/bench/main.exe" \
@@ -75,6 +76,52 @@ if ! [ -s "$BENCHDIR/BENCH_kernels.json" ] \
 fi
 echo "bench smoke: BENCH_kernels.json well-formed, vector >= closure"
 rm -rf "$BENCHDIR"
+
+# Native JIT smoke: a cold run must compile plugins (reporting their
+# cold build time) with grid checksums identical to the vector engine;
+# a warm re-run over the same cache directory must Dynlink the cached
+# plugins without invoking the compiler — zero .cmxs newer than the
+# marker — and report the cache hit. Skipped with a visible notice when
+# the container has no ocamlopt toolchain.
+NCACHE=$(mktemp -d)
+cold_out=$("$SFC" run examples/laplace.f90 --exec-engine native \
+  --cache-dir "$NCACHE" --stats 2>&1 >/dev/null)
+if printf '%s\n' "$cold_out" | grep -q 'native unavailable'; then
+  echo "native smoke: SKIPPED (no ocamlopt toolchain in this environment)"
+else
+  vec_grids=$("$SFC" run examples/laplace.f90 --exec-engine vector \
+    --stats 2>&1 >/dev/null | grep '^grid')
+  if ! printf '%s\n' "$cold_out" | grep -q 'cold build'; then
+    echo "ci: native cold run did not report a cold build"
+    printf '%s\n' "$cold_out"
+    exit 1
+  fi
+  if [ "$vec_grids" != "$(printf '%s\n' "$cold_out" | grep '^grid')" ]; then
+    echo "ci: native cold checksums differ from vector"
+    printf 'vector:\n%s\nnative:\n%s\n' "$vec_grids" "$cold_out"
+    exit 1
+  fi
+  marker="$NCACHE/.ci-marker"
+  touch "$marker"
+  warm_out=$("$SFC" run examples/laplace.f90 --exec-engine native \
+    --cache-dir "$NCACHE" --stats 2>&1 >/dev/null)
+  if ! printf '%s\n' "$warm_out" | grep -q 'warm cache hit'; then
+    echo "ci: native warm run did not hit the artifact cache"
+    printf '%s\n' "$warm_out"
+    exit 1
+  fi
+  if [ "$vec_grids" != "$(printf '%s\n' "$warm_out" | grep '^grid')" ]; then
+    echo "ci: native warm checksums differ from vector"
+    exit 1
+  fi
+  recompiled=$(find "$NCACHE" -name '*.cmxs' -newer "$marker" | wc -l)
+  if [ "$recompiled" -ne 0 ]; then
+    echo "ci: warm native run recompiled $recompiled plugin(s)"
+    exit 1
+  fi
+  echo "native smoke: cold build + warm cache hit, checksums match vector, 0 recompiles"
+fi
+rm -rf "$NCACHE"
 
 # Distributed-backend smoke: the dist target must reproduce the serial
 # grid checksums exactly, a rank count the grid cannot host must fail

@@ -59,7 +59,10 @@ let () =
   List.iter
     (fun (name, impl) ->
       match impl with
-      | P.Compiled spec | P.Vectorised (spec, _) | P.Distributed spec ->
+      | P.Compiled spec
+      | P.Vectorised (spec, _)
+      | P.Native_jit (spec, _)
+      | P.Distributed spec ->
         List.iter
           (fun nest ->
             Printf.printf

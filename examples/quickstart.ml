@@ -85,6 +85,9 @@ let () =
         | P.Vectorised (spec, _) ->
           Printf.sprintf "vectorised (%d loop nest(s))"
             (List.length spec.Fsc_rt.Kernel_compile.k_nests)
+        | P.Native_jit (spec, _) ->
+          Printf.sprintf "native JIT (%d loop nest(s))"
+            (List.length spec.Fsc_rt.Kernel_compile.k_nests)
         | P.Interpreted reason -> "interpreted (" ^ reason ^ ")"
         | P.Distributed spec ->
           Printf.sprintf "distributed (%d loop nest(s))"

@@ -278,3 +278,121 @@ let stats t =
         misses = t.s_misses; evictions = t.s_evictions;
         invalid = t.s_invalid; stores = t.s_stores;
         store_failures = t.s_store_failures })
+
+(* ---------------- sidecar artifacts ---------------- *)
+
+(* Sidecars are raw files (`<key>.<ext>`) next to the `.art` entries:
+   payloads like a Dynlink'able .cmxs must stay byte-exact on disk, so
+   they skip the header-framed entry format. Their integrity story is
+   the stamp sidecar instead: clients write a `.stamp` describing the
+   producing toolchain and [revalidate_sidecars] sweeps whole sidecar
+   sets whose stamp no longer matches at startup. *)
+
+let c_sidecar_drop = Obs.counter "cache.sidecar_drop"
+
+let valid_ext ext =
+  ext <> ""
+  && ext <> "art" (* reserved for the framed entry files *)
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       ext
+
+let sidecar_path t ~key ~ext =
+  if not (valid_ext ext) then
+    invalid_arg ("Cache.sidecar_path: bad extension " ^ ext);
+  Option.map (fun d -> Filename.concat d (key ^ "." ^ ext)) t.cache_dir
+
+let find_sidecar t ~key ~ext =
+  match sidecar_path t ~key ~ext with
+  | Some path when Sys.file_exists path -> Some path
+  | _ -> None
+
+let read_sidecar t ~key ~ext =
+  match find_sidecar t ~key ~ext with
+  | None -> None
+  | Some path -> ( try Some (read_file path) with Sys_error _ -> None)
+
+(* Same atomic discipline as entries: write (or move) to a private name
+   in the cache directory, then rename into place. *)
+let publish t ~key ~ext ~install =
+  match sidecar_path t ~key ~ext with
+  | None -> None
+  | Some path -> (
+    try
+      mkdir_p (Filename.dirname path);
+      let tmp =
+        Filename.concat (Filename.dirname path)
+          (Printf.sprintf ".tmp.%s.%s.%d" key ext (Unix.getpid ()))
+      in
+      install tmp;
+      Sys.rename tmp path;
+      locked t (fun () -> t.s_stores <- t.s_stores + 1);
+      Some path
+    with Sys_error _ | Unix.Unix_error _ ->
+      locked t (fun () -> t.s_store_failures <- t.s_store_failures + 1);
+      None)
+
+let put_sidecar t ~key ~ext payload =
+  publish t ~key ~ext ~install:(fun tmp ->
+      let oc = open_out_bin tmp in
+      try
+        output_string oc payload;
+        close_out oc
+      with e ->
+        close_out_noerr oc;
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e)
+
+let adopt_sidecar t ~key ~ext ~file =
+  publish t ~key ~ext ~install:(fun tmp -> Sys.rename file tmp)
+
+(* Every extension ever published under [key]; `.art` is not a sidecar. *)
+let sidecar_exts t ~key =
+  match t.cache_dir with
+  | None -> []
+  | Some d ->
+    let prefix = key ^ "." in
+    let plen = String.length prefix in
+    (match Sys.readdir d with
+    | exception Sys_error _ -> []
+    | files ->
+      Array.to_list files
+      |> List.filter_map (fun f ->
+             if String.length f > plen && String.sub f 0 plen = prefix then
+               let ext = String.sub f plen (String.length f - plen) in
+               if valid_ext ext then Some ext else None
+             else None))
+
+let remove_sidecars t ~key =
+  List.iter
+    (fun ext ->
+      match sidecar_path t ~key ~ext with
+      | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+      | None -> ())
+    (sidecar_exts t ~key)
+
+let revalidate_sidecars t ~stamp =
+  match t.cache_dir with
+  | None -> 0
+  | Some d -> (
+    match Sys.readdir d with
+    | exception Sys_error _ -> 0
+    | files ->
+      Array.fold_left
+        (fun dropped f ->
+          if Filename.check_suffix f ".stamp" then (
+            let key = Filename.chop_suffix f ".stamp" in
+            let current =
+              try Some (read_file (Filename.concat d f))
+              with Sys_error _ -> None
+            in
+            if current = Some stamp then dropped
+            else begin
+              remove_sidecars t ~key;
+              locked t (fun () -> t.s_invalid <- t.s_invalid + 1);
+              Obs.incr c_sidecar_drop;
+              dropped + 1
+            end)
+          else dropped)
+        0 files)

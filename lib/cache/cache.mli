@@ -58,6 +58,49 @@ val put : t -> key:string -> string -> unit
 val find :
   t -> key:string -> validate:(string -> ('a, string) result) -> 'a option
 
+(** {2 Sidecar artifacts}
+
+    Raw files stored next to the framed [.art] entries as
+    [<key>.<ext>] — for artifacts that must stay byte-exact on disk
+    (generated [.ml] source, Dynlink'able [.cmxs] plugins). Extensions
+    are lowercase alphanumeric/underscore; ["art"] is reserved.
+    Sidecars bypass the entry format's header validation; instead,
+    clients publish a ["stamp"] sidecar describing the producing
+    toolchain and call {!revalidate_sidecars} at startup, which drops
+    every sidecar set whose stamp no longer matches (counted on the
+    ["cache.sidecar_drop"] Obs counter). All operations are no-ops
+    returning [None]/[0] on a diskless cache. *)
+
+(** Path the sidecar would occupy ([None] if diskless); the file need
+    not exist. *)
+val sidecar_path : t -> key:string -> ext:string -> string option
+
+(** Atomically write [payload] as [<key>.<ext>]; returns the final
+    path, or [None] if diskless or the write failed (counted, like
+    entry stores, in {!stats}). *)
+val put_sidecar : t -> key:string -> ext:string -> string -> string option
+
+(** Atomically move an existing [file] (same filesystem — build it in
+    or under the cache directory) into place as [<key>.<ext>]. *)
+val adopt_sidecar :
+  t -> key:string -> ext:string -> file:string -> string option
+
+(** Path of the sidecar if it exists on disk. *)
+val find_sidecar : t -> key:string -> ext:string -> string option
+
+(** Contents of the sidecar, if present and readable. *)
+val read_sidecar : t -> key:string -> ext:string -> string option
+
+(** Extensions present on disk for [key], in directory order. *)
+val sidecar_exts : t -> key:string -> string list
+
+(** Delete every sidecar of [key] (never the [.art] entry). *)
+val remove_sidecars : t -> key:string -> unit
+
+(** Drop every sidecar set whose ["stamp"] sidecar differs from
+    [stamp]; returns the number of keys dropped. *)
+val revalidate_sidecars : t -> stamp:string -> int
+
 (** Memory-layer keys, most recently used first (test hook). *)
 val mem_keys : t -> string list
 

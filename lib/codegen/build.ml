@@ -1,0 +1,162 @@
+(* Shelling out to the OCaml native toolchain.
+
+   Probes for `ocamlfind ocamlopt` and native Dynlink support once,
+   locates the shim's compiled interface inside the build tree (a
+   Dynlink'd plugin must be compiled against the exact cmi the host was
+   linked with), and compiles generated sources to .cmxs plugins. All
+   failures are values, never exceptions: a machine without the
+   toolchain degrades to the vector engine, it does not crash. *)
+
+type toolchain = {
+  tc_command : string;      (* the ocamlfind executable *)
+  tc_version : string;      (* `ocamlfind ocamlopt -version` *)
+  tc_flags : string list;   (* flags passed to every compile *)
+  tc_shim_dirs : string list; (* -I dirs holding the shim cmi/cmx *)
+  tc_shim_digest : string;  (* digest of the shim cmi *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [argv] with stdout+stderr captured to a temp file; returns
+   (exit code, combined output). Exec failures map to code 127. *)
+let run_command argv =
+  let out = Filename.temp_file "sfc_native" ".out" in
+  let finish code text =
+    (try Sys.remove out with Sys_error _ -> ());
+    (code, text)
+  in
+  let fd =
+    Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+  in
+  match Unix.create_process argv.(0) argv Unix.stdin fd fd with
+  | exception Unix.Unix_error (e, _, _) ->
+    Unix.close fd;
+    finish 127 (Unix.error_message e)
+  | pid ->
+    Unix.close fd;
+    let _, status = Unix.waitpid [] pid in
+    let text = try read_file out with Sys_error _ -> "" in
+    finish
+      (match status with
+      | Unix.WEXITED n -> n
+      | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> 255)
+      text
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* The shim's artifacts live in the dune build tree next to the host
+   executable: walk up from the executable until a _build/default
+   appears, then descend to the shim library's .objs. Tests and
+   embedders can override with SFC_NATIVE_SHIM_DIR (the directory
+   holding sfc_native_shim.cmi). *)
+let find_shim_dirs () =
+  let candidates root =
+    let objs =
+      List.fold_left Filename.concat root
+        [ "lib"; "codegen"; "shim"; ".sfc_native_shim.objs" ]
+    in
+    [ Filename.concat objs "byte"; Filename.concat objs "native" ]
+  in
+  let dirs =
+    match Sys.getenv_opt "SFC_NATIVE_SHIM_DIR" with
+    | Some d when d <> "" ->
+      (* also pick up a sibling native dir when the override points at
+         the byte one *)
+      [ d; Filename.concat (Filename.dirname d) "native" ]
+    | _ ->
+      let rec walk dir =
+        let cand = Filename.concat (Filename.concat dir "_build") "default" in
+        if Sys.file_exists cand then candidates cand
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then [] else walk parent
+      in
+      walk (Filename.dirname Sys.executable_name)
+  in
+  let dirs = List.filter Sys.file_exists dirs in
+  let cmi d = Filename.concat d "sfc_native_shim.cmi" in
+  match List.find_opt (fun d -> Sys.file_exists (cmi d)) dirs with
+  | Some d -> Ok (dirs, Digest.to_hex (Digest.file (cmi d)))
+  | None -> Error "shim interface (sfc_native_shim.cmi) not found"
+
+let flags = [ "-shared"; "-w"; "-a" ]
+
+let probe_command command =
+  if not Dynlink.is_native then Error "native Dynlink unavailable"
+  else
+    match run_command [| command; "ocamlopt"; "-version" |] with
+    | 0, out ->
+      let version = String.trim (first_line out) in
+      if version = "" then Error (command ^ " ocamlopt reported no version")
+      else (
+        match find_shim_dirs () with
+        | Ok (dirs, digest) ->
+          Ok
+            { tc_command = command; tc_version = version; tc_flags = flags;
+              tc_shim_dirs = dirs; tc_shim_digest = digest }
+        | Error e -> Error e)
+    | code, out ->
+      Error
+        (Printf.sprintf "%s ocamlopt unavailable (exit %d%s)" command code
+           (match String.trim (first_line out) with
+           | "" -> ""
+           | l -> ": " ^ l))
+
+let default_command () =
+  match Sys.getenv_opt "SFC_NATIVE_OCAMLFIND" with
+  | Some c when c <> "" -> c
+  | _ -> "ocamlfind"
+
+(* One probe per command string: the default path is hit by every ctx,
+   and a probe costs a subprocess. *)
+let probe_mutex = Mutex.create ()
+let probes : (string, (toolchain, string) result) Hashtbl.t = Hashtbl.create 4
+
+let probe ?command () =
+  let command =
+    match command with Some c -> c | None -> default_command ()
+  in
+  Mutex.lock probe_mutex;
+  let cached = Hashtbl.find_opt probes command in
+  Mutex.unlock probe_mutex;
+  match cached with
+  | Some r -> r
+  | None ->
+    let r = probe_command command in
+    Mutex.lock probe_mutex;
+    Hashtbl.replace probes command r;
+    Mutex.unlock probe_mutex;
+    r
+
+(* A stable description of everything that affects generated machine
+   code — part of the cache key and the sidecar stamp. *)
+let stamp tc =
+  Printf.sprintf "ocamlopt %s shim %s flags %s" tc.tc_version
+    tc.tc_shim_digest
+    (String.concat " " tc.tc_flags)
+
+(* Compile [ml] (an absolute path) to the plugin [out]. ocamlopt drops
+   its .cmi/.cmx/.o next to the source, so callers pass a source inside
+   a private work directory. *)
+let compile tc ~ml ~out =
+  let argv =
+    Array.of_list
+      ((tc.tc_command :: "ocamlopt" :: tc.tc_flags)
+      @ List.concat_map (fun d -> [ "-I"; d ]) tc.tc_shim_dirs
+      @ [ "-o"; out; ml ])
+  in
+  match run_command argv with
+  | 0, _ when Sys.file_exists out -> Ok ()
+  | 0, out_text ->
+    Error ("compiler produced no output: " ^ first_line out_text)
+  | code, out_text ->
+    Error
+      (Printf.sprintf "ocamlopt failed (exit %d): %s" code
+         (first_line (String.trim out_text)))

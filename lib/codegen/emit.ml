@@ -1,0 +1,209 @@
+(* Kernel spec -> OCaml source.
+
+   Pretty-prints a compiled kernel spec (Kernel_compile.spec) as a real
+   OCaml module: one function per loop nest, flat Bigarray.Array1 loops
+   with every constant baked in — loop bounds, the buffer strides of the
+   binding call, and the stencil offsets already folded to flat-offset
+   deltas. The emitted code is an exact transliteration of the closure
+   engine's evaluation: same loop order, same per-cell statement order,
+   same float operations mapped to the same stdlib functions, constants
+   reproduced as hex literals — so results are bitwise identical to the
+   interp/closure/vector tiers by construction, never by accident.
+
+   Bodies use the unsafe (bounds-check-free) Bigarray path throughout;
+   the host only dispatches to a compiled nest after the bind-time
+   whole-space bounds validation in [Native] has proved every access of
+   the full iteration space in range (the same discipline the vector
+   engine applies before taking its unchecked row loops).
+
+   Emission is per-nest best-effort: a nest using an operation outside
+   the whitelist below reports a reason and is skipped — the host runs
+   that nest on the vector engine — while the rest of the kernel still
+   compiles natively. The whitelist deliberately leaves out "math.erf"
+   (no frontend intrinsic reaches it) so the per-nest fallback chain
+   stays exercisable end to end. *)
+
+module Kc = Fsc_rt.Kernel_compile
+
+type t = {
+  e_body : string;                 (* module source sans registration *)
+  e_emitted : (int * string) list; (* nest index -> function name *)
+  e_skipped : (int * string) list; (* nest index -> skip reason *)
+}
+
+let emitted t = t.e_emitted
+let skipped t = t.e_skipped
+
+(* Hex literals round-trip doubles exactly; negative and non-finite
+   values are spelled as expressions because the lexer only accepts
+   unsigned literals. *)
+let float_lit f =
+  if Float.is_nan f then "Stdlib.nan"
+  else if f = Float.infinity then "Stdlib.infinity"
+  else if f = Float.neg_infinity then "Stdlib.neg_infinity"
+  else if Float.sign_bit f then
+    Printf.sprintf "(-. %h)" (Float.abs f) (* negation of a finite
+                                              float is exact *)
+  else Printf.sprintf "%h" f
+
+exception Skip of string
+
+let skip fmt = Printf.ksprintf (fun m -> raise (Skip m)) fmt
+
+(* Unary whitelist: exactly the functions the closure engine reaches
+   (directly or through Math.eval_unary), minus math.erf — see above. *)
+let unary_fn = function
+  | "math.sqrt" -> "Stdlib.Float.sqrt"
+  | "math.absf" -> "Stdlib.Float.abs"
+  | "math.exp" -> "Stdlib.Float.exp"
+  | "math.sin" -> "Stdlib.Float.sin"
+  | "math.cos" -> "Stdlib.Float.cos"
+  | "math.tan" -> "Stdlib.Float.tan"
+  | "math.log" -> "Stdlib.Float.log"
+  | "math.tanh" -> "Stdlib.Float.tanh"
+  | "math.atan" -> "Stdlib.Float.atan"
+  | "math.ceil" -> "Stdlib.Float.ceil"
+  | "math.floor" -> "Stdlib.Float.floor"
+  | name -> skip "unary op %s not on the native emit whitelist" name
+
+let rec expr ~strides (e : Kc.fexpr) =
+  match e with
+  | Kc.F_const c -> float_lit c
+  | Kc.F_scalar i -> Printf.sprintf "s%d" i
+  | Kc.F_ivf (l, c) ->
+    Printf.sprintf "(Stdlib.float_of_int (i%d + (%d)))" l c
+  | Kc.F_load (bi, idxs) ->
+    Printf.sprintf "(Bigarray.Array1.unsafe_get d%d (base + (%d)))" bi
+      (Kc.delta_of strides idxs)
+  | Kc.F_unary ("arith.negf", a) ->
+    Printf.sprintf "(-. %s)" (expr ~strides a)
+  | Kc.F_unary ("math.log2", a) ->
+    (* closure engine: Float.log x /. Float.log 2. — the divisor folds
+       to a constant, reproduced exactly as a literal *)
+    Printf.sprintf "((Stdlib.Float.log %s) /. %s)" (expr ~strides a)
+      (float_lit (Float.log 2.))
+  | Kc.F_unary (name, a) ->
+    Printf.sprintf "(%s %s)" (unary_fn name) (expr ~strides a)
+  | Kc.F_binary (name, a, b) -> (
+    let ea = expr ~strides a and eb = expr ~strides b in
+    match name with
+    | "arith.addf" -> Printf.sprintf "(%s +. %s)" ea eb
+    | "arith.subf" -> Printf.sprintf "(%s -. %s)" ea eb
+    | "arith.mulf" -> Printf.sprintf "(%s *. %s)" ea eb
+    | "arith.divf" -> Printf.sprintf "(%s /. %s)" ea eb
+    | "arith.maximumf" -> Printf.sprintf "(Stdlib.Float.max %s %s)" ea eb
+    | "arith.minimumf" -> Printf.sprintf "(Stdlib.Float.min %s %s)" ea eb
+    | "math.powf" -> Printf.sprintf "(Stdlib.Float.pow %s %s)" ea eb
+    | "math.atan2" -> Printf.sprintf "(Stdlib.Float.atan2 %s %s)" ea eb
+    | name -> skip "binary op %s not on the native emit whitelist" name)
+
+(* One nest -> one function over a slice [plo, phi) of the outermost
+   loop. The loop structure mirrors Kernel_compile.run_nest: levels
+   outermost-first, each level adding its iv * stride(dim) into a
+   running base, every store of the body executed in order per cell. *)
+let emit_nest ~strides ~fname (nest : Kc.nest) buf =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pad n = String.make (2 * n) ' ' in
+  let loops = nest.Kc.n_loops in
+  if loops = [] then skip "nest has no loops";
+  (* referenced buffers and scalars, bound once at entry *)
+  let bufs_used = Hashtbl.create 8 and scalars_used = Hashtbl.create 8 in
+  let rec scan (e : Kc.fexpr) =
+    match e with
+    | Kc.F_load (bi, _) -> Hashtbl.replace bufs_used bi ()
+    | Kc.F_scalar i -> Hashtbl.replace scalars_used i ()
+    | Kc.F_unary (_, a) -> scan a
+    | Kc.F_binary (_, a, b) ->
+      scan a;
+      scan b
+    | Kc.F_const _ | Kc.F_ivf _ -> ()
+  in
+  List.iter
+    (fun (st : Kc.store_stmt) ->
+      Hashtbl.replace bufs_used st.Kc.st_buf ();
+      scan st.Kc.st_expr)
+    nest.Kc.n_stores;
+  (* validate the whole nest before writing anything *)
+  let stmts =
+    List.map
+      (fun (st : Kc.store_stmt) ->
+        Printf.sprintf "Bigarray.Array1.unsafe_set d%d (base + (%d)) %s;"
+          st.Kc.st_buf
+          (Kc.delta_of strides st.Kc.st_index)
+          (expr ~strides st.Kc.st_expr))
+      nest.Kc.n_stores
+  in
+  add "let %s (bufs : Sfc_native_shim.buf array) (scalars : float array)\n"
+    fname;
+  add "    (plo : int) (phi : int) : unit =\n";
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) tbl [])
+  in
+  List.iter (fun bi -> add "  let d%d = bufs.(%d) in\n" bi bi)
+    (sorted bufs_used);
+  List.iter (fun si -> add "  let s%d = scalars.(%d) in\n" si si)
+    (sorted scalars_used);
+  let depth = List.length loops in
+  List.iteri
+    (fun pos (l : Kc.loop_spec) ->
+      let lv = l.Kc.l_level in
+      let lo, hi =
+        if pos = 0 then ("plo", "phi - 1")
+        else (string_of_int l.Kc.l_lb, Printf.sprintf "%d" (l.Kc.l_ub - 1))
+      in
+      add "%sfor i%d = %s to %s do\n" (pad (pos + 1)) lv lo hi;
+      let contrib = Printf.sprintf "i%d * %d" lv strides.(l.Kc.l_dim) in
+      if pos = depth - 1 then
+        add "%slet base = %s in\n" (pad (pos + 2))
+          (if pos = 0 then contrib
+           else Printf.sprintf "b%d + %s" (pos - 1) contrib)
+      else
+        add "%slet b%d = %s in\n" (pad (pos + 2)) pos
+          (if pos = 0 then contrib
+           else Printf.sprintf "b%d + %s" (pos - 1) contrib))
+    loops;
+  List.iter (fun s -> add "%s%s\n" (pad (depth + 1)) s) stmts;
+  for pos = depth - 1 downto 0 do
+    add "%sdone%s\n" (pad (pos + 1)) (if pos = 0 then "" else ";")
+  done
+
+let emit ~strides (spec : Kc.spec) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "(* generated by sfc native codegen — do not edit *)\n\
+     [@@@warning \"-a\"]\n\n";
+  let emitted = ref [] and skipped = ref [] in
+  List.iteri
+    (fun i nest ->
+      let fname = Printf.sprintf "nest%d" i in
+      let mark = Buffer.length buf in
+      match emit_nest ~strides ~fname nest buf with
+      | () ->
+        Buffer.add_char buf '\n';
+        emitted := (i, fname) :: !emitted
+      | exception Skip reason ->
+        Buffer.truncate buf mark;
+        skipped := (i, reason) :: !skipped)
+    spec.Kc.k_nests;
+  match List.rev !emitted with
+  | [] ->
+    Error
+      (match List.rev !skipped with
+      | (_, reason) :: _ -> reason
+      | [] -> "kernel has no loop nests")
+  | emitted ->
+    Ok
+      { e_body = Buffer.contents buf; e_emitted = emitted;
+        e_skipped = List.rev !skipped }
+
+let body t = t.e_body
+
+(* The registration trailer carries the cache key, so the final module
+   text depends on the key while the key is a digest of [body] — which
+   is why they are separate pieces. *)
+let module_source t ~key =
+  Printf.sprintf "%slet () =\n  Sfc_native_shim.register %S\n    [ %s ]\n"
+    t.e_body key
+    (String.concat "; "
+       (List.map
+          (fun (i, fname) -> Printf.sprintf "(%d, %s)" i fname)
+          t.e_emitted))

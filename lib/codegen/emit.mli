@@ -1,0 +1,41 @@
+(** Kernel spec -> OCaml source for the native JIT tier.
+
+    Transliterates a {!Fsc_rt.Kernel_compile.spec} into a real OCaml
+    module: one function per loop nest, flat [Bigarray.Array1] loops
+    with loop bounds, binding-call strides and stencil flat-offset
+    deltas baked in as constants. The generated code follows the
+    closure engine's evaluation exactly (loop order, per-cell statement
+    order, stdlib float functions, hex-literal constants) so results
+    are bitwise identical across engines by construction.
+
+    Bodies are unsafe (no bounds checks); callers must run the
+    bind-time whole-space bounds validation in {!Native} before
+    dispatching to a compiled nest.
+
+    Per-nest best-effort: nests using operations outside the emit
+    whitelist (notably ["math.erf"], deliberately excluded so the
+    fallback chain stays exercisable) are skipped with a reason and run
+    on the vector engine instead. *)
+
+module Kc = Fsc_rt.Kernel_compile
+
+type t
+
+(** [emit ~strides spec] pretty-prints every emittable nest.
+    [Error reason] only when {e no} nest is emittable. *)
+val emit : strides:int array -> Kc.spec -> (t, string) result
+
+(** [(nest index, function name)] for each emitted nest, in order. *)
+val emitted : t -> (int * string) list
+
+(** [(nest index, reason)] for each nest left to the vector engine. *)
+val skipped : t -> (int * string) list
+
+(** The emitted definitions without the registration trailer — the
+    content-addressed identity of the generated code (the cache key is
+    a digest over this, so it must not contain the key itself). *)
+val body : t -> string
+
+(** The complete module source: {!body} plus a trailer registering the
+    nest entries under [key] with {!Sfc_native_shim}. *)
+val module_source : t -> key:string -> string

@@ -1,0 +1,36 @@
+(* The one module a Dynlink'd kernel plugin shares with the host.
+
+   A native plugin can only talk to the process that loaded it through
+   modules whose interface digests match on both sides, so this shim is
+   kept deliberately tiny and dependency-free (stdlib only): the plugin
+   is compiled against this .cmi, calls [register] from its module
+   initialiser, and the host picks the entries up with [find]. Keeping
+   the runtime proper out of the plugin's world means a generated kernel
+   can never pin (or skew against) internal library interfaces.
+
+   An entry runs one loop nest over a slice [plo, phi) of its outermost
+   loop; buffers arrive as raw float64 Bigarrays (the host unwraps its
+   memref descriptors) and scalars as a plain float array. The registry
+   is mutex-guarded: registration happens on whichever thread runs
+   [Dynlink.loadfile], lookups may come from anywhere. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* bufs -> scalars -> outer_lo -> outer_hi (exclusive) -> () *)
+type entry = buf array -> float array -> int -> int -> unit
+
+let mutex = Mutex.create ()
+
+(* key -> (nest index, entry) for every nest the plugin emitted *)
+let table : (string, (int * entry) list) Hashtbl.t = Hashtbl.create 16
+
+let register key entries =
+  Mutex.lock mutex;
+  Hashtbl.replace table key entries;
+  Mutex.unlock mutex
+
+let find key =
+  Mutex.lock mutex;
+  let r = Hashtbl.find_opt table key in
+  Mutex.unlock mutex;
+  r

@@ -1,0 +1,22 @@
+(** Host/plugin rendezvous for Dynlink'd native kernels.
+
+    This is the only module generated kernel plugins are compiled
+    against; it must stay dependency-free (stdlib only) so a plugin
+    never pins internal library interfaces. The host links it in,
+    plugins [register] their entries from their module initialiser, and
+    {!Fsc_codegen.Native} resolves them with [find] right after
+    [Dynlink.loadfile]. *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** One compiled loop nest: [entry bufs scalars plo phi] runs the nest
+    over the slice [plo, phi) of its outermost loop. *)
+type entry = buf array -> float array -> int -> int -> unit
+
+(** [register key entries] publishes a plugin's nests, keyed by the
+    cache digest baked into its source; [entries] pairs each nest index
+    with its entry. Thread-safe; later registrations replace earlier
+    ones. *)
+val register : string -> (int * entry) list -> unit
+
+val find : string -> (int * entry) list option

@@ -84,21 +84,30 @@ type exec_engine =
   | Engine_interp  (* force the tree-walking interpreter *)
   | Engine_closure (* Kernel_compile's per-cell closure JIT *)
   | Engine_vector  (* Kernel_bytecode's row engine, closure fallback *)
+  | Engine_native  (* Fsc_codegen's emitted-OCaml JIT, vector fallback *)
 
 let engine_name = function
   | Engine_interp -> "interp"
   | Engine_closure -> "closure"
   | Engine_vector -> "vector"
+  | Engine_native -> "native"
 
 let engine_of_name = function
   | "interp" -> Some Engine_interp
   | "closure" -> Some Engine_closure
   | "vector" -> Some Engine_vector
+  | "native" -> Some Engine_native
   | _ -> None
+
+let all_engines =
+  [ Engine_interp; Engine_closure; Engine_vector; Engine_native ]
+
+let engine_names = List.map engine_name all_engines
 
 type kernel_impl =
   | Compiled of Kc.spec
   | Vectorised of Kc.spec * Kb.plan
+  | Native_jit of Kc.spec * Fsc_codegen.Native.kernel
   | Interpreted of string (* fallback reason *)
   | Distributed of Kc.spec (* SPMD over simulated ranks via Dist_kernel *)
 
@@ -153,16 +162,38 @@ let spec_scalars args =
       | _ -> None)
     args
 
+(* The default native-JIT context: process-wide, created on first use
+   (async builds, artifact cache in the default directory). Callers
+   wanting a specific cache directory, sync builds or a different
+   toolchain pass their own ctx to [link ~native]. *)
+let native_mutex = Mutex.create ()
+let native_default : Fsc_codegen.Native.ctx option ref = ref None
+
+let default_native_ctx () =
+  Mutex.lock native_mutex;
+  let ctx =
+    match !native_default with
+    | Some c -> c
+    | None ->
+      let c = Fsc_codegen.Native.create () in
+      native_default := Some c;
+      c
+  in
+  Mutex.unlock native_mutex;
+  ctx
+
 (* Register one stencil kernel's runtime implementation. [dist] is the
    distributed runtime state for [Dist] targets (absent under the interp
-   engine, which executes the whole program on the host interpreter). *)
-let register_kernel ~engine ~target ~pool ~dist ctx kernel_func =
+   engine, which executes the whole program on the host interpreter).
+   [native] is the native-JIT context, present iff the engine is
+   [Engine_native] on a CPU target. *)
+let register_kernel ~engine ~target ~pool ~dist ~native ctx kernel_func =
   let name = Fsc_dialects.Func.name kernel_func in
   match engine with
   | Engine_interp ->
     (* register nothing: the interpreter executes the kernel func *)
     (name, Interpreted "execution engine 'interp' selected")
-  | Engine_closure | Engine_vector -> (
+  | Engine_closure | Engine_vector | Engine_native -> (
     match Kc.try_analyze kernel_func with
     | Error reason ->
       Log.debug (fun f ->
@@ -181,19 +212,30 @@ let register_kernel ~engine ~target ~pool ~dist ctx kernel_func =
       (name, Interpreted reason)
     | Ok spec ->
       (* GPU targets execute on the simulator's device twins through the
-         closure engine regardless of [engine]; the vector tier is a CPU
-         execution strategy (and, under [Dist], the host-fallback
-         path — per-rank vector plans live in [Dist_kernel]). *)
+         closure engine regardless of [engine]; the vector and native
+         tiers are CPU execution strategies (under [Dist], both use the
+         per-rank vector plans in [Dist_kernel], native being a
+         per-process-JIT story that does not fit rank-sliced spaces). *)
+      let native_kernel =
+        match (engine, target, native) with
+        | Engine_native, (Serial | Openmp _), Some nctx ->
+          Some (Fsc_codegen.Native.prepare nctx ~name spec)
+        | _ -> None
+      in
       let vplan =
         match (engine, target) with
-        | Engine_vector, (Serial | Openmp _ | Dist _) ->
+        | (Engine_vector | Engine_native), (Serial | Openmp _ | Dist _)
+          when Option.is_none native_kernel ->
           Some (Kb.compile_spec spec)
         | _ -> None
       in
       let exec ?pool ~bufs ~scalars () =
-        match vplan with
-        | Some plan -> Kb.run plan ?pool ~bufs ~scalars ()
-        | None -> Kc.run spec ?pool ~bufs ~scalars ()
+        match native_kernel with
+        | Some nk -> Fsc_codegen.Native.run nk ?pool ~bufs ~scalars ()
+        | None -> (
+          match vplan with
+          | Some plan -> Kb.run plan ?pool ~bufs ~scalars ()
+          | None -> Kc.run spec ?pool ~bufs ~scalars ())
       in
       let impl _ctx args =
         Obs.with_span ~cat:"kernel" ("kernel.exec " ^ name) @@ fun () ->
@@ -247,9 +289,10 @@ let register_kernel ~engine ~target ~pool ~dist ctx kernel_func =
         []
       in
       Interp.register_external ctx name impl;
-      (match vplan with
-      | Some plan -> (name, Vectorised (spec, plan))
-      | None -> (name, Compiled spec)))
+      (match (native_kernel, vplan) with
+      | Some nk, _ -> (name, Native_jit (spec, nk))
+      | None, Some plan -> (name, Vectorised (spec, plan))
+      | None, None -> (name, Compiled spec)))
 
 (* GPU data-management externals for the optimised strategy; [managed]
    is the list of kernel symbols whose placement was hoisted. *)
@@ -404,10 +447,21 @@ let compile options src =
 (* The impure back half: host interpreted, kernels compiled where
    possible, pool/device allocated per target. Works identically on a
    freshly compiled artifact and on one re-parsed from the cache. *)
-let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
-    ?(dist_fuse = true) ?(dist_coalesce = true) ca =
+let link ?(engine = Engine_vector) ?native
+    ?(dist_mode = Fsc_dmp.Dist_exec.Overlap) ?(dist_fuse = true)
+    ?(dist_coalesce = true) ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
+  (* resolve the native ctx only when the engine/target pair uses it *)
+  let native =
+    match (engine, target) with
+    | Engine_native, (Serial | Openmp _) ->
+      Some
+        (match native with
+        | Some nctx -> nctx
+        | None -> default_native_ctx ())
+    | _ -> None
+  in
   let ctx = Interp.create_context () in
   Interp.add_module ctx ca.ca_host;
   Interp.add_module ctx ca.ca_stencil;
@@ -424,10 +478,10 @@ let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
   ctx.Interp.pool <- pool;
   let dist =
     match (target, engine) with
-    | Dist ranks, (Engine_closure | Engine_vector) ->
+    | Dist ranks, (Engine_closure | Engine_vector | Engine_native) ->
       let dengine =
         match engine with
-        | Engine_vector -> Fsc_dmp.Dist_kernel.E_vector
+        | Engine_vector | Engine_native -> Fsc_dmp.Dist_kernel.E_vector
         | _ -> Fsc_dmp.Dist_kernel.E_closure
       in
       Some
@@ -448,7 +502,7 @@ let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
         Fsc_dialects.Func.all_functions ca.ca_stencil
         |> List.filter (fun f ->
                List.mem (Fsc_dialects.Func.name f) ca.ca_kernels)
-        |> List.map (register_kernel ~engine ~target ~pool ~dist ctx))
+        |> List.map (register_kernel ~engine ~target ~pool ~dist ~native ctx))
   in
   register_gpu_data ctx ca.ca_managed;
   { a_host = ca.ca_host; a_stencil = Some ca.ca_stencil;
@@ -459,12 +513,12 @@ let link ?(engine = Engine_vector) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
    kernel-name counter for reproducible names — which is why [compile]
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
-let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?dist_mode
-    ?dist_fuse ?dist_coalesce src =
+let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?native
+    ?dist_mode ?dist_fuse ?dist_coalesce src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  (link ?engine ?dist_mode ?dist_fuse ?dist_coalesce ca, ca.ca_stats)
+  (link ?engine ?native ?dist_mode ?dist_fuse ?dist_coalesce ca, ca.ca_stats)
 
 (* -------------------- execution -------------------- *)
 
@@ -481,6 +535,14 @@ let run artifact =
   | _ -> ())
 
 let shutdown artifact =
+  (* drain in-flight native builds first: even a short run must leave
+     its compiled plugins published in the cache for the next process *)
+  List.iter
+    (fun (_, impl) ->
+      match impl with
+      | Native_jit (_, nk) -> Fsc_codegen.Native.drain nk
+      | _ -> ())
+    artifact.a_kernels;
   match artifact.a_ctx.Interp.pool with
   | Some p ->
     Fsc_rt.Domain_pool.shutdown p;

@@ -42,11 +42,25 @@ type exec_engine =
       (** {!Fsc_rt.Kernel_bytecode}'s row engine; per-nest automatic
           fallback to the closure engine outside the vectorisable
           shape *)
+  | Engine_native
+      (** {!Fsc_codegen.Native}: kernels emitted as OCaml source,
+          compiled with [ocamlfind ocamlopt -shared] and Dynlink'ed;
+          serves from the vector engine until the plugin is ready and
+          falls back to it per nest (emit/bounds) or per kernel
+          (toolchain/build/load failures). CPU targets only: [Dist]
+          executes its rank-sliced spaces on the vector engine, GPU
+          targets on the device twins as always. *)
 
 val engine_name : exec_engine -> string
 
 (** Inverse of {!engine_name}; [None] for unknown spellings. *)
 val engine_of_name : string -> exec_engine option
+
+(** Every engine, in ladder order. *)
+val all_engines : exec_engine list
+
+(** Valid [--exec-engine] spellings, for diagnostics. *)
+val engine_names : string list
 
 (** How a kernel is executed at runtime. *)
 type kernel_impl =
@@ -55,6 +69,9 @@ type kernel_impl =
   | Vectorised of Fsc_rt.Kernel_compile.spec * Fsc_rt.Kernel_bytecode.plan
       (** row-vectorised engine (inspect the plan for per-nest
           fallbacks) *)
+  | Native_jit of Fsc_rt.Kernel_compile.spec * Fsc_codegen.Native.kernel
+      (** native JIT tier (query {!Fsc_codegen.Native.report} for build
+          origin, timing and per-nest fallbacks) *)
   | Interpreted of string  (** fallback, with the analyser's reason *)
   | Distributed of Fsc_rt.Kernel_compile.spec
       (** SPMD execution over the ranks of a [Dist] target *)
@@ -140,9 +157,15 @@ val compile : options -> string -> compiled_artifact
     halos are already fresh; [dist_coalesce] (default [true]) packs a
     stage's swap set into one message per neighbour per superstep. Both
     preserve bitwise results. Under {!Engine_interp} the program runs
-    entirely on the host interpreter (no distribution). *)
+    entirely on the host interpreter (no distribution).
+
+    [native] supplies the {!Engine_native} context (cache directory,
+    build mode, toolchain); without it a process-wide default ctx
+    (async builds, default cache directory) is created on first use.
+    Ignored under other engines. *)
 val link :
   ?engine:exec_engine ->
+  ?native:Fsc_codegen.Native.ctx ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->
@@ -159,6 +182,7 @@ val stencil :
   ?merge:bool ->
   ?specialize:bool ->
   ?engine:exec_engine ->
+  ?native:Fsc_codegen.Native.ctx ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->
@@ -172,7 +196,9 @@ val stencil :
     grid cannot host the requested rank count. *)
 val run : artifact -> unit
 
-(** Release the artifact's worker pool (OpenMP targets). *)
+(** Release the artifact's worker pool (OpenMP targets) after draining
+    any in-flight native builds, so short runs still publish their
+    compiled plugins to the artifact cache. *)
 val shutdown : artifact -> unit
 
 (** Look up a named Fortran array allocated during execution. *)

@@ -769,15 +769,21 @@ let run_vnest vn ?pool ~(bufs : Memref_rt.t array) ~scalars () =
     | _ -> do_range 0 npar
   end
 
+let run_compiled ?pool ~bufs ~scalars cn =
+  match cn with
+  | Vec vn -> (
+    try run_vnest vn ?pool ~bufs ~scalars () with
+    | Bind_fallback _ ->
+      Obs.incr c_fallbacks;
+      Kc.run_nest vn.v_nest ?pool ~bufs ~scalars ())
+  | Scalar (nest, _) -> Kc.run_nest nest ?pool ~bufs ~scalars ()
+
 let run plan ?pool ~bufs ~scalars () =
-  List.iter
-    (function
-      | Vec vn -> (
-        try run_vnest vn ?pool ~bufs ~scalars () with
-        | Bind_fallback _ ->
-          Obs.incr c_fallbacks;
-          Kc.run_nest vn.v_nest ?pool ~bufs ~scalars ())
-      | Scalar (nest, _) -> Kc.run_nest nest ?pool ~bufs ~scalars ())
-    plan.p_nests
+  List.iter (run_compiled ?pool ~bufs ~scalars) plan.p_nests
+
+(* Single-nest entry point for engines that interleave their own nests
+   with vector-executed ones (the native JIT's per-nest fallback). *)
+let run_nest plan index ?pool ~bufs ~scalars () =
+  run_compiled ?pool ~bufs ~scalars (List.nth plan.p_nests index)
 
 let spec plan = plan.p_spec

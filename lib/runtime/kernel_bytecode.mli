@@ -61,6 +61,22 @@ val run :
   unit ->
   unit
 
+(** Execute only the nest at [index] (0-based, nest order), with the
+    same per-nest vectorised/closure selection and bind-time fallback
+    as {!run}. For engines that interleave their own nest execution
+    with vector-executed ones — the native JIT runs its emitted nests
+    itself and routes skipped ones here.
+    @raise Kc.Fallback as {!run}; [Failure] if [index] is out of
+    range. *)
+val run_nest :
+  plan ->
+  int ->
+  ?pool:Domain_pool.t ->
+  bufs:Memref_rt.t array ->
+  scalars:float array ->
+  unit ->
+  unit
+
 (** Default rows-per-tile heuristic used when a nest carries no
     ["cpu_tile"] annotation (half of a nominal L2 across [arrays]
     buffers of [row_bytes]-byte rows). Exposed for tests. *)

@@ -120,6 +120,168 @@ let test_failed_validation_evicts_everywhere () =
     "file gone" false
     (Sys.file_exists (Option.get (C.entry_path c ~key)))
 
+(* ---- sidecar artifacts ---- *)
+
+let test_sidecar_round_trip () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "sidecar"; "roundtrip" ] in
+  (match C.put_sidecar c ~key ~ext:"ml" "let x = 1" with
+  | Some path ->
+    Alcotest.(check bool) "published file exists" true (Sys.file_exists path)
+  | None -> Alcotest.fail "put_sidecar failed on a disk cache");
+  Alcotest.(check (option string))
+    "payload read back" (Some "let x = 1")
+    (C.read_sidecar c ~key ~ext:"ml");
+  (* adopt: rename a file built under the cache dir into place *)
+  let built = Filename.concat dir "built.tmp" in
+  Out_channel.with_open_bin built (fun oc ->
+      Out_channel.output_string oc "plugin bytes");
+  (match C.adopt_sidecar c ~key ~ext:"cmxs" ~file:built with
+  | Some _ -> ()
+  | None -> Alcotest.fail "adopt_sidecar failed");
+  Alcotest.(check bool) "source renamed away" false (Sys.file_exists built);
+  Alcotest.(check (option string))
+    "adopted payload readable" (Some "plugin bytes")
+    (C.read_sidecar c ~key ~ext:"cmxs");
+  Alcotest.(check (list string))
+    "extensions listed" [ "cmxs"; "ml" ]
+    (List.sort compare (C.sidecar_exts c ~key));
+  C.remove_sidecars c ~key;
+  Alcotest.(check (list string)) "all removed" [] (C.sidecar_exts c ~key)
+
+(* ".art" is the framed entry format; handing it out as a sidecar
+   extension would let remove_sidecars delete validated entries *)
+let test_sidecar_reserved_ext () =
+  let c = C.create ~dir:(tmp_dir ()) ~version:1 () in
+  Alcotest.check_raises "art is reserved"
+    (Invalid_argument "Cache.sidecar_path: bad extension art") (fun () ->
+      ignore (C.put_sidecar c ~key:"k" ~ext:"art" "x"))
+
+let test_revalidate_drops_stale_sidecars () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let key = C.digest c [ "stale-sidecars" ] in
+  C.put c ~key "entry payload";
+  ignore (C.put_sidecar c ~key ~ext:"cmxs" "plugin");
+  ignore (C.put_sidecar c ~key ~ext:"stamp" "compiler-A");
+  Alcotest.(check int) "matching stamp keeps the set" 0
+    (C.revalidate_sidecars c ~stamp:"compiler-A");
+  Alcotest.(check int) "mismatch drops one set" 1
+    (C.revalidate_sidecars c ~stamp:"compiler-B");
+  Alcotest.(check (list string))
+    "sidecars gone" [] (C.sidecar_exts c ~key);
+  (* the framed .art entry survives the sweep *)
+  Alcotest.(check (option string))
+    "entry survives" (Some "entry payload")
+    (C.find c ~key ~validate:ok_validate)
+
+(* ---- native JIT artifacts through the cache ---- *)
+
+module N = Fsc_codegen.Native
+module E = Fsc_codegen.Emit
+module Bld = Fsc_codegen.Build
+module Kc = Fsc_rt.Kernel_compile
+
+(* a tiny 1-D kernel; [c] keeps each spec's emitted source — and so its
+   cache key — unique per test site *)
+let native_spec c =
+  { Kc.k_nests =
+      [ { Kc.n_loops =
+            [ { Kc.l_level = 0; l_dim = 0; l_lb = 0; l_ub = 8;
+                l_parallel = false; l_vector_width = 1 } ];
+          n_stores =
+            [ { Kc.st_buf = 1; st_index = [ Kc.Iv (0, 0) ];
+                st_expr =
+                  Kc.F_binary
+                    ("arith.mulf", Kc.F_load (0, [ Kc.Iv (0, 0) ]),
+                     Kc.F_const c) } ];
+          n_uses_iv = false; n_flops_per_cell = 1; n_loads_per_cell = 1;
+          n_tile = [] } ];
+    k_num_bufs = 2; k_num_scalars = 0 }
+
+let native_bufs () =
+  let b0 = Rt.create [ 8 ] and b1 = Rt.create [ 8 ] in
+  Rt.init b0 (fun i -> float_of_int i +. 0.5);
+  Rt.init b1 (fun _ -> 0.0);
+  [| b0; b1 |]
+
+let run_native ctx ~name sp =
+  let k = N.prepare ctx ~name sp in
+  let bufs = native_bufs () in
+  N.run k ~bufs ~scalars:[||] ();
+  (N.report k, bufs.(1))
+
+let cmxs_files dir =
+  List.filter
+    (fun f -> Filename.check_suffix f ".cmxs")
+    (Array.to_list (Sys.readdir dir))
+
+let test_native_warm_cold_round_trip () =
+  let dir = tmp_dir () in
+  let sync_ctx () =
+    N.create ~cache:(C.create ~dir ~version:N.format_version ()) ~mode:N.Sync ()
+  in
+  let ctx = sync_ctx () in
+  if N.toolchain_error ctx <> None then
+    print_endline "  [skip] native toolchain unavailable"
+  else begin
+    let sp = native_spec 4.75 in
+    let reference = native_bufs () in
+    Kc.run sp ~bufs:reference ~scalars:[||] ();
+    (* cold: builds and publishes the ml/cmxs/stamp sidecar set *)
+    let r1, out1 = run_native ctx ~name:"roundtrip" sp in
+    Alcotest.(check bool) "cold is a build" true
+      (r1.N.rp_origin = Some N.Origin_built);
+    Alcotest.(check bool) "cold reports build time" true
+      (r1.N.rp_build_ms <> None);
+    Alcotest.(check (float 0.)) "cold bitwise" 0.0
+      (Rt.max_abs_diff reference.(1) out1);
+    Alcotest.(check int) "one plugin on disk" 1
+      (List.length (cmxs_files dir));
+    (* warm, same process: a fresh ctx over the same directory reuses
+       the resident plugin — zero recompiles *)
+    let r2, out2 = run_native (sync_ctx ()) ~name:"roundtrip2" sp in
+    Alcotest.(check bool) "warm run never rebuilds" true
+      (r2.N.rp_origin = Some N.Origin_memo && r2.N.rp_build_ms = None);
+    Alcotest.(check (float 0.)) "warm bitwise" 0.0
+      (Rt.max_abs_diff reference.(1) out2);
+    Alcotest.(check int) "still one plugin on disk" 1
+      (List.length (cmxs_files dir));
+    (* warm across processes: plant a plugin compiled out-of-band under
+       a key this process never loaded, and watch a fresh ctx Dynlink
+       it straight from the cache (the key recipe mirrors native.ml) *)
+    let sp2 = native_spec 9.25 in
+    let tc = match Bld.probe () with Ok tc -> tc | Error e -> Alcotest.fail e in
+    let e =
+      match E.emit ~strides:[| 1 |] sp2 with
+      | Ok e -> e
+      | Error e -> Alcotest.fail e
+    in
+    let cache = C.create ~dir ~version:N.format_version () in
+    let key =
+      C.digest cache
+        [ "native"; string_of_int N.format_version; Bld.stamp tc; E.body e ]
+    in
+    let ml = Filename.concat dir ("sfc_native_" ^ key ^ ".ml") in
+    Out_channel.with_open_bin ml (fun oc ->
+        Out_channel.output_string oc (E.module_source e ~key));
+    let out = Filename.concat dir ("sfc_native_" ^ key ^ ".cmxs") in
+    (match Bld.compile tc ~ml ~out with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "out-of-band compile: %s" e);
+    ignore (C.adopt_sidecar cache ~key ~ext:"cmxs" ~file:out);
+    ignore (C.put_sidecar cache ~key ~ext:"stamp" (Bld.stamp tc));
+    Sys.remove ml;
+    let reference2 = native_bufs () in
+    Kc.run sp2 ~bufs:reference2 ~scalars:[||] ();
+    let r3, out3 = run_native (sync_ctx ()) ~name:"planted" sp2 in
+    Alcotest.(check bool) "planted plugin is a warm cache hit" true
+      (r3.N.rp_origin = Some N.Origin_cache && r3.N.rp_build_ms = None);
+    Alcotest.(check (float 0.)) "cache-hit bitwise" 0.0
+      (Rt.max_abs_diff reference2.(1) out3)
+  end
+
 (* ---- cold -> warm compilation round trips ---- *)
 
 let programs =
@@ -242,6 +404,14 @@ let () =
            test_version_mismatch_evicted;
          Alcotest.test_case "failed validation evicts" `Quick
            test_failed_validation_evicts_everywhere ]);
+      ("sidecars",
+       [ Alcotest.test_case "round trip" `Quick test_sidecar_round_trip;
+         Alcotest.test_case "reserved extension" `Quick
+           test_sidecar_reserved_ext;
+         Alcotest.test_case "revalidation drops stale sets" `Quick
+           test_revalidate_drops_stale_sidecars;
+         Alcotest.test_case "native warm/cold round trip" `Quick
+           test_native_warm_cold_round_trip ]);
       ("compile",
        [ Alcotest.test_case "cold/warm round trip, all targets" `Quick
            test_round_trip_all;

@@ -1,0 +1,234 @@
+(* The native codegen tier: the emit whitelist and per-nest skips,
+   bitwise parity with the closure/vector engines, build origins, and
+   the never-fail fallback chain — missing toolchain, corrupt on-disk
+   plugin, emit-unsupported nest. Tests that need ocamlopt skip with a
+   visible notice when the toolchain is absent (ci.sh prints its own
+   notice for the same condition). *)
+
+module P = Fsc_driver.Pipeline
+module B = Fsc_driver.Benchmarks
+module Kc = Fsc_rt.Kernel_compile
+module N = Fsc_codegen.Native
+module E = Fsc_codegen.Emit
+module Bld = Fsc_codegen.Build
+module Rt = Fsc_rt.Memref_rt
+module Cache = Fsc_cache.Cache
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sfc-codegen-%d-%d" (Unix.getpid ()) !n)
+
+let sync_ctx ?ocamlfind ?(dir = fresh_dir ()) () =
+  N.create
+    ~cache:(Cache.create ~dir ~version:N.format_version ())
+    ~mode:N.Sync ?ocamlfind ()
+
+let toolchain_ready = lazy (N.toolchain_error (sync_ctx ()) = None)
+
+let with_toolchain f =
+  if Lazy.force toolchain_ready then f ()
+  else print_endline "  [skip] native toolchain unavailable"
+
+let contains s sub =
+  try
+    ignore (Str.search_forward (Str.regexp_string sub) s 0);
+    true
+  with Not_found -> false
+
+(* ---- handcrafted 1-D specs ----
+
+   The frontend only maps sqrt and abs, so [math.erf] — deliberately
+   outside the emit whitelist — is reachable only by constructing the
+   spec directly. [c] makes each test's generated source (and therefore
+   its cache key) unique, keeping the in-process plugin memo from
+   short-circuiting the path under test. *)
+
+let loop1d ~lb ~ub =
+  { Kc.l_level = 0; l_dim = 0; l_lb = lb; l_ub = ub; l_parallel = false;
+    l_vector_width = 1 }
+
+let nest1d expr =
+  { Kc.n_loops = [ loop1d ~lb:0 ~ub:8 ];
+    n_stores = [ { Kc.st_buf = 1; st_index = [ Kc.Iv (0, 0) ]; st_expr = expr } ];
+    n_uses_iv = false; n_flops_per_cell = 1; n_loads_per_cell = 1;
+    n_tile = [] }
+
+let load buf = Kc.F_load (buf, [ Kc.Iv (0, 0) ])
+
+let sqrt_nest c =
+  nest1d
+    (Kc.F_unary
+       ("math.sqrt", Kc.F_binary ("arith.mulf", load 0, Kc.F_const c)))
+
+let erf_nest = nest1d (Kc.F_unary ("math.erf", load 1))
+let spec nests = { Kc.k_nests = nests; k_num_bufs = 2; k_num_scalars = 0 }
+
+let make_bufs () =
+  let b0 = Rt.create [ 8 ] and b1 = Rt.create [ 8 ] in
+  Rt.init b0 (fun i -> 0.1 *. float_of_int (i + 1));
+  Rt.init b1 (fun _ -> 0.0);
+  [| b0; b1 |]
+
+(* ---- emit unit tests (no toolchain needed) ---- *)
+
+let test_emit_skips_erf () =
+  match E.emit ~strides:[| 1 |] (spec [ sqrt_nest 1.0; erf_nest ]) with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t ->
+    Alcotest.(check (list int))
+      "only nest 0 emitted" [ 0 ]
+      (List.map fst (E.emitted t));
+    (match E.skipped t with
+    | [ (1, why) ] ->
+      Alcotest.(check bool) "skip reason names the op" true
+        (contains why "erf")
+    | sk -> Alcotest.failf "expected one skip, got %d" (List.length sk));
+    (* the key lives only in the registration trailer; the digested
+       body must not contain it or warm lookups could never match *)
+    Alcotest.(check bool) "module source registers the key" true
+      (contains (E.module_source t ~key:"deadbeef") "deadbeef");
+    Alcotest.(check bool) "digested body is key-free" false
+      (contains (E.body t) "deadbeef")
+
+let test_emit_rejects_all_unsupported () =
+  match E.emit ~strides:[| 1 |] (spec [ erf_nest ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error when no nest is emittable"
+
+(* strides are baked into the emitted body, so they must be part of
+   the content identity: different dims => different source *)
+let test_emit_bakes_strides () =
+  let one = spec [ sqrt_nest 1.0 ] in
+  match (E.emit ~strides:[| 1 |] one, E.emit ~strides:[| 2 |] one) with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "bodies differ per stride" false
+      (E.body a = E.body b)
+  | _ -> Alcotest.fail "emit failed"
+
+(* ---- end-to-end parity on a real program ---- *)
+
+let gs_src = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:3 ()
+
+let run_engine ?native engine =
+  let a, _ = P.stencil ~target:P.Serial ~engine ?native gs_src in
+  P.run a;
+  (a, P.buffer_exn a "u")
+
+let test_native_bitwise_gs () =
+  with_toolchain @@ fun () ->
+  let _, u_vec = run_engine P.Engine_vector in
+  let a, u_nat = run_engine ~native:(sync_ctx ()) P.Engine_native in
+  Alcotest.(check (float 0.)) "bitwise equal to vector" 0.0
+    (Rt.max_abs_diff u_vec u_nat);
+  List.iter
+    (fun (name, impl) ->
+      match impl with
+      | P.Native_jit (_, nk) ->
+        let r = N.report nk in
+        Alcotest.(check string) (name ^ " fully native") "native"
+          r.N.rp_engine;
+        (match r.N.rp_origin with
+        | Some (N.Origin_built | N.Origin_memo) -> ()
+        | _ -> Alcotest.failf "%s: expected built/memo origin" name)
+      | _ -> Alcotest.failf "%s: not a native kernel" name)
+    a.P.a_kernels;
+  P.shutdown a
+
+(* ---- fallback chain ---- *)
+
+let test_fallback_missing_toolchain () =
+  let ctx = sync_ctx ~ocamlfind:"/nonexistent/sfc-ocamlfind" () in
+  (match N.toolchain_error ctx with
+  | Some _ -> ()
+  | None -> Alcotest.fail "bogus ocamlfind probed Ok");
+  let _, u_vec = run_engine P.Engine_vector in
+  let a, u_nat = run_engine ~native:ctx P.Engine_native in
+  Alcotest.(check (float 0.)) "still bitwise correct" 0.0
+    (Rt.max_abs_diff u_vec u_nat);
+  (match a.P.a_kernels with
+  | (_, P.Native_jit (_, nk)) :: _ ->
+    let r = N.report nk in
+    Alcotest.(check string) "served by vector" "vector" r.N.rp_engine;
+    Alcotest.(check bool) "detail says unavailable" true
+      (contains r.N.rp_detail "native unavailable")
+  | _ -> Alcotest.fail "expected native-wrapped kernels");
+  P.shutdown a
+
+let test_mixed_nest_execution () =
+  with_toolchain @@ fun () ->
+  (* nest 1 reads nest 0's output, so correct results prove the skipped
+     nest still runs in sequence on the vector engine *)
+  let sp = spec [ sqrt_nest 2.5; erf_nest ] in
+  let ref_bufs = make_bufs () and nat_bufs = make_bufs () in
+  Kc.run sp ~bufs:ref_bufs ~scalars:[||] ();
+  let k = N.prepare (sync_ctx ()) ~name:"mixed" sp in
+  N.run k ~bufs:nat_bufs ~scalars:[||] ();
+  Alcotest.(check (float 0.)) "bitwise equal to closure engine" 0.0
+    (Rt.max_abs_diff ref_bufs.(1) nat_bufs.(1));
+  let r = N.report k in
+  Alcotest.(check string) "mixed engine" "mixed" r.N.rp_engine;
+  Alcotest.(check int) "one native nest" 1 r.N.rp_native_nests;
+  Alcotest.(check int) "two nests total" 2 r.N.rp_total_nests
+
+(* Plant a corrupt .cmxs (with a matching stamp) under the exact key a
+   fresh kernel will bind to — mirroring native.ml's key recipe — and
+   check the tier drops it, rebuilds over the same key, and still
+   answers bitwise. *)
+let test_corrupt_plugin_rebuilds () =
+  with_toolchain @@ fun () ->
+  let sp = spec [ sqrt_nest 3.25 ] in
+  let dir = fresh_dir () in
+  let cache = Cache.create ~dir ~version:N.format_version () in
+  let tc =
+    match Bld.probe () with Ok tc -> tc | Error e -> Alcotest.fail e
+  in
+  let e =
+    match E.emit ~strides:[| 1 |] sp with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let key =
+    Cache.digest cache
+      [ "native"; string_of_int N.format_version; Bld.stamp tc; E.body e ]
+  in
+  let corrupt = "not a cmxs" in
+  ignore (Cache.put_sidecar cache ~key ~ext:"ml" (E.module_source e ~key));
+  ignore (Cache.put_sidecar cache ~key ~ext:"cmxs" corrupt);
+  ignore (Cache.put_sidecar cache ~key ~ext:"stamp" (Bld.stamp tc));
+  let k = N.prepare (N.create ~cache ~mode:N.Sync ()) ~name:"corrupt" sp in
+  let ref_bufs = make_bufs () and nat_bufs = make_bufs () in
+  Kc.run sp ~bufs:ref_bufs ~scalars:[||] ();
+  N.run k ~bufs:nat_bufs ~scalars:[||] ();
+  Alcotest.(check (float 0.)) "bitwise despite corrupt plugin" 0.0
+    (Rt.max_abs_diff ref_bufs.(1) nat_bufs.(1));
+  (match (N.report k).N.rp_origin with
+  | Some N.Origin_built -> ()
+  | _ -> Alcotest.fail "expected a cold rebuild");
+  (* rebuilt over the same key: the planted garbage was replaced (this
+     also guards the key recipe above against drifting from native.ml) *)
+  match Cache.read_sidecar cache ~key ~ext:"cmxs" with
+  | Some c ->
+    Alcotest.(check bool) "plugin replaced on disk" false (c = corrupt)
+  | None -> Alcotest.fail "plugin missing after rebuild"
+
+let () =
+  Alcotest.run "codegen"
+    [ ("emit",
+       [ Alcotest.test_case "whitelist skips erf" `Quick test_emit_skips_erf;
+         Alcotest.test_case "all-unsupported is an error" `Quick
+           test_emit_rejects_all_unsupported;
+         Alcotest.test_case "strides baked into body" `Quick
+           test_emit_bakes_strides ]);
+      ("native",
+       [ Alcotest.test_case "gauss-seidel bitwise vs vector" `Quick
+           test_native_bitwise_gs;
+         Alcotest.test_case "missing toolchain falls back" `Quick
+           test_fallback_missing_toolchain;
+         Alcotest.test_case "unsupported nest runs mixed" `Quick
+           test_mixed_nest_execution;
+         Alcotest.test_case "corrupt plugin dropped and rebuilt" `Quick
+           test_corrupt_plugin_rebuilds ]) ]

@@ -107,7 +107,8 @@ let test_all_kernels_compiled () =
   List.iter
     (fun (name, impl) ->
       match impl with
-      | P.Compiled _ | P.Vectorised _ | P.Distributed _ -> ()
+      | P.Compiled _ | P.Vectorised _ | P.Native_jit _ | P.Distributed _ ->
+        ()
       | P.Interpreted reason ->
         Alcotest.failf "%s fell back to the interpreter: %s" name reason)
     a.P.a_kernels

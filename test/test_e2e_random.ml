@@ -186,8 +186,27 @@ let gen_program =
 
 (* ---------------- the property ---------------- *)
 
+(* One Sync-mode native ctx for the whole run, building into a private
+   temp cache: every generated program's kernels go through emit ->
+   ocamlopt -> Dynlink inline. When the container has no native
+   toolchain the differential quietly covers the other three engines. *)
+let native_ctx =
+  lazy
+    (Fsc_codegen.Native.create
+       ~cache:
+         (Fsc_cache.Cache.create
+            ~dir:
+              (Filename.concat
+                 (Filename.get_temp_dir_name ())
+                 (Printf.sprintf "sfc-e2e-native-%d" (Unix.getpid ())))
+            ~version:Fsc_codegen.Native.format_version ())
+       ~mode:Fsc_codegen.Native.Sync ())
+
+let native_ready =
+  lazy (Fsc_codegen.Native.toolchain_error (Lazy.force native_ctx) = None)
+
 (* Run every execution engine against the naive FIR reference; all
-   three must be bitwise identical to it (and therefore to each
+   four must be bitwise identical to it (and therefore to each
    other). Returns the engines that disagreed. *)
 let run_engines p =
   let src = program_to_fortran p in
@@ -195,7 +214,11 @@ let run_engines p =
   let reference = P.flang_only src in
   P.run reference;
   let agrees engine =
-    let a, _ = P.stencil ~target:P.Serial ~engine src in
+    let native =
+      if engine = P.Engine_native then Some (Lazy.force native_ctx)
+      else None
+    in
+    let a, _ = P.stencil ~target:P.Serial ~engine ?native src in
     P.run a;
     List.for_all
       (fun name ->
@@ -203,11 +226,16 @@ let run_engines p =
         = 0.0)
       outs
   in
+  let engines =
+    [ ("interp", P.Engine_interp); ("closure", P.Engine_closure);
+      ("vector", P.Engine_vector) ]
+    @ (if Lazy.force native_ready then [ ("native", P.Engine_native) ]
+       else [])
+  in
   let bad =
     List.filter_map
       (fun (name, engine) -> if agrees engine then None else Some name)
-      [ ("interp", P.Engine_interp); ("closure", P.Engine_closure);
-        ("vector", P.Engine_vector) ]
+      engines
   in
   (bad, src)
 
