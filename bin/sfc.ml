@@ -126,6 +126,17 @@ let dist_no_coalesce_arg =
            per superstep. Bitwise-identical results; for differential \
            testing and ablation.")
 
+let dist_no_footprint_arg =
+  Arg.(
+    value & flag
+    & info [ "dist-no-footprint" ]
+        ~doc:
+          "Disable footprint-aware halo staling for the dist target: \
+           every write stales its field's halos, even when the affine \
+           write footprint provably never reaches a block-boundary \
+           plane. Bitwise-identical results; for differential testing \
+           and ablation.")
+
 (* [--ranks] refines the dist target the same way [--threads] refines
    openmp; pairing it with any other target is an error, not a no-op. *)
 let apply_ranks target ranks =
@@ -376,6 +387,15 @@ let compile_cmd =
           "pipeline: %d stencils discovered, %d merges, %d kernels\n"
           ca.P.ca_stats.P.st_discovered ca.P.ca_stats.P.st_merged
           ca.P.ca_stats.P.st_kernels;
+        (* per-kernel affine footprints: the proof artifacts consumed by
+           distributed halo staling and native guard elision *)
+        List.iter
+          (fun (name, fp) ->
+            Printf.eprintf "footprint %s:\n" name;
+            String.split_on_char '\n' (Fsc_analysis.Footprint.to_string fp)
+            |> List.iter (fun l ->
+                   if l <> "" then Printf.eprintf "  %s\n" l))
+          ca.P.ca_footprints;
         Printf.eprintf "compile: cache %s\n" (cache_status_name outcome)
       end;
       print_cache_stats cache;
@@ -398,12 +418,18 @@ let compile_cmd =
 let print_dist_stats dst =
   let module Dk = Fsc_dmp.Dist_kernel in
   let s = Dk.stats dst in
-  Printf.eprintf "dist: %d ranks, %s supersteps, %s engine%s%s\n"
+  Printf.eprintf "dist: %d ranks, %s supersteps, %s engine%s%s%s\n"
     s.Dk.ds_ranks
     (Fsc_dmp.Dist_exec.mode_name s.Dk.ds_mode)
     (Dk.engine_name s.Dk.ds_engine)
     (if s.Dk.ds_fuse then "" else ", fusion off")
-    (if s.Dk.ds_coalesce then "" else ", coalescing off");
+    (if s.Dk.ds_coalesce then "" else ", coalescing off")
+    (if s.Dk.ds_footprint then "" else ", footprint staling off");
+  if s.Dk.ds_stales_avoided > 0 then
+    Printf.eprintf
+      "dist: %d halo stale(s) avoided by footprint analysis (interior \
+       writes kept halos fresh)\n"
+      s.Dk.ds_stales_avoided;
   Printf.eprintf
     "dist: %d distributed runs, %d host fallbacks, %d overlap / %d \
      blocking / %d fused stages\n"
@@ -449,7 +475,7 @@ let print_dist_stats dst =
 
 let run_cmd =
   let run file target threads ranks dist_mode dist_no_fuse dist_no_coalesce
-      engine cache_flag cache_dir stats trace =
+      dist_no_footprint engine cache_flag cache_dir stats trace =
     let* target = resolve_target target threads in
     let* target = apply_ranks target ranks in
     let src = read_file file in
@@ -478,7 +504,8 @@ let run_cmd =
         let ca, cache_outcome = Cc.compile ?cache options src in
         let a =
           P.link ~engine ?native ~dist_mode ~dist_fuse:(not dist_no_fuse)
-            ~dist_coalesce:(not dist_no_coalesce) ca
+            ~dist_coalesce:(not dist_no_coalesce)
+            ~dist_footprint:(not dist_no_footprint) ca
         in
         Fun.protect
           ~finally:(fun () -> P.shutdown a)
@@ -549,7 +576,8 @@ let run_cmd =
       term_result
         (const run $ file_arg $ target_arg $ threads_arg $ ranks_arg
         $ dist_mode_arg $ dist_no_fuse_arg $ dist_no_coalesce_arg
-        $ engine_arg $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
+        $ dist_no_footprint_arg $ engine_arg $ cache_flag $ cache_dir_arg
+        $ stats_arg $ trace_arg))
 
 (* ---- check ---- *)
 
@@ -569,18 +597,66 @@ let werror_flag =
           "Treat warnings (e.g. loop-carried dependences) as errors: \
            exit nonzero when any are present.")
 
+let footprints_flag =
+  Arg.(
+    value & flag
+    & info [ "footprints" ]
+        ~doc:
+          "Dump the computed affine read/write footprint of every \
+           statement nest (per-field index regions; [?] where a \
+           subscript is not affine). With $(b,--json), adds a \
+           \"footprints\" array to the output object.")
+
 let check_cmd =
-  let run file json werror =
+  let run file json werror footprints =
     let src = read_file file in
-    let finish diags summary =
+    let render_accs accs =
+      String.concat "; "
+        (List.map
+           (fun (field, region) ->
+             field ^ Fsc_analysis.Footprint.region_to_string region)
+           accs)
+    in
+    let finish diags summary fps =
+      (* one finding per (code, location); order findings by location so
+         machine consumers see a stable stream *)
+      let diags = Diag.dedupe diags in
       if json then begin
+        let diags = Diag.sort_by_loc diags in
         let ds =
           String.concat ", " (List.map (Diag.to_json ~file) diags)
+        in
+        let fp_field =
+          if not footprints then ""
+          else
+            let fp_json fp =
+              let accs l =
+                String.concat ", "
+                  (List.map
+                     (fun (field, region) ->
+                       Printf.sprintf "{\"field\": \"%s\", \"region\": \
+                                       \"%s\"}"
+                         (Diag.json_escape field)
+                         (Diag.json_escape
+                            (Fsc_analysis.Footprint.region_to_string region)))
+                     l)
+              in
+              Printf.sprintf
+                "{\"loc\": %s, \"reads\": [%s], \"writes\": [%s]}"
+                (match fp.Check.fp_loc with
+                | Some l ->
+                  Printf.sprintf "{\"line\": %d, \"col\": %d}"
+                    l.Diag.l_line l.Diag.l_col
+                | None -> "null")
+                (accs fp.Check.fp_reads) (accs fp.Check.fp_writes)
+            in
+            Printf.sprintf ", \"footprints\": [%s]"
+              (String.concat ", " (List.map fp_json fps))
         in
         Printf.printf
           "{\"file\": \"%s\", \"diagnostics\": [%s], \"summary\": \
            {\"nests\": %d, \"parallel\": %d, \"carried\": %d, \"unknown\": \
-           %d, \"errors\": %d, \"warnings\": %d}}\n"
+           %d, \"errors\": %d, \"warnings\": %d}%s}\n"
           (Diag.json_escape file) ds
           (summary.Check.ns_parallel + summary.Check.ns_carried
          + summary.Check.ns_unknown)
@@ -588,9 +664,27 @@ let check_cmd =
           summary.Check.ns_unknown
           (Diag.count Diag.Error diags)
           (Diag.count Diag.Warning diags)
+          fp_field
       end
       else begin
         if diags <> [] then prerr_endline (Diag.render_all ~file diags);
+        if footprints then
+          List.iter
+            (fun fp ->
+              let loc =
+                match fp.Check.fp_loc with
+                | Some l -> Printf.sprintf "%d:%d" l.Diag.l_line l.Diag.l_col
+                | None -> "?"
+              in
+              Printf.eprintf "%s:%s: footprint: read %s; write %s\n" file
+                loc
+                (match fp.Check.fp_reads with
+                | [] -> "-"
+                | l -> render_accs l)
+                (match fp.Check.fp_writes with
+                | [] -> "-"
+                | l -> render_accs l))
+            fps;
         Printf.eprintf "%s: %s; %d error(s), %d warning(s)\n" file
           (Check.summary_to_string summary)
           (Diag.count Diag.Error diags)
@@ -601,7 +695,7 @@ let check_cmd =
       | n -> Error (`Msg (Printf.sprintf "check: %d blocking issue(s)" n))
     in
     match Check.check_source src with
-    | Error d -> finish [ d ] Check.empty_summary
+    | Error d -> finish [ d ] Check.empty_summary []
     | Ok (m, result) ->
       (* The discovery pass explains, per rejected store, why the nest is
          not offloadable. Race-coded rejections duplicate the dependence
@@ -620,17 +714,22 @@ let check_cmd =
             else Some d)
           (List.rev dstats.Fsc_core.Discovery.rejected)
       in
-      finish (result.Check.r_diags @ reject_notes) result.Check.r_summary
+      finish
+        (result.Check.r_diags @ reject_notes)
+        result.Check.r_summary result.Check.r_footprints
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the static analyses over a Fortran file without compiling \
           it: loop-carried dependence/race classification of every loop \
-          nest, provable out-of-bounds subscripts, and the discovery \
-          pass's per-nest offload decisions. Exits nonzero on errors (or \
-          warnings with $(b,--werror)).")
-    Term.(term_result (const run $ file_arg $ json_flag $ werror_flag))
+          nest, provable out-of-bounds subscripts, affine-footprint \
+          lints (dead writes, unread fields, redundant halo exchanges), \
+          and the discovery pass's per-nest offload decisions. Exits \
+          nonzero on errors (or warnings with $(b,--werror)).")
+    Term.(
+      term_result
+        (const run $ file_arg $ json_flag $ werror_flag $ footprints_flag))
 
 (* ---- batch / serve ---- *)
 

@@ -23,7 +23,36 @@ if "$SFC" check test/fixtures/gauss_seidel_inplace.f90 --werror \
   echo "ci: sfc check --werror accepted the racy fixture"
   exit 1
 fi
-echo "check smoke: examples clean, racy fixture rejected under --werror"
+# Footprint lints: --json must be well-formed (diagnostics + summary
+# keys) on every example, with zero dead-write false positives; the
+# dead-write fixture must be flagged (both lints) and rejected under
+# --werror.
+for f in examples/*.f90; do
+  json_out=$("$SFC" check "$f" --json)
+  if ! printf '%s\n' "$json_out" | grep -q '"diagnostics"' \
+      || ! printf '%s\n' "$json_out" | grep -q '"summary"'; then
+    echo "ci: sfc check --json on $f missing diagnostics/summary"
+    printf '%s\n' "$json_out"
+    exit 1
+  fi
+  if printf '%s\n' "$json_out" | grep -q 'dead-write'; then
+    echo "ci: dead-write false positive on clean example $f"
+    printf '%s\n' "$json_out"
+    exit 1
+  fi
+done
+dead_out=$("$SFC" check test/fixtures/dead_write.f90 2>&1)
+if ! printf '%s\n' "$dead_out" | grep -q 'dead-write' \
+    || ! printf '%s\n' "$dead_out" | grep -q 'unread-field'; then
+  echo "ci: dead-write fixture not flagged"
+  printf '%s\n' "$dead_out"
+  exit 1
+fi
+if "$SFC" check test/fixtures/dead_write.f90 --werror >/dev/null 2>&1; then
+  echo "ci: sfc check --werror accepted the dead-write fixture"
+  exit 1
+fi
+echo "check smoke: examples clean (no dead-write FPs), racy and dead-write fixtures rejected under --werror"
 
 CACHE=$(mktemp -d)
 JOBS=$(mktemp)
@@ -149,11 +178,13 @@ if ! "$SFC" run examples/laplace.f90 --target dist --ranks 1000 2>&1 \
 fi
 echo "dist smoke: 4-rank run matches serial, degenerate ranks rejected"
 
-# Superstep fusion: examples/residual.f90 re-reads u at offsets without
-# ever writing it, so every superstep after the first finds its halos
-# fresh and fuses the exchange away — halo messages at 4 ranks must
-# drop versus the pre-fusion schedule (--dist-no-fuse), with grid
-# checksums identical to serial either way.
+# Superstep fusion + footprint staling: examples/residual.f90 re-reads
+# u at offsets and writes it back only along the global j = k = 1 edge —
+# a plane the affine write footprint proves is never a mirrored block
+# boundary — so every superstep after the first finds u's halos fresh
+# and fuses the exchange away. Halo messages at 4 ranks must drop
+# versus the pre-fusion schedule (--dist-no-fuse), with grid checksums
+# identical to serial either way.
 res_serial=$("$SFC" run examples/residual.f90 --stats 2>&1 >/dev/null \
   | grep '^grid')
 res_fused=$("$SFC" run examples/residual.f90 --target dist --ranks 4 \
@@ -180,7 +211,25 @@ if ! printf '%s\n' "$res_fused" | grep -q 'fused stages'; then
   echo "ci: dist --stats missing the fused-stage count"
   exit 1
 fi
-echo "dist fusion smoke: $fused_msgs msgs fused vs $unfused_msgs unfused"
+if ! printf '%s\n' "$res_fused" | grep -q 'avoided by footprint'; then
+  echo "ci: dist --stats missing the footprint staling count"
+  exit 1
+fi
+# with footprints disabled the probe's edge write stales u every
+# superstep: strictly more halo messages on identical work
+res_nofp=$("$SFC" run examples/residual.f90 --target dist --ranks 4 \
+  --stats --dist-no-footprint 2>&1 >/dev/null)
+if [ "$res_serial" != "$(printf '%s\n' "$res_nofp" | grep '^grid')" ]; then
+  echo "ci: --dist-no-footprint checksums differ from serial"
+  exit 1
+fi
+nofp_msgs=$(printf '%s\n' "$res_nofp" | grep '^dist: group' \
+  | sed 's/.*grid, \([0-9][0-9]*\) msgs.*/\1/')
+if [ -z "$nofp_msgs" ] || [ "$fused_msgs" -ge "$nofp_msgs" ]; then
+  echo "ci: footprint staling did not cut halo messages ($fused_msgs vs $nofp_msgs)"
+  exit 1
+fi
+echo "dist fusion smoke: $fused_msgs msgs fused vs $unfused_msgs unfused, $nofp_msgs without footprints"
 
 # The dist bench self-validates (strong-scaling traffic present, the
 # 8-rank point within the stated factor of the Net_model projection,
@@ -198,7 +247,8 @@ if ! [ -s "$DISTDIR/BENCH_dmp.json" ] \
     || ! grep -q '"overlap_vs_blocking"' "$DISTDIR/BENCH_dmp.json" \
     || ! grep -q '"projected"' "$DISTDIR/BENCH_dmp.json" \
     || ! grep -q '"model_gate"' "$DISTDIR/BENCH_dmp.json" \
-    || ! grep -q '"coalescing"' "$DISTDIR/BENCH_dmp.json"; then
+    || ! grep -q '"coalescing"' "$DISTDIR/BENCH_dmp.json" \
+    || ! grep -q '"footprint_staling"' "$DISTDIR/BENCH_dmp.json"; then
   echo "ci: BENCH_dmp.json missing or malformed"
   rm -rf "$DISTDIR"
   exit 1

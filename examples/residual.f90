@@ -1,12 +1,15 @@
-! Repeated residual evaluation of a fixed field — the smallest program
-! whose distributed supersteps fuse: the iteration kernel reads u at
-! offsets but never writes it, so after the first halo exchange every
-! later superstep finds u's halos still fresh and pays no messages.
+! Repeated residual evaluation plus a boundary-edge probe — the
+! smallest program where footprint-aware halo staling beats whole-field
+! staling: the probe nest writes u every iteration, but only along the
+! global edge j = k = 1, a plane the affine write footprint proves is
+! never a block-boundary (mirrored) plane under any decomposition. So
+! whole-field staling re-exchanges u's halos every superstep while
+! footprint staling pays for the first exchange only.
 !
 !   dune exec bin/sfc.exe -- run examples/residual.f90 \
 !     --target dist --ranks 4 --stats
 !
-! (compare against --dist-no-fuse: halo traffic grows with niter)
+! (compare against --dist-no-footprint: halo traffic grows with niter)
 program residual_probe
   implicit none
   integer, parameter :: nx = 12, ny = 12, nz = 12, niter = 3
@@ -30,6 +33,16 @@ program residual_probe
           r(i, j, k) = u(i, j, k) - (u(i-1, j, k) + u(i+1, j, k) &
                      + u(i, j-1, k) + u(i, j+1, k) + u(i, j, k-1) &
                      + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+    ! edge probe: accumulate the residual into u along the j = k = 1
+    ! edge only — an interior-boundary write whose footprint never
+    ! reaches a mirrored plane
+    do k = 1, 1
+      do j = 1, 1
+        do i = 1, nx
+          u(i, j, k) = u(i, j, k) + 0.25d0 * r(i, j, k)
         end do
       end do
     end do

@@ -22,9 +22,16 @@ type nest_summary = {
   ns_unknown : int;
 }
 
+type nest_footprint = {
+  fp_loc : Diag.srcloc option;
+  fp_reads : (string * Footprint.region) list;
+  fp_writes : (string * Footprint.region) list;
+}
+
 type result = {
   r_diags : Diag.t list;
   r_summary : nest_summary; (* one entry per distinct loop-nest scope *)
+  r_footprints : nest_footprint list;
 }
 
 let empty_summary = { ns_parallel = 0; ns_carried = 0; ns_unknown = 0 }
@@ -134,6 +141,278 @@ let check_dependences m =
   (List.rev !diags, summary)
 
 (* ------------------------------------------------------------------ *)
+(* Footprint lints: dead-write, unread-field, redundant-exchange       *)
+(* ------------------------------------------------------------------ *)
+
+module F = Footprint
+
+(* Region of one FIR access: per dimension, the value set of the affine
+   subscript over its loop's constant bounds. Over-approximate by
+   construction — [Unknown] forms and non-constant loop bounds widen to
+   [Top] — which is the safe direction for every lint below (a larger
+   write region stales more / is less often dead). *)
+let form_dim = function
+  | Index_expr.Const c -> F.range c c
+  | Index_expr.Affine (iv, off) -> (
+    match Bounds.iv_range iv with
+    | Some (lo, hi) -> F.range (lo + off) (hi + off)
+    | None -> F.Top)
+  | Index_expr.Unknown -> F.Top
+
+let access_region (a : Dependence.access) : F.region =
+  List.map form_dim a.Dependence.acc_forms
+
+(* An array access (through fir.coordinate_of) whose root could not be
+   summarised: it may alias any field, so whole-program claims (dead
+   writes, unread fields, redundant exchanges) are off the table. *)
+let is_unresolved_array_access o =
+  let addr =
+    if Fir.is_store o then Some (Op.operand ~index:1 o)
+    else if Fir.is_load o then Some (Op.operand o)
+    else None
+  in
+  match addr with
+  | None -> false
+  | Some addr -> (
+    match Op.defining_op addr with
+    | Some coord when Fir.is_coordinate_of coord ->
+      Option.is_none
+        (if Fir.is_store o then Dependence.access_of_store o
+         else Dependence.access_of_load o)
+    | _ -> false)
+
+type field_acc = {
+  fa_root : Index_expr.array_root;
+  mutable fa_reads : (Dependence.access * F.region) list;
+  mutable fa_writes : (Dependence.access * F.region) list;
+}
+
+(* Mirrors Dist_kernel's decomposition: rank-2 fields distribute along
+   dimension 1, rank-3 fields along 1 and 2. *)
+let ddims root =
+  match List.length root.Index_expr.root_extents with
+  | 2 -> [ 1 ]
+  | 3 -> [ 1; 2 ]
+  | _ -> []
+
+(* Does a read cross rank boundaries (nonzero affine offset in a
+   decomposed dimension), i.e. would the distributed backend exchange
+   halos for it? *)
+let is_offset_read (a : Dependence.access) =
+  (not a.Dependence.acc_is_write)
+  && List.exists
+       (fun d ->
+         match List.nth_opt a.Dependence.acc_forms d with
+         | Some (Index_expr.Affine (_, off)) -> off <> 0
+         | _ -> false)
+       (ddims a.Dependence.acc_root)
+
+(* Can this write invalidate some rank's halo under ANY decomposition
+   with at least two blocks per split axis? Mirrored planes then all
+   lie in the index band [2, extent-3] (first/last owned plane of an
+   interior block edge), so a write provably outside that band in every
+   decomposed dimension keeps halos fresh. Dynamic extents and [Top]
+   dimensions are conservatively mirrorable. *)
+let is_mirrorable_write root region =
+  List.exists
+    (fun d ->
+      match List.nth root.Index_expr.root_extents d with
+      | exception _ -> true
+      | e when e < 0 -> true
+      | e when e - 3 < 2 -> false (* too small to have interior planes *)
+      | e -> (
+        match List.nth_opt region d with
+        | None | Some F.Top -> true
+        | Some (F.Range (lo, hi)) -> lo <= e - 3 && hi >= 2))
+    (ddims root)
+
+let check_footprints m =
+  (* 1. per-field read/write region sets over every resolvable access *)
+  let fields = Hashtbl.create 8 in
+  let field_order = ref [] in
+  let unresolved = ref false in
+  let field_for root =
+    let key = root.Index_expr.root_value.Op.v_id in
+    match Hashtbl.find_opt fields key with
+    | Some fa -> fa
+    | None ->
+      let fa = { fa_root = root; fa_reads = []; fa_writes = [] } in
+      Hashtbl.add fields key fa;
+      field_order := fa :: !field_order;
+      fa
+  in
+  Op.walk
+    (fun o ->
+      let acc =
+        if Fir.is_store o then Dependence.access_of_store o
+        else if Fir.is_load o then Dependence.access_of_load o
+        else None
+      in
+      match acc with
+      | Some a ->
+        let fa = field_for a.Dependence.acc_root in
+        let entry = (a, access_region a) in
+        if a.Dependence.acc_is_write then fa.fa_writes <- entry :: fa.fa_writes
+        else fa.fa_reads <- entry :: fa.fa_reads
+      | None -> if is_unresolved_array_access o then unresolved := true)
+    m;
+  let fields_in_order = List.rev !field_order in
+  List.iter
+    (fun fa ->
+      fa.fa_reads <- List.rev fa.fa_reads;
+      fa.fa_writes <- List.rev fa.fa_writes)
+    fields_in_order;
+  (* 2. statement nests (store scopes) in program order *)
+  let seen_scopes = Hashtbl.create 8 in
+  let scopes = ref [] in
+  Op.walk
+    (fun o ->
+      if Fir.is_store o then
+        match Dependence.nest_of_store o with
+        | Some n ->
+          let id = n.Dependence.n_scope.Op.o_id in
+          if not (Hashtbl.mem seen_scopes id) then begin
+            Hashtbl.add seen_scopes id ();
+            scopes := n.Dependence.n_scope :: !scopes
+          end
+        | None -> ())
+    m;
+  let scopes = List.rev !scopes in
+  let scope_accs = List.map (fun s -> (s, Dependence.collect_accesses s)) scopes
+  in
+  (* 3. the --footprints dump: per nest, per field, joined regions *)
+  let footprints =
+    List.map
+      (fun (scope, accs) ->
+        let add l name r =
+          match List.assoc_opt name l with
+          | None -> l @ [ (name, r) ]
+          | Some prev ->
+            List.map
+              (fun (n, x) ->
+                if n = name then (n, F.join_region prev r) else (n, x))
+              l
+        in
+        let reads, writes =
+          List.fold_left
+            (fun (rs, ws) (a : Dependence.access) ->
+              let name = a.Dependence.acc_root.Index_expr.root_name in
+              let r = access_region a in
+              if a.Dependence.acc_is_write then (rs, add ws name r)
+              else (add rs name r, ws))
+            ([], []) accs
+        in
+        let loc =
+          match Diag.loc_of_op scope with
+          | Some l -> Some l
+          | None -> (
+            match accs with
+            | a :: _ -> Diag.loc_of_op a.Dependence.acc_op
+            | [] -> None)
+        in
+        { fp_loc = loc; fp_reads = reads; fp_writes = writes })
+      scope_accs
+  in
+  let diags = ref [] in
+  if not !unresolved then begin
+    (* 4. dead writes and unread fields *)
+    List.iter
+      (fun fa ->
+        let name = fa.fa_root.Index_expr.root_name in
+        if fa.fa_writes <> [] && fa.fa_reads = [] then begin
+          let a, _ = List.hd fa.fa_writes in
+          let loc = Diag.loc_of_op a.Dependence.acc_op in
+          diags :=
+            Diag.warningf ?loc ~code:"unread-field"
+              "field '%s' is written but never read: every store to it is \
+               dead"
+              name
+            :: !diags
+        end
+        else
+          List.iter
+            (fun ((a : Dependence.access), r) ->
+              if
+                not
+                  (List.exists
+                     (fun (_, rr) -> F.regions_intersect r rr)
+                     fa.fa_reads)
+              then begin
+                let loc = Diag.loc_of_op a.Dependence.acc_op in
+                diags :=
+                  Diag.warningf ?loc ~code:"dead-write"
+                    "dead write to '%s': the written region %s intersects \
+                     no read of the field"
+                    name
+                    (F.region_to_string r)
+                  :: !diags
+              end)
+            fa.fa_writes)
+      fields_in_order;
+    (* 5. redundant-exchange: replay the distributed backend's
+       freshness tracking over the statement nests. Lap one runs the
+       whole program to reach steady state; lap two revisits only the
+       nests that sit under an enclosing (time) loop, and flags any
+       halo exchange that finds its field still fresh — exactly the
+       exchanges footprint-aware staling fuses away at runtime. *)
+    let repeated scope =
+      List.exists
+        (fun l ->
+          match Bounds.const_bounds l with
+          | None -> true
+          | Some (lb, ub, _) -> ub > lb)
+        (Dependence.enclosing_loops scope)
+    in
+    let fresh = Hashtbl.create 8 in
+    let step ~emit (scope, accs) =
+      ignore scope;
+      (* the backend exchanges once per field per superstep, so judge
+         freshness per field at scope entry — several offset reads of
+         one field inside a nest still share a single exchange *)
+      let exchange_fields = Hashtbl.create 4 in
+      List.iter
+        (fun (a : Dependence.access) ->
+          if is_offset_read a then begin
+            let key = a.Dependence.acc_root.Index_expr.root_value.Op.v_id in
+            if not (Hashtbl.mem exchange_fields key) then
+              Hashtbl.add exchange_fields key a
+          end)
+        accs;
+      Hashtbl.iter
+        (fun key (a : Dependence.access) ->
+          if Hashtbl.mem fresh key then begin
+            if emit then begin
+              let loc = Diag.loc_of_op a.Dependence.acc_op in
+              diags :=
+                Diag.notef ?loc ~code:"redundant-exchange"
+                  "repeated halo exchange of '%s' is redundant: no \
+                   write between iterations touches a block-boundary \
+                   plane, so distributed runs keep its halos fresh \
+                   (footprint-aware staling fuses this exchange)"
+                  a.Dependence.acc_root.Index_expr.root_name
+                :: !diags
+            end
+          end
+          else Hashtbl.replace fresh key ())
+        exchange_fields;
+      List.iter
+        (fun (a : Dependence.access) ->
+          if
+            a.Dependence.acc_is_write
+            && is_mirrorable_write a.Dependence.acc_root (access_region a)
+          then
+            Hashtbl.remove fresh
+              a.Dependence.acc_root.Index_expr.root_value.Op.v_id)
+        accs
+    in
+    List.iter (step ~emit:false) scope_accs;
+    List.iter
+      (fun ((scope, _) as info) -> if repeated scope then step ~emit:true info)
+      scope_accs
+  end;
+  (List.rev !diags, footprints)
+
+(* ------------------------------------------------------------------ *)
 (* Whole-module / whole-source entry points                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -157,11 +436,13 @@ let check_module m =
   match verify_diags m with
   | _ :: _ as vds ->
     (* malformed IR: report it and skip the analyses *)
-    { r_diags = vds; r_summary = empty_summary }
+    { r_diags = vds; r_summary = empty_summary; r_footprints = [] }
   | [] ->
     let dep_diags, summary = check_dependences m in
     let bounds_diags = Bounds.check m in
-    { r_diags = dep_diags @ bounds_diags; r_summary = summary }
+    let fp_diags, footprints = check_footprints m in
+    { r_diags = dep_diags @ bounds_diags @ fp_diags; r_summary = summary;
+      r_footprints = footprints }
 
 (* Map a frontend failure to a located diagnostic, for both `sfc check`
    and the compile/run error paths. *)

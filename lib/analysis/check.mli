@@ -11,20 +11,35 @@ type nest_summary = {
   ns_unknown : int;
 }
 
+(** Computed affine footprint of one statement nest, per field name:
+    the joined read/write regions of every access in the nest's scope.
+    Dumped by [sfc check --footprints]. *)
+type nest_footprint = {
+  fp_loc : Diag.srcloc option;
+  fp_reads : (string * Footprint.region) list;
+  fp_writes : (string * Footprint.region) list;
+}
+
 type result = {
   r_diags : Diag.t list;
   r_summary : nest_summary;
       (** one entry per distinct loop-nest scope (outermost applicable
           loop) *)
+  r_footprints : nest_footprint list;
+      (** one entry per statement nest, in program order *)
 }
 
 val empty_summary : nest_summary
 
 (** Verify the module, then run the dependence classification (code
     ["race"]: warnings for provable carried dependences, notes for
-    may-dependences) and the static bounds analysis (code ["bounds"],
-    errors). Malformed IR yields ["verify"] errors and skips the
-    analyses. *)
+    may-dependences), the static bounds analysis (code ["bounds"],
+    errors) and the footprint lints — ["dead-write"] (warning: a
+    written region no read of the field ever intersects),
+    ["unread-field"] (warning: a field written but never read) and
+    ["redundant-exchange"] (note: a repeated halo exchange the
+    distributed backend's footprint-aware staling would fuse away).
+    Malformed IR yields ["verify"] errors and skips the analyses. *)
 val check_module : Op.op -> result
 
 (** Frontend (lex/parse/sema/lowering) failures as located ["frontend"]

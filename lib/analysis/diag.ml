@@ -123,6 +123,32 @@ let to_json ?file d =
 (* Aggregation helpers                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Drop repeats of the same finding: two diagnostics with the same code
+   at the same location are one finding reported twice (e.g. a lint
+   firing per-access inside one statement). Keeps the first
+   occurrence, preserves order otherwise. *)
+let dedupe ds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = (d.d_code, d.d_loc) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    ds
+
+(* Stable sort by source location (unlocated diagnostics first), for
+   deterministic --json output. *)
+let sort_by_loc ds =
+  let key d =
+    match d.d_loc with
+    | None -> (-1, -1)
+    | Some { l_line; l_col } -> (l_line, l_col)
+  in
+  List.stable_sort (fun a b -> compare (key a) (key b)) ds
+
 let count sev ds = List.length (List.filter (fun d -> d.d_severity = sev) ds)
 
 (* Errors for exit-code purposes; [werror] promotes warnings. *)

@@ -96,6 +96,15 @@ val render_all : ?file:string -> t list -> string
 val to_json : ?file:string -> t -> string
 
 val json_escape : string -> string
+
+(** Drop repeated findings: diagnostics sharing a code and location
+    after the first occurrence. Order otherwise preserved. *)
+val dedupe : t list -> t list
+
+(** Stable sort by location (unlocated first) for deterministic
+    machine-readable output. *)
+val sort_by_loc : t list -> t list
+
 val count : severity -> t list -> int
 
 (** Number of diagnostics that should fail the run; [werror] promotes

@@ -166,7 +166,7 @@ let emit_nest ~strides ~fname (nest : Kc.nest) buf =
     add "%sdone%s\n" (pad (pos + 1)) (if pos = 0 then "" else ";")
   done
 
-let emit ~strides (spec : Kc.spec) =
+let emit ~strides ?(skip = []) (spec : Kc.spec) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "(* generated by sfc native codegen — do not edit *)\n\
@@ -176,13 +176,16 @@ let emit ~strides (spec : Kc.spec) =
     (fun i nest ->
       let fname = Printf.sprintf "nest%d" i in
       let mark = Buffer.length buf in
-      match emit_nest ~strides ~fname nest buf with
-      | () ->
-        Buffer.add_char buf '\n';
-        emitted := (i, fname) :: !emitted
-      | exception Skip reason ->
-        Buffer.truncate buf mark;
-        skipped := (i, reason) :: !skipped)
+      match List.assoc_opt i skip with
+      | Some reason -> skipped := (i, reason) :: !skipped
+      | None -> (
+        match emit_nest ~strides ~fname nest buf with
+        | () ->
+          Buffer.add_char buf '\n';
+          emitted := (i, fname) :: !emitted
+        | exception Skip reason ->
+          Buffer.truncate buf mark;
+          skipped := (i, reason) :: !skipped))
     spec.Kc.k_nests;
   match List.rev !emitted with
   | [] ->

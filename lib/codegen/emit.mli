@@ -22,8 +22,13 @@ module Kc = Fsc_rt.Kernel_compile
 type t
 
 (** [emit ~strides spec] pretty-prints every emittable nest.
-    [Error reason] only when {e no} nest is emittable. *)
-val emit : strides:int array -> Kc.spec -> (t, string) result
+    [skip] pre-excludes nests the caller already ruled out (e.g. an
+    empty iteration space proven by footprint analysis), with the
+    reason reported through {!skipped}. [Error reason] only when {e no}
+    nest is emittable. *)
+val emit :
+  strides:int array -> ?skip:(int * string) list -> Kc.spec ->
+  (t, string) result
 
 (** [(nest index, function name)] for each emitted nest, in order. *)
 val emitted : t -> (int * string) list

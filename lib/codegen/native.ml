@@ -27,6 +27,7 @@ module Rt = Fsc_rt.Memref_rt
 module Pool = Fsc_rt.Domain_pool
 module Cache = Fsc_cache.Cache
 module Obs = Fsc_obs.Obs
+module Fp = Fsc_analysis.Footprint
 
 let c_builds = Obs.counter "codegen.builds"
 let c_build_errors = Obs.counter "codegen.build_errors"
@@ -38,6 +39,7 @@ let c_native_runs = Obs.counter "codegen.native_runs"
 let c_fallback_runs = Obs.counter "codegen.fallback_runs"
 let c_pending_runs = Obs.counter "codegen.pending_runs"
 let c_guard_misses = Obs.counter "codegen.guard_misses"
+let c_fp_proofs = Obs.counter "codegen.footprint_proofs"
 
 (* Bumped whenever emitted code or the sidecar layout changes shape. *)
 let format_version = 1
@@ -290,6 +292,9 @@ type bind_result =
       bb_build : build;
       bb_emit_skipped : (int * string) list;
       bb_bounds_skipped : (int * string) list;
+      bb_fp_proved : int list;
+          (* nests whose accesses the footprint proved in-extent, so the
+             flat-offset bounds scan was elided *)
     }
 
 type bind = {
@@ -374,6 +379,25 @@ let validate_nest ~strides ~(bufs : Rt.t array) (nest : Kc.nest) =
 let bind_kernel k ~bufs =
   let strides = Kc.check_buffers bufs in
   let dims = Array.copy bufs.(0).Rt.dims in
+  (* check_buffers proved every buffer shares these extents *)
+  let extents = Array.to_list dims in
+  let fps = Array.of_list (Fp.of_spec k.k_spec) in
+  (* A nest whose footprint keeps every access inside [0, extent) in
+     every dimension cannot reach an out-of-range flat offset under the
+     positive column-major strides: the per-dimension proof is strictly
+     stronger than the flat-offset scan below (the scan also accepts
+     row-wrapping accesses that merely stay inside the allocation), so
+     it elides the scan but never replaces it as the fallback. *)
+  let fp_proves fp =
+    (not fp.Fp.nf_empty)
+    &&
+    let accesses = fp.Fp.nf_reads @ fp.Fp.nf_writes in
+    accesses <> []
+    && List.for_all
+         (fun (bi, region) ->
+           bi < Array.length bufs && Fp.region_within ~extents region)
+         accesses
+  in
   let result =
     match k.k_ctx.c_toolchain with
     | Error e -> Bind_fallback ("toolchain unavailable: " ^ e)
@@ -381,7 +405,18 @@ let bind_kernel k ~bufs =
       if Array.length bufs < k.k_spec.Kc.k_num_bufs then
         Bind_fallback "call passes fewer buffers than the kernel spec"
       else (
-        match Emit.emit ~strides k.k_spec with
+        (* bake-time skip widening: an empty iteration space needs no
+           generated code at all *)
+        let pre_skip =
+          List.concat
+            (List.mapi
+               (fun i _ ->
+                 if fps.(i).Fp.nf_empty then
+                   [ (i, "empty iteration space (footprint)") ]
+                 else [])
+               k.k_spec.Kc.k_nests)
+        in
+        match Emit.emit ~strides ~skip:pre_skip k.k_spec with
         | Error reason ->
           Obs.incr c_emit_fallbacks;
           Bind_fallback ("emit: " ^ reason)
@@ -389,15 +424,22 @@ let bind_kernel k ~bufs =
           let emit_skipped = Emit.skipped e in
           if emit_skipped <> [] then
             Obs.add c_emit_fallbacks (List.length emit_skipped);
+          let fp_proved = ref [] in
           let bounds_skipped =
             List.filter_map
               (fun (i, _) ->
-                let nest = List.nth k.k_spec.Kc.k_nests i in
-                match validate_nest ~strides ~bufs nest with
-                | Ok () -> None
-                | Error why ->
-                  Obs.incr c_bounds_fallbacks;
-                  Some (i, why))
+                if fp_proves fps.(i) then begin
+                  fp_proved := i :: !fp_proved;
+                  Obs.incr c_fp_proofs;
+                  None
+                end
+                else
+                  let nest = List.nth k.k_spec.Kc.k_nests i in
+                  match validate_nest ~strides ~bufs nest with
+                  | Ok () -> None
+                  | Error why ->
+                    Obs.incr c_bounds_fallbacks;
+                    Some (i, why))
               (Emit.emitted e)
           in
           if List.length bounds_skipped = List.length (Emit.emitted e) then
@@ -411,7 +453,8 @@ let bind_kernel k ~bufs =
             Bind_built
               { bb_build = ensure_build k.k_ctx ~key e;
                 bb_emit_skipped = emit_skipped;
-                bb_bounds_skipped = bounds_skipped })
+                bb_bounds_skipped = bounds_skipped;
+                bb_fp_proved = List.rev !fp_proved })
   in
   let b = { bd_nbufs = Array.length bufs; bd_dims = dims; bd_result = result }
   in
@@ -520,6 +563,7 @@ type report = {
   rp_origin : origin option;
   rp_native_nests : int;
   rp_total_nests : int;
+  rp_fp_proved : int;
   rp_pending_runs : int;
   rp_guard_misses : int;
 }
@@ -534,7 +578,8 @@ let report k =
   let vector detail =
     { rp_engine = "vector"; rp_detail = detail; rp_build_ms = None;
       rp_origin = None; rp_native_nests = 0; rp_total_nests = total;
-      rp_pending_runs = k.k_pending_runs; rp_guard_misses = k.k_guard_misses }
+      rp_fp_proved = 0; rp_pending_runs = k.k_pending_runs;
+      rp_guard_misses = k.k_guard_misses }
   in
   match k.k_ctx.c_toolchain with
   | Error e -> vector (Printf.sprintf "vector (native unavailable: %s)" e)
@@ -578,16 +623,24 @@ let report k =
             Printf.sprintf ", %d nests on vector (nest %d: %s)" skipped i
               why
         in
+        let fp_proved = List.length b.bb_fp_proved in
+        let fp =
+          if fp_proved > 0 then
+            Printf.sprintf ", %d bounds guards elided by footprint"
+              fp_proved
+          else ""
+        in
         { rp_engine = (if skipped = 0 then "native" else "mixed");
           rp_detail =
-            Printf.sprintf "native %d/%d nests (%s%s%s)" native total cost
-              pending skips;
+            Printf.sprintf "native %d/%d nests (%s%s%s%s)" native total cost
+              fp pending skips;
           rp_build_ms =
             (match r.r_origin with
             | Origin_built -> Some r.r_build_ms
             | _ -> None);
           rp_origin = Some r.r_origin; rp_native_nests = native;
-          rp_total_nests = total; rp_pending_runs = k.k_pending_runs;
+          rp_total_nests = total; rp_fp_proved = fp_proved;
+          rp_pending_runs = k.k_pending_runs;
           rp_guard_misses = k.k_guard_misses }))
 
 let describe k = (report k).rp_detail

@@ -88,6 +88,9 @@ type report = {
   rp_origin : origin option;
   rp_native_nests : int;
   rp_total_nests : int;
+  rp_fp_proved : int;
+      (** nests whose bind-time bounds scan was elided because the
+          footprint proved every access in-extent *)
   rp_pending_runs : int;  (** calls served by vector mid-build *)
   rp_guard_misses : int;  (** calls whose shapes differed from bind *)
 }

@@ -33,11 +33,14 @@ module Kb = Fsc_rt.Kernel_bytecode
 module Rt = Fsc_rt.Memref_rt
 module Pool = Fsc_rt.Domain_pool
 module Obs = Fsc_obs.Obs
+module Fp = Fsc_analysis.Footprint
+module SS = Set.Make (String)
 
 let c_fallbacks = Obs.counter "dmp.fallbacks"
 let c_scatters = Obs.counter "dmp.scatters"
 let c_gathers = Obs.counter "dmp.gathers"
 let c_fused = Obs.counter "dmp.fused"
+let c_stales_avoided = Obs.counter "dmp.stales_avoided"
 
 type engine =
   | E_closure
@@ -61,7 +64,7 @@ type group = {
   g_dx : Dist_exec.t;
   mutable g_valid : bool;
   mutable g_bufs : (int * Rt.t) list; (* buffer id -> global buffer *)
-  mutable g_fresh : string list; (* fields with up-to-date halos *)
+  mutable g_fresh : SS.t; (* fields with up-to-date halos *)
 }
 
 type stage_plan = {
@@ -69,6 +72,10 @@ type stage_plan = {
   sg_finish : Kc.nest list;
   sg_swap : int list; (* buffer arg indices whose halos the stage reads *)
   sg_writes : int list; (* buffer arg indices the stage stores to *)
+  sg_write_regions : (int * Fp.region) list;
+      (* per written buffer, the joined global write footprint — what
+         halo-aware staling tests against the decomposition's mirrored
+         planes *)
   sg_overlap_ok : bool;
 }
 
@@ -89,6 +96,7 @@ type state = {
   dk_pool : Pool.t option;
   dk_fuse : bool; (* skip exchanges whose halos are already fresh *)
   dk_coalesce : bool; (* one message per neighbour per superstep *)
+  dk_footprint : bool; (* footprint-aware staling of halo freshness *)
   mutable dk_groups : group list;
   mutable dk_ids : (Rt.t * int) list; (* physical buffer -> id *)
   mutable dk_next_id : int;
@@ -99,16 +107,20 @@ type state = {
   mutable dk_overlap_stages : int;
   mutable dk_blocking_stages : int;
   mutable dk_fused_stages : int;
+  mutable dk_stales_avoided : int;
   mutable dk_vec_nests : int;
   mutable dk_total_nests : int;
 }
 
-let create ?pool ?(fuse = true) ?(coalesce = true) ~ranks ~mode ~engine () =
+let create ?pool ?(fuse = true) ?(coalesce = true) ?(footprint_stale = true)
+    ~ranks ~mode ~engine () =
   { dk_ranks = ranks; dk_mode = mode; dk_engine = engine; dk_pool = pool;
-    dk_fuse = fuse; dk_coalesce = coalesce; dk_groups = []; dk_ids = [];
+    dk_fuse = fuse; dk_coalesce = coalesce; dk_footprint = footprint_stale;
+    dk_groups = []; dk_ids = [];
     dk_next_id = 0; dk_plans = Hashtbl.create 8; dk_dist_runs = 0;
     dk_fallback_runs = 0; dk_overlap_stages = 0; dk_blocking_stages = 0;
-    dk_fused_stages = 0; dk_vec_nests = 0; dk_total_nests = 0 }
+    dk_fused_stages = 0; dk_stales_avoided = 0; dk_vec_nests = 0;
+    dk_total_nests = 0 }
 
 let buf_id st b =
   let rec find = function
@@ -275,9 +287,62 @@ let plan_spec spec ~field_rank ~global =
          let stage_writes =
            List.sort_uniq compare (List.concat_map writes nests)
          in
+         (* join the global write footprints of the stage's nests, per
+            buffer: stores are offset-0 in decomposed dimensions
+            ([check_nest]), so the global loop bounds bound exactly the
+            planes any rank can write *)
+         let write_regions =
+           List.fold_left
+             (fun acc nest ->
+               let fp = Fp.of_nest nest in
+               List.fold_left
+                 (fun acc (bi, r) ->
+                   match List.assoc_opt bi acc with
+                   | None -> (bi, r) :: acc
+                   | Some prev ->
+                     (bi, Fp.join_region prev r) :: List.remove_assoc bi acc)
+                 acc fp.Fp.nf_writes)
+             [] nests
+         in
          { sg_windowed = windowed; sg_finish = finish; sg_swap = swap;
-           sg_writes = stage_writes;
+           sg_writes = stage_writes; sg_write_regions = write_regions;
            sg_overlap_ok = stage_overlap_ok ~ddims ~global windowed })
+
+(* ------------------------------------------------------------------ *)
+(* Halo-aware staling                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The interior planes some rank's halo mirrors: per decomposed axis,
+   the first/last owned plane of every block that has a neighbour on
+   that side. Global boundary planes (1 and n at the grid edge) are
+   never mirrored — no rank's halo holds them. *)
+let mirror_planes decomp =
+  let _, ny, nz = decomp.Decomp.global in
+  let nranks = Decomp.nranks decomp in
+  let ys = ref [] and zs = ref [] in
+  for r = 0 to nranks - 1 do
+    let (_, _), (yl, yh), (zl, zh) = Decomp.local_range decomp r in
+    if yl > 1 then ys := yl :: !ys;
+    if yh < ny then ys := yh :: !ys;
+    if zl > 1 then zs := zl :: !zs;
+    if zh < nz then zs := zh :: !zs
+  done;
+  (List.sort_uniq compare !ys, List.sort_uniq compare !zs)
+
+(* Does a write with this global footprint invalidate any rank's halo?
+   Only when the written region covers a mirrored plane in some
+   decomposed dimension (halo planes span the full cross-section, so
+   per-axis intersection is sound). Buffer index = global index: the
+   (0:n+1) allocation puts interior plane p at buffer index p. A region
+   too short to constrain a decomposed dimension is treated as Top. *)
+let write_stales ~ddims ~planes:(planes_y, planes_z) region =
+  List.exists
+    (fun d ->
+      let planes = if d = 1 then planes_y else planes_z in
+      match List.nth_opt region d with
+      | None -> planes <> []
+      | Some dim -> List.exists (Fp.dim_contains dim) planes)
+    ddims
 
 let plan st spec ~field_rank ~global ~name =
   match Hashtbl.find_opt st.dk_plans name with
@@ -447,7 +512,7 @@ let finish_runner st kplan ~decomp ~ddims ~stage_idx ~rank =
 let scatter g name gbuf =
   Obs.incr c_scatters;
   Dist_exec.set_field_from_global g.g_dx name gbuf;
-  if not (List.mem name g.g_fresh) then g.g_fresh <- name :: g.g_fresh
+  g.g_fresh <- SS.add name g.g_fresh
 
 let global_of_dims dims =
   match dims with
@@ -469,7 +534,8 @@ let group_for st dims =
         ~init:(fun _ _ -> 0.0)
     in
     let g =
-      { g_dims = dims; g_dx = dx; g_valid = true; g_bufs = []; g_fresh = [] }
+      { g_dims = dims; g_dx = dx; g_valid = true; g_bufs = [];
+        g_fresh = SS.empty }
     in
     st.dk_groups <- g :: st.dk_groups;
     g
@@ -477,7 +543,7 @@ let group_for st dims =
 let ensure_scattered st g bufs =
   if not g.g_valid then begin
     (* the host globals are authoritative after a fallback *)
-    g.g_fresh <- [];
+    g.g_fresh <- SS.empty;
     List.iter (fun (id, gb) -> scatter g (field_name id) gb) g.g_bufs;
     g.g_valid <- true
   end;
@@ -535,6 +601,7 @@ let run_dist st g kplan ~bufs ~scalars =
       (fun bi -> if bi < Array.length names then Some names.(bi) else None)
       bis
   in
+  let planes = mirror_planes decomp in
   (* Build the whole invocation — every stage's superstep — as one phase
      list, executed by a single [Dist_exec.run_phases] call: under the
      barrier rendezvous the pool is launched once per kernel invocation,
@@ -554,7 +621,7 @@ let run_dist st g kplan ~bufs ~scalars =
               freshness is exactly the remaining fusion condition. *)
            let stale =
              if st.dk_fuse then
-               List.filter (fun n -> not (List.mem n g.g_fresh)) swap_fields
+               List.filter (fun n -> not (SS.mem n g.g_fresh)) swap_fields
              else swap_fields
            in
            let fused = swap_fields <> [] && stale = [] in
@@ -584,12 +651,30 @@ let run_dist st g kplan ~bufs ~scalars =
                if st.dk_mode = Dist_exec.Overlap then Obs.incr c_fallbacks
            end;
            (* the exchange refreshes every swap field; the stage's
-              writes then staled the written fields' halos *)
-           let written = arg_names stage.sg_writes in
-           g.g_fresh <-
-             swap_fields
-             @ List.filter (fun n -> not (List.mem n swap_fields)) g.g_fresh;
-           g.g_fresh <- List.filter (fun n -> not (List.mem n written)) g.g_fresh;
+              writes then stale the written fields' halos — but only
+              the writes whose footprint covers a mirrored plane.
+              Stores are ownership-clipped to offset 0, so a write
+              confined to non-mirrored planes (a global-boundary probe,
+              an interior band short of any block edge) leaves every
+              rank's halo mirroring its unchanged owner cells. *)
+           let staling =
+             if st.dk_footprint then
+               List.filter
+                 (fun bi ->
+                   match List.assoc_opt bi stage.sg_write_regions with
+                   | None -> true
+                   | Some region -> write_stales ~ddims ~planes region)
+                 stage.sg_writes
+             else stage.sg_writes
+           in
+           let avoided = List.length stage.sg_writes - List.length staling in
+           if avoided > 0 then begin
+             st.dk_stales_avoided <- st.dk_stales_avoided + avoided;
+             Obs.add c_stales_avoided avoided
+           end;
+           let written = arg_names staling in
+           g.g_fresh <- SS.union (SS.of_list swap_fields) g.g_fresh;
+           g.g_fresh <- SS.diff g.g_fresh (SS.of_list written);
            (* compile every runner this superstep can need up front, on
               the caller: the memo tables are not thread-safe and the
               sweep callbacks run concurrently on pool workers *)
@@ -668,12 +753,14 @@ type stats = {
   ds_engine : engine;
   ds_fuse : bool;
   ds_coalesce : bool;
+  ds_footprint : bool;
   ds_groups : group_stats list;
   ds_dist_runs : int; (* distributed kernel executions, cumulative *)
   ds_fallback_runs : int;
   ds_overlap_stages : int;
   ds_blocking_stages : int;
   ds_fused_stages : int; (* supersteps whose exchange was fused away *)
+  ds_stales_avoided : int; (* writes footprint-proven off mirrored planes *)
   ds_thin_y_fallbacks : int; (* overlap fallbacks: active y axis < 3 *)
   ds_thin_z_fallbacks : int;
   ds_vec_nests : int; (* vectorised / total nests over compiled runners *)
@@ -690,6 +777,7 @@ let stats st =
   in
   { ds_ranks = st.dk_ranks; ds_mode = st.dk_mode; ds_engine = st.dk_engine;
     ds_fuse = st.dk_fuse; ds_coalesce = st.dk_coalesce;
+    ds_footprint = st.dk_footprint;
     ds_groups =
       List.rev_map
         (fun g ->
@@ -701,6 +789,7 @@ let stats st =
     ds_dist_runs = st.dk_dist_runs; ds_fallback_runs = st.dk_fallback_runs;
     ds_overlap_stages = st.dk_overlap_stages;
     ds_blocking_stages = st.dk_blocking_stages;
-    ds_fused_stages = st.dk_fused_stages; ds_thin_y_fallbacks = thin_y;
+    ds_fused_stages = st.dk_fused_stages;
+    ds_stales_avoided = st.dk_stales_avoided; ds_thin_y_fallbacks = thin_y;
     ds_thin_z_fallbacks = thin_z; ds_vec_nests = st.dk_vec_nests;
     ds_total_nests = st.dk_total_nests }

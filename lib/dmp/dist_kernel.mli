@@ -30,17 +30,38 @@ type state
     the superstep right after a scatter pays no messages. [coalesce]
     (default [true]) packs a stage's whole swap set into one message
     per neighbour per superstep behind a field-offset header instead of
-    one message per field per direction. Both preserve bitwise results;
-    the flags exist for differential testing and ablation. *)
+    one message per field per direction. [footprint_stale] (default
+    [true]) keeps a written field's halos fresh when the stage's write
+    footprint ({!Fsc_analysis.Footprint}) provably misses every
+    mirrored boundary plane of the decomposition — interior-band or
+    global-edge writes then fuse away the next exchange that
+    whole-field tracking would pay. All three preserve bitwise
+    results; the flags exist for differential testing and ablation. *)
 val create :
   ?pool:Fsc_rt.Domain_pool.t ->
   ?fuse:bool ->
   ?coalesce:bool ->
+  ?footprint_stale:bool ->
   ranks:int ->
   mode:Dist_exec.mode ->
   engine:engine ->
   unit ->
   state
+
+(** The interior planes some rank's halo mirrors, per decomposed axis
+    [(y planes, z planes)]: the first/last owned plane of every block
+    that has a neighbour on that side. Exposed for tests. *)
+val mirror_planes : Decomp.t -> int list * int list
+
+(** Does a write with this global footprint invalidate any rank's halo?
+    True iff the region covers a mirrored plane in some decomposed
+    dimension ([ddims] indexes into the region; a region too short to
+    constrain a decomposed dimension counts as covering). *)
+val write_stales :
+  ddims:int list ->
+  planes:int list * int list ->
+  Fsc_analysis.Footprint.region ->
+  bool
 
 (** Reset per-run coherence state. Call at the start of every program
     run: buffers are allocated fresh each run, so stale groups must not
@@ -84,6 +105,7 @@ type stats = {
   ds_engine : engine;
   ds_fuse : bool;
   ds_coalesce : bool;
+  ds_footprint : bool;
   ds_groups : group_stats list;
   ds_dist_runs : int;  (** distributed kernel executions, cumulative *)
   ds_fallback_runs : int;
@@ -92,6 +114,9 @@ type stats = {
   ds_fused_stages : int;
       (** supersteps whose halo exchange was fused away (halos already
           fresh), cumulative *)
+  ds_stales_avoided : int;
+      (** stage writes whose footprint was proven off every mirrored
+          plane, leaving the field's halos fresh; cumulative *)
   ds_thin_y_fallbacks : int;
       (** overlap fallbacks because an active y axis was thinner than 3
           (per affected rank per superstep) *)

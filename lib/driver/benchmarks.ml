@@ -163,6 +163,54 @@ end program laplace
 |}
     n niter
 
+(* Residual evaluation plus a boundary-edge probe (the inline twin of
+   examples/residual.f90): the probe nest writes u every iteration, but
+   only along the global j = k = 1 edge — a plane the affine write
+   footprint proves is never a mirrored block boundary — so footprint
+   staling pays for u's first halo exchange only while whole-field
+   staling re-exchanges every superstep. The benchmark program for the
+   footprint-staling ablation gate in BENCH_dmp.json. *)
+let residual ?(nx = 12) ?(ny = 12) ?(nz = 12) ?(niter = 3) () =
+  Printf.sprintf
+    {|
+program residual_probe
+  implicit none
+  integer, parameter :: nx = %d, ny = %d, nz = %d, niter = %d
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: u, r
+
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        u(i, j, k) = 0.01d0 * dble(i) * dble(i) &
+                   + 0.02d0 * dble(j) * dble(k) + 0.03d0 * dble(k)
+        r(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do iter = 1, niter
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          r(i, j, k) = u(i, j, k) - (u(i-1, j, k) + u(i+1, j, k) &
+                     + u(i, j-1, k) + u(i, j+1, k) + u(i, j, k-1) &
+                     + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+    do k = 1, 1
+      do j = 1, 1
+        do i = 1, nx
+          u(i, j, k) = u(i, j, k) + 0.25d0 * r(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program residual_probe
+|}
+    nx ny nz niter
+
 (* The paper's Listing 1: 2-D neighbour averaging. *)
 let listing1 ?(n = 256) () =
   Printf.sprintf

@@ -10,7 +10,9 @@ module J = Fsc_obs.Obs.Json
 module Cache = Fsc_cache.Cache
 module P = Pipeline
 
-let format_version = 1
+(* v2: compiled artifacts carry per-kernel affine footprints; entries
+   written by v1 lack them and must recompile. *)
+let format_version = 2
 
 let create_cache ?mem_entries ?disk ?dir () =
   Cache.create ?mem_entries ?disk ?dir ~version:format_version ()
@@ -43,6 +45,15 @@ let encode (ca : P.compiled_artifact) =
           match ca.P.ca_gpu_ir with Some m -> module_str m | None -> J.Null);
          ("kernels", strings ca.P.ca_kernels);
          ("managed", strings ca.P.ca_managed);
+         ("footprints",
+          J.List
+            (List.map
+               (fun (name, fp) ->
+                 J.Obj
+                   [ ("kernel", J.Str name);
+                     ("regions", J.Str (Fsc_analysis.Footprint.to_string fp))
+                   ])
+               ca.P.ca_footprints));
          ("stats",
           J.Obj
             [ ("discovered",
@@ -122,6 +133,46 @@ let decode (options : P.options) payload =
       let* kernels = as_strings "kernels" kernels in
       let* managed = member_exn "managed" json in
       let* managed = as_strings "managed" managed in
+      let* stored_fps =
+        let* v = member_exn "footprints" json in
+        match v with
+        | J.List l ->
+          List.fold_right
+            (fun entry acc ->
+              let* acc = acc in
+              let* name = member_exn "kernel" entry in
+              let* name = as_str "kernel" name in
+              let* regions = member_exn "regions" entry in
+              let* regions = as_str "regions" regions in
+              Ok ((name, regions) :: acc))
+            l (Ok [])
+        | _ -> Error "field \"footprints\" is not a list"
+      in
+      (* decoding is revalidation: recompute every footprint from the
+         parsed stencil IR and demand it matches what was stored — a
+         drifted analysis (or corrupted entry) evicts rather than
+         serving stale proofs to the staling/guard-elision consumers *)
+      let* footprints =
+        let funcs = Fsc_dialects.Func.all_functions stencil in
+        let recomputed =
+          List.filter_map
+            (fun f ->
+              let n = Fsc_dialects.Func.name f in
+              if not (List.mem n kernels) then None
+              else
+                match Fsc_rt.Kernel_compile.try_analyze f with
+                | Ok spec -> Some (n, Fsc_analysis.Footprint.of_spec spec)
+                | Error _ -> None)
+            funcs
+        in
+        let canon =
+          List.map
+            (fun (n, fp) -> (n, Fsc_analysis.Footprint.to_string fp))
+            recomputed
+        in
+        if canon = stored_fps then Ok recomputed
+        else Error "footprints do not match the stencil IR"
+      in
       let* st = member_exn "stats" json in
       let* discovered = member_exn "discovered" st in
       let* discovered = as_int "discovered" discovered in
@@ -139,6 +190,7 @@ let decode (options : P.options) payload =
       Ok
         { P.ca_host = host; P.ca_stencil = stencil; P.ca_gpu_ir = gpu_ir;
           P.ca_kernels = kernels; P.ca_managed = managed;
+          P.ca_footprints = footprints;
           P.ca_stats =
             { P.st_discovered = discovered; P.st_merged = merged;
               P.st_kernels = st_kernels };

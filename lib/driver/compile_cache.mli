@@ -3,10 +3,14 @@
 
     Entries are keyed by a digest of (source text, target kind, tile
     sizes, merge/specialize flags, format version) and hold the {e
-    printed} IR of every pipeline stage plus kernel metadata. Loading
-    re-parses each module through [Fsc_ir.Parser] and re-verifies the
-    host, so every warm hit doubles as a printer/parser round-trip
-    check; entries that fail are evicted by the cache, never fatal.
+    printed} IR of every pipeline stage plus kernel metadata — including
+    the per-kernel affine footprints (canonical string form). Loading
+    re-parses each module through [Fsc_ir.Parser], re-verifies the host
+    and recomputes every footprint from the parsed stencil IR, demanding
+    it match what was stored — so every warm hit doubles as a
+    printer/parser round-trip check {e and} a footprint-analysis
+    consistency check; entries that fail are evicted by the cache, never
+    fatal.
 
     The OpenMP thread count is deliberately absent from the key: the
     pool is created at {!Pipeline.link} time, so one cached artifact

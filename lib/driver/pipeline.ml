@@ -341,6 +341,7 @@ type compiled_artifact = {
   ca_gpu_ir : Op.op option;
   ca_kernels : string list;
   ca_managed : string list;
+  ca_footprints : (string * Fsc_analysis.Footprint.t) list;
   ca_stats : stencil_stats;
   ca_options : options;
 }
@@ -430,14 +431,27 @@ let compile options src =
           (Fsc_lowering.Loop_tiling.annotate_cpu ~l2_kb:options.opt_l2_kb
              stencil_m))
   | Gpu _ -> ());
-  let kernels =
+  let kernel_funcs =
     Fsc_dialects.Func.all_functions stencil_m
-    |> List.filter_map (fun f ->
-           let n = Fsc_dialects.Func.name f in
-           if is_stencil_kernel n then Some n else None)
+    |> List.filter (fun f -> is_stencil_kernel (Fsc_dialects.Func.name f))
+  in
+  let kernels = List.map Fsc_dialects.Func.name kernel_funcs in
+  (* per-kernel affine footprints, for the halo-staling and guard-elision
+     consumers; kernels outside the analysable shape simply have none *)
+  let footprints =
+    stage "footprint analysis" (fun () ->
+        List.filter_map
+          (fun f ->
+            match Kc.try_analyze f with
+            | Ok spec ->
+              Some
+                ( Fsc_dialects.Func.name f,
+                  Fsc_analysis.Footprint.of_spec spec )
+            | Error _ -> None)
+          kernel_funcs)
   in
   { ca_host = host; ca_stencil = stencil_m; ca_gpu_ir = gpu_ir;
-    ca_kernels = kernels;
+    ca_kernels = kernels; ca_footprints = footprints;
     ca_managed = List.map (fun m -> m.Fsc_core.Gpu_data.mg_kernel) managed;
     ca_stats =
       { st_discovered = dstats.Fsc_core.Discovery.found; st_merged = merged;
@@ -449,7 +463,7 @@ let compile options src =
    freshly compiled artifact and on one re-parsed from the cache. *)
 let link ?(engine = Engine_vector) ?native
     ?(dist_mode = Fsc_dmp.Dist_exec.Overlap) ?(dist_fuse = true)
-    ?(dist_coalesce = true) ca =
+    ?(dist_coalesce = true) ?(dist_footprint = true) ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
   (* resolve the native ctx only when the engine/target pair uses it *)
@@ -486,7 +500,8 @@ let link ?(engine = Engine_vector) ?native
       in
       Some
         (Fsc_dmp.Dist_kernel.create ?pool ~fuse:dist_fuse
-           ~coalesce:dist_coalesce ~ranks ~mode:dist_mode ~engine:dengine ())
+           ~coalesce:dist_coalesce ~footprint_stale:dist_footprint ~ranks
+           ~mode:dist_mode ~engine:dengine ())
     | _ -> None
   in
   (match target with
@@ -514,11 +529,13 @@ let link ?(engine = Engine_vector) ?native
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
 let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?native
-    ?dist_mode ?dist_fuse ?dist_coalesce src =
+    ?dist_mode ?dist_fuse ?dist_coalesce ?dist_footprint src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  (link ?engine ?native ?dist_mode ?dist_fuse ?dist_coalesce ca, ca.ca_stats)
+  ( link ?engine ?native ?dist_mode ?dist_fuse ?dist_coalesce ?dist_footprint
+      ca,
+    ca.ca_stats )
 
 (* -------------------- execution -------------------- *)
 

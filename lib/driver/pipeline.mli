@@ -128,6 +128,10 @@ type compiled_artifact = {
   ca_kernels : string list;  (** stencil kernel symbols, in order *)
   ca_managed : string list;
       (** kernels whose GPU data placement was hoisted (optimised GPU) *)
+  ca_footprints : (string * Fsc_analysis.Footprint.t) list;
+      (** per-kernel affine read/write footprints (analysable kernels
+          only) — the proof artifacts behind halo-aware staling and
+          codegen guard elision, and part of the cache contract *)
   ca_stats : stencil_stats;
   ca_options : options;
 }
@@ -155,9 +159,13 @@ val compile : options -> string -> compiled_artifact
     concurrently on a domain pool sized [min ranks (recommended_size ())].
     [dist_fuse] (default [true]) skips superstep halo exchanges whose
     halos are already fresh; [dist_coalesce] (default [true]) packs a
-    stage's swap set into one message per neighbour per superstep. Both
-    preserve bitwise results. Under {!Engine_interp} the program runs
-    entirely on the host interpreter (no distribution).
+    stage's swap set into one message per neighbour per superstep;
+    [dist_footprint] (default [true]) stales a written field's halos
+    only when its affine write footprint provably reaches a
+    block-boundary plane (interior-only writes keep halos fresh and fuse
+    away the re-exchange). All three preserve bitwise results. Under
+    {!Engine_interp} the program runs entirely on the host interpreter
+    (no distribution).
 
     [native] supplies the {!Engine_native} context (cache directory,
     build mode, toolchain); without it a process-wide default ctx
@@ -169,6 +177,7 @@ val link :
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->
+  ?dist_footprint:bool ->
   compiled_artifact ->
   artifact
 
@@ -186,6 +195,7 @@ val stencil :
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->
+  ?dist_footprint:bool ->
   string ->
   artifact * stencil_stats
 

@@ -1,0 +1,35 @@
+! Footprint-lint fixture: a provably dead write and an unread field.
+!
+! The scale nest reads a only over the interior [1:12]^3, so the final
+! nest's write to the k = 0 face of a ([1:12][1:12][0:0]) intersects no
+! read of a — `sfc check` must flag it as a dead-write. The scaled
+! field s is written but never read anywhere: an unread-field warning.
+program dead_write
+  implicit none
+  integer, parameter :: nx = 12, ny = 12, nz = 12
+  integer :: i, j, k
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: a, s
+
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        a(i, j, k) = 0.5d0 * dble(i) + 0.25d0 * dble(j) - 0.125d0 * dble(k)
+        s(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do k = 1, nz
+    do j = 1, ny
+      do i = 1, nx
+        s(i, j, k) = 0.5d0 * a(i, j, k)
+      end do
+    end do
+  end do
+
+  do j = 1, ny
+    do i = 1, nx
+      a(i, j, 0) = 0.0d0
+    end do
+  end do
+end program dead_write

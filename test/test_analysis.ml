@@ -705,6 +705,313 @@ end program p
     Alcotest.(check bool) "all nests parallel" true
       (result.Check.r_summary.Check.ns_parallel > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Footprint lattice and lints                                         *)
+(* ------------------------------------------------------------------ *)
+
+module F = Fsc_analysis.Footprint
+module Kc = Fsc_rt.Kernel_compile
+
+let test_footprint_lattice () =
+  (* join is the hull, meet the intersection, Top absorbs *)
+  Alcotest.(check bool) "join hull" true
+    (F.join_dim (F.range 1 4) (F.range 8 9) = F.range 1 9);
+  Alcotest.(check bool) "join top" true
+    (F.join_dim F.Top (F.range 1 2) = F.Top);
+  Alcotest.(check bool) "meet overlap" true
+    (F.meet_dim (F.range 1 6) (F.range 4 9) = Some (F.range 4 6));
+  Alcotest.(check bool) "meet disjoint" true
+    (F.meet_dim (F.range 1 3) (F.range 5 9) = None);
+  Alcotest.(check bool) "meet top identity" true
+    (F.meet_dim F.Top (F.range 2 3) = Some (F.range 2 3));
+  Alcotest.(check bool) "range swaps descending" true
+    (F.range 9 2 = F.range 2 9);
+  Alcotest.(check bool) "contains" true (F.dim_contains (F.range 3 5) 4);
+  Alcotest.(check bool) "not contains" false
+    (F.dim_contains (F.range 3 5) 6);
+  Alcotest.(check bool) "top contains" true (F.dim_contains F.Top 123);
+  (* region level: disjoint in one dimension is disjoint overall *)
+  Alcotest.(check bool) "regions intersect" true
+    (F.regions_intersect
+       [ F.range 1 5; F.range 1 5 ]
+       [ F.range 5 9; F.range 0 1 ]);
+  Alcotest.(check bool) "regions disjoint" false
+    (F.regions_intersect
+       [ F.range 1 5; F.range 1 5 ]
+       [ F.range 6 9; F.range 0 9 ]);
+  (* mismatched rank: missing dims behave as Top (sound, intersecting) *)
+  Alcotest.(check bool) "rank mismatch intersects" true
+    (F.regions_intersect [ F.range 1 2 ] [ F.range 1 2; F.range 5 6 ]);
+  Alcotest.(check bool) "within" true
+    (F.region_within ~extents:[ 14; 14 ] [ F.range 0 13; F.range 1 12 ]);
+  Alcotest.(check bool) "not within (overrun)" false
+    (F.region_within ~extents:[ 14; 14 ] [ F.range 0 14; F.range 1 12 ]);
+  Alcotest.(check bool) "not within (top)" false
+    (F.region_within ~extents:[ 14; 14 ] [ F.Top; F.range 1 12 ]);
+  Alcotest.(check bool) "not within (dynamic extent)" false
+    (F.region_within ~extents:[ -1; 14 ] [ F.range 0 1; F.range 1 12 ]);
+  Alcotest.(check string) "render" "[1:12][?]"
+    (F.region_to_string [ F.range 1 12; F.Top ])
+
+let mk_loop level dim lb ub =
+  { Kc.l_level = level; Kc.l_dim = dim; Kc.l_lb = lb; Kc.l_ub = ub;
+    Kc.l_parallel = true; Kc.l_vector_width = 1 }
+
+let test_footprint_of_nest () =
+  (* write b0[iv0+0][iv1+0], read b1[iv0-1..+1][3] over a 2-deep nest
+     with loop ranges [1,13) x [2,10) *)
+  let nest =
+    { Kc.n_loops = [ mk_loop 0 0 1 13; mk_loop 1 1 2 10 ];
+      Kc.n_stores =
+        [ { Kc.st_buf = 0;
+            Kc.st_index = [ Kc.Iv (0, 0); Kc.Iv (1, 0) ];
+            Kc.st_expr =
+              Kc.F_binary
+                ( "arith.addf",
+                  Kc.F_load (1, [ Kc.Iv (0, -1); Kc.Cst 3 ]),
+                  Kc.F_load (1, [ Kc.Iv (0, 1); Kc.Cst 3 ]) ) } ];
+      Kc.n_uses_iv = true; Kc.n_flops_per_cell = 1; Kc.n_loads_per_cell = 2;
+      Kc.n_tile = [] }
+  in
+  let fp = F.of_nest nest in
+  Alcotest.(check bool) "not empty" false fp.F.nf_empty;
+  Alcotest.(check bool) "write region" true
+    (fp.F.nf_writes = [ (0, [ F.range 1 12; F.range 2 9 ]) ]);
+  Alcotest.(check bool) "read region joins both loads" true
+    (fp.F.nf_reads = [ (1, [ F.range 0 13; F.range 3 3 ]) ]);
+  (* an empty loop empties the whole nest *)
+  let empty =
+    F.of_nest { nest with Kc.n_loops = [ mk_loop 0 0 5 5; mk_loop 1 1 2 10 ] }
+  in
+  Alcotest.(check bool) "empty nest" true empty.F.nf_empty;
+  Alcotest.(check bool) "empty nest has no accesses" true
+    (empty.F.nf_reads = [] && empty.F.nf_writes = []);
+  (* a subscript indexed by a loop level the nest does not carry is Top *)
+  let stray =
+    F.of_nest
+      { nest with
+        Kc.n_stores =
+          [ { Kc.st_buf = 0;
+              Kc.st_index = [ Kc.Iv (7, 0); Kc.Iv (1, 0) ];
+              Kc.st_expr = Kc.F_const 0.0 } ] }
+  in
+  Alcotest.(check bool) "missing loop level widens to Top" true
+    (stray.F.nf_writes = [ (0, [ F.Top; F.range 2 9 ]) ])
+
+let test_footprint_nonaffine_top_sound () =
+  (* a non-affine subscript widens the write to Top at the field level:
+     it may reach any read, so no dead-write claim survives — even
+     though the only read is a single constant cell *)
+  let src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 16
+  integer :: i
+  real(kind=8), dimension(n * n) :: a
+  do i = 1, n
+    a(i * i) = 1.0d0
+  end do
+  print *, a(4)
+end program p
+|}
+  in
+  (match Check.check_source src with
+  | Error d -> Alcotest.failf "failed to lower: %s" (Diag.render d)
+  | Ok (_, result) ->
+    Alcotest.(check bool) "no dead-write on non-affine store" true
+      (List.for_all
+         (fun d -> d.Diag.d_code <> "dead-write")
+         result.Check.r_diags));
+  (* a triangular loop has no constant iv range: its dimension must
+     render as Top in the --footprints dump, not a fabricated range *)
+  let tri =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 16
+  integer :: i, j
+  real(kind=8), dimension(n, n) :: a
+  do j = 1, n
+    do i = 1, j
+      a(i, j) = 1.0d0
+    end do
+  end do
+  print *, a(4, 4)
+end program p
+|}
+  in
+  match Check.check_source tri with
+  | Error d -> Alcotest.failf "failed to lower: %s" (Diag.render d)
+  | Ok (_, result) ->
+    let has_top =
+      List.exists
+        (fun fp ->
+          List.exists
+            (fun (_, r) -> List.mem F.Top r)
+            (fp.Check.fp_reads @ fp.Check.fp_writes))
+        result.Check.r_footprints
+    in
+    Alcotest.(check bool) "footprint dump shows Top" true has_top;
+    Alcotest.(check bool) "triangular write is not dead" true
+      (List.for_all
+         (fun d -> d.Diag.d_code <> "dead-write")
+         result.Check.r_diags)
+
+let test_footprint_dead_write_lints () =
+  (* interior reads of a, then a write to the k = 0 face: provably dead;
+     s is written but never read *)
+  let ic = open_in "fixtures/dead_write.f90" in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Check.check_source src with
+  | Error d -> Alcotest.failf "fixture failed to lower: %s" (Diag.render d)
+  | Ok (_, result) ->
+    let by_code c =
+      List.filter (fun d -> d.Diag.d_code = c) result.Check.r_diags
+    in
+    (match by_code "dead-write" with
+    | [ d ] ->
+      Alcotest.(check bool) "dead-write names a and region" true
+        (contains d.Diag.d_message "'a'"
+        && contains d.Diag.d_message "[1:12][1:12][0:0]");
+      Alcotest.(check bool) "dead-write is a warning" true
+        (d.Diag.d_severity = Diag.Warning)
+    | ds -> Alcotest.failf "expected 1 dead-write, got %d" (List.length ds));
+    (match by_code "unread-field" with
+    | [ d ] ->
+      Alcotest.(check bool) "unread-field names s" true
+        (contains d.Diag.d_message "'s'")
+    | ds ->
+      Alcotest.failf "expected 1 unread-field, got %d" (List.length ds))
+
+let residual_probe_src =
+  {|
+program p
+  implicit none
+  integer, parameter :: n = 12, niter = 3
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:n+1, 0:n+1, 0:n+1) :: u, r
+  do k = 0, n + 1
+    do j = 0, n + 1
+      do i = 0, n + 1
+        u(i, j, k) = 0.01d0 * dble(i) + 0.02d0 * dble(j * k)
+        r(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+  do iter = 1, niter
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          r(i, j, k) = u(i, j, k) - (u(i, j-1, k) + u(i, j+1, k) &
+                     + u(i, j, k-1) + u(i, j, k+1)) / 4.0d0
+        end do
+      end do
+    end do
+    do k = 1, 1
+      do j = 1, 1
+        do i = 1, n
+          u(i, j, k) = u(i, j, k) + 0.25d0 * r(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program p
+|}
+
+let test_footprint_redundant_exchange () =
+  (* the probe writes u only on the global edge j = k = 1, off every
+     mirrored plane: the repeated exchange of u is redundant *)
+  (match Check.check_source residual_probe_src with
+  | Error d -> Alcotest.failf "failed to lower: %s" (Diag.render d)
+  | Ok (_, result) -> (
+    match
+      List.filter
+        (fun d -> d.Diag.d_code = "redundant-exchange")
+        result.Check.r_diags
+    with
+    | [ d ] ->
+      Alcotest.(check bool) "note severity" true
+        (d.Diag.d_severity = Diag.Note);
+      Alcotest.(check bool) "names u" true (contains d.Diag.d_message "'u'");
+      (* notes must not trip --werror gates *)
+      Alcotest.(check int) "werror-neutral" 0
+        (Diag.error_count ~werror:true result.Check.r_diags)
+    | ds ->
+      Alcotest.failf "expected 1 redundant-exchange, got %d"
+        (List.length ds)));
+  (* laplace-style: the copy-back rewrites u across mirrored planes every
+     iteration, so its exchange is genuinely needed — no note *)
+  let laplace_src =
+    {|
+program p
+  implicit none
+  integer, parameter :: n = 12, niter = 2
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:n+1, 0:n+1, 0:n+1) :: u, unew
+  do k = 0, n + 1
+    do j = 0, n + 1
+      do i = 0, n + 1
+        u(i, j, k) = 0.01d0 * dble(i + j + k)
+        unew(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+  do iter = 1, niter
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          unew(i, j, k) = (u(i, j-1, k) + u(i, j+1, k) &
+                        + u(i, j, k-1) + u(i, j, k+1)) / 4.0d0
+        end do
+      end do
+    end do
+    do k = 1, n
+      do j = 1, n
+        do i = 1, n
+          u(i, j, k) = unew(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program p
+|}
+  in
+  match Check.check_source laplace_src with
+  | Error d -> Alcotest.failf "failed to lower: %s" (Diag.render d)
+  | Ok (_, result) ->
+    Alcotest.(check bool) "no redundant-exchange on live exchange" true
+      (List.for_all
+         (fun d -> d.Diag.d_code <> "redundant-exchange")
+         result.Check.r_diags)
+
+let test_diag_dedupe_sort () =
+  let d1 = Diag.warning ~loc:(Diag.loc 5 1) ~code:"dead-write" "first" in
+  let d2 = Diag.warning ~loc:(Diag.loc 5 1) ~code:"dead-write" "repeat" in
+  let d3 = Diag.warning ~loc:(Diag.loc 5 1) ~code:"race" "other code" in
+  let d4 = Diag.warning ~loc:(Diag.loc 2 9) ~code:"dead-write" "other loc" in
+  let d5 = Diag.error ~code:"pipeline" "no loc" in
+  (match Diag.dedupe [ d1; d2; d3; d4; d5 ] with
+  | [ a; b; c; d ] ->
+    Alcotest.(check string) "keeps first occurrence" "first"
+      a.Diag.d_message;
+    Alcotest.(check string) "same loc other code kept" "other code"
+      b.Diag.d_message;
+    Alcotest.(check string) "same code other loc kept" "other loc"
+      c.Diag.d_message;
+    Alcotest.(check string) "locless kept" "no loc" d.Diag.d_message
+  | ds -> Alcotest.failf "expected 4 after dedupe, got %d" (List.length ds));
+  match Diag.sort_by_loc [ d1; d4; d5 ] with
+  | [ a; b; c ] ->
+    Alcotest.(check string) "locless first" "no loc" a.Diag.d_message;
+    Alcotest.(check string) "then 2:9" "other loc" b.Diag.d_message;
+    Alcotest.(check string) "then 5:1" "first" c.Diag.d_message
+  | ds -> Alcotest.failf "expected 3 after sort, got %d" (List.length ds)
+
 let () =
   Alcotest.run "analysis"
     [ ( "diag",
@@ -770,4 +1077,17 @@ let () =
             test_check_source_gauss_seidel_fixture;
           Alcotest.test_case "laplace clean" `Quick
             test_check_source_laplace_clean ] );
+      ( "footprint",
+        [ Alcotest.test_case "interval lattice" `Quick
+            test_footprint_lattice;
+          Alcotest.test_case "of_nest regions" `Quick
+            test_footprint_of_nest;
+          Alcotest.test_case "non-affine is Top and sound" `Quick
+            test_footprint_nonaffine_top_sound;
+          Alcotest.test_case "dead-write fixture" `Quick
+            test_footprint_dead_write_lints;
+          Alcotest.test_case "redundant exchange" `Quick
+            test_footprint_redundant_exchange;
+          Alcotest.test_case "diag dedupe and sort" `Quick
+            test_diag_dedupe_sort ] );
     ]

@@ -529,10 +529,11 @@ let test_dmp_to_mpi () =
 module P = Fsc_driver.Pipeline
 module B = Fsc_driver.Benchmarks
 
-let run_pipeline_stats ?dist_mode ?dist_fuse ?dist_coalesce ~engine ~target
-    ~grid src =
+let run_pipeline_stats ?dist_mode ?dist_fuse ?dist_coalesce ?dist_footprint
+    ~engine ~target ~grid src =
   let a, _ =
-    P.stencil ~target ~engine ?dist_mode ?dist_fuse ?dist_coalesce src
+    P.stencil ~target ~engine ?dist_mode ?dist_fuse ?dist_coalesce
+      ?dist_footprint src
   in
   P.run a;
   let b = P.buffer_exn a grid in
@@ -706,6 +707,133 @@ end program residual_probe
       | None -> Alcotest.fail "gs: no dist state")
     [ true; false ]
 
+(* Mirror planes on an asymmetric decomposition: global (8,7,5) over 6
+   ranks splits y 4+3 and z 2+2+1, so the block-boundary planes are
+   exactly y in {4,5} and z in {2,3,4,5}. *)
+let test_mirror_planes_asymmetric () =
+  let module Dk = Fsc_dmp.Dist_kernel in
+  let d = D.create ~global:(8, 7, 5) ~ranks:6 in
+  let ys, zs = Dk.mirror_planes d in
+  Alcotest.(check (list int)) "y planes" [ 4; 5 ] ys;
+  Alcotest.(check (list int)) "z planes" [ 2; 3; 4; 5 ] zs;
+  (* a single rank has no internal boundaries: nothing ever stales *)
+  let ys1, zs1 = Dk.mirror_planes (D.create ~global:(8, 7, 5) ~ranks:1) in
+  Alcotest.(check (list int)) "1 rank: no y planes" [] ys1;
+  Alcotest.(check (list int)) "1 rank: no z planes" [] zs1;
+  let module F = Fsc_analysis.Footprint in
+  let planes = (ys, zs) in
+  let ddims = [ 1; 2 ] in
+  (* an edge write off every mirrored plane keeps halos fresh *)
+  Alcotest.(check bool) "edge write does not stale" false
+    (Dk.write_stales ~ddims ~planes
+       [ F.range 1 8; F.range 1 1; F.range 1 1 ]);
+  (* touching one mirrored plane in one decomposed dim is enough *)
+  Alcotest.(check bool) "plane write stales" true
+    (Dk.write_stales ~ddims ~planes
+       [ F.range 1 8; F.range 4 4; F.range 1 1 ]);
+  Alcotest.(check bool) "interior span stales" true
+    (Dk.write_stales ~ddims ~planes
+       [ F.range 1 8; F.range 1 7; F.range 1 5 ]);
+  (* Top is conservatively staling, as is a missing dimension *)
+  Alcotest.(check bool) "top stales" true
+    (Dk.write_stales ~ddims ~planes [ F.range 1 8; F.Top; F.range 1 1 ]);
+  Alcotest.(check bool) "short region stales" true
+    (Dk.write_stales ~ddims ~planes [ F.range 1 8 ]);
+  (* with no planes at all (1 rank) nothing can stale *)
+  Alcotest.(check bool) "no planes, top write" false
+    (Dk.write_stales ~ddims ~planes:([], []) [ F.Top; F.Top; F.Top ])
+
+(* Footprint-aware staling is a pure traffic optimisation: the
+   residual+edge-probe program must reproduce the serial answer bit for
+   bit at every rank count / superstep mode with staling on and off —
+   while on, the probe's off-plane writes avoid stales and cut the
+   message count. *)
+let test_pipeline_dist_footprint () =
+  let module Dk = Fsc_dmp.Dist_kernel in
+  let src =
+    {|
+program residual_probe
+  implicit none
+  integer, parameter :: nx = 12, ny = 12, nz = 12, niter = 3
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: u, r
+
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        u(i, j, k) = 0.01d0 * dble(i) * dble(i) &
+                   + 0.02d0 * dble(j) * dble(k) + 0.03d0 * dble(k)
+        r(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do iter = 1, niter
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          r(i, j, k) = u(i, j, k) - (u(i-1, j, k) + u(i+1, j, k) &
+                     + u(i, j-1, k) + u(i, j+1, k) + u(i, j, k-1) &
+                     + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+    do k = 1, 1
+      do j = 1, 1
+        do i = 1, nx
+          u(i, j, k) = u(i, j, k) + 0.25d0 * r(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program residual_probe
+|}
+  in
+  let group_msgs = function
+    | Some s ->
+      List.fold_left (fun a g -> a + g.Dk.gs_msgs) 0 s.Dk.ds_groups
+    | None -> 0
+  in
+  List.iter
+    (fun grid ->
+      let serial =
+        run_pipeline ~engine:P.Engine_vector ~target:P.Serial ~grid src
+      in
+      List.iter
+        (fun ranks ->
+          List.iter
+            (fun mode ->
+              let on, on_stats =
+                run_pipeline_stats ~dist_mode:mode ~dist_footprint:true
+                  ~engine:P.Engine_vector ~target:(P.Dist ranks) ~grid src
+              in
+              let off, off_stats =
+                run_pipeline_stats ~dist_mode:mode ~dist_footprint:false
+                  ~engine:P.Engine_vector ~target:(P.Dist ranks) ~grid src
+              in
+              let label =
+                Printf.sprintf "probe %s ranks=%d mode=%s" grid ranks
+                  (DX.mode_name mode)
+              in
+              check_bitwise ~msg:(label ^ " fp=on") serial on;
+              check_bitwise ~msg:(label ^ " fp=off") serial off;
+              match (on_stats, off_stats) with
+              | Some s_on, Some s_off ->
+                Alcotest.(check bool) (label ^ ": flag recorded") true
+                  (s_on.Dk.ds_footprint && not s_off.Dk.ds_footprint);
+                if ranks >= 2 then begin
+                  Alcotest.(check bool) (label ^ ": stales avoided") true
+                    (s_on.Dk.ds_stales_avoided > 0);
+                  Alcotest.(check int) (label ^ ": nothing avoided off") 0
+                    s_off.Dk.ds_stales_avoided;
+                  Alcotest.(check bool) (label ^ ": fewer messages") true
+                    (group_msgs (Some s_on) < group_msgs (Some s_off))
+                end
+              | _ -> Alcotest.fail (label ^ ": no dist state"))
+            [ DX.Blocking; DX.Overlap ])
+        [ 1; 2; 8 ])
+    [ "r"; "u" ]
+
 (* A grid too small for the rank count must fail with the located
    decomposition diagnostic, not a degenerate layout or a crash. *)
 let test_pipeline_dist_degenerate () =
@@ -754,6 +882,10 @@ let () =
            test_pipeline_dist_pw;
          Alcotest.test_case "fusion/coalescing ablation (bitwise)" `Quick
            test_pipeline_dist_fusion;
+         Alcotest.test_case "mirror planes (asymmetric decomp)" `Quick
+           test_mirror_planes_asymmetric;
+         Alcotest.test_case "footprint staling ablation (bitwise)" `Quick
+           test_pipeline_dist_footprint;
          Alcotest.test_case "degenerate decomposition diagnosed" `Quick
            test_pipeline_dist_degenerate ]);
       ("dialect",
