@@ -322,25 +322,25 @@ let write_kernels_json () =
   in
   let failures = ref [] in
   let series = ref [] and speedups = ref [] in
+  (* best of three windows: the mean of one window is hostage to
+     scheduler noise in a shared container; the fastest window is the
+     engine's actual throughput *)
+  let measure ~label a cells_per_iter =
+    let windows =
+      List.init 3 (fun _ ->
+          Cal.measure ~label ~cells_per_iter ~min_seconds (fun () ->
+              P.run a))
+    in
+    List.fold_left
+      (fun best m -> if Cal.mcells m > Cal.mcells best then m else best)
+      (List.hd windows) (List.tl windows)
+  in
   List.iter
     (fun (bname, src, cells, size, src_small, cells_small, grid) ->
       (* one compile, three links: the engine is link-time state *)
       let options = P.default_options ~target:P.Serial () in
       let ca = P.compile options src in
       let linked engine = P.link ~engine ca in
-      (* best of three windows: the mean of one window is hostage to
-         scheduler noise in a shared container; the fastest window is
-         the engine's actual throughput *)
-      let measure ~label a cells_per_iter =
-        let windows =
-          List.init 3 (fun _ ->
-              Cal.measure ~label ~cells_per_iter ~min_seconds (fun () ->
-                  P.run a))
-        in
-        List.fold_left
-          (fun best m -> if Cal.mcells m > Cal.mcells best then m else best)
-          (List.hd windows) (List.tl windows)
-      in
       let a_interp, _ =
         P.stencil ~target:P.Serial ~engine:P.Engine_interp src_small
       in
@@ -492,6 +492,220 @@ let write_kernels_json () =
                  ("nests", J.Num (float_of_int nests)) ]
               @ native_fields) ])
     benches;
+  (* --- scheduling ablations: the native tier's emit-time transforms.
+     Four knob combinations per benchmark — native_v1 (both off: the
+     flat v1 loop schedule), each knob alone, native_v2 (both on) —
+     plus a pooled v2 point on an OpenMP compile so the in-plugin
+     work-sharing path is exercised. Every configuration must stay
+     bitwise identical to the closure engine. Two kinds of gate: the
+     throughput gate (v2 over v1 on the perf benchmarks, full margin
+     only at full sizes where the rolling-window and blit savings
+     dominate fixed costs) and structural gates — aligned fusion must
+     fire on smooth, the shifted sweep/copy schedule on Gauss-Seidel —
+     which are deterministic and immune to container timing noise. *)
+  let scheduling = ref [] in
+  let module N = Fsc_codegen.Native in
+  let sched_ctx ~bname ~cname =
+    N.create
+      ~cache:
+        (Fsc_cache.Cache.create
+           ~dir:
+             (Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "sfc-bench-sched-%d-%s-%s" (Unix.getpid ())
+                   bname cname))
+           ~version:N.format_version ())
+      ~mode:N.Sync ()
+  in
+  let sched_gate = if !quick then 1.05 else 1.3 in
+  let sched_benches =
+    [ ("gauss-seidel",
+       B.gauss_seidel ~nx:n_gs ~ny:n_gs ~nz:n_gs ~niter:iters (),
+       float_of_int (n_gs * n_gs * n_gs * iters),
+       Printf.sprintf "%d^3 x%d" n_gs iters, "u", true, "shift d=");
+      ("laplace",
+       B.laplace ~n:n_lp ~niter:iters (),
+       float_of_int (n_lp * n_lp * iters),
+       Printf.sprintf "%d^2 x%d" n_lp iters, "phi", true, "shift d=");
+      ("smooth",
+       B.smooth ~nx:n_gs ~ny:n_gs ~nz:n_gs ~niter:iters (),
+       float_of_int (n_gs * n_gs * n_gs * iters),
+       Printf.sprintf "%d^3 x%d" n_gs iters, "d", false, "aligned") ]
+  in
+  let sched_cfgs =
+    [ ("native_v1", false, false); ("native_no_fuse", true, false);
+      ("native_no_tile", false, true); ("native_v2", true, true) ]
+  in
+  (match N.toolchain_error (sched_ctx ~bname:"probe" ~cname:"probe") with
+  | Some why -> Printf.printf "  scheduling ablations skipped (%s)\n" why
+  | None ->
+    List.iter
+      (fun (bname, src, cells, size, grid, perf_gate, fuse_marker) ->
+        let options = P.default_options ~target:P.Serial () in
+        let ca = P.compile options src in
+        let a_closure = P.link ~engine:P.Engine_closure ca in
+        P.run a_closure;
+        (* one native link per knob combination, each into its own
+           fresh Sync cache; the first run binds and compiles inline *)
+        let kernel_stats a =
+          List.fold_left
+            (fun (f, w, b, d) (_, impl) ->
+              match impl with
+              | P.Native_jit (_, nk) ->
+                let r = N.report nk in
+                ( f + r.N.rp_fused_nests,
+                  w + r.N.rp_reuse_windows,
+                  b + r.N.rp_copy_blits,
+                  d ^ (if d = "" then "" else " | ") ^ r.N.rp_detail )
+              | _ -> (f, w, b, d))
+            (0, 0, 0, "") a.P.a_kernels
+        in
+        let check_bitwise cname a =
+          let diff =
+            Rt.max_abs_diff
+              (P.buffer_exn a_closure grid)
+              (P.buffer_exn a grid)
+          in
+          if diff <> 0.0 then
+            failures :=
+              Printf.sprintf "%s/%s: closure/native grids differ by %g"
+                bname cname diff
+              :: !failures
+        in
+        (* link every configuration first, then measure them in
+           interleaved round-robin windows: the container's CPU budget
+           is bursty, and sequential per-config measurement would hand
+           whichever config coincides with a slow burst a phantom loss.
+           A burst inside a round slows every config's window of that
+           round; taking each config's best window then compares like
+           against like. *)
+        let linked_cfgs =
+          List.map
+            (fun (cname, tile, fuse) ->
+              let a =
+                P.link ~engine:P.Engine_native
+                  ~native:(sched_ctx ~bname ~cname) ~native_tile:tile
+                  ~native_fuse:fuse ca
+              in
+              P.run a;
+              let fused, windows, blits, detail = kernel_stats a in
+              Printf.printf "    %s/%s: %s\n" bname cname detail;
+              (cname, a, (fused, windows, blits, detail)))
+            sched_cfgs
+        in
+        let sched_seconds = Float.max min_seconds 0.2 in
+        let best = Hashtbl.create 8 in
+        for _ = 1 to 4 do
+          List.iter
+            (fun (cname, a, _) ->
+              let m =
+                Cal.measure
+                  ~label:(Printf.sprintf "%s  %s" bname cname)
+                  ~cells_per_iter:cells ~min_seconds:sched_seconds (fun () ->
+                    P.run a)
+              in
+              match Hashtbl.find_opt best cname with
+              | Some prev when Cal.mcells prev >= Cal.mcells m -> ()
+              | _ -> Hashtbl.replace best cname m)
+            linked_cfgs
+        done;
+        let results =
+          List.map
+            (fun (cname, a, (fused, windows, blits, detail)) ->
+              check_bitwise cname a;
+              P.shutdown a;
+              (cname, Cal.mcells (Hashtbl.find best cname), fused, windows,
+               blits, detail))
+            linked_cfgs
+        in
+        let mcells_of want =
+          match List.find_opt (fun (c, _, _, _, _, _) -> c = want) results with
+          | Some (_, mc, _, _, _, _) -> mc
+          | None -> 0.0
+        in
+        let v1 = mcells_of "native_v1" and v2 = mcells_of "native_v2" in
+        Printf.printf "  %s: scheduled/flat (v2/v1) %.2fx\n" bname (v2 /. v1);
+        if perf_gate && v2 < sched_gate *. v1 then
+          failures :=
+            Printf.sprintf
+              "%s: scheduled native below the %.2fx gate over flat (%.2fx)"
+              bname sched_gate (v2 /. v1)
+            :: !failures;
+        (* structural gate: the fusion kind the benchmark exists to
+           prove must actually appear in the v2 report *)
+        (match
+           List.find_opt (fun (c, _, _, _, _, _) -> c = "native_v2") results
+         with
+        | Some (_, _, fused, _, _, detail) ->
+          if fused < 2 then
+            failures :=
+              Printf.sprintf "%s: v2 schedule fused no nests" bname
+              :: !failures;
+          let marker_present =
+            let ml = String.length fuse_marker
+            and dl = String.length detail in
+            let rec scan i =
+              i + ml <= dl && (String.sub detail i ml = fuse_marker
+                               || scan (i + 1))
+            in
+            scan 0
+          in
+          if not marker_present then
+            failures :=
+              Printf.sprintf "%s: v2 schedule missing '%s' fusion" bname
+                fuse_marker
+              :: !failures
+        | None -> ());
+        (* pooled v2: an OpenMP compile of the same program, so emitted
+           parallel levels dispatch through the in-plugin pool pfor *)
+        let ca_mp =
+          P.compile (P.default_options ~target:(P.Openmp 2) ()) src
+        in
+        let a_pool =
+          P.link ~engine:P.Engine_native
+            ~native:(sched_ctx ~bname ~cname:"pool") ca_mp
+        in
+        P.run a_pool;
+        let p_fused, p_windows, p_blits, _ = kernel_stats a_pool in
+        let par_mode =
+          List.fold_left
+            (fun acc (_, impl) ->
+              match impl with
+              | P.Native_jit (_, nk) -> (
+                match (N.report nk).N.rp_par_mode with
+                | Some m -> Some m
+                | None -> acc)
+              | _ -> acc)
+            None a_pool.P.a_kernels
+          |> Option.value ~default:"unknown"
+        in
+        let m_pool =
+          measure ~label:(Printf.sprintf "%s  native_v2_pool2" bname) a_pool
+            cells
+        in
+        check_bitwise "native_v2_pool2" a_pool;
+        P.shutdown a_pool;
+        P.shutdown a_closure;
+        let sched_point ?(extra = []) cname mc fused windows blits =
+          J.Obj
+            ([ ("benchmark", J.Str bname); ("config", J.Str cname);
+               ("size", J.Str size); ("mcells_per_s", J.Num mc);
+               ("fused_nests", J.Num (float_of_int fused));
+               ("reuse_windows", J.Num (float_of_int windows));
+               ("copy_blits", J.Num (float_of_int blits)) ]
+            @ extra)
+        in
+        scheduling :=
+          !scheduling
+          @ List.map
+              (fun (cname, mc, fused, windows, blits, _) ->
+                sched_point cname mc fused windows blits)
+              results
+          @ [ sched_point
+                ~extra:[ ("par_mode", J.Str par_mode) ]
+                "native_v2_pool2" (Cal.mcells m_pool) p_fused p_windows
+                p_blits ])
+      sched_benches);
   let json =
     J.Obj
       [ ("setup",
@@ -500,7 +714,8 @@ let write_kernels_json () =
               "serial, engines on identical compiled artifacts; interp \
                tier on %d-sized grids; min %.1fs per measurement"
               n_small min_seconds));
-        ("series", J.List !series); ("speedups", J.List !speedups) ]
+        ("series", J.List !series); ("speedups", J.List !speedups);
+        ("scheduling", J.List !scheduling) ]
   in
   let path = "BENCH_kernels.json" in
   let oc = open_out path in
@@ -516,8 +731,12 @@ let write_kernels_json () =
   in
   (match J.of_string reread with
   | parsed ->
-    if J.member "series" parsed = None || J.member "speedups" parsed = None
-    then failures := (path ^ ": missing series/speedups") :: !failures
+    if
+      J.member "series" parsed = None
+      || J.member "speedups" parsed = None
+      || J.member "scheduling" parsed = None
+    then
+      failures := (path ^ ": missing series/speedups/scheduling") :: !failures
   | exception J.Parse_error e ->
     failures := (path ^ ": unparseable: " ^ e) :: !failures);
   Printf.printf "kernel engine timings written to %s (%d series points)\n"

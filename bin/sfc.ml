@@ -137,6 +137,26 @@ let dist_no_footprint_arg =
            plane. Bitwise-identical results; for differential testing \
            and ablation.")
 
+let native_no_tile_arg =
+  Arg.(
+    value & flag
+    & info [ "native-no-tile" ]
+        ~doc:
+          "Disable intra-nest scheduling in the native engine's emitted \
+           code: no blocked loops from the L2 tile hint, no rolling \
+           register windows, no row-blit copies. Bitwise-identical \
+           results; for differential testing and ablation.")
+
+let native_no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "native-no-fuse" ]
+        ~doc:
+          "Disable cross-nest fusion in the native engine's emitted \
+           code: consecutive nests keep separate loop bodies even when \
+           their footprints prove fusion legal. Bitwise-identical \
+           results; for differential testing and ablation.")
+
 (* [--ranks] refines the dist target the same way [--threads] refines
    openmp; pairing it with any other target is an error, not a no-op. *)
 let apply_ranks target ranks =
@@ -475,14 +495,18 @@ let print_dist_stats dst =
 
 let run_cmd =
   let run file target threads ranks dist_mode dist_no_fuse dist_no_coalesce
-      dist_no_footprint engine cache_flag cache_dir stats trace =
+      dist_no_footprint engine native_no_tile native_no_fuse cache_flag
+      cache_dir stats trace =
     let* target = resolve_target target threads in
     let* target = apply_ranks target ranks in
     let src = read_file file in
     setup_obs ~trace ~stats;
     let cache = make_cache ~default:false cache_flag cache_dir in
+    let options = P.default_options ~target () in
     (* the native tier shares --cache-dir when given, so one directory
-       holds both compiled IR entries and built plugin sidecars *)
+       holds both compiled IR entries and built plugin sidecars; the
+       L2 budget behind the pipeline's tile hints rides along so tiled
+       artifacts built under a different budget are evicted *)
     let native =
       match engine with
       | P.Engine_native ->
@@ -493,17 +517,20 @@ let run_cmd =
                 ~version:Fsc_codegen.Native.format_version ())
             cache_dir
         in
-        Some (Fsc_codegen.Native.create ?cache:ncache ())
+        Some
+          (Fsc_codegen.Native.create ?cache:ncache
+             ~l2_kb:options.P.opt_l2_kb ())
       | _ -> None
     in
-    let options = P.default_options ~target () in
     (* the trace must be flushed and the pool shut down even when the
        program itself fails mid-run *)
     let outcome =
       try
         let ca, cache_outcome = Cc.compile ?cache options src in
         let a =
-          P.link ~engine ?native ~dist_mode ~dist_fuse:(not dist_no_fuse)
+          P.link ~engine ?native ~native_tile:(not native_no_tile)
+            ~native_fuse:(not native_no_fuse) ~dist_mode
+            ~dist_fuse:(not dist_no_fuse)
             ~dist_coalesce:(not dist_no_coalesce)
             ~dist_footprint:(not dist_no_footprint) ca
         in
@@ -576,8 +603,9 @@ let run_cmd =
       term_result
         (const run $ file_arg $ target_arg $ threads_arg $ ranks_arg
         $ dist_mode_arg $ dist_no_fuse_arg $ dist_no_coalesce_arg
-        $ dist_no_footprint_arg $ engine_arg $ cache_flag $ cache_dir_arg
-        $ stats_arg $ trace_arg))
+        $ dist_no_footprint_arg $ engine_arg $ native_no_tile_arg
+        $ native_no_fuse_arg $ cache_flag $ cache_dir_arg $ stats_arg
+        $ trace_arg))
 
 (* ---- check ---- *)
 

@@ -103,6 +103,16 @@ if ! [ -s "$BENCHDIR/BENCH_kernels.json" ] \
   rm -rf "$BENCHDIR"
   exit 1
 fi
+# When a toolchain is present the bench also lands its scheduling
+# ablation (v2 vs no-tile/no-fuse vs v1) and self-gates v2 >= the gate
+# factor over v1 on the fusable stencils — a bench exit of 0 above
+# means those gates passed; CI just re-checks the section landed.
+if grep -q '"native_over_vector"' "$BENCHDIR/BENCH_kernels.json" \
+    && ! grep -q '"scheduling"' "$BENCHDIR/BENCH_kernels.json"; then
+  echo "ci: kernels bench ran native but landed no scheduling section"
+  rm -rf "$BENCHDIR"
+  exit 1
+fi
 echo "bench smoke: BENCH_kernels.json well-formed, vector >= closure"
 rm -rf "$BENCHDIR"
 
@@ -149,6 +159,42 @@ else
     exit 1
   fi
   echo "native smoke: cold build + warm cache hit, checksums match vector, 0 recompiles"
+
+  # Scheduling smoke: laplace's sweep/copy pair must fuse (the --stats
+  # detail names the shift), and every knob combination must answer the
+  # same grid checksums — the transforms change loop control only.
+  if ! printf '%s\n' "$cold_out" | grep -q 'fused 2 nests (shift d=1)'; then
+    echo "ci: native --stats does not report the fused sweep/copy pair"
+    printf '%s\n' "$cold_out"
+    exit 1
+  fi
+  if ! printf '%s\n' "$cold_out" | grep -q 'x4-unrolled'; then
+    echo "ci: native --stats does not report the unrolled schedule"
+    printf '%s\n' "$cold_out"
+    exit 1
+  fi
+  for knobs in "--native-no-tile" "--native-no-fuse" \
+      "--native-no-tile --native-no-fuse"; do
+    KCACHE=$(mktemp -d)
+    # shellcheck disable=SC2086
+    knob_out=$("$SFC" run examples/laplace.f90 --exec-engine native \
+      --cache-dir "$KCACHE" --stats $knobs 2>&1 >/dev/null)
+    rm -rf "$KCACHE"
+    if [ "$vec_grids" != "$(printf '%s\n' "$knob_out" | grep '^grid')" ]; then
+      echo "ci: native checksums drift under $knobs"
+      printf 'vector:\n%s\nnative:\n%s\n' "$vec_grids" "$knob_out"
+      exit 1
+    fi
+    case $knobs in
+    *no-fuse*)
+      if printf '%s\n' "$knob_out" | grep -q 'fused'; then
+        echo "ci: --native-no-fuse still reports fused nests"
+        exit 1
+      fi
+      ;;
+    esac
+  done
+  echo "native scheduling smoke: shift-fused pair reported, all knob combos bitwise vs vector"
 fi
 rm -rf "$NCACHE"
 

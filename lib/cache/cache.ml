@@ -372,7 +372,16 @@ let remove_sidecars t ~key =
       | None -> ())
     (sidecar_exts t ~key)
 
-let revalidate_sidecars t ~stamp =
+let revalidate_sidecars ?validate t ~stamp =
+  (* default policy: a set is valid iff its stamp equals [stamp];
+     [validate] widens that (e.g. stamps carrying parameter suffixes
+     that are valid under the current configuration) — it still only
+     sees sets that have a readable stamp *)
+  let is_valid =
+    match validate with
+    | Some f -> f
+    | None -> fun ~key:_ ~stamp:s -> s = stamp
+  in
   match t.cache_dir with
   | None -> 0
   | Some d -> (
@@ -387,8 +396,10 @@ let revalidate_sidecars t ~stamp =
               try Some (read_file (Filename.concat d f))
               with Sys_error _ -> None
             in
-            if current = Some stamp then dropped
-            else begin
+            match current with
+            | Some s when is_valid ~key ~stamp:s -> dropped
+            | _ ->
+            begin
               remove_sidecars t ~key;
               locked t (fun () -> t.s_invalid <- t.s_invalid + 1);
               Obs.incr c_sidecar_drop;

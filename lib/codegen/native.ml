@@ -2,16 +2,29 @@
    engine covering every gap.
 
    A [kernel] starts life unbound: strides are only known at the first
-   call, so that call emits the source (strides and bounds baked in),
-   keys it into the content-addressed cache (digest over the emitted
-   body plus the toolchain stamp) and starts a build. In [Async] mode
-   the build runs on a background thread and the kernel serves calls
-   from the vector engine until the native entries are ready; [Sync]
-   mode (tests, benches) builds inline on the first call. Warm starts
-   skip the compiler entirely: a stamped .cmxs sidecar in the cache is
-   Dynlink'ed directly, and a key already registered in the shim (an
-   earlier artifact in the same process) is reused without touching
-   disk.
+   call, so that call emits the source (strides, bounds, tile shapes
+   and fusion decisions baked in), keys it into the content-addressed
+   cache (digest over the emitted body plus the toolchain stamp) and
+   starts a build. In [Async] mode the build runs on a background
+   thread and the kernel serves calls from the vector engine until the
+   native entries are ready; [Sync] mode (tests, benches) builds inline
+   on the first call. Warm starts skip the compiler entirely: a stamped
+   .cmxs sidecar in the cache is Dynlink'ed directly, and a key already
+   registered in the shim (an earlier artifact in the same process) is
+   reused without touching disk.
+
+   v2 executes emitted *groups* (a nest, or several nests fused at emit
+   time) rather than chunking around per-nest entries: the host hands
+   each entry a [pfor] work-sharer — pool-backed when it holds a pool
+   and the group's outer level is parallel, run-inline otherwise — and
+   the plugin drives its own loops. Shift-fused groups are serial by
+   construction; when the host has a real pool to feed it dispatches
+   their members' standalone alternate entries instead.
+
+   Artifacts whose emitted schedule contains blocked loops record the
+   L2 budget that derived the tile shape in their stamp sidecar;
+   startup revalidation drops them when the budget changed, so a
+   machine-config change cannot leave stale tile shapes serving runs.
 
    The fallback chain never fails a run: toolchain missing, emit
    unsupported, compile error, Dynlink error, stale stamp, bounds
@@ -40,9 +53,15 @@ let c_fallback_runs = Obs.counter "codegen.fallback_runs"
 let c_pending_runs = Obs.counter "codegen.pending_runs"
 let c_guard_misses = Obs.counter "codegen.guard_misses"
 let c_fp_proofs = Obs.counter "codegen.footprint_proofs"
+let c_fused_nests = Obs.counter "codegen.fused_nests"
+let c_tiled_nests = Obs.counter "codegen.tiled_nests"
+let c_reuse_windows = Obs.counter "codegen.reuse_windows"
+let c_copy_blits = Obs.counter "codegen.copy_blits"
 
-(* Bumped whenever emitted code or the sidecar layout changes shape. *)
-let format_version = 1
+(* Bumped whenever emitted code or the sidecar layout changes shape.
+   v2: scheduling emitter (tiling/fusion), pfor entry ABI, string-keyed
+   registration, tile-budget stamp suffix. *)
+let format_version = 2
 
 type mode =
   | Async
@@ -54,7 +73,7 @@ type origin =
   | Origin_memo
 
 type ready = {
-  r_entries : (int * Sfc_native_shim.entry) list;
+  r_entries : (string * Sfc_native_shim.entry) list;
   r_build_ms : float;
   r_origin : origin;
 }
@@ -66,6 +85,7 @@ type status =
 
 type build = {
   b_key : string;
+  b_stamp : string; (* full artifact stamp, incl. any tile-budget line *)
   mutable b_status : status;
   mutable b_thread : Thread.t option;
 }
@@ -74,13 +94,23 @@ type ctx = {
   c_cache : Cache.t;
   c_mode : mode;
   c_toolchain : (Build.toolchain, string) result;
+  c_l2_kb : int option; (* budget behind the current n_tile hints *)
   c_mutex : Mutex.t;
   c_cond : Condition.t;
   c_builds : (string, build) Hashtbl.t;
   c_stale_dropped : int; (* sidecar sets dropped by startup revalidation *)
 }
 
-let create ?cache ?(mode = Async) ?ocamlfind () =
+(* Tiled artifacts append the L2 budget that derived their tile shape
+   to the toolchain stamp; untiled artifacts stay budget-independent. *)
+let budget_line kb = Printf.sprintf "\ntile-budget %d" kb
+
+let artifact_stamp ~base ~tiled ~l2_kb =
+  match (tiled, l2_kb) with
+  | true, Some kb -> base ^ budget_line kb
+  | _ -> base
+
+let create ?cache ?(mode = Async) ?ocamlfind ?l2_kb () =
   let toolchain = Build.probe ?command:ocamlfind () in
   let cache =
     match cache with
@@ -89,13 +119,37 @@ let create ?cache ?(mode = Async) ?ocamlfind () =
   in
   let dropped =
     (* startup revalidation: sweep sidecar sets whose toolchain stamp no
-       longer matches; with no toolchain nothing will load, so leave the
-       (possibly still valid) artifacts for a future process *)
+       longer matches, and tiled sets whose recorded L2 budget differs
+       from the current one; with no toolchain nothing will load, so
+       leave the (possibly still valid) artifacts for a future process *)
     match toolchain with
-    | Ok tc -> Cache.revalidate_sidecars cache ~stamp:(Build.stamp tc)
+    | Ok tc ->
+      let base = Build.stamp tc in
+      let validate ~key:_ ~stamp =
+        stamp = base
+        ||
+        (* a tile-budget suffix: valid iff it matches the current
+           budget; with no budget configured any tiled artifact of this
+           toolchain stays (we cannot tell it stale) *)
+        (String.length stamp > String.length base
+        && String.sub stamp 0 (String.length base) = base
+        &&
+        match l2_kb with
+        | Some kb ->
+          String.sub stamp (String.length base)
+            (String.length stamp - String.length base)
+          = budget_line kb
+        | None ->
+          let rest =
+            String.sub stamp (String.length base)
+              (String.length stamp - String.length base)
+          in
+          String.length rest > 13 && String.sub rest 0 13 = "\ntile-budget ")
+      in
+      Cache.revalidate_sidecars cache ~stamp:base ~validate
     | Error _ -> 0
   in
-  { c_cache = cache; c_mode = mode; c_toolchain = toolchain;
+  { c_cache = cache; c_mode = mode; c_toolchain = toolchain; c_l2_kb = l2_kb;
     c_mutex = Mutex.create (); c_cond = Condition.create ();
     c_builds = Hashtbl.create 8; c_stale_dropped = dropped }
 
@@ -143,11 +197,12 @@ let finish ctx b status =
    mismatch here (written between our startup revalidation and now)
    or a Dynlink failure drops the sidecar set and falls through to a
    fresh build. *)
-let try_load_cached ctx tc ~key =
+let try_load_cached ctx b =
+  let key = b.b_key in
   match Cache.find_sidecar ctx.c_cache ~key ~ext:"cmxs" with
   | None -> None
   | Some path ->
-    if Cache.read_sidecar ctx.c_cache ~key ~ext:"stamp" <> Some (Build.stamp tc)
+    if Cache.read_sidecar ctx.c_cache ~key ~ext:"stamp" <> Some b.b_stamp
     then begin
       Cache.remove_sidecars ctx.c_cache ~key;
       None
@@ -208,7 +263,8 @@ let write_file path content =
 
 (* Cold path: compile in a workdir, publish .ml/.cmxs/.stamp sidecars
    atomically, then Dynlink the published plugin. *)
-let build_fresh ctx tc ~key emit ~t0 =
+let build_fresh ctx tc b emit ~t0 =
+  let key = b.b_key in
   let workdir = make_workdir ctx ~key in
   Fun.protect ~finally:(fun () -> remove_dir workdir) @@ fun () ->
   let base = "sfc_native_" ^ key in
@@ -229,8 +285,7 @@ let build_fresh ctx tc ~key emit ~t0 =
         | Some published ->
           (* the stamp lands last: an interrupted publish leaves an
              unstamped set that the next revalidation sweeps away *)
-          ignore
-            (Cache.put_sidecar ctx.c_cache ~key ~ext:"stamp" (Build.stamp tc));
+          ignore (Cache.put_sidecar ctx.c_cache ~key ~ext:"stamp" b.b_stamp);
           published
         | None -> cmxs (* diskless cache: load straight from the workdir *)
       in
@@ -255,23 +310,25 @@ let do_build ctx b emit =
         Ready
           { r_entries = entries; r_build_ms = 0.; r_origin = Origin_memo }
       | None -> (
-        match try_load_cached ctx tc ~key:b.b_key with
+        match try_load_cached ctx b with
         | Some (entries, origin) ->
           Ready
             { r_entries = entries; r_build_ms = ms_since t0;
               r_origin = origin }
-        | None -> build_fresh ctx tc ~key:b.b_key emit ~t0))
+        | None -> build_fresh ctx tc b emit ~t0))
   in
   finish ctx b status
 
-let ensure_build ctx ~key emit =
+let ensure_build ctx ~key ~stamp emit =
   Mutex.lock ctx.c_mutex;
   match Hashtbl.find_opt ctx.c_builds key with
   | Some b ->
     Mutex.unlock ctx.c_mutex;
     b
   | None ->
-    let b = { b_key = key; b_status = Building; b_thread = None } in
+    let b =
+      { b_key = key; b_stamp = stamp; b_status = Building; b_thread = None }
+    in
     Hashtbl.add ctx.c_builds key b;
     Mutex.unlock ctx.c_mutex;
     Obs.incr c_builds;
@@ -290,8 +347,14 @@ type bind_result =
   | Bind_fallback of string (* emit failed / no toolchain: all-vector *)
   | Bind_built of {
       bb_build : build;
+      bb_groups : Emit.group list;
       bb_emit_skipped : (int * string) list;
       bb_bounds_skipped : (int * string) list;
+      bb_refused : (int * string) list;
+      bb_tiled : (int * int) list;
+      bb_reused : int;
+      bb_blits : int;
+      bb_unrolled : int;
       bb_fp_proved : int list;
           (* nests whose accesses the footprint proved in-extent, so the
              flat-offset bounds scan was elided *)
@@ -307,19 +370,23 @@ type kernel = {
   k_ctx : ctx;
   k_name : string;
   k_spec : Kc.spec;
+  k_options : Emit.options;
   k_plan : Kb.plan; (* the vector tier: fallback at every level *)
   k_nnests : int;
   k_mutex : Mutex.t;
   mutable k_bind : bind option;
   mutable k_pending_runs : int; (* calls served by vector mid-build *)
   mutable k_guard_misses : int; (* calls whose shapes differ from bind *)
+  mutable k_par_mode : string; (* how the last native run work-shared *)
 }
 
-let prepare ctx ~name spec =
+let prepare ctx ?(tile = true) ?(fuse = true) ~name spec =
   { k_ctx = ctx; k_name = name; k_spec = spec;
+    k_options = { Emit.o_tile = tile; o_fuse = fuse };
     k_plan = Kb.compile_spec spec;
     k_nnests = List.length spec.Kc.k_nests; k_mutex = Mutex.create ();
-    k_bind = None; k_pending_runs = 0; k_guard_misses = 0 }
+    k_bind = None; k_pending_runs = 0; k_guard_misses = 0;
+    k_par_mode = "" }
 
 let name k = k.k_name
 let plan k = k.k_plan
@@ -416,7 +483,9 @@ let bind_kernel k ~bufs =
                  else [])
                k.k_spec.Kc.k_nests)
         in
-        match Emit.emit ~strides ~skip:pre_skip k.k_spec with
+        match
+          Emit.emit ~strides ~options:k.k_options ~skip:pre_skip k.k_spec
+        with
         | Error reason ->
           Obs.incr c_emit_fallbacks;
           Bind_fallback ("emit: " ^ reason)
@@ -444,17 +513,40 @@ let bind_kernel k ~bufs =
           in
           if List.length bounds_skipped = List.length (Emit.emitted e) then
             Bind_fallback "every nest failed whole-space bounds validation"
-          else
+          else begin
             let key =
               Cache.digest k.k_ctx.c_cache
                 [ "native"; string_of_int format_version; Build.stamp tc;
                   Emit.body e ]
             in
+            let stamp =
+              artifact_stamp ~base:(Build.stamp tc)
+                ~tiled:(Emit.tiled e <> []) ~l2_kb:k.k_ctx.c_l2_kb
+            in
+            let fused =
+              List.fold_left
+                (fun n (g : Emit.group) ->
+                  match g.Emit.g_nests with
+                  | _ :: _ :: _ -> n + List.length g.Emit.g_nests
+                  | _ -> n)
+                0 (Emit.groups e)
+            in
+            Obs.add c_fused_nests fused;
+            Obs.add c_tiled_nests (List.length (Emit.tiled e));
+            Obs.add c_reuse_windows (Emit.reused e);
+            Obs.add c_copy_blits (Emit.blits e);
             Bind_built
-              { bb_build = ensure_build k.k_ctx ~key e;
+              { bb_build = ensure_build k.k_ctx ~key ~stamp e;
+                bb_groups = Emit.groups e;
                 bb_emit_skipped = emit_skipped;
                 bb_bounds_skipped = bounds_skipped;
-                bb_fp_proved = List.rev !fp_proved })
+                bb_refused = Emit.refused e;
+                bb_tiled = Emit.tiled e;
+                bb_reused = Emit.reused e;
+                bb_blits = Emit.blits e;
+                bb_unrolled = Emit.unrolled e;
+                bb_fp_proved = List.rev !fp_proved }
+          end)
   in
   let b = { bd_nbufs = Array.length bufs; bd_dims = dims; bd_result = result }
   in
@@ -463,17 +555,9 @@ let bind_kernel k ~bufs =
 
 (* ---------------- execution ---------------- *)
 
-let run_native_nest k entry ~datas ~scalars ?pool nest_idx =
-  let nest = List.nth k.k_spec.Kc.k_nests nest_idx in
-  match nest.Kc.n_loops with
-  | [] -> ()
-  | outer :: _ -> (
-    let lo = outer.Kc.l_lb and hi = outer.Kc.l_ub in
-    match pool with
-    | Some pool when outer.Kc.l_parallel && hi - lo > 1 ->
-      Pool.parallel_for pool ~lo ~hi (fun plo phi ->
-          entry datas scalars plo phi)
-    | _ -> entry datas scalars lo hi)
+(* The run-inline work-sharer: one chunk covering the whole range,
+   preserving sequential order for non-parallel outer levels. *)
+let serial_pfor lo hi body = if hi > lo then body lo hi
 
 let run_vector k ?pool ~bufs ~scalars () =
   Obs.incr c_fallback_runs;
@@ -482,6 +566,83 @@ let run_vector k ?pool ~bufs ~scalars () =
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Dispatch the Ready entries: whole groups where every member cleared
+   bounds validation, the vector plan per nest everywhere else. The
+   work-sharer handed to an entry is pool-backed only when the group's
+   outer level is parallel and the pool has real workers; shift-fused
+   groups (serial by construction) are replaced by their members'
+   standalone entries in that case so the pool is not wasted. *)
+let run_ready k r ~bb_groups ~bb_bounds_skipped ?pool ~bufs ~scalars () =
+  let datas = Array.map (fun (b : Rt.t) -> b.Rt.data) bufs in
+  let entry name = List.assoc_opt name r.r_entries in
+  let pool_workers =
+    match pool with Some p when Pool.size p > 1 -> Some p | _ -> None
+  in
+  let nest_parallel i =
+    match (List.nth k.k_spec.Kc.k_nests i).Kc.n_loops with
+    | outer :: _ -> outer.Kc.l_parallel
+    | [] -> false
+  in
+  let used_pool = ref false in
+  let pfor_for ~par =
+    match (par, pool_workers) with
+    | true, Some p ->
+      used_pool := true;
+      fun lo hi body -> Pool.parallel_for p ~lo ~hi body
+    | _ -> serial_pfor
+  in
+  let run_single i =
+    (* a nest outside any runnable group: vector plan *)
+    Kb.run_nest k.k_plan i ?pool ~bufs ~scalars ()
+  in
+  let group_runnable (g : Emit.group) =
+    List.for_all
+      (fun i -> not (List.mem_assoc i bb_bounds_skipped))
+      g.Emit.g_nests
+    &&
+    match g.Emit.g_kind with
+    | Emit.G_shifted _ when pool_workers <> None && g.Emit.g_alts <> [] ->
+      List.for_all (fun (_, an) -> entry an <> None) g.Emit.g_alts
+    | _ -> entry g.Emit.g_fname <> None
+  in
+  let by_start = List.map (fun (g : Emit.group) -> (List.hd g.Emit.g_nests, g))
+      bb_groups
+  in
+  let i = ref 0 in
+  while !i < k.k_nnests do
+    match List.assoc_opt !i by_start with
+    | Some g when group_runnable g -> (
+      (match (g.Emit.g_kind, pool_workers) with
+      | Emit.G_shifted _, Some _ when g.Emit.g_alts <> [] ->
+        (* real workers available: the members' standalone entries
+           work-share their parallel outer levels instead of the
+           serial fused schedule *)
+        List.iter
+          (fun (ni, an) ->
+            match entry an with
+            | Some e -> e datas scalars (pfor_for ~par:(nest_parallel ni))
+            | None -> run_single ni)
+          g.Emit.g_alts
+      | _ -> (
+        match entry g.Emit.g_fname with
+        | Some e -> e datas scalars (pfor_for ~par:g.Emit.g_par)
+        | None -> List.iter run_single g.Emit.g_nests));
+      i := !i + List.length g.Emit.g_nests)
+    | Some g ->
+      (* a member failed bounds validation (or an entry is missing):
+         the whole group falls back per nest *)
+      List.iter run_single g.Emit.g_nests;
+      i := !i + List.length g.Emit.g_nests
+    | None ->
+      run_single !i;
+      incr i
+  done;
+  locked k.k_mutex (fun () ->
+      k.k_par_mode <-
+        (match (!used_pool, pool_workers) with
+        | true, Some p -> Printf.sprintf "in-plugin pool(%d)" (Pool.size p)
+        | _ -> "serial"))
 
 let run k ?pool ~bufs ~scalars () =
   match k.k_ctx.c_toolchain with
@@ -506,7 +667,7 @@ let run k ?pool ~bufs ~scalars () =
     else
       match bind.bd_result with
       | Bind_fallback _ -> run_vector k ?pool ~bufs ~scalars ()
-      | Bind_built { bb_build; bb_bounds_skipped; _ } -> (
+      | Bind_built { bb_build; bb_groups; bb_bounds_skipped; _ } -> (
         match bb_build.b_status with
         | Building ->
           locked k.k_mutex (fun () ->
@@ -516,13 +677,7 @@ let run k ?pool ~bufs ~scalars () =
         | Failed _ -> run_vector k ?pool ~bufs ~scalars ()
         | Ready r ->
           Obs.incr c_native_runs;
-          let datas = Array.map (fun (b : Rt.t) -> b.Rt.data) bufs in
-          for i = 0 to k.k_nnests - 1 do
-            match List.assoc_opt i r.r_entries with
-            | Some entry when not (List.mem_assoc i bb_bounds_skipped) ->
-              run_native_nest k entry ~datas ~scalars ?pool i
-            | _ -> Kb.run_nest k.k_plan i ?pool ~bufs ~scalars ()
-          done))
+          run_ready k r ~bb_groups ~bb_bounds_skipped ?pool ~bufs ~scalars ()))
 
 (* ---------------- completion / reporting ---------------- *)
 
@@ -563,6 +718,11 @@ type report = {
   rp_origin : origin option;
   rp_native_nests : int;
   rp_total_nests : int;
+  rp_fused_nests : int;
+  rp_tile_rows : int option;
+  rp_reuse_windows : int;
+  rp_copy_blits : int;
+  rp_par_mode : string option;
   rp_fp_proved : int;
   rp_pending_runs : int;
   rp_guard_misses : int;
@@ -578,8 +738,9 @@ let report k =
   let vector detail =
     { rp_engine = "vector"; rp_detail = detail; rp_build_ms = None;
       rp_origin = None; rp_native_nests = 0; rp_total_nests = total;
-      rp_fp_proved = 0; rp_pending_runs = k.k_pending_runs;
-      rp_guard_misses = k.k_guard_misses }
+      rp_fused_nests = 0; rp_tile_rows = None; rp_reuse_windows = 0;
+      rp_copy_blits = 0; rp_par_mode = None; rp_fp_proved = 0;
+      rp_pending_runs = k.k_pending_runs; rp_guard_misses = k.k_guard_misses }
   in
   match k.k_ctx.c_toolchain with
   | Error e -> vector (Printf.sprintf "vector (native unavailable: %s)" e)
@@ -601,7 +762,10 @@ let report k =
           List.length
             (List.filter
                (fun (i, _) -> not (List.mem_assoc i b.bb_bounds_skipped))
-               r.r_entries)
+               (List.concat_map
+                  (fun (g : Emit.group) ->
+                    List.map (fun i -> (i, g.Emit.g_fname)) g.Emit.g_nests)
+                  b.bb_groups))
         in
         let cost =
           match r.r_origin with
@@ -609,6 +773,52 @@ let report k =
             Printf.sprintf "%s %.1f ms" (origin_text r.r_origin)
               r.r_build_ms
           | o -> origin_text o
+        in
+        let fused =
+          List.fold_left
+            (fun n (g : Emit.group) ->
+              match g.Emit.g_nests with
+              | _ :: _ :: _ -> n + List.length g.Emit.g_nests
+              | _ -> n)
+            0 b.bb_groups
+        in
+        let sched =
+          let parts =
+            (if fused > 0 then
+               let kinds =
+                 List.filter_map
+                   (fun (g : Emit.group) ->
+                     match g.Emit.g_kind with
+                     | Emit.G_aligned ->
+                       Some
+                         (Printf.sprintf "%d aligned"
+                            (List.length g.Emit.g_nests))
+                     | Emit.G_shifted d -> Some (Printf.sprintf "shift d=%d" d)
+                     | Emit.G_single -> None)
+                   b.bb_groups
+               in
+               [ Printf.sprintf "fused %d nests (%s)" fused
+                   (String.concat ", " kinds) ]
+             else [])
+            @ (match b.bb_tiled with
+              | (_, t) :: _ ->
+                [ Printf.sprintf "tile %d rows x%d" t (List.length b.bb_tiled)
+                ]
+              | [] -> [])
+            @ (if b.bb_reused > 0 then
+                 [ Printf.sprintf "%d reuse windows" b.bb_reused ]
+               else [])
+            @ (if b.bb_blits > 0 then
+                 [ Printf.sprintf "%d row blits" b.bb_blits ]
+               else [])
+            @ (if b.bb_unrolled > 0 then
+                 [ Printf.sprintf "%d loops x4-unrolled" b.bb_unrolled ]
+               else [])
+            @ (if k.k_par_mode <> "" then [ k.k_par_mode ] else [])
+          in
+          match parts with
+          | [] -> ""
+          | _ -> ", " ^ String.concat ", " parts
         in
         let pending =
           if k.k_pending_runs > 0 then
@@ -632,15 +842,20 @@ let report k =
         in
         { rp_engine = (if skipped = 0 then "native" else "mixed");
           rp_detail =
-            Printf.sprintf "native %d/%d nests (%s%s%s%s)" native total cost
-              fp pending skips;
+            Printf.sprintf "native %d/%d nests (%s%s%s%s%s)" native total
+              cost sched fp pending skips;
           rp_build_ms =
             (match r.r_origin with
             | Origin_built -> Some r.r_build_ms
             | _ -> None);
           rp_origin = Some r.r_origin; rp_native_nests = native;
-          rp_total_nests = total; rp_fp_proved = fp_proved;
-          rp_pending_runs = k.k_pending_runs;
+          rp_total_nests = total; rp_fused_nests = fused;
+          rp_tile_rows =
+            (match b.bb_tiled with (_, t) :: _ -> Some t | [] -> None);
+          rp_reuse_windows = b.bb_reused; rp_copy_blits = b.bb_blits;
+          rp_par_mode = (if k.k_par_mode <> "" then Some k.k_par_mode
+                         else None);
+          rp_fp_proved = fp_proved; rp_pending_runs = k.k_pending_runs;
           rp_guard_misses = k.k_guard_misses }))
 
 let describe k = (report k).rp_detail

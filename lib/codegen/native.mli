@@ -9,6 +9,14 @@
     engine until its plugin is resident ([Async] mode builds on a
     background thread; [Sync] builds inline for tests and benches).
 
+    v2: emission is a scheduling codegen ({!Emit}) — cache tiling from
+    the [n_tile] hint, rolling register windows, row blits, and
+    cross-nest fusion — and execution dispatches emitted {e groups}
+    with an in-plugin [pfor] work-sharer instead of chunking around
+    per-nest entries. Tiled artifacts record the L2 budget behind their
+    tile shape in the stamp sidecar; startup revalidation drops them
+    when the budget changed.
+
     The fallback chain never fails a run: missing toolchain, emit
     unsupported, compile/Dynlink failure, stale stamps, bounds
     validation and shape guards all drop to the vector engine (per nest
@@ -34,32 +42,43 @@ type kernel
     [ocamlfind], or the [SFC_NATIVE_OCAMLFIND] env var) and revalidates
     cached sidecars against its stamp. [cache] defaults to a fresh
     disk cache in the default directory; pass the driver's cache to
-    share one directory. Probe failure is recorded, not raised: every
-    kernel of the ctx then runs on the vector engine. *)
+    share one directory. [l2_kb] is the cache budget behind the current
+    [n_tile] hints: tiled artifacts built under a different budget are
+    dropped at startup, and freshly built tiled artifacts record it.
+    Probe failure is recorded, not raised: every kernel of the ctx then
+    runs on the vector engine. *)
 val create :
-  ?cache:Cache.t -> ?mode:mode -> ?ocamlfind:string -> unit -> ctx
+  ?cache:Cache.t -> ?mode:mode -> ?ocamlfind:string -> ?l2_kb:int -> unit ->
+  ctx
 
 val cache : ctx -> Cache.t
 
 (** Why the native tier is disabled, if it is. *)
 val toolchain_error : ctx -> string option
 
-(** Sidecar sets dropped by startup revalidation (compiler changed). *)
+(** Sidecar sets dropped by startup revalidation (compiler changed, or
+    a tiled artifact's recorded L2 budget no longer matches). *)
 val stale_dropped : ctx -> int
 
 (** Wrap one analysed kernel. Compiles the vector fallback plan
     immediately; emission and the native build happen lazily at the
-    first {!run}. *)
-val prepare : ctx -> name:string -> Kc.spec -> kernel
+    first {!run}. [tile] and [fuse] select the emit-time scheduling
+    transforms ({!Emit.options}); with both false the emitted schedule
+    is the v1 flat loop nest. *)
+val prepare :
+  ctx -> ?tile:bool -> ?fuse:bool -> name:string -> Kc.spec -> kernel
 
 val name : kernel -> string
 
 (** The vector-engine plan used whenever the native path is not. *)
 val plan : kernel -> Kb.plan
 
-(** Execute the kernel: native entries where ready and proven in
-    bounds, the vector engine everywhere else. Never fails due to the
-    native tier.
+(** Execute the kernel: emitted groups where ready and proven in
+    bounds, the vector engine everywhere else. Parallel outer levels
+    are work-shared {e inside} the plugin when [pool] has more than one
+    worker; shift-fused groups dispatch their members' standalone
+    entries in that case (the fused schedule is serial). Never fails
+    due to the native tier.
     @raise Kc.Fallback on mismatched buffer extents (as {!Kb.run}). *)
 val run :
   kernel ->
@@ -88,6 +107,13 @@ type report = {
   rp_origin : origin option;
   rp_native_nests : int;
   rp_total_nests : int;
+  rp_fused_nests : int;  (** nests running inside multi-nest groups *)
+  rp_tile_rows : int option;  (** tile shape, when blocked loops emitted *)
+  rp_reuse_windows : int;  (** rolling register windows in the module *)
+  rp_copy_blits : int;  (** innermost copy loops emitted as row blits *)
+  rp_par_mode : string option;
+      (** how the last native run work-shared: ["in-plugin pool(N)"] or
+          ["serial"]; [None] before the first native run *)
   rp_fp_proved : int;
       (** nests whose bind-time bounds scan was elided because the
           footprint proved every access in-extent *)

@@ -8,21 +8,35 @@
    the runtime proper out of the plugin's world means a generated kernel
    can never pin (or skew against) internal library interfaces.
 
-   An entry runs one loop nest over a slice [plo, phi) of its outermost
-   loop; buffers arrive as raw float64 Bigarrays (the host unwraps its
-   memref descriptors) and scalars as a plain float array. The registry
-   is mutex-guarded: registration happens on whichever thread runs
+   An entry runs one scheduled loop group — a single nest, or several
+   nests fused at emit time — over its whole iteration space. The host
+   hands it a [pfor] work-sharer for the outermost parallel level: the
+   emitted code calls [pfor lo hi body] with its literal outer bounds
+   and drives every loop itself, so parallelism happens *inside* the
+   plugin (one dispatch per kernel call) instead of the host chunking
+   around the entry. The host passes a pool-backed pfor when it has
+   workers to share with and a run-inline pfor otherwise; entries whose
+   schedule is not chunk-safe (shift-fused groups) simply ignore the
+   argument and run serially.
+
+   Buffers arrive as raw float64 Bigarrays (the host unwraps its memref
+   descriptors) and scalars as a plain float array. The registry is
+   mutex-guarded: registration happens on whichever thread runs
    [Dynlink.loadfile], lookups may come from anywhere. *)
 
 type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-(* bufs -> scalars -> outer_lo -> outer_hi (exclusive) -> () *)
-type entry = buf array -> float array -> int -> int -> unit
+(* pfor lo hi body: work-share [lo, hi); body runs disjoint [plo, phi)
+   chunks covering the range and pfor returns once all completed *)
+type pfor = int -> int -> (int -> int -> unit) -> unit
+
+(* bufs -> scalars -> pfor -> () *)
+type entry = buf array -> float array -> pfor -> unit
 
 let mutex = Mutex.create ()
 
-(* key -> (nest index, entry) for every nest the plugin emitted *)
-let table : (string, (int * entry) list) Hashtbl.t = Hashtbl.create 16
+(* key -> (function name, entry) for every group the plugin emitted *)
+let table : (string, (string * entry) list) Hashtbl.t = Hashtbl.create 16
 
 let register key entries =
   Mutex.lock mutex;

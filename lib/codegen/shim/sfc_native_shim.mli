@@ -9,14 +9,21 @@
 
 type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-(** One compiled loop nest: [entry bufs scalars plo phi] runs the nest
-    over the slice [plo, phi) of its outermost loop. *)
-type entry = buf array -> float array -> int -> int -> unit
+(** [pfor lo hi body] work-shares the range [lo, hi): [body plo phi]
+    runs disjoint chunks covering it, and [pfor] returns once every
+    chunk completed. The host supplies a pool-backed implementation
+    when it has workers to share with and a run-inline one otherwise. *)
+type pfor = int -> int -> (int -> int -> unit) -> unit
 
-(** [register key entries] publishes a plugin's nests, keyed by the
-    cache digest baked into its source; [entries] pairs each nest index
-    with its entry. Thread-safe; later registrations replace earlier
-    ones. *)
-val register : string -> (int * entry) list -> unit
+(** One compiled loop group (a nest, or several nests fused at emit
+    time): [entry bufs scalars pfor] runs the whole group, driving its
+    own loops and sharing the outer parallel level through [pfor]. *)
+type entry = buf array -> float array -> pfor -> unit
 
-val find : string -> (int * entry) list option
+(** [register key entries] publishes a plugin's groups, keyed by the
+    cache digest baked into its source; [entries] pairs each emitted
+    function name with its entry. Thread-safe; later registrations
+    replace earlier ones. *)
+val register : string -> (string * entry) list -> unit
+
+val find : string -> (string * entry) list option

@@ -211,6 +211,54 @@ end program residual_probe
 |}
     nx ny nz niter
 
+(* Smoothing with relaxation: a 6-point average into rs, then a
+   cell-wise blend d = 0.25*rs + 0.75*u. The blend reads rs through the
+   identity index — the shape the native emitter's aligned cross-nest
+   fusion accepts (every shared cell produced before consumed in the
+   fused body), unlike the sweep/copy-back pairs above which need the
+   shifted schedule. The benchmark program for the aligned-fusion gate
+   in BENCH_kernels.json's scheduling section. *)
+let smooth ?(nx = 16) ?(ny = 16) ?(nz = 16) ?(niter = 4) () =
+  Printf.sprintf
+    {|
+program smooth
+  implicit none
+  integer, parameter :: nx = %d, ny = %d, nz = %d, niter = %d
+  integer :: i, j, k, iter
+  real(kind=8), dimension(0:nx+1, 0:ny+1, 0:nz+1) :: u, rs, d
+
+  do k = 0, nz + 1
+    do j = 0, ny + 1
+      do i = 0, nx + 1
+        u(i, j, k) = 0.01d0 * dble(i) * dble(i) &
+                   + 0.02d0 * dble(j) * dble(k) + 0.03d0 * dble(k)
+        rs(i, j, k) = 0.0d0
+        d(i, j, k) = 0.0d0
+      end do
+    end do
+  end do
+
+  do iter = 1, niter
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          rs(i, j, k) = (u(i-1, j, k) + u(i+1, j, k) + u(i, j-1, k) &
+                      + u(i, j+1, k) + u(i, j, k-1) + u(i, j, k+1)) / 6.0d0
+        end do
+      end do
+    end do
+    do k = 1, nz
+      do j = 1, ny
+        do i = 1, nx
+          d(i, j, k) = 0.25d0 * rs(i, j, k) + 0.75d0 * u(i, j, k)
+        end do
+      end do
+    end do
+  end do
+end program smooth
+|}
+    nx ny nz niter
+
 (* The paper's Listing 1: 2-D neighbour averaging. *)
 let listing1 ?(n = 256) () =
   Printf.sprintf

@@ -187,7 +187,8 @@ let default_native_ctx () =
    engine, which executes the whole program on the host interpreter).
    [native] is the native-JIT context, present iff the engine is
    [Engine_native] on a CPU target. *)
-let register_kernel ~engine ~target ~pool ~dist ~native ctx kernel_func =
+let register_kernel ~engine ~target ~pool ~dist ~native ~native_tile
+    ~native_fuse ctx kernel_func =
   let name = Fsc_dialects.Func.name kernel_func in
   match engine with
   | Engine_interp ->
@@ -219,7 +220,9 @@ let register_kernel ~engine ~target ~pool ~dist ~native ctx kernel_func =
       let native_kernel =
         match (engine, target, native) with
         | Engine_native, (Serial | Openmp _), Some nctx ->
-          Some (Fsc_codegen.Native.prepare nctx ~name spec)
+          Some
+            (Fsc_codegen.Native.prepare nctx ~tile:native_tile
+               ~fuse:native_fuse ~name spec)
         | _ -> None
       in
       let vplan =
@@ -461,9 +464,9 @@ let compile options src =
 (* The impure back half: host interpreted, kernels compiled where
    possible, pool/device allocated per target. Works identically on a
    freshly compiled artifact and on one re-parsed from the cache. *)
-let link ?(engine = Engine_vector) ?native
-    ?(dist_mode = Fsc_dmp.Dist_exec.Overlap) ?(dist_fuse = true)
-    ?(dist_coalesce = true) ?(dist_footprint = true) ca =
+let link ?(engine = Engine_vector) ?native ?(native_tile = true)
+    ?(native_fuse = true) ?(dist_mode = Fsc_dmp.Dist_exec.Overlap)
+    ?(dist_fuse = true) ?(dist_coalesce = true) ?(dist_footprint = true) ca =
   ensure_registered ();
   let target = ca.ca_options.opt_target in
   (* resolve the native ctx only when the engine/target pair uses it *)
@@ -517,7 +520,9 @@ let link ?(engine = Engine_vector) ?native
         Fsc_dialects.Func.all_functions ca.ca_stencil
         |> List.filter (fun f ->
                List.mem (Fsc_dialects.Func.name f) ca.ca_kernels)
-        |> List.map (register_kernel ~engine ~target ~pool ~dist ~native ctx))
+        |> List.map
+             (register_kernel ~engine ~target ~pool ~dist ~native
+                ~native_tile ~native_fuse ctx))
   in
   register_gpu_data ctx ca.ca_managed;
   { a_host = ca.ca_host; a_stencil = Some ca.ca_stencil;
@@ -529,12 +534,13 @@ let link ?(engine = Engine_vector) ?native
    (callable concurrently from server workers) does not: a reset racing
    another in-flight compile could hand out duplicate names. *)
 let stencil ?target ?tile_sizes ?merge ?specialize ?engine ?native
-    ?dist_mode ?dist_fuse ?dist_coalesce ?dist_footprint src =
+    ?native_tile ?native_fuse ?dist_mode ?dist_fuse ?dist_coalesce
+    ?dist_footprint src =
   let options = default_options ?target ?tile_sizes ?merge ?specialize () in
   Fsc_core.Extraction.reset_name_counter ();
   let ca = compile options src in
-  ( link ?engine ?native ?dist_mode ?dist_fuse ?dist_coalesce ?dist_footprint
-      ca,
+  ( link ?engine ?native ?native_tile ?native_fuse ?dist_mode ?dist_fuse
+      ?dist_coalesce ?dist_footprint ca,
     ca.ca_stats )
 
 (* -------------------- execution -------------------- *)

@@ -170,10 +170,17 @@ val compile : options -> string -> compiled_artifact
     [native] supplies the {!Engine_native} context (cache directory,
     build mode, toolchain); without it a process-wide default ctx
     (async builds, default cache directory) is created on first use.
-    Ignored under other engines. *)
+    [native_tile] and [native_fuse] (default [true]) select the
+    emit-time scheduling transforms of the native tier — intra-nest
+    scheduling (cache tiling, register reuse, row blits) and cross-nest
+    fusion; with both disabled the emitted code is the v1 flat loop
+    schedule. All native knobs are ignored under other engines, and all
+    preserve bitwise results. *)
 val link :
   ?engine:exec_engine ->
   ?native:Fsc_codegen.Native.ctx ->
+  ?native_tile:bool ->
+  ?native_fuse:bool ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->
@@ -192,6 +199,8 @@ val stencil :
   ?specialize:bool ->
   ?engine:exec_engine ->
   ?native:Fsc_codegen.Native.ctx ->
+  ?native_tile:bool ->
+  ?native_fuse:bool ->
   ?dist_mode:Fsc_dmp.Dist_exec.mode ->
   ?dist_fuse:bool ->
   ?dist_coalesce:bool ->

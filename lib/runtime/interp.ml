@@ -175,7 +175,10 @@ and exec_op ctx env op : block_result option =
   let register_buffer buf =
     match Op.attr op "bindc_name" with
     | Some (Attr.Str_a n) ->
-      ctx.named_buffers <- (n, buf) :: ctx.named_buffers
+      (* replace, never accumulate: a context is re-run many times on
+         the same program, and keeping every historical allocation
+         reachable pins its off-heap storage for the process lifetime *)
+      ctx.named_buffers <- (n, buf) :: List.remove_assoc n ctx.named_buffers
     | _ -> ()
   in
   match op.Op.o_name with

@@ -32,13 +32,86 @@ let size t = Array.fold_left ( * ) 1 t.dims
 
 let bytes t = 8 * size t
 
+(* ---- storage arena ----
+
+   Retired data arrays keyed by exact element count, recycled into
+   later [create] calls of the same size. A buffer's storage is
+   recycled when its record is collected: the record is the only
+   durable path to the data (engines extract [t.data] only transiently,
+   while [t] is live), so an unreachable record means unreachable
+   storage. Recycled arrays are zero-filled before reuse, exactly like
+   fresh ones — a pooled create is indistinguishable from a cold one.
+
+   Why this matters: re-running a linked artifact re-allocates every
+   program grid, and grids above glibc's mmap threshold each cost an
+   mmap + munmap + first-touch fault storm per run. Under sustained
+   re-runs that churn dominates short programs; recycling pins a small
+   stable arena instead. Only grids are pooled (>= 4096 elements) —
+   scalar temporaries are cheap and would bloat the size-class table.
+
+   Finalisers may fire at any allocation point, including inside the
+   arena's own critical sections, so both paths take the lock with
+   [try_lock] and fall back to the plain allocator/free path when it
+   is unavailable — dropping a recyclable array is always correct. *)
+
+type data = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let arena : (int, data list) Hashtbl.t = Hashtbl.create 16
+let arena_lock = Mutex.create ()
+let arena_min_elems = 4096
+let arena_class_max = 8
+let arena_max_bytes = 64 * 1024 * 1024
+let arena_bytes = ref 0
+let arena_hit_count = ref 0
+let arena_retire_count = ref 0
+
+let arena_retire (data : data) =
+  let n = Bigarray.Array1.dim data in
+  if n >= arena_min_elems && Mutex.try_lock arena_lock then begin
+    let free = Option.value (Hashtbl.find_opt arena n) ~default:[] in
+    if List.length free < arena_class_max
+       && !arena_bytes + (8 * n) <= arena_max_bytes
+    then begin
+      Hashtbl.replace arena n (data :: free);
+      arena_bytes := !arena_bytes + (8 * n);
+      incr arena_retire_count
+    end;
+    Mutex.unlock arena_lock
+  end
+
+let arena_take n =
+  if n < arena_min_elems || not (Mutex.try_lock arena_lock) then None
+  else begin
+    let r =
+      match Hashtbl.find_opt arena n with
+      | Some (d :: rest) ->
+        Hashtbl.replace arena n rest;
+        arena_bytes := !arena_bytes - (8 * n);
+        incr arena_hit_count;
+        Some d
+      | _ -> None
+    in
+    Mutex.unlock arena_lock;
+    r
+  end
+
+let arena_stats () = (!arena_hit_count, !arena_retire_count)
+
 let create dims =
   let dims = Array.of_list dims in
-  let total = Array.fold_left ( * ) 1 dims in
-  let data = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
-               (max total 1) in
+  let total = max (Array.fold_left ( * ) 1 dims) 1 in
+  let data =
+    match arena_take total with
+    | Some d -> d
+    | None ->
+      Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout total
+  in
   Bigarray.Array1.fill data 0.0;
-  { data; dims; strides = column_major_strides dims; buf_id = next_id () }
+  let t = { data; dims; strides = column_major_strides dims;
+            buf_id = next_id () } in
+  if total >= arena_min_elems then
+    Gc.finalise (fun t -> arena_retire t.data) t;
+  t
 
 let scalar () = create [ 1 ]
 

@@ -20,8 +20,18 @@ val size : t -> int
 
 val bytes : t -> int
 
-(** Zero-filled buffer with the given extents. *)
+(** Zero-filled buffer with the given extents. Grid-sized buffers
+    (>= 4096 elements) draw their storage from a recycling arena when a
+    same-sized buffer has been collected — re-running a linked artifact
+    then reuses a stable set of pages instead of paying an
+    mmap/munmap/fault cycle per run. Pooled or fresh, the buffer is
+    zero-filled and carries a fresh [buf_id]. *)
 val create : int list -> t
+
+(** Cumulative [(hits, retires)] of the storage arena: how many creates
+    were served from recycled storage, and how many collected buffers
+    donated theirs. Monotone process-wide counters (tests diff them). *)
+val arena_stats : unit -> int * int
 
 (** A 1-element buffer. *)
 val scalar : unit -> t

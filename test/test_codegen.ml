@@ -109,6 +109,177 @@ let test_emit_bakes_strides () =
       (E.body a = E.body b)
   | _ -> Alcotest.fail "emit failed"
 
+(* ---- handcrafted 3-D specs for the scheduling transforms ----
+
+   Loop level 0 is the outermost and runs over dimension 2 (column
+   major: dimension 0 is contiguous), matching what the extractor
+   produces for a Fortran triple nest. Index lists are per dimension:
+   position p holds the component for dimension p. *)
+
+let loop3 lvl dim lb ub =
+  { Kc.l_level = lvl; l_dim = dim; l_lb = lb; l_ub = ub; l_parallel = false;
+    l_vector_width = 1 }
+
+let loops3d ?(lb = 1) ?(ub = 5) () =
+  [ loop3 0 2 lb ub; loop3 1 1 lb ub; loop3 2 0 lb ub ]
+
+let idx3 ?(di = 0) ?(dj = 0) ?(dk = 0) () =
+  [ Kc.Iv (2, di); Kc.Iv (1, dj); Kc.Iv (0, dk) ]
+
+let nest3d ?(loops = loops3d ()) ?(tile = []) stores =
+  { Kc.n_loops = loops; n_stores = stores; n_uses_iv = false;
+    n_flops_per_cell = 1; n_loads_per_cell = 1; n_tile = tile }
+
+let store3 buf ?(index = idx3 ()) expr =
+  { Kc.st_buf = buf; st_index = index; st_expr = expr }
+
+let spec3 ?(nbufs = 2) nests =
+  { Kc.k_nests = nests; k_num_bufs = nbufs; k_num_scalars = 0 }
+
+let strides3 = [| 1; 6; 36 |]
+
+(* the Gauss-Seidel shape: sweep reads buf0's outer-dim neighbours into
+   buf1, copy-back writes buf0 — aligned fusion is illegal, shifted
+   fusion needs exactly d = 1 *)
+let sweep_nest =
+  nest3d
+    [ store3 1
+        (Kc.F_binary
+           ( "arith.mulf",
+             Kc.F_binary
+               ( "arith.addf",
+                 Kc.F_load (0, idx3 ~dk:(-1) ()),
+                 Kc.F_load (0, idx3 ~dk:1 ()) ),
+             Kc.F_const 0.5 )) ]
+
+let copy_nest = nest3d [ store3 0 (Kc.F_load (1, idx3 ())) ]
+
+let test_fusion_shifted () =
+  match E.emit ~strides:strides3 (spec3 [ sweep_nest; copy_nest ]) with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t -> (
+    Alcotest.(check (list string)) "no refusals" []
+      (List.map snd (E.refused t));
+    match E.groups t with
+    | [ { E.g_kind = E.G_shifted d; g_nests = [ 0; 1 ]; g_alts; _ } ] ->
+      Alcotest.(check int) "minimal legal shift" 1 d;
+      Alcotest.(check int) "standalone member entries for pool hosts" 2
+        (List.length g_alts)
+    | gs -> Alcotest.failf "expected one shifted pair, got %d groups"
+              (List.length gs))
+
+let test_fusion_aligned () =
+  (* smooth shape: producer writes buf1 cell-wise, consumer blends
+     buf1 and buf0 through the identity index — every shared cell is
+     produced before it is consumed, so cell-wise fusion is legal *)
+  let producer =
+    nest3d
+      [ store3 1
+          (Kc.F_binary ("arith.mulf", Kc.F_load (0, idx3 ()), Kc.F_const 0.5))
+      ]
+  in
+  let consumer =
+    nest3d
+      [ store3 2
+          (Kc.F_binary
+             ("arith.addf", Kc.F_load (1, idx3 ()), Kc.F_load (0, idx3 ())))
+      ]
+  in
+  match E.emit ~strides:strides3 (spec3 ~nbufs:3 [ producer; consumer ]) with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t -> (
+    match E.groups t with
+    | [ { E.g_kind = E.G_aligned; g_nests = [ 0; 1 ]; _ } ] -> ()
+    | _ -> Alcotest.fail "expected one aligned group")
+
+let test_fusion_refused () =
+  (* both nests touch buf1 pinned to one outer plane: not a bijection
+     (aligned) and a same-plane conflict at every outer pair (shifted).
+     The emitter must refuse with the reason recorded, and fall back
+     to two correct single-nest entries. *)
+  let pinned = [ Kc.Iv (2, 0); Kc.Iv (1, 0); Kc.Cst 1 ] in
+  let a = nest3d [ store3 1 ~index:pinned (Kc.F_load (0, idx3 ())) ] in
+  let b = nest3d [ store3 0 (Kc.F_load (1, pinned)) ] in
+  match E.emit ~strides:strides3 (spec3 [ a; b ]) with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t ->
+    Alcotest.(check bool) "both nests still emitted as singles" true
+      (List.for_all
+         (fun g -> g.E.g_kind = E.G_single)
+         (E.groups t)
+      && List.length (E.groups t) = 2);
+    (match E.refused t with
+    | [ (1, why) ] ->
+      Alcotest.(check bool) "reason names the pinned plane" true
+        (contains why "pinned")
+    | r -> Alcotest.failf "expected one refusal, got %d" (List.length r))
+
+let test_fusion_structural_gates () =
+  (* mismatched loop bounds never fuse *)
+  let other =
+    nest3d ~loops:(loops3d ~ub:6 ()) [ store3 0 (Kc.F_load (1, idx3 ())) ]
+  in
+  (match E.emit ~strides:strides3 (spec3 [ sweep_nest; other ]) with
+  | Ok t ->
+    Alcotest.(check int) "bound mismatch stays single" 2
+      (List.length (E.groups t));
+    (match E.refused t with
+    | [ (1, why) ] ->
+      Alcotest.(check bool) "reason names loop structure" true
+        (contains why "loop structures differ")
+    | _ -> Alcotest.fail "expected one refusal")
+  | Error e -> Alcotest.failf "emit failed: %s" e);
+  (* o_fuse = false splits the legal pair without recording refusals *)
+  match
+    E.emit ~strides:strides3
+      ~options:{ E.o_tile = true; o_fuse = false }
+      (spec3 [ sweep_nest; copy_nest ])
+  with
+  | Ok t ->
+    Alcotest.(check int) "fuse off: two singles" 2 (List.length (E.groups t));
+    Alcotest.(check int) "fuse off: no refusals" 0
+      (List.length (E.refused t))
+  | Error e -> Alcotest.failf "emit failed: %s" e
+
+let test_schedule_emission () =
+  (* wide loops: the innermost level is unrolled 4-wide, the copy nest
+     becomes an allocation-free bulk row move, and a real n_tile hint
+     splits the first sequential level into blocked loops *)
+  let wide = loops3d ~lb:1 ~ub:12 () in
+  let sweep = { sweep_nest with Kc.n_loops = wide; n_tile = [ 4 ] } in
+  let copy = { copy_nest with Kc.n_loops = wide } in
+  let strides = [| 1; 14; 196 |] in
+  (* fusion off: exercise the intra-nest transforms in isolation *)
+  (match
+     E.emit ~strides
+       ~options:{ E.o_tile = true; o_fuse = false }
+       (spec3 [ sweep; copy ])
+   with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t ->
+    Alcotest.(check bool) "innermost loops unrolled" true (E.unrolled t > 0);
+    Alcotest.(check bool) "copy rows emitted as row blits" true
+      (E.blits t > 0);
+    Alcotest.(check (list (pair int int))) "tile hint honoured" [ (0, 4) ]
+      (E.tiled t);
+    let body = E.body t in
+    Alcotest.(check bool) "body carries the unrolled trips" true
+      (contains body "4 cells per trip");
+    Alcotest.(check bool) "body carries the blocked tiles" true
+      (contains body "-row tiles");
+    Alcotest.(check bool) "row moves never allocate sub views" false
+      (contains body "Array1.sub"));
+  match
+    E.emit ~strides
+      ~options:{ E.o_tile = false; o_fuse = true }
+      (spec3 [ sweep; copy ])
+  with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok t ->
+    Alcotest.(check int) "tile off: nothing unrolled" 0 (E.unrolled t);
+    Alcotest.(check int) "tile off: no blits" 0 (E.blits t);
+    Alcotest.(check (list (pair int int))) "tile off: no tiles" [] (E.tiled t)
+
 (* ---- end-to-end parity on a real program ---- *)
 
 let gs_src = B.gauss_seidel ~nx:8 ~ny:8 ~nz:8 ~niter:3 ()
@@ -221,6 +392,111 @@ let test_corrupt_plugin_rebuilds () =
     Alcotest.(check bool) "plugin replaced on disk" false (c = corrupt)
   | None -> Alcotest.fail "plugin missing after rebuild"
 
+(* ---- scheduling ablation matrix ----
+
+   Every scheduling knob combination, serial and pool-hosted, must stay
+   bitwise identical to the vector engine — the transforms reorder loop
+   control only, never float arithmetic. *)
+let test_ablation_matrix () =
+  with_toolchain @@ fun () ->
+  List.iter
+    (fun (pname, src, grids) ->
+      let va, _ = P.stencil ~target:P.Serial ~engine:P.Engine_vector src in
+      P.run va;
+      let refs = List.map (fun g -> (g, Rt.clone (P.buffer_exn va g))) grids in
+      P.shutdown va;
+      List.iter
+        (fun (tile, fuse) ->
+          List.iter
+            (fun (tname, target) ->
+              let a, _ =
+                P.stencil ~target ~engine:P.Engine_native
+                  ~native:(sync_ctx ()) ~native_tile:tile ~native_fuse:fuse
+                  src
+              in
+              P.run a;
+              List.iter
+                (fun (g, r) ->
+                  Alcotest.(check (float 0.))
+                    (Printf.sprintf "%s/%s tile=%b fuse=%b %s" pname g tile
+                       fuse tname)
+                    0.0
+                    (Rt.max_abs_diff r (P.buffer_exn a g)))
+                refs;
+              P.shutdown a)
+            [ ("serial", P.Serial); ("pool", P.Openmp 2) ])
+        [ (false, false); (true, false); (false, true); (true, true) ])
+    [ ("gauss-seidel", gs_src, [ "u" ]);
+      ("laplace", B.laplace ~n:12 ~niter:3 (), [ "phi" ]);
+      ("residual", B.residual ~nx:8 ~ny:8 ~nz:8 ~niter:2 (), [ "u"; "r" ]) ]
+
+(* ---- storage arena ----
+
+   Retired large buffers must be recycled (same-size create reuses the
+   storage) and reused storage must come back zero-filled, exactly like
+   a fresh create. *)
+let test_arena_recycles () =
+  let dims = [ 64; 64; 2 ] in
+  (* 8192 elems, above the arena threshold *)
+  let hits0, retires0 = Rt.arena_stats () in
+  (let b = Rt.create dims in
+   Rt.set b [| 3; 3; 1 |] 42.0);
+  Gc.full_major ();
+  (* finaliser retired the storage *)
+  let _, retires1 = Rt.arena_stats () in
+  Alcotest.(check bool) "retired on collection" true (retires1 > retires0);
+  let b2 = Rt.create dims in
+  let hits1, _ = Rt.arena_stats () in
+  Alcotest.(check bool) "same-size create recycled it" true (hits1 > hits0);
+  Alcotest.(check (float 0.)) "recycled storage is zero-filled" 0.0
+    (Rt.get b2 [| 3; 3; 1 |])
+
+(* ---- tile-budget revalidation ----
+
+   A cached tiled artifact records the L2 budget its tile shape was
+   derived under; opening the cache with a different budget must evict
+   it, while the same budget keeps it. *)
+let test_tile_budget_eviction () =
+  with_toolchain @@ fun () ->
+  let dir = fresh_dir () in
+  let sp =
+    spec3
+      [ { (nest3d ~loops:(loops3d ~ub:12 ())
+             [ store3 1
+                 (Kc.F_binary
+                    ("arith.mulf", Kc.F_load (0, idx3 ()), Kc.F_const 0.5))
+             ])
+          with
+          Kc.n_tile = [ 4 ] } ]
+  in
+  let mk l2_kb =
+    N.create
+      ~cache:(Cache.create ~dir ~version:N.format_version ())
+      ~mode:N.Sync ~l2_kb ()
+  in
+  let ctx = mk 512 in
+  let k = N.prepare ctx ~name:"tb" sp in
+  let bufs = [| Rt.create [ 14; 14; 14 ]; Rt.create [ 14; 14; 14 ] |] in
+  N.run k ~bufs ~scalars:[||] ();
+  (match (N.report k).N.rp_origin with
+  | Some N.Origin_built -> ()
+  | _ -> Alcotest.fail "expected a cold tiled build");
+  (* same budget: the tiled artifact revalidates *)
+  Alcotest.(check int) "same budget keeps the artifact" 0
+    (N.stale_dropped (mk 512));
+  (* shrunk budget: the recorded tile shape no longer matches *)
+  let ctx2 = mk 256 in
+  Alcotest.(check bool) "changed budget evicts it" true
+    (N.stale_dropped ctx2 >= 1);
+  (* and the rebuild over the new budget still answers bitwise *)
+  let k2 = N.prepare ctx2 ~name:"tb" sp in
+  let ref_bufs = [| Rt.create [ 14; 14; 14 ]; Rt.create [ 14; 14; 14 ] |] in
+  Kc.run sp ~bufs:ref_bufs ~scalars:[||] ();
+  let nat_bufs = [| Rt.create [ 14; 14; 14 ]; Rt.create [ 14; 14; 14 ] |] in
+  N.run k2 ~bufs:nat_bufs ~scalars:[||] ();
+  Alcotest.(check (float 0.)) "rebuilt kernel bitwise" 0.0
+    (Rt.max_abs_diff ref_bufs.(1) nat_bufs.(1))
+
 let () =
   Alcotest.run "codegen"
     [ ("emit",
@@ -229,6 +505,17 @@ let () =
            test_emit_rejects_all_unsupported;
          Alcotest.test_case "strides baked into body" `Quick
            test_emit_bakes_strides ]);
+      ("schedule",
+       [ Alcotest.test_case "sweep/copy pair fuses shifted" `Quick
+           test_fusion_shifted;
+         Alcotest.test_case "producer/consumer fuses aligned" `Quick
+           test_fusion_aligned;
+         Alcotest.test_case "overlap fixture refuses to fuse" `Quick
+           test_fusion_refused;
+         Alcotest.test_case "structural gates and fuse knob" `Quick
+           test_fusion_structural_gates;
+         Alcotest.test_case "tile, unroll and blit emission" `Quick
+           test_schedule_emission ]);
       ("native",
        [ Alcotest.test_case "gauss-seidel bitwise vs vector" `Quick
            test_native_bitwise_gs;
@@ -237,4 +524,10 @@ let () =
          Alcotest.test_case "unsupported nest runs mixed" `Quick
            test_mixed_nest_execution;
          Alcotest.test_case "corrupt plugin dropped and rebuilt" `Quick
-           test_corrupt_plugin_rebuilds ]) ]
+           test_corrupt_plugin_rebuilds;
+         Alcotest.test_case "ablation matrix bitwise vs vector" `Quick
+           test_ablation_matrix;
+         Alcotest.test_case "storage arena recycles buffers" `Quick
+           test_arena_recycles;
+         Alcotest.test_case "tile budget change evicts artifacts" `Quick
+           test_tile_budget_eviction ]) ]
