@@ -11,7 +11,8 @@
      wins, crossovers) are reproduced. EXPERIMENTS.md records the
      paper-vs-ours comparison.
 
-   Usage:  main.exe [--figure N] [--quick] [--no-bechamel]          *)
+   Usage:  main.exe [--figure N] [--quick] [--no-bechamel]
+           main.exe --serve   (BENCH_serve.json only, incl. saturation) *)
 
 module P = Fsc_driver.Pipeline
 module B = Fsc_driver.Benchmarks
@@ -27,6 +28,7 @@ let figures = ref []
 let run_bechamel = ref true
 let kernels_only = ref false
 let dist_only = ref false
+let serve_only = ref false
 
 let () =
   Array.iteri
@@ -36,6 +38,7 @@ let () =
       | "--no-bechamel" -> run_bechamel := false
       | "--kernels-only" -> kernels_only := true
       | "--dist" -> dist_only := true
+      | "--serve" -> serve_only := true
       | "--figure" ->
         if i + 1 < Array.length Sys.argv then
           figures := int_of_string Sys.argv.(i + 1) :: !figures
@@ -253,6 +256,260 @@ let write_serve_json () =
   in
   let batch_cold_ms = batch ~label:"cold" () in
   let batch_warm_ms = batch ~label:"warm" () in
+  (* ---- multi-client open-loop saturation sweep ----
+
+     A real `serve` instance under paced one-connection-per-request load
+     from concurrent client identities, at several offered-load multiples
+     of the measured warm capacity. Latency is measured from the
+     *scheduled* send time, so a lagging generator counts as queueing
+     rather than hiding it (no coordinated omission). A quarter of the
+     jobs are fresh sources (cold compiles); every ok reply's checksums
+     must be bitwise identical to a serial in-process reference. *)
+  let module Svc = Fsc_server.Service in
+  let failures = ref [] in
+  let sat_workers = 2 and sat_handlers = 12 and sat_queue = 3 in
+  let n_clients = 8 in
+  let jobs_per_point = if !quick then 20 else 40 in
+  let variants = Hashtbl.create 64 in
+  List.iteri (fun i (_, src) -> Hashtbl.replace variants i src) benches;
+  let next_vid = ref (List.length benches) in
+  (* a fresh variant pads a base program with [vid] blank lines: a new
+     cache key, the same program, the same checksums *)
+  let fresh_variant () =
+    let vid = !next_vid in
+    incr next_vid;
+    let _, base = List.nth benches (vid mod List.length benches) in
+    Hashtbl.replace variants vid (base ^ String.make vid '\n');
+    vid
+  in
+  let multipliers = [ 0.5; 1.0; 2.0; 4.0 ] in
+  let schedules =
+    List.map
+      (fun m ->
+        ( m,
+          List.init jobs_per_point (fun j ->
+              let vid = if j mod 4 = 3 then fresh_variant () else j mod 2 in
+              (j, vid)) ))
+      multipliers
+  in
+  let job_line ~client vid =
+    J.to_string
+      (J.Obj
+         [ ("source", J.Str (Hashtbl.find variants vid));
+           ("target", J.Str "serial"); ("action", J.Str "run");
+           ("id", J.Num (float_of_int vid)); ("client", J.Str client) ])
+  in
+  let reply_fields r =
+    match J.of_string r with
+    | j ->
+      let str name =
+        match J.member name j with Some (J.Str s) -> s | _ -> ""
+      in
+      let vid =
+        match J.member "id" j with
+        | Some (J.Num v) -> int_of_float v
+        | _ -> -1
+      in
+      let cks =
+        match J.member "checksums" j with
+        | Some v -> J.to_string v
+        | None -> ""
+      in
+      (vid, str "status", str "cache", cks)
+    | exception J.Parse_error _ -> (-1, "unparseable", "", "")
+  in
+  (* serial in-process reference: the bitwise ground truth per job *)
+  let reference = Hashtbl.create 64 in
+  let ref_lines =
+    List.init !next_vid (fun vid -> job_line ~client:"ref" vid)
+  in
+  List.iter
+    (fun r ->
+      let vid, status, _, cks = reply_fields r in
+      if status <> "ok" then
+        failures :=
+          Printf.sprintf "saturation: serial reference job %d is %s" vid
+            status
+          :: !failures;
+      Hashtbl.replace reference vid cks)
+    (Svc.run_batch ~workers:1 ~cache:(fresh_cache ()) ref_lines);
+  let tmp_dir () =
+    let d = Filename.temp_file "fsc_bench_serve" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let socket = Filename.concat (tmp_dir ()) "sfc.sock" in
+  let server_cache = fresh_cache () in
+  let server =
+    Domain.spawn (fun () ->
+        Svc.serve ~cache:server_cache ~workers:sat_workers
+          ~queue_capacity:sat_queue ~handlers:sat_handlers ~socket ())
+  in
+  let rec await_socket tries =
+    if not (Sys.file_exists socket) then
+      if tries <= 0 then
+        failures := "saturation: serve socket never appeared" :: !failures
+      else begin
+        Unix.sleepf 0.02;
+        await_socket (tries - 1)
+      end
+  in
+  await_socket 250;
+  (* warm the base variants, then measure steady-state service time *)
+  List.iteri
+    (fun i _ -> ignore (Svc.request ~socket [ job_line ~client:"warmup" i ]))
+    benches;
+  let warm_s =
+    let reps = 6 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to reps do
+      ignore
+        (Svc.request ~socket
+           [ job_line ~client:"warmup" (i mod List.length benches) ])
+    done;
+    max 1e-4 ((Unix.gettimeofday () -. t0) /. float_of_int reps)
+  in
+  let cold_s =
+    let reps = 2 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore
+        (Svc.request ~socket [ job_line ~client:"warmup" (fresh_variant ()) ])
+    done;
+    max 1e-4 ((Unix.gettimeofday () -. t0) /. float_of_int reps)
+  in
+  (* the offered mix is 3 warm jobs to 1 cold, so capacity must price
+     the cold compiles in or every point lands past saturation *)
+  let svc_s = (0.75 *. warm_s) +. (0.25 *. cold_s) in
+  let capacity = float_of_int sat_workers /. svc_s in
+  let percentile lats p =
+    let a = Array.of_list lats in
+    let m = Array.length a in
+    if m = 0 then 0.
+    else begin
+      Array.sort compare a;
+      a.(max 0 (min (m - 1) (int_of_float (ceil (p *. float_of_int m)) - 1)))
+    end
+  in
+  let points =
+    List.map
+      (fun (mult, sched) ->
+        let rate = mult *. capacity in
+        let t0 = Unix.gettimeofday () +. 0.05 in
+        let buckets = Array.make n_clients [] in
+        List.iter
+          (fun (j, vid) ->
+            buckets.(j mod n_clients) <-
+              (float_of_int j /. rate, j, vid) :: buckets.(j mod n_clients))
+          sched;
+        let doms =
+          Array.map
+            (fun bucket ->
+              let bucket = List.rev bucket in
+              Domain.spawn (fun () ->
+                  List.map
+                    (fun (t, j, vid) ->
+                      let client = Printf.sprintf "load-%d" (j mod n_clients) in
+                      let target = t0 +. t in
+                      let now = Unix.gettimeofday () in
+                      if target > now then Unix.sleepf (target -. now);
+                      let reply =
+                        match Svc.request ~socket [ job_line ~client vid ] with
+                        | [ r ] -> r
+                        | _ -> ""
+                      in
+                      (vid, target, Unix.gettimeofday (), reply))
+                    bucket))
+            buckets
+        in
+        let results = Array.to_list doms |> List.concat_map Domain.join in
+        let t_end =
+          List.fold_left (fun acc (_, _, fin, _) -> max acc fin) t0 results
+        in
+        let wall = max 1e-6 (t_end -. t0) in
+        let ok = ref 0 and rejected = ref 0 and errors = ref 0 in
+        let cold = ref 0 and warm = ref 0 in
+        let lats = ref [] in
+        List.iter
+          (fun (vid, sched_t, fin, reply) ->
+            let _, status, cachef, cks = reply_fields reply in
+            match status with
+            | "ok" ->
+              incr ok;
+              lats := (1e3 *. (fin -. sched_t)) :: !lats;
+              (match cachef with
+              | "hit" -> incr warm
+              | "miss" -> incr cold
+              | _ -> ());
+              (match Hashtbl.find_opt reference vid with
+              | Some ref_cks when ref_cks = cks -> ()
+              | Some _ ->
+                failures :=
+                  Printf.sprintf
+                    "saturation x%g: job %d checksums differ from serial"
+                    mult vid
+                  :: !failures
+              | None ->
+                failures :=
+                  Printf.sprintf "saturation x%g: job %d has no reference"
+                    mult vid
+                  :: !failures)
+            | "rejected" -> incr rejected
+            | other ->
+              incr errors;
+              failures :=
+                Printf.sprintf "saturation x%g: job %d unexpected status %S"
+                  mult vid other
+                :: !failures)
+          results;
+        let total = List.length results in
+        let p50 = percentile !lats 0.50 and p99 = percentile !lats 0.99 in
+        if p99 < p50 then
+          failures :=
+            Printf.sprintf "saturation x%g: p99 below p50" mult :: !failures;
+        Printf.printf
+          "  serve saturation x%-4g %5.1f req/s offered: %5.1f/s through, \
+           p50 %6.1f ms, p99 %6.1f ms, shed %4.1f%%, warm %d/%d\n"
+          mult rate
+          (float_of_int !ok /. wall)
+          p50 p99
+          (100. *. float_of_int !rejected /. float_of_int (max 1 total))
+          !warm (!warm + !cold);
+        ( !cold,
+          !warm,
+          J.Obj
+            [ ("offered_multiplier", J.Num mult);
+              ("offered_per_s", J.Num rate);
+              ("jobs", J.Num (float_of_int total));
+              ("ok", J.Num (float_of_int !ok));
+              ("rejected", J.Num (float_of_int !rejected));
+              ("errors", J.Num (float_of_int !errors));
+              ("throughput_per_s", J.Num (float_of_int !ok /. wall));
+              ("p50_ms", J.Num p50); ("p99_ms", J.Num p99);
+              ("shed_rate",
+               J.Num (float_of_int !rejected /. float_of_int (max 1 total)));
+              ("cold_compiles", J.Num (float_of_int !cold));
+              ("warm_hits", J.Num (float_of_int !warm));
+              ("warm_hit_ratio",
+               J.Num
+                 (if !warm + !cold = 0 then 0.
+                  else float_of_int !warm /. float_of_int (!warm + !cold)))
+            ] ))
+      schedules
+  in
+  (try ignore (Svc.request ~socket [ {|{"action": "shutdown"}|} ])
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Domain.join server;
+  let total_cold = List.fold_left (fun a (c, _, _) -> a + c) 0 points in
+  let total_warm = List.fold_left (fun a (_, w, _) -> a + w) 0 points in
+  let point_objs = List.map (fun (_, _, o) -> o) points in
+  if List.length point_objs < 4 then
+    failures := "saturation: fewer than 4 offered-load points" :: !failures;
+  if total_cold = 0 then
+    failures := "saturation: no cold compiles observed" :: !failures;
+  if total_warm = 0 then
+    failures := "saturation: no warm cache hits observed" :: !failures;
   let json =
     J.Obj
       [ ("setup",
@@ -264,17 +521,68 @@ let write_serve_json () =
          J.Obj
            [ ("jobs", J.Num (float_of_int (List.length lines)));
              ("workers", J.Num 2.); ("cold_ms", J.Num batch_cold_ms);
-             ("warm_ms", J.Num batch_warm_ms) ]) ]
+             ("warm_ms", J.Num batch_warm_ms) ]);
+        ("saturation",
+         J.Obj
+           [ ("setup",
+              J.Obj
+                [ ("workers", J.Num (float_of_int sat_workers));
+                  ("handlers", J.Num (float_of_int sat_handlers));
+                  ("queue_capacity", J.Num (float_of_int sat_queue));
+                  ("clients", J.Num (float_of_int n_clients));
+                  ("jobs_per_point", J.Num (float_of_int jobs_per_point));
+                  ("service_ms", J.Num (1e3 *. svc_s));
+                  ("capacity_per_s", J.Num capacity) ]);
+             ("points", J.List point_objs) ]) ]
   in
   let path = "BENCH_serve.json" in
   let oc = open_out path in
   output_string oc (J.to_string json);
   output_char oc '\n';
   close_out oc;
+  (* self-validate: the file must re-parse and carry the saturation
+     curve with its percentile and shed fields *)
+  let reread =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (match J.of_string reread with
+  | parsed -> (
+    if
+      J.member "series" parsed = None
+      || J.member "batch" parsed = None
+      || J.member "saturation" parsed = None
+    then
+      failures := (path ^ ": missing series/batch/saturation") :: !failures;
+    match
+      Option.bind (J.member "saturation" parsed) (J.member "points")
+    with
+    | Some (J.List (first :: _ as pts)) ->
+      if List.length pts < 4 then
+        failures := (path ^ ": saturation has < 4 points") :: !failures;
+      List.iter
+        (fun field ->
+          if J.member field first = None then
+            failures :=
+              Printf.sprintf "%s: saturation point lacks %S" path field
+              :: !failures)
+        [ "offered_per_s"; "throughput_per_s"; "p50_ms"; "p99_ms";
+          "shed_rate"; "warm_hit_ratio" ]
+    | _ ->
+      failures := (path ^ ": saturation points missing/empty") :: !failures)
+  | exception J.Parse_error e ->
+    failures := (path ^ ": unparseable: " ^ e) :: !failures);
   Printf.printf
     "serve timings written to %s (%d series points; batch %d jobs cold \
-     %.0f ms -> warm %.0f ms)\n"
+     %.0f ms -> warm %.0f ms; %d saturation points)\n"
     path (List.length series) (List.length lines) batch_cold_ms batch_warm_ms
+    (List.length point_objs);
+  if !failures <> [] then begin
+    List.iter (fun f -> Printf.eprintf "FAIL %s\n" f) !failures;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Execution-engine comparison: BENCH_kernels.json                     *)
@@ -1648,6 +1956,10 @@ let () =
   end;
   if !dist_only then begin
     write_dmp_json ();
+    exit 0
+  end;
+  if !serve_only then begin
+    write_serve_json ();
     exit 0
   end;
   write_pipeline_json ();

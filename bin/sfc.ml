@@ -16,7 +16,8 @@
      sfc run prog.f90 --cache --stats
      sfc check prog.f90 --json
      sfc batch jobs.jsonl --workers 4 --cache-dir /tmp/sfc-cache
-     sfc serve --socket /tmp/sfc.sock *)
+     sfc batch jobs.jsonl --socket /tmp/sfc.sock --client ci
+     sfc serve --socket /tmp/sfc.sock --handlers 8 --quota 4 --cache-mb 64 *)
 
 open Cmdliner
 module P = Fsc_driver.Pipeline
@@ -24,6 +25,7 @@ module Cc = Fsc_driver.Compile_cache
 module Cache = Fsc_cache.Cache
 module Svc = Fsc_server.Service
 module Obs = Fsc_obs.Obs
+module J = Fsc_obs.Obs.Json
 module Diag = Fsc_analysis.Diag
 module Check = Fsc_analysis.Check
 module Kb = Fsc_rt.Kernel_bytecode
@@ -253,14 +255,27 @@ let cache_dir_arg =
           "Artifact cache directory (default: \\$XDG_CACHE_HOME/sfc or \
            ~/.cache/sfc).")
 
+let cache_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Disk budget for the artifact cache, in megabytes. Past it, \
+           least-recently-used artifact sets (entry plus sidecars) are \
+           evicted whole. Unbounded when absent.")
+
 (* [default] is the policy when neither flag is given: off for the
    one-shot compile/run commands, on for the batch/serve service, where
    deduplicating repeated compiles is the point. *)
-let make_cache ~default flag dir =
+let make_cache ~default flag dir mb =
   let enabled =
-    match flag with Some b -> b | None -> default || dir <> None
+    match flag with
+    | Some b -> b
+    | None -> default || dir <> None || mb <> None
   in
-  if enabled then Some (Cc.create_cache ?dir ()) else None
+  let max_disk_bytes = Option.map (fun m -> m * 1024 * 1024) mb in
+  if enabled then Some (Cc.create_cache ?dir ?max_disk_bytes ()) else None
 
 let cache_status_name = function
   | `Hit -> "hit"
@@ -334,13 +349,14 @@ let stats_arg =
            op counts, rewrite/pool counters, cache hit/miss).")
 
 let compile_cmd =
-  let run file emit target threads cache_flag cache_dir stats trace =
+  let run file emit target threads cache_flag cache_dir cache_mb stats trace
+      =
     with_diagnostics file @@ fun () ->
     let* target = resolve_target target threads in
     let src = read_file file in
     setup_obs ~trace ~stats;
     Fsc_dialects.Registry.init ();
-    let cache = make_cache ~default:false cache_flag cache_dir in
+    let cache = make_cache ~default:false cache_flag cache_dir cache_mb in
     let options = P.default_options ~target () in
     (* the stages that need the extracted artifact share one (possibly
        cached) compile; the early-stage dumps bypass it *)
@@ -428,7 +444,7 @@ let compile_cmd =
     Term.(
       term_result
         (const run $ file_arg $ emit_arg $ target_arg $ threads_arg
-        $ cache_flag $ cache_dir_arg $ stats_arg $ trace_arg))
+        $ cache_flag $ cache_dir_arg $ cache_mb_arg $ stats_arg $ trace_arg))
 
 (* ---- run ---- *)
 
@@ -496,12 +512,12 @@ let print_dist_stats dst =
 let run_cmd =
   let run file target threads ranks dist_mode dist_no_fuse dist_no_coalesce
       dist_no_footprint engine native_no_tile native_no_fuse cache_flag
-      cache_dir stats trace =
+      cache_dir cache_mb stats trace =
     let* target = resolve_target target threads in
     let* target = apply_ranks target ranks in
     let src = read_file file in
     setup_obs ~trace ~stats;
-    let cache = make_cache ~default:false cache_flag cache_dir in
+    let cache = make_cache ~default:false cache_flag cache_dir cache_mb in
     let options = P.default_options ~target () in
     (* the native tier shares --cache-dir when given, so one directory
        holds both compiled IR entries and built plugin sidecars; the
@@ -604,8 +620,8 @@ let run_cmd =
         (const run $ file_arg $ target_arg $ threads_arg $ ranks_arg
         $ dist_mode_arg $ dist_no_fuse_arg $ dist_no_coalesce_arg
         $ dist_no_footprint_arg $ engine_arg $ native_no_tile_arg
-        $ native_no_fuse_arg $ cache_flag $ cache_dir_arg $ stats_arg
-        $ trace_arg))
+        $ native_no_fuse_arg $ cache_flag $ cache_dir_arg $ cache_mb_arg
+        $ stats_arg $ trace_arg))
 
 (* ---- check ---- *)
 
@@ -786,6 +802,79 @@ let deadline_arg =
           "Per-job deadline. A job past it resolves to a timeout result \
            instead of hanging its client.")
 
+let handlers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "handlers" ] ~docv:"N"
+        ~doc:
+          "Connection-handler domains: how many clients the server \
+           accepts and reads concurrently (default 4). A stalled or \
+           slow-writing client occupies one handler, never the whole \
+           server.")
+
+let quota_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quota" ] ~docv:"N"
+        ~doc:
+          "Per-client in-flight quota (queued + running jobs). Beyond \
+           it, new jobs from that client are rejected with reason \
+           quota-exceeded while other clients proceed. Unlimited when \
+           absent.")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Disconnect a client whose connection stays silent this long \
+           without completing a request line, so half-open connections \
+           release their handler.")
+
+let client_weight_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "client-weight" ] ~docv:"CLIENT=W"
+        ~doc:
+          "Scheduling weight for a named client (repeatable). The fair \
+           scheduler drains up to W jobs from a weight-W client per \
+           round-robin turn; default weight is 1.")
+
+let client_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Client mode: send the jobs to a running $(b,sfc serve) \
+           instance on this Unix socket instead of compiling \
+           in-process. Pool and cache flags are ignored; the server's \
+           scheduler, quotas and cache apply.")
+
+let client_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "client" ] ~docv:"ID"
+        ~doc:
+          "With $(b,--socket): client identity stamped onto every job \
+           that does not already carry one. The server schedules \
+           fairly and enforces quotas per identity.")
+
+(* Stamp the batch-wide client identity into a job line, leaving
+   explicit per-job identities (and unparseable lines, which the server
+   will answer with its own parse error) alone. *)
+let tag_client id line =
+  match J.of_string line with
+  | J.Obj fields when not (List.mem_assoc "client" fields) ->
+    J.to_string (J.Obj (("client", J.Str id) :: fields))
+  | _ -> line
+  | exception J.Parse_error _ -> line
+
 let read_job_lines path =
   let ic = if path = "-" then stdin else open_in path in
   Fun.protect
@@ -800,21 +889,46 @@ let read_job_lines path =
       go [])
 
 let batch_cmd =
-  let run jobs_file workers queue_capacity deadline_s cache_flag cache_dir
-      stats trace =
+  let run jobs_file socket client workers queue_capacity deadline_s
+      cache_flag cache_dir cache_mb stats trace =
     let lines = read_job_lines jobs_file in
-    setup_obs ~trace ~stats;
-    let cache = make_cache ~default:true cache_flag cache_dir in
-    let results =
-      Svc.run_batch ?cache ?workers ~queue_capacity ?deadline_s lines
-    in
-    List.iter print_endline results;
-    if stats then begin
-      Printf.eprintf "batch: %d jobs\n" (List.length results);
-      print_cache_stats cache;
-      prerr_string (Obs.report ())
-    end;
-    finish_obs ~trace
+    match socket with
+    | Some socket ->
+      (* client mode: the serve instance owns pool, cache and policy *)
+      let lines =
+        match client with
+        | None -> lines
+        | Some id -> List.map (tag_client id) lines
+      in
+      let replies =
+        try Ok (Svc.request ~socket lines) with
+        | Unix.Unix_error (e, _, _) ->
+          Error
+            (`Msg
+               (Printf.sprintf "cannot reach server on %s: %s" socket
+                  (Unix.error_message e)))
+        | Sys_error e -> Error (`Msg ("server connection lost: " ^ e))
+      in
+      let* replies = replies in
+      List.iter print_endline replies;
+      Ok ()
+    | None ->
+      if client <> None then
+        Error (`Msg "--client only applies with --socket (client mode)")
+      else begin
+        setup_obs ~trace ~stats;
+        let cache = make_cache ~default:true cache_flag cache_dir cache_mb in
+        let results =
+          Svc.run_batch ?cache ?workers ~queue_capacity ?deadline_s lines
+        in
+        List.iter print_endline results;
+        if stats then begin
+          Printf.eprintf "batch: %d jobs\n" (List.length results);
+          print_cache_stats cache;
+          prerr_string (Obs.report ())
+        end;
+        finish_obs ~trace
+      end
   in
   Cmd.v
     (Cmd.info "batch"
@@ -822,7 +936,9 @@ let batch_cmd =
          "Run a JSONL job file ({\"src\": ..., \"target\": ..., \"action\": \
           \"compile\"|\"run\"} per line, or \"-\" for stdin) over a worker \
           pool; results come out as JSONL in input order. The artifact \
-          cache is on by default ($(b,--no-cache) disables it).")
+          cache is on by default ($(b,--no-cache) disables it). With \
+          $(b,--socket), acts as a client of a running $(b,sfc serve) \
+          instance instead.")
     Term.(
       term_result
         (const run
@@ -830,24 +946,35 @@ let batch_cmd =
             required
             & pos 0 (some string) None
             & info [] ~docv:"JOBS" ~doc:"JSONL job file, or - for stdin")
-        $ workers_arg $ queue_arg $ deadline_arg $ cache_flag $ cache_dir_arg
+        $ client_socket_arg $ client_id_arg $ workers_arg $ queue_arg
+        $ deadline_arg $ cache_flag $ cache_dir_arg $ cache_mb_arg
         $ stats_arg $ trace_arg))
 
 let serve_cmd =
-  let run socket workers queue_capacity deadline_s cache_flag cache_dir =
-    let cache = make_cache ~default:true cache_flag cache_dir in
+  let run socket workers queue_capacity deadline_s handlers quota
+      idle_timeout client_weights cache_flag cache_dir cache_mb =
+    let cache = make_cache ~default:true cache_flag cache_dir cache_mb in
     Printf.eprintf
-      "sfc: serving on %s (send {\"action\": \"shutdown\"} to stop)\n%!"
+      "sfc: serving on %s (send {\"action\": \"shutdown\"} to stop, \
+       {\"action\": \"metrics\"} to inspect)\n%!"
       socket;
-    Svc.serve ?cache ?workers ~queue_capacity ?deadline_s ~socket ();
+    Svc.serve ?cache ?workers ~queue_capacity ?deadline_s ?handlers
+      ?default_quota:quota ?idle_timeout_s:idle_timeout ~client_weights
+      ~socket ();
     Ok ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the batch job protocol on a Unix domain socket until a \
-          client sends {\"action\": \"shutdown\"}. The artifact cache is \
-          on by default ($(b,--no-cache) disables it).")
+          client sends {\"action\": \"shutdown\"}. Connections are \
+          handled concurrently; jobs are scheduled fairly across client \
+          identities (weighted round-robin), bounded by $(b,--quota) and \
+          the $(b,--queue) capacity, and shed once expired. \
+          {\"action\": \"metrics\"} returns scheduler, per-client, cache \
+          and counter statistics as JSON. The artifact cache is on by \
+          default ($(b,--no-cache) disables it; $(b,--cache-mb) bounds \
+          it).")
     Term.(
       term_result
         (const run
@@ -855,7 +982,9 @@ let serve_cmd =
             required
             & opt (some string) None
             & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path")
-        $ workers_arg $ queue_arg $ deadline_arg $ cache_flag $ cache_dir_arg))
+        $ workers_arg $ queue_arg $ deadline_arg $ handlers_arg $ quota_arg
+        $ idle_timeout_arg $ client_weight_arg $ cache_flag $ cache_dir_arg
+        $ cache_mb_arg))
 
 (* ---- passes ---- *)
 

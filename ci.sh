@@ -302,4 +302,92 @@ fi
 echo "dist bench smoke: BENCH_dmp.json well-formed and self-validated"
 rm -rf "$DISTDIR"
 
+# Serve smoke: a live `sfc serve` instance must answer three concurrent
+# clients with checksums identical to a serial in-process batch, report
+# every client identity in its metrics JSON, and shut down cleanly on
+# request.
+SRVDIR=$(mktemp -d)
+SOCK="$SRVDIR/sfc.sock"
+for f in examples/*.f90; do
+  for target in serial openmp; do
+    printf '{"src": "%s", "target": "%s", "action": "run"}\n' "$f" "$target"
+  done
+done >"$SRVDIR/jobs.jsonl"
+srv_njobs=$(wc -l <"$SRVDIR/jobs.jsonl")
+serial_sums=$("$SFC" batch "$SRVDIR/jobs.jsonl" --workers 1 --no-cache \
+  | grep -o '"checksums":{[^}]*}' | sort)
+
+"$SFC" serve --socket "$SOCK" --workers 2 --handlers 4 --quota 32 \
+  --cache-dir "$SRVDIR/cache" --cache-mb 64 2>"$SRVDIR/serve.log" &
+SRVPID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do sleep 0.1; i=$((i + 1)); done
+if [ ! -S "$SOCK" ]; then
+  echo "ci: serve socket never appeared"
+  kill "$SRVPID" 2>/dev/null || true
+  exit 1
+fi
+
+for cl in a b c; do
+  "$SFC" batch "$SRVDIR/jobs.jsonl" --socket "$SOCK" --client "$cl" \
+    >"$SRVDIR/out.$cl" &
+  eval "PID_$cl=\$!"
+done
+wait "$PID_a" "$PID_b" "$PID_c"
+for cl in a b c; do
+  oks=$(grep -c '"status":"ok"' "$SRVDIR/out.$cl" || true)
+  if [ "$oks" -ne "$srv_njobs" ]; then
+    echo "ci: concurrent client $cl: $oks/$srv_njobs jobs ok"
+    cat "$SRVDIR/out.$cl"
+    kill "$SRVPID" 2>/dev/null || true
+    exit 1
+  fi
+  sums=$(grep -o '"checksums":{[^}]*}' "$SRVDIR/out.$cl" | sort)
+  if [ "$sums" != "$serial_sums" ]; then
+    echo "ci: concurrent client $cl checksums differ from serial batch"
+    kill "$SRVPID" 2>/dev/null || true
+    exit 1
+  fi
+done
+
+printf '{"action": "metrics"}\n' >"$SRVDIR/metrics.jsonl"
+metrics=$("$SFC" batch "$SRVDIR/metrics.jsonl" --socket "$SOCK")
+for key in '"scheduler"' '"queue_depth"' '"cache"' '"counters"' \
+    '"a":{"weight"' '"b":{"weight"' '"c":{"weight"'; do
+  if ! printf '%s\n' "$metrics" | grep -q "$key"; then
+    echo "ci: serve metrics JSON missing $key"
+    printf '%s\n' "$metrics"
+    kill "$SRVPID" 2>/dev/null || true
+    exit 1
+  fi
+done
+
+printf '{"action": "shutdown"}\n' >"$SRVDIR/shutdown.jsonl"
+"$SFC" batch "$SRVDIR/shutdown.jsonl" --socket "$SOCK" >/dev/null
+wait "$SRVPID"
+echo "serve smoke: 3 concurrent clients x $srv_njobs jobs match serial, metrics well-formed, clean shutdown"
+rm -rf "$SRVDIR"
+
+# The serve bench self-validates (>= 4 saturation points, percentiles,
+# shed rate, ok results bitwise equal to a serial reference) and exits
+# nonzero on any violation; CI re-checks the sections landed.
+SERVEDIR=$(mktemp -d)
+if ! (cd "$SERVEDIR" && "$ROOT/_build/default/bench/main.exe" \
+    --serve --quick); then
+  echo "ci: serve bench failed its own validation gate"
+  rm -rf "$SERVEDIR"
+  exit 1
+fi
+if ! [ -s "$SERVEDIR/BENCH_serve.json" ] \
+    || ! grep -q '"saturation"' "$SERVEDIR/BENCH_serve.json" \
+    || ! grep -q '"p99_ms"' "$SERVEDIR/BENCH_serve.json" \
+    || ! grep -q '"shed_rate"' "$SERVEDIR/BENCH_serve.json" \
+    || ! grep -q '"warm_hit_ratio"' "$SERVEDIR/BENCH_serve.json"; then
+  echo "ci: BENCH_serve.json missing or malformed"
+  rm -rf "$SERVEDIR"
+  exit 1
+fi
+echo "serve bench smoke: BENCH_serve.json well-formed and self-validated"
+rm -rf "$SERVEDIR"
+
 echo "ci: OK"

@@ -29,6 +29,8 @@ type stats = {
   invalid : int;
   stores : int;
   store_failures : int;
+  disk_bytes : int;
+  disk_evictions : int;
 }
 
 type t = {
@@ -37,6 +39,12 @@ type t = {
   mem_entries : int;
   cache_dir : string option;
   t_version : int;
+  max_disk_bytes : int option;
+  (* disk accounting (lazy: populated by the first disk operation) *)
+  mutable d_scanned : bool;
+  d_files : (string, int) Hashtbl.t; (* basename -> bytes *)
+  d_used : (string, float) Hashtbl.t; (* key -> last-used time *)
+  mutable d_bytes : int;
   mutable tick : int;
   mutable s_mem_hits : int;
   mutable s_disk_hits : int;
@@ -45,6 +53,7 @@ type t = {
   mutable s_invalid : int;
   mutable s_stores : int;
   mutable s_store_failures : int;
+  mutable s_disk_evictions : int;
 }
 
 (* Obs counters (process-wide; no-ops unless recording is enabled) so a
@@ -53,6 +62,7 @@ let c_hit = Obs.counter "cache.hit"
 let c_miss = Obs.counter "cache.miss"
 let c_invalid = Obs.counter "cache.invalid"
 let c_evict = Obs.counter "cache.evict"
+let c_disk_evict = Obs.counter "cache.disk_evict"
 
 let default_dir () =
   let base =
@@ -65,15 +75,21 @@ let default_dir () =
   in
   Filename.concat base "sfc"
 
-let create ?(mem_entries = 64) ?(disk = true) ?dir ~version () =
+let create ?(mem_entries = 64) ?(disk = true) ?dir ?max_disk_bytes ~version
+    () =
   let cache_dir =
     if disk then Some (match dir with Some d -> d | None -> default_dir ())
     else None
   in
   { mutex = Mutex.create (); tbl = Hashtbl.create 64;
     mem_entries = max 1 mem_entries; cache_dir; t_version = version;
+    max_disk_bytes =
+      Option.bind max_disk_bytes (fun b -> if b <= 0 then None else Some b);
+    d_scanned = false; d_files = Hashtbl.create 64;
+    d_used = Hashtbl.create 64; d_bytes = 0;
     tick = 0; s_mem_hits = 0; s_disk_hits = 0; s_misses = 0;
-    s_evictions = 0; s_invalid = 0; s_stores = 0; s_store_failures = 0 }
+    s_evictions = 0; s_invalid = 0; s_stores = 0; s_store_failures = 0;
+    s_disk_evictions = 0 }
 
 let version t = t.t_version
 let dir t = t.cache_dir
@@ -132,6 +148,135 @@ let mem_keys t =
       |> List.sort (fun (_, a) (_, b) -> compare b a)
       |> List.map fst)
 
+(* ---------------- disk byte accounting ----------------
+
+   The disk store is bounded by [max_disk_bytes]: every write is
+   recorded in an in-memory per-file size index (populated lazily by
+   one directory scan), and going over budget evicts whole artifact
+   sets — the [.art] entry and every sidecar of a key together, least
+   recently used first — so eviction can never leave a
+   sidecar-incomplete set behind. Recency survives restarts because
+   disk hits also bump the entry file's mtime, which seeds [d_used] on
+   the next scan. All helpers here expect [t.mutex] held. *)
+
+(* [<key>.<rest>] -> key; dotfiles (in-flight temp files) and foreign
+   names are not budget-accounted. *)
+let key_of_file f =
+  if String.length f = 0 || f.[0] = '.' then None
+  else
+    match String.index_opt f '.' with
+    | None | Some 0 -> None
+    | Some i -> Some (String.sub f 0 i)
+
+let ensure_scanned t =
+  if not t.d_scanned then begin
+    t.d_scanned <- true;
+    match t.cache_dir with
+    | None -> ()
+    | Some d -> (
+      match Sys.readdir d with
+      | exception Sys_error _ -> ()
+      | files ->
+        Array.iter
+          (fun f ->
+            match key_of_file f with
+            | None -> ()
+            | Some key -> (
+              match Unix.stat (Filename.concat d f) with
+              | exception Unix.Unix_error _ -> ()
+              | st ->
+                Hashtbl.replace t.d_files f st.Unix.st_size;
+                t.d_bytes <- t.d_bytes + st.Unix.st_size;
+                let prev =
+                  Option.value (Hashtbl.find_opt t.d_used key) ~default:0.
+                in
+                Hashtbl.replace t.d_used key
+                  (Float.max prev st.Unix.st_mtime)))
+          files)
+  end
+
+let note_file_removed t fname =
+  match Hashtbl.find_opt t.d_files fname with
+  | None -> ()
+  | Some bytes ->
+    Hashtbl.remove t.d_files fname;
+    t.d_bytes <- t.d_bytes - bytes
+
+(* Whole-set removal: every file of [key] goes, or (if already gone)
+   nothing does — never a partial set. *)
+let evict_set t key =
+  match t.cache_dir with
+  | None -> ()
+  | Some d ->
+    let prefix = key ^ "." in
+    let plen = String.length prefix in
+    let victims =
+      Hashtbl.fold
+        (fun f _ acc ->
+          if String.length f >= plen && String.sub f 0 plen = prefix then
+            f :: acc
+          else acc)
+        t.d_files []
+    in
+    List.iter
+      (fun f ->
+        (try Sys.remove (Filename.concat d f) with Sys_error _ -> ());
+        note_file_removed t f)
+      victims;
+    Hashtbl.remove t.d_used key;
+    if victims <> [] then begin
+      t.s_disk_evictions <- t.s_disk_evictions + 1;
+      Obs.incr c_disk_evict
+    end
+
+let rec enforce_budget t ~keep =
+  match t.max_disk_bytes with
+  | None -> ()
+  | Some budget ->
+    if t.d_bytes > budget then begin
+      let victim =
+        Hashtbl.fold
+          (fun key used acc ->
+            if keep = Some key then acc
+            else
+              match acc with
+              | Some (_, u) when u <= used -> acc
+              | _ -> Some (key, used))
+          t.d_used None
+      in
+      match victim with
+      | None -> () (* nothing evictable (only the just-written set) *)
+      | Some (key, _) ->
+        evict_set t key;
+        enforce_budget t ~keep
+    end
+
+let note_file_written t ~key fname =
+  match t.cache_dir with
+  | None -> ()
+  | Some d ->
+    ensure_scanned t;
+    (match Unix.stat (Filename.concat d fname) with
+    | exception Unix.Unix_error _ -> ()
+    | st ->
+      let prev =
+        Option.value (Hashtbl.find_opt t.d_files fname) ~default:0
+      in
+      Hashtbl.replace t.d_files fname st.Unix.st_size;
+      t.d_bytes <- t.d_bytes + st.Unix.st_size - prev;
+      Hashtbl.replace t.d_used key (Unix.gettimeofday ()));
+    enforce_budget t ~keep:(Some key)
+
+let touch_disk_key t key =
+  ensure_scanned t;
+  if Hashtbl.mem t.d_used key then begin
+    Hashtbl.replace t.d_used key (Unix.gettimeofday ());
+    (* bump the entry mtime so recency survives a restart's rescan *)
+    match entry_path t ~key with
+    | Some p -> ( try Unix.utimes p 0. 0. with Unix.Unix_error _ -> ())
+    | None -> ()
+  end
+
 (* ---------------- disk layer ---------------- *)
 
 let read_file path =
@@ -170,10 +315,12 @@ let decode_entry t ~key data =
       | _ -> Error `Invalid)
     | _ -> Error `Invalid)
 
+(* caller holds t.mutex *)
 let disk_remove t key =
   match entry_path t ~key with
-  | Some path when Sys.file_exists path -> (
-    try Sys.remove path with Sys_error _ -> ())
+  | Some path when Sys.file_exists path ->
+    (try Sys.remove path with Sys_error _ -> ());
+    note_file_removed t (key ^ ".art")
   | _ -> ()
 
 let disk_load t key =
@@ -208,6 +355,7 @@ let disk_store t key payload =
          (try Sys.remove tmp with Sys_error _ -> ());
          raise e);
       Sys.rename tmp (Filename.concat d (key ^ ".art"));
+      note_file_written t ~key (key ^ ".art");
       true
     with Sys_error _ | Unix.Unix_error _ -> false)
 
@@ -265,6 +413,7 @@ let find t ~key ~validate =
     | Ok v ->
       locked t (fun () ->
           mem_insert t key payload;
+          touch_disk_key t key;
           t.s_disk_hits <- t.s_disk_hits + 1);
       Obs.incr c_hit;
       Some v
@@ -274,10 +423,46 @@ let find t ~key ~validate =
 
 let stats t =
   locked t (fun () ->
+      ensure_scanned t;
       { mem_hits = t.s_mem_hits; disk_hits = t.s_disk_hits;
         misses = t.s_misses; evictions = t.s_evictions;
         invalid = t.s_invalid; stores = t.s_stores;
-        store_failures = t.s_store_failures })
+        store_failures = t.s_store_failures; disk_bytes = t.d_bytes;
+        disk_evictions = t.s_disk_evictions })
+
+let disk_bytes t =
+  locked t (fun () ->
+      ensure_scanned t;
+      t.d_bytes)
+
+(* Startup sweep: delete orphaned temp files from crashed writers,
+   rebuild the byte index from the directory, and evict LRU sets down
+   to the budget. Returns temp files dropped + sets evicted. *)
+let sweep t =
+  locked t (fun () ->
+      match t.cache_dir with
+      | None -> 0
+      | Some d ->
+        let dropped_tmp = ref 0 in
+        (match Sys.readdir d with
+        | exception Sys_error _ -> ()
+        | files ->
+          Array.iter
+            (fun f ->
+              if String.length f >= 5 && String.sub f 0 5 = ".tmp." then (
+                try
+                  Sys.remove (Filename.concat d f);
+                  incr dropped_tmp
+                with Sys_error _ -> ()))
+            files);
+        Hashtbl.reset t.d_files;
+        Hashtbl.reset t.d_used;
+        t.d_bytes <- 0;
+        t.d_scanned <- false;
+        ensure_scanned t;
+        let before = t.s_disk_evictions in
+        enforce_budget t ~keep:None;
+        t.s_disk_evictions - before + !dropped_tmp)
 
 (* ---------------- sidecar artifacts ---------------- *)
 
@@ -327,7 +512,9 @@ let publish t ~key ~ext ~install =
       in
       install tmp;
       Sys.rename tmp path;
-      locked t (fun () -> t.s_stores <- t.s_stores + 1);
+      locked t (fun () ->
+          t.s_stores <- t.s_stores + 1;
+          note_file_written t ~key (key ^ "." ^ ext));
       Some path
     with Sys_error _ | Unix.Unix_error _ ->
       locked t (fun () -> t.s_store_failures <- t.s_store_failures + 1);
@@ -365,12 +552,20 @@ let sidecar_exts t ~key =
              else None))
 
 let remove_sidecars t ~key =
-  List.iter
-    (fun ext ->
-      match sidecar_path t ~key ~ext with
-      | Some path -> ( try Sys.remove path with Sys_error _ -> ())
-      | None -> ())
-    (sidecar_exts t ~key)
+  let removed =
+    List.filter_map
+      (fun ext ->
+        match sidecar_path t ~key ~ext with
+        | Some path -> (
+          try
+            Sys.remove path;
+            Some (key ^ "." ^ ext)
+          with Sys_error _ -> None)
+        | None -> None)
+      (sidecar_exts t ~key)
+  in
+  if removed <> [] then
+    locked t (fun () -> List.iter (note_file_removed t) removed)
 
 let revalidate_sidecars ?validate t ~stamp =
   (* default policy: a set is valid iff its stamp equals [stamp];

@@ -27,6 +27,8 @@ type stats = {
   invalid : int;  (** entries dropped by validation / header checks *)
   stores : int;  (** successful {!put}s *)
   store_failures : int;  (** disk writes that failed and were swallowed *)
+  disk_bytes : int;  (** bytes currently accounted on disk *)
+  disk_evictions : int;  (** whole artifact sets evicted for the budget *)
 }
 
 (** [$XDG_CACHE_HOME/sfc] or [~/.cache/sfc]. *)
@@ -36,9 +38,19 @@ val default_dir : unit -> string
     by caches of the same [version] (mismatches are evicted on load).
     [mem_entries] bounds the LRU layer (default 64); [dir] places the
     disk store (default {!default_dir}); [disk:false] keeps the cache
-    memory-only. The directory is created on first write. *)
+    memory-only. [max_disk_bytes] bounds the disk store: writes that
+    push usage past the budget evict least-recently-used {e whole}
+    artifact sets (the [.art] entry plus every sidecar of a key — never
+    a partial set); [<= 0] means unbounded. The directory is created on
+    first write. *)
 val create :
-  ?mem_entries:int -> ?disk:bool -> ?dir:string -> version:int -> unit -> t
+  ?mem_entries:int ->
+  ?disk:bool ->
+  ?dir:string ->
+  ?max_disk_bytes:int ->
+  version:int ->
+  unit ->
+  t
 
 val version : t -> int
 
@@ -106,6 +118,16 @@ val remove_sidecars : t -> key:string -> unit
     configuration. *)
 val revalidate_sidecars :
   ?validate:(key:string -> stamp:string -> bool) -> t -> stamp:string -> int
+
+(** Bytes currently accounted in the disk store (0 if diskless). *)
+val disk_bytes : t -> int
+
+(** Startup sweep of the disk store: delete orphaned [.tmp.*] files
+    left by crashed writers, rebuild the byte index from the directory,
+    and evict LRU sets until the byte budget holds. Returns the number
+    of temp files dropped plus sets evicted. Cheap no-op when diskless
+    or the directory does not exist. *)
+val sweep : t -> int
 
 (** Memory-layer keys, most recently used first (test hook). *)
 val mem_keys : t -> string list

@@ -14,8 +14,9 @@ module P = Pipeline
    written by v1 lack them and must recompile. *)
 let format_version = 2
 
-let create_cache ?mem_entries ?disk ?dir () =
-  Cache.create ?mem_entries ?disk ?dir ~version:format_version ()
+let create_cache ?mem_entries ?disk ?dir ?max_disk_bytes () =
+  Cache.create ?mem_entries ?disk ?dir ?max_disk_bytes
+    ~version:format_version ()
 
 let key cache (options : P.options) src =
   Cache.digest cache

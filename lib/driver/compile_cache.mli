@@ -22,9 +22,15 @@
 val format_version : int
 
 (** A cache wired to [format_version] (defaults: 64 in-memory entries,
-    disk store under [Cache.default_dir ()]). *)
+    disk store under [Cache.default_dir ()]); [max_disk_bytes] bounds
+    the disk store with LRU whole-set eviction (see {!Fsc_cache.Cache.create}). *)
 val create_cache :
-  ?mem_entries:int -> ?disk:bool -> ?dir:string -> unit -> Fsc_cache.Cache.t
+  ?mem_entries:int ->
+  ?disk:bool ->
+  ?dir:string ->
+  ?max_disk_bytes:int ->
+  unit ->
+  Fsc_cache.Cache.t
 
 (** The entry key for compiling [source] under the given options. *)
 val key : Fsc_cache.Cache.t -> Pipeline.options -> string -> string

@@ -265,6 +265,14 @@ let now () = Unix.gettimeofday ()
 let enabled () = Atomic.get enabled_flag
 let set_enabled on = Atomic.set enabled_flag on
 
+(* Counters-only recording: a long-running server wants its counters
+   live for metrics dumps, but full recording would accumulate span
+   events without bound. This flag enables counter accumulation without
+   touching span recording ([enabled] stays authoritative for spans). *)
+let counters_only_flag = Atomic.make false
+let set_counters_only on = Atomic.set counters_only_flag on
+let counters_enabled () = enabled () || Atomic.get counters_only_flag
+
 let reset () =
   Mutex.lock lock;
   recorded := [];
@@ -334,7 +342,8 @@ let counter name =
   Mutex.unlock lock;
   { c_name = name; c_cell = cell }
 
-let add c n = if enabled () then ignore (Atomic.fetch_and_add c.c_cell n)
+let add c n =
+  if counters_enabled () then ignore (Atomic.fetch_and_add c.c_cell n)
 let incr c = add c 1
 let counter_name c = c.c_name
 let counter_value c = Atomic.get c.c_cell

@@ -120,6 +120,93 @@ let test_failed_validation_evicts_everywhere () =
     "file gone" false
     (Sys.file_exists (Option.get (C.entry_path c ~key)))
 
+(* ---- disk byte budget ---- *)
+
+(* payloads of 100 bytes frame to 149-byte entry files (49-byte header),
+   so the byte math below is exact *)
+let test_disk_budget_lru_eviction () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~max_disk_bytes:400 ~version:1 () in
+  let key i = C.digest c [ string_of_int i ] in
+  C.put c ~key:(key 1) (String.make 100 'a');
+  C.put c ~key:(key 2) (String.make 100 'b');
+  Alcotest.(check int) "two entries accounted" 298 (C.disk_bytes c);
+  (* the third write busts the budget: the oldest set goes *)
+  C.put c ~key:(key 3) (String.make 100 'c');
+  Alcotest.(check bool) "budget respected" true (C.disk_bytes c <= 400);
+  Alcotest.(check bool)
+    "oldest entry evicted" false
+    (Sys.file_exists (Option.get (C.entry_path c ~key:(key 1))));
+  Alcotest.(check bool)
+    "recent entry kept" true
+    (Sys.file_exists (Option.get (C.entry_path c ~key:(key 2))));
+  Alcotest.(check bool)
+    "new entry kept" true
+    (Sys.file_exists (Option.get (C.entry_path c ~key:(key 3))));
+  Alcotest.(check int) "one set eviction counted" 1
+    (C.stats c).C.disk_evictions;
+  (* a fresh process sees the post-eviction truth *)
+  let c2 = C.create ~dir ~version:1 () in
+  Alcotest.(check (option string))
+    "evicted key misses from disk" None
+    (C.find c2 ~key:(key 1) ~validate:ok_validate)
+
+let test_disk_budget_whole_set_eviction () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~max_disk_bytes:500 ~version:1 () in
+  let k1 = C.digest c [ "set1" ] in
+  C.put c ~key:k1 (String.make 100 'a');
+  ignore (C.put_sidecar c ~key:k1 ~ext:"ml" (String.make 100 'm'));
+  ignore (C.put_sidecar c ~key:k1 ~ext:"stamp" "v1");
+  let k2 = C.digest c [ "set2" ] in
+  C.put c ~key:k2 (String.make 100 'b');
+  let k3 = C.digest c [ "set3" ] in
+  C.put c ~key:k3 (String.make 200 'c');
+  (* k1 (entry + 2 sidecars) was LRU: the whole set must go together —
+     never the entry without its sidecars or vice versa *)
+  Alcotest.(check bool) "budget respected" true (C.disk_bytes c <= 500);
+  Alcotest.(check bool)
+    "evicted entry gone" false
+    (Sys.file_exists (Option.get (C.entry_path c ~key:k1)));
+  Alcotest.(check (list string))
+    "evicted sidecars gone with it" [] (C.sidecar_exts c ~key:k1);
+  Alcotest.(check bool)
+    "survivor intact" true
+    (Sys.file_exists (Option.get (C.entry_path c ~key:k2)))
+
+let test_disk_sweep () =
+  let dir = tmp_dir () in
+  let c = C.create ~dir ~version:1 () in
+  let keys =
+    List.init 4 (fun i ->
+        let k = C.digest c [ Printf.sprintf "sweep%d" i ] in
+        C.put c ~key:k (String.make 100 (Char.chr (Char.code 'a' + i)));
+        ignore (C.put_sidecar c ~key:k ~ext:"stamp" "s1");
+        k)
+  in
+  (* an orphaned temp file from a crashed writer *)
+  let orphan = Filename.concat dir ".tmp.deadbeef.12345" in
+  Out_channel.with_open_bin orphan (fun oc ->
+      Out_channel.output_string oc "junk");
+  let c2 = C.create ~dir ~max_disk_bytes:320 ~version:1 () in
+  let dropped = C.sweep c2 in
+  Alcotest.(check bool) "sweep dropped temp + sets" true (dropped >= 2);
+  Alcotest.(check bool) "orphan temp removed" false (Sys.file_exists orphan);
+  Alcotest.(check bool) "budget enforced" true (C.disk_bytes c2 <= 320);
+  (* every surviving set is complete: entry and stamp live or die
+     together *)
+  List.iter
+    (fun k ->
+      let entry = Sys.file_exists (Option.get (C.entry_path c2 ~key:k)) in
+      let stamp = C.sidecar_exts c2 ~key:k <> [] in
+      Alcotest.(check bool)
+        "set completeness preserved across sweep" entry stamp)
+    keys;
+  Alcotest.(check bool) "something survived" true
+    (List.exists
+       (fun k -> Sys.file_exists (Option.get (C.entry_path c2 ~key:k)))
+       keys)
+
 (* ---- sidecar artifacts ---- *)
 
 let test_sidecar_round_trip () =
@@ -404,6 +491,12 @@ let () =
            test_version_mismatch_evicted;
          Alcotest.test_case "failed validation evicts" `Quick
            test_failed_validation_evicts_everywhere ]);
+      ("disk budget",
+       [ Alcotest.test_case "lru eviction under byte budget" `Quick
+           test_disk_budget_lru_eviction;
+         Alcotest.test_case "whole-set eviction" `Quick
+           test_disk_budget_whole_set_eviction;
+         Alcotest.test_case "startup sweep" `Quick test_disk_sweep ]);
       ("sidecars",
        [ Alcotest.test_case "round trip" `Quick test_sidecar_round_trip;
          Alcotest.test_case "reserved extension" `Quick

@@ -65,7 +65,8 @@ let test_sched_queue_full () =
   (match S.submit s (fun () -> 3) with
   | Error `Queue_full -> ()
   | Ok _ -> Alcotest.fail "expected Queue_full backpressure"
-  | Error `Shutting_down -> Alcotest.fail "not shutting down yet");
+  | Error (`Shutting_down | `Quota_exceeded) ->
+    Alcotest.fail "wrong rejection");
   Atomic.set release true;
   ignore (S.await running);
   ignore (S.await q1);
@@ -124,6 +125,121 @@ let test_sched_shutdown_drains () =
   | _ -> Alcotest.fail "submit after shutdown must be rejected");
   S.shutdown s (* idempotent *)
 
+(* A single blocked worker makes dequeue order fully deterministic:
+   everything below submits while the worker is parked, releases it,
+   and then reads the completion log. *)
+let with_blocked_worker ?queue_capacity f =
+  let release = Atomic.make false in
+  let block () =
+    while not (Atomic.get release) do
+      Unix.sleepf 0.001
+    done
+  in
+  let s = S.create ~workers:1 ?queue_capacity () in
+  let blocker = Result.get_ok (S.submit s block) in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while S.queue_depth s > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let log = ref [] in
+  let log_mutex = Mutex.create () in
+  let note tag () =
+    Mutex.lock log_mutex;
+    log := tag :: !log;
+    Mutex.unlock log_mutex
+  in
+  let tickets = f s note in
+  Atomic.set release true;
+  ignore (S.await blocker);
+  List.iter (fun t -> ignore (S.await t)) tickets;
+  S.shutdown s;
+  (s, List.rev !log)
+
+let test_sched_fair_round_robin () =
+  (* client a floods 6 jobs before b submits 2; round-robin still
+     alternates them instead of running a's whole backlog first *)
+  let _, order =
+    with_blocked_worker (fun s note ->
+        let submit c tag = Result.get_ok (S.submit s ~client:c (note tag)) in
+        let ta = List.init 6 (fun i -> submit "a" (Printf.sprintf "a%d" i)) in
+        let tb = List.init 2 (fun i -> submit "b" (Printf.sprintf "b%d" i)) in
+        ta @ tb)
+  in
+  Alcotest.(check (list string))
+    "weighted round-robin interleaves the flooded client"
+    [ "a0"; "b0"; "a1"; "b1"; "a2"; "a3"; "a4"; "a5" ]
+    order
+
+let test_sched_client_weights () =
+  let _, order =
+    with_blocked_worker (fun s note ->
+        S.configure_client s ~id:"a" ~weight:2 ();
+        let submit c tag = Result.get_ok (S.submit s ~client:c (note tag)) in
+        let ta = List.init 6 (fun i -> submit "a" (Printf.sprintf "a%d" i)) in
+        let tb = List.init 2 (fun i -> submit "b" (Printf.sprintf "b%d" i)) in
+        ta @ tb)
+  in
+  Alcotest.(check (list string))
+    "weight 2 dequeues two of a's jobs per rotation visit"
+    [ "a0"; "a1"; "b0"; "a2"; "a3"; "b1"; "a4"; "a5" ]
+    order
+
+let test_sched_quota () =
+  let s, _ =
+    with_blocked_worker (fun s note ->
+        S.configure_client s ~id:"q" ~quota:2 ();
+        let t1 = Result.get_ok (S.submit s ~client:"q" (note "q1")) in
+        let t2 = Result.get_ok (S.submit s ~client:"q" (note "q2")) in
+        (match S.submit s ~client:"q" (note "q3") with
+        | Error `Quota_exceeded -> ()
+        | Ok _ -> Alcotest.fail "third in-flight job must exceed quota 2"
+        | Error _ -> Alcotest.fail "wrong rejection");
+        (* another client is not affected by q's quota *)
+        let t3 = Result.get_ok (S.submit s ~client:"other" (note "o1")) in
+        [ t1; t2; t3 ])
+  in
+  let st = S.stats s in
+  let q =
+    List.find (fun c -> c.S.c_id = "q") st.S.clients
+  in
+  Alcotest.(check int) "quota rejection counted for q" 1 q.S.c_rejected;
+  Alcotest.(check int) "q completed its admitted jobs" 2 q.S.c_completed
+
+let test_sched_cancellation () =
+  let release = Atomic.make false in
+  let s = S.create ~workers:1 () in
+  let blocker =
+    Result.get_ok
+      (S.submit s (fun () ->
+           while not (Atomic.get release) do
+             Unix.sleepf 0.001
+           done))
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while S.queue_depth s > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.001
+  done;
+  let flag = Atomic.make false in
+  let ran = Atomic.make false in
+  let t =
+    Result.get_ok
+      (S.submit s
+         ~cancelled:(fun () -> Atomic.get flag)
+         (fun () -> Atomic.set ran true))
+  in
+  (* cancel while still queued, then let the worker reach it *)
+  Atomic.set flag true;
+  Atomic.set release true;
+  (match S.await t with
+  | S.Cancelled -> ()
+  | _ -> Alcotest.fail "queued job must shed as Cancelled");
+  ignore (S.await blocker);
+  S.shutdown s;
+  Alcotest.(check bool) "cancelled job never ran" false (Atomic.get ran);
+  let st = S.stats s in
+  Alcotest.(check int) "cancellation counted" 1 st.S.cancelled;
+  Alcotest.(check bool) "counted as shed work" true (st.S.shed >= 1)
+
 (* ---- protocol parsing ---- *)
 
 let parse_err line =
@@ -150,6 +266,11 @@ let test_parse_job () =
       (j.Svc.j_target = P.Openmp 4);
     Alcotest.(check bool) "compile action" true (j.Svc.j_action = Svc.Compile)
   | Error e -> Alcotest.fail e);
+  (match Svc.parse_job ~index:0 {|{"src": "x.f90", "client": "team-a"}|} with
+  | Ok j ->
+    Alcotest.(check bool) "client field parsed" true
+      (j.Svc.j_client = Some "team-a")
+  | Error e -> Alcotest.fail e);
   ignore (parse_err "not json at all");
   ignore (parse_err {|{"action": "run"}|});
   ignore (parse_err {|{"src": "a", "source": "b"}|});
@@ -157,10 +278,15 @@ let test_parse_job () =
   ignore (parse_err {|{"src": "a", "target": "serial", "threads": 2}|});
   ignore (parse_err {|{"src": "a", "threads": 0}|});
   ignore (parse_err {|{"src": "a", "action": "shutdown"}|});
+  ignore (parse_err {|{"src": "a", "action": "metrics"}|});
   Alcotest.(check bool) "shutdown control line" true
     (Svc.is_shutdown {|{"action": "shutdown"}|});
   Alcotest.(check bool) "jobs are not shutdown" false
-    (Svc.is_shutdown {|{"src": "a"}|})
+    (Svc.is_shutdown {|{"src": "a"}|});
+  Alcotest.(check bool) "metrics control line" true
+    (Svc.is_metrics {|{"action": "metrics"}|});
+  Alcotest.(check bool) "jobs are not metrics" false
+    (Svc.is_metrics {|{"src": "a"}|})
 
 (* ---- batch ---- *)
 
@@ -260,7 +386,52 @@ let test_batch_warm_cache_hits () =
     (List.map fingerprint cold)
     (List.map fingerprint warm)
 
+(* A cancelled connection stops consuming pipeline phases: the first
+   poll admits the compile, the second (at the compile->run boundary)
+   sheds the job before it links or runs. *)
+let test_execute_phase_cancellation () =
+  let job =
+    Result.get_ok (Svc.parse_job ~index:0 (job_line ~target:"serial" gs))
+  in
+  let polls = ref 0 in
+  let should_cancel () =
+    incr polls;
+    !polls > 1
+  in
+  let r = Svc.execute ~should_cancel job in
+  (match r.Svc.r_status with
+  | Svc.Cancelled_ -> ()
+  | _ -> Alcotest.fail "expected Cancelled_ between compile and run");
+  Alcotest.(check bool) "compile phase ran" true (r.Svc.r_compile_ms > 0.);
+  Alcotest.(check bool) "run phase skipped" true (r.Svc.r_checksums = []);
+  (* cancelled before anything: no compile either *)
+  let r2 = Svc.execute ~should_cancel:(fun () -> true) job in
+  (match r2.Svc.r_status with
+  | Svc.Cancelled_ -> ()
+  | _ -> Alcotest.fail "expected Cancelled_ before compile");
+  Alcotest.(check bool) "no compile happened" true (r2.Svc.r_compile_ms = 0.)
+
 (* ---- serve ---- *)
+
+let start_server ?cache ?(workers = 2) ?handlers ?queue_capacity
+    ?default_quota () =
+  let socket = Filename.temp_file "fsc_serve_test" ".sock" in
+  Sys.remove socket;
+  let server =
+    Domain.spawn (fun () ->
+        Svc.serve ?cache ~workers ?handlers ?queue_capacity ?default_quota
+          ~socket ())
+  in
+  (* wait for the socket to appear *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.005
+  done;
+  (socket, server)
+
+let stop_server socket server =
+  ignore (Svc.request ~socket [ {|{"action": "shutdown"}|} ]);
+  Domain.join server
 
 let test_serve_round_trip () =
   let socket = Filename.temp_file "fsc_serve_test" ".sock" in
@@ -290,6 +461,121 @@ let test_serve_round_trip () =
   Domain.join server;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket)
 
+(* The head-of-line regression test: a client that connects and stalls
+   (half a line, no newline, no EOF) must not block other clients. *)
+let test_serve_stalled_client_not_blocking () =
+  let socket, server = start_server ~workers:2 ~handlers:3 () in
+  let stalled = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect stalled (Unix.ADDR_UNIX socket);
+  ignore
+    (Unix.write_substring stalled {|{"source|} 0 (String.length {|{"source|}));
+  (* two clients make progress concurrently while the third stalls *)
+  let c1 =
+    Domain.spawn (fun () ->
+        Svc.request ~socket [ job_line ~target:"serial" gs ])
+  in
+  let c2 =
+    Domain.spawn (fun () ->
+        Svc.request ~socket [ job_line ~target:"serial" pw ])
+  in
+  let r1 = Domain.join c1 in
+  let r2 = Domain.join c2 in
+  List.iter
+    (fun replies ->
+      Alcotest.(check int) "one reply" 1 (List.length replies);
+      Alcotest.(check string) "served around the stalled client" "ok"
+        (str_of (field "status" (List.hd replies))))
+    [ r1; r2 ];
+  (try Unix.close stalled with Unix.Unix_error _ -> ());
+  stop_server socket server
+
+let test_serve_metrics () =
+  let socket, server = start_server ~workers:1 () in
+  let replies =
+    Svc.request ~socket
+      [ job_line ~target:"serial" gs; {|{"action": "metrics"}|} ]
+  in
+  Alcotest.(check int) "job reply plus metrics reply" 2 (List.length replies);
+  let metrics = J.of_string (List.nth replies 1) in
+  Alcotest.(check string) "typed as metrics" "metrics"
+    (str_of (Option.get (J.member "type" metrics)));
+  let sched = Option.get (J.member "scheduler" metrics) in
+  (match J.member "submitted" sched with
+  | Some (J.Num n) ->
+    Alcotest.(check bool) "job visible in scheduler totals" true (n >= 1.)
+  | _ -> Alcotest.fail "scheduler.submitted missing");
+  (match J.member "clients" metrics with
+  | Some (J.Obj ((_, _) :: _)) -> ()
+  | _ -> Alcotest.fail "per-client stats missing");
+  Alcotest.(check bool) "queue depth present" true
+    (J.member "queue_depth" metrics <> None);
+  Alcotest.(check bool) "obs counters present" true
+    (J.member "counters" metrics <> None);
+  stop_server socket server
+
+let test_serve_overload_shed () =
+  let socket, server =
+    start_server ~workers:1 ~handlers:2 ~queue_capacity:1 ()
+  in
+  let jobs = List.init 8 (fun i -> job_line ~id:i ~target:"serial" gs) in
+  let replies = Svc.request ~socket jobs in
+  Alcotest.(check int) "every job answered" 8 (List.length replies);
+  let statuses = List.map (fun l -> str_of (field "status" l)) replies in
+  Alcotest.(check bool) "some jobs completed" true
+    (List.mem "ok" statuses);
+  let rejected =
+    List.filter (fun l -> str_of (field "status" l) = "rejected") replies
+  in
+  Alcotest.(check bool) "overload sheds instead of queueing forever" true
+    (rejected <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check string) "typed rejection reason" "overloaded"
+        (str_of (field "reason" l)))
+    rejected;
+  stop_server socket server
+
+let test_serve_quota_exceeded () =
+  let socket, server =
+    start_server ~workers:1 ~handlers:2 ~default_quota:2 ()
+  in
+  let jobs = List.init 6 (fun i -> job_line ~id:i ~target:"serial" gs) in
+  let replies = Svc.request ~socket jobs in
+  let statuses = List.map (fun l -> str_of (field "status" l)) replies in
+  Alcotest.(check bool) "admitted jobs completed" true (List.mem "ok" statuses);
+  let rejected =
+    List.filter (fun l -> str_of (field "status" l) = "rejected") replies
+  in
+  Alcotest.(check bool) "quota sheds the flood" true (rejected <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check string) "typed quota reason" "quota-exceeded"
+        (str_of (field "reason" l)))
+    rejected;
+  (* a fresh connection is a fresh client: its quota is its own *)
+  let ok = Svc.request ~socket [ job_line ~target:"serial" pw ] in
+  Alcotest.(check string) "other clients unaffected" "ok"
+    (str_of (field "status" (List.hd ok)));
+  stop_server socket server
+
+let test_serve_survives_vanishing_client () =
+  let socket, server = start_server ~workers:2 () in
+  (* send jobs then vanish without reading a single reply *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  let payload =
+    String.concat "\n"
+      (List.init 3 (fun i -> job_line ~id:i ~target:"serial" gs))
+    ^ "\n"
+  in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  Unix.close fd;
+  (* the server keeps serving other clients *)
+  let replies = Svc.request ~socket [ job_line ~target:"serial" pw ] in
+  Alcotest.(check string) "server survives the vanished client" "ok"
+    (str_of (field "status" (List.hd replies)));
+  stop_server socket server
+
 let () =
   Alcotest.run "server"
     [ ( "scheduler",
@@ -300,7 +586,13 @@ let () =
             test_sched_queue_full;
           Alcotest.test_case "deadlines" `Quick test_sched_deadline;
           Alcotest.test_case "shutdown drains" `Quick
-            test_sched_shutdown_drains ] );
+            test_sched_shutdown_drains;
+          Alcotest.test_case "fair round robin" `Quick
+            test_sched_fair_round_robin;
+          Alcotest.test_case "client weights" `Quick test_sched_client_weights;
+          Alcotest.test_case "in-flight quota" `Quick test_sched_quota;
+          Alcotest.test_case "cancellation sheds queued work" `Quick
+            test_sched_cancellation ] );
       ("protocol", [ Alcotest.test_case "parse_job" `Quick test_parse_job ]);
       ( "batch",
         [ Alcotest.test_case "concurrent equals serial" `Quick
@@ -308,7 +600,16 @@ let () =
           Alcotest.test_case "bad job fails alone" `Quick
             test_batch_bad_job_fails_alone;
           Alcotest.test_case "warm cache hits" `Quick
-            test_batch_warm_cache_hits ] );
+            test_batch_warm_cache_hits;
+          Alcotest.test_case "phase-boundary cancellation" `Quick
+            test_execute_phase_cancellation ] );
       ( "serve",
-        [ Alcotest.test_case "socket round trip" `Quick test_serve_round_trip ]
-      ) ]
+        [ Alcotest.test_case "socket round trip" `Quick test_serve_round_trip;
+          Alcotest.test_case "stalled client does not block" `Quick
+            test_serve_stalled_client_not_blocking;
+          Alcotest.test_case "metrics request" `Quick test_serve_metrics;
+          Alcotest.test_case "overload shed" `Quick test_serve_overload_shed;
+          Alcotest.test_case "quota exceeded" `Quick
+            test_serve_quota_exceeded;
+          Alcotest.test_case "survives vanishing client" `Quick
+            test_serve_survives_vanishing_client ] ) ]
